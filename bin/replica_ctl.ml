@@ -1,0 +1,414 @@
+(* replica-ctl: command-line front end to the arbitrary tree-structured
+   replica control protocol library.
+
+     replica-ctl tree --spec 1-3-5
+     replica-ctl analyze --config arbitrary -n 100 -p 0.8
+     replica-ctl quorums --spec 1-3-5
+     replica-ctl plan -n 100 -p 0.8 --read-fraction 0.7
+     replica-ctl figures --section fig2
+     replica-ctl simulate --config arbitrary -n 65 --ops 200 --mtbf 200
+*)
+
+open Cmdliner
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let config_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "binary" -> Ok Arbitrary.Config.Binary
+    | "unmodified" -> Ok Arbitrary.Config.Unmodified
+    | "arbitrary" -> Ok Arbitrary.Config.Arbitrary
+    | "hqc" -> Ok Arbitrary.Config.Hqc
+    | "mostly-read" -> Ok Arbitrary.Config.Mostly_read
+    | "mostly-write" -> Ok Arbitrary.Config.Mostly_write
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown configuration %S (binary|unmodified|arbitrary|hqc|mostly-read|mostly-write)"
+             s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Arbitrary.Config.name_to_string c) in
+  Arg.conv (parse, print)
+
+let spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spec" ] ~docv:"SPEC"
+        ~doc:
+          "Tree specification in the paper's notation, e.g. $(b,1-3-5): a \
+           leading 1 is a logical root, the other numbers are physical \
+           level sizes.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt (some config_conv) None
+    & info [ "config" ] ~docv:"NAME"
+        ~doc:"One of the six §4 configurations to build the tree from.")
+
+let n_arg =
+  Arg.(
+    value & opt int 65
+    & info [ "n" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let p_arg =
+  Arg.(
+    value & opt float 0.7
+    & info [ "p" ] ~docv:"P" ~doc:"Per-replica availability probability.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let tree_of ~spec ~config ~n =
+  match (spec, config) with
+  | Some s, _ -> Arbitrary.Tree.of_spec s
+  | None, Some c -> Arbitrary.Config.build c ~n
+  | None, None -> Arbitrary.Config.build Arbitrary.Config.Arbitrary ~n
+
+(* User mistakes (bad specs, n out of range, BINARY/HQC where an arbitrary
+   tree is required) surface as [Invalid_argument]; report and fail
+   cleanly instead of crashing with a backtrace. *)
+let or_fail f =
+  try f () with Invalid_argument msg ->
+    Format.eprintf "replica-ctl: %s@." msg;
+    exit 1
+
+(* --- tree ----------------------------------------------------------------- *)
+
+let tree_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of text.")
+  in
+  let run spec config n dot =
+    or_fail @@ fun () ->
+    let tree = tree_of ~spec ~config ~n in
+    if dot then print_string (Arbitrary.Tree_dot.to_dot tree)
+    else begin
+      Format.printf "%a@." Arbitrary.Tree.pp tree;
+      Format.printf "spec: %s@." (Arbitrary.Tree.to_spec tree);
+      Format.printf "satisfies assumption 3.1: %b@."
+        (Arbitrary.Tree.satisfies_assumption tree)
+    end
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Build a tree and print its level structure.")
+    Term.(const run $ spec_arg $ config_arg $ n_arg $ dot_arg)
+
+(* --- analyze -------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run spec config n p =
+    or_fail @@ fun () ->
+    let tree = tree_of ~spec ~config ~n in
+    Format.printf "%a@." Arbitrary.Analysis.pp_summary
+      (Arbitrary.Analysis.summarize tree ~p);
+    Format.printf
+      "write operation availability (incl. version-phase read): %.4f@."
+      (Arbitrary.Analysis.write_operation_availability tree ~p)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Closed-form costs, availability and loads of a tree (§3.2).")
+    Term.(const run $ spec_arg $ config_arg $ n_arg $ p_arg)
+
+(* --- quorums -------------------------------------------------------------- *)
+
+let quorums_cmd =
+  let run spec config n =
+    or_fail @@ fun () ->
+    let tree = tree_of ~spec ~config ~n in
+    if Arbitrary.Tree.n tree > 16 then
+      Format.printf "(tree has %d replicas; enumeration is only for small trees)@."
+        (Arbitrary.Tree.n tree)
+    else begin
+      Format.printf "read quorums (m(R) = %.0f):@."
+        (Arbitrary.Analysis.num_read_quorums tree);
+      Seq.iter
+        (fun q -> Format.printf "  %a@." Dsutil.Bitset.pp q)
+        (Arbitrary.Quorums.enumerate_read_quorums tree);
+      Format.printf "write quorums (m(W) = %d):@."
+        (Arbitrary.Analysis.num_write_quorums tree);
+      Seq.iter
+        (fun q -> Format.printf "  %a@." Dsutil.Bitset.pp q)
+        (Arbitrary.Quorums.enumerate_write_quorums tree)
+    end
+  in
+  Cmd.v
+    (Cmd.info "quorums" ~doc:"Enumerate the read and write quorums of a tree.")
+    Term.(const run $ spec_arg $ config_arg $ n_arg)
+
+(* --- plan ----------------------------------------------------------------- *)
+
+let plan_cmd =
+  let read_fraction_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-fraction" ] ~docv:"F"
+          ~doc:"Fraction of operations that are reads.")
+  in
+  let run n p read_fraction =
+    or_fail @@ fun () ->
+    let spectrum = Arbitrary.Planner.spectrum ~n ~p ~read_fraction () in
+    Format.printf "best trees for n=%d, p=%.2f, %.0f%% reads:@." n p
+      (100.0 *. read_fraction);
+    List.iteri
+      (fun i (tree, score) ->
+        if i < 5 then
+          Format.printf "  %d. score %.4f  |K_phy|=%-3d  %s@." (i + 1) score
+            (Arbitrary.Tree.num_physical_levels tree)
+            (Arbitrary.Tree.to_spec tree))
+      spectrum
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Pick the tree configuration for a read/write mix (§3.3).")
+    Term.(const run $ n_arg $ p_arg $ read_fraction_arg)
+
+(* --- figures -------------------------------------------------------------- *)
+
+let figures_cmd =
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"DIR"
+          ~doc:"Write the figure series as CSV plus a gnuplot script into DIR.")
+  in
+  let section_arg =
+    Arg.(
+      value & opt string "all"
+      & info [ "section" ] ~docv:"SECTION"
+          ~doc:"One of: all, table1, fig2, fig3, fig4, limits, related, shapes.")
+  in
+  let run section export =
+    (match export with
+    | Some dir ->
+      let files = Eval.Export.write_all ~dir () in
+      List.iter (Format.printf "wrote %s@.") files
+    | None -> ());
+    match String.lowercase_ascii section with
+    | "all" -> print_string (Eval.Figures.all ())
+    | "table1" -> print_string (Eval.Figures.table1 ())
+    | "fig2" -> print_string (Eval.Figures.fig2 ())
+    | "fig3" -> print_string (Eval.Figures.fig3 ())
+    | "fig4" -> print_string (Eval.Figures.fig4 ())
+    | "limits" -> print_string (Eval.Figures.limits ())
+    | "related" -> print_string (Eval.Figures.related_work ())
+    | "shapes" -> print_string (Eval.Figures.shape_checks ())
+    | s -> Format.eprintf "unknown section %S@." s
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ section_arg $ export_arg)
+
+(* --- txn ------------------------------------------------------------------ *)
+
+let txn_cmd =
+  let clients_arg =
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"C" ~doc:"Client count.")
+  in
+  let txns_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "txns" ] ~docv:"T" ~doc:"Transactions per client.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "keys-per-txn" ] ~docv:"K" ~doc:"Keys read+written per transaction.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"L" ~doc:"Message loss rate.")
+  in
+  let mtbf_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "mtbf" ] ~docv:"T" ~doc:"Mean time between failures (enables churn).")
+  in
+  let run config n clients txns keys loss mtbf seed =
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    or_fail @@ fun () ->
+    let proto = Eval.Config_metrics.protocol_of name ~n in
+    let n_replicas = Quorum.Protocol.universe_size proto in
+    let failures =
+      match mtbf with
+      | None -> []
+      | Some mtbf ->
+        Dsim.Failure.random_crash_recovery
+          ~rng:(Dsutil.Rng.create (seed + 1))
+          ~n:n_replicas ~horizon:2000.0 ~mtbf ~mttr:(mtbf /. 4.0)
+    in
+    let s = Replication.Txn_harness.default_scenario ~proto in
+    let report =
+      Replication.Txn_harness.run
+        {
+          s with
+          Replication.Txn_harness.n_clients = clients;
+          txns_per_client = txns;
+          keys_per_txn = keys;
+          loss_rate = loss;
+          failures;
+          seed;
+        }
+    in
+    Format.printf "%s over %d replicas:@.%a@."
+      (Arbitrary.Config.name_to_string name)
+      n_replicas Replication.Txn_harness.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:
+         "Run multi-key increment transactions (2PL + cross-key 2PC) and \
+          check the conservation invariant.")
+    Term.(
+      const run $ config_arg $ n_arg $ clients_arg $ txns_arg $ keys_arg
+      $ loss_arg $ mtbf_arg $ seed_arg)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let ops_arg =
+    Arg.(value & opt int 3 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations to trace.")
+  in
+  let max_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "max" ] ~docv:"LINES" ~doc:"Trace lines to print (from the end).")
+  in
+  let run spec config n ops max_lines seed =
+    or_fail @@ fun () ->
+    let tree = tree_of ~spec ~config ~n in
+    let proto = Arbitrary.Quorums.protocol tree in
+    let n_replicas = Arbitrary.Tree.n tree in
+    let engine = Dsim.Engine.create ~seed () in
+    let net = Dsim.Network.create ~engine ~n:(n_replicas + 1) () in
+    let trace = Dsim.Trace.create () in
+    Dsim.Network.attach_trace net
+      ~describe:(Format.asprintf "%a" Replication.Message.pp)
+      trace;
+    let _replicas =
+      Array.init n_replicas (fun site -> Replication.Replica.create ~site ~net)
+    in
+    let coord = Replication.Coordinator.create ~site:n_replicas ~net ~proto () in
+    let rec go i =
+      if i < ops then begin
+        if i mod 2 = 0 then
+          Replication.Coordinator.write coord ~key:(i / 2)
+            ~value:(Printf.sprintf "v%d" i) (fun _ -> go (i + 1))
+        else Replication.Coordinator.read coord ~key:(i / 2) (fun _ -> go (i + 1))
+      end
+    in
+    go 0;
+    Dsim.Engine.run engine;
+    print_endline (Dsim.Trace.dump trace ~max:max_lines)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a few operations and dump the message-level trace.")
+    Term.(const run $ spec_arg $ config_arg $ n_arg $ ops_arg $ max_arg $ seed_arg)
+
+(* --- simulate ------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc:"Client count.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 100 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
+  in
+  let read_fraction_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of reads.")
+  in
+  let loss_arg =
+    Arg.(value & opt float 0.0 & info [ "loss" ] ~docv:"L" ~doc:"Message loss rate.")
+  in
+  let mtbf_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "mtbf" ] ~docv:"T"
+          ~doc:"Mean time between per-replica failures (enables churn).")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "mttr" ] ~docv:"T" ~doc:"Mean time to repair (with --mtbf).")
+  in
+  let preset_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:
+            "Workload preset: update-heavy, read-mostly, read-only or \
+             write-heavy (overrides --read-fraction).")
+  in
+  let run config n clients ops read_fraction loss mtbf mttr seed preset =
+    let read_fraction, zipf_theta =
+      match preset with
+      | None -> (read_fraction, 0.0)
+      | Some name -> (
+        match Workload.Presets.by_name name with
+        | Some p ->
+          (p.Workload.Presets.read_fraction, p.Workload.Presets.zipf_theta)
+        | None ->
+          Format.eprintf "unknown preset %S; available: %s@." name
+            (String.concat ", "
+               (List.map (fun p -> p.Workload.Presets.name) Workload.Presets.all));
+          exit 1)
+    in
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    or_fail @@ fun () ->
+    let proto = Eval.Config_metrics.protocol_of name ~n in
+    let n_replicas = Quorum.Protocol.universe_size proto in
+    let failures =
+      match mtbf with
+      | None -> []
+      | Some mtbf ->
+        Dsim.Failure.random_crash_recovery ~rng:(Dsutil.Rng.create (seed + 1))
+          ~n:n_replicas ~horizon:10_000.0 ~mtbf ~mttr
+    in
+    let s = Replication.Harness.default_scenario ~proto in
+    let report =
+      Replication.Harness.run
+        {
+          s with
+          Replication.Harness.n_clients = clients;
+          ops_per_client = ops;
+          read_fraction;
+          zipf_theta;
+          loss_rate = loss;
+          failures;
+          seed;
+        }
+    in
+    Format.printf "%s over %d replicas:@.%a@."
+      (Arbitrary.Config.name_to_string name)
+      n_replicas Replication.Harness.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run clients against the protocol on the simulated network.")
+    Term.(
+      const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ read_fraction_arg
+      $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg)
+
+let () =
+  let info =
+    Cmd.info "replica-ctl" ~version:"1.0.0"
+      ~doc:
+        "Arbitrary tree-structured replica control: build trees, analyze \
+         them, plan configurations, regenerate the paper's figures, and run \
+         simulations."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            tree_cmd; analyze_cmd; quorums_cmd; plan_cmd; figures_cmd;
+            simulate_cmd; txn_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,59 @@
+(* Failure injection: replicas crash and recover while clients keep
+   operating.  Shows (a) zero safety violations throughout, and (b) the
+   measured operation success rate tracking the analytic availability as
+   the steady-state replica availability p varies.
+
+   dune exec examples/failure_injection.exe *)
+
+module Harness = Replication.Harness
+module Failure = Dsim.Failure
+
+let run_with_availability ~p ~seed =
+  let tree = Arbitrary.Config.build Arbitrary.Config.Arbitrary ~n:48 in
+  let proto = Arbitrary.Quorums.protocol tree in
+  (* Pick mtbf/mttr with mtbf/(mtbf+mttr) = p so sites are up a fraction p
+     of the time in steady state. *)
+  let mtbf = 100.0 in
+  let mttr = mtbf *. (1.0 -. p) /. p in
+  let rng = Dsutil.Rng.create seed in
+  let failures =
+    Failure.random_crash_recovery ~rng ~n:48 ~horizon:4000.0 ~mtbf ~mttr
+  in
+  let s = Harness.default_scenario ~proto in
+  let report =
+    Harness.run
+      {
+        s with
+        Harness.n_clients = 4;
+        ops_per_client = 150;
+        read_fraction = 0.5;
+        failures;
+        seed;
+        think_time = 5.0;
+      }
+  in
+  (tree, report)
+
+let rate ok failed =
+  let total = ok + failed in
+  if total = 0 then 1.0 else float_of_int ok /. float_of_int total
+
+let () =
+  Format.printf
+    "48 replicas under continuous crash/recovery churn (with retries):@.@.";
+  Format.printf "%-6s %-12s %-12s %-12s %-12s %s@." "p" "rd measured"
+    "rd analytic" "wr measured" "wr analytic" "safety violations";
+  List.iter
+    (fun p ->
+      let tree, r = run_with_availability ~p ~seed:11 in
+      Format.printf "%-6.2f %-12.3f %-12.3f %-12.3f %-12.3f %d@." p
+        (rate r.Harness.reads_ok r.Harness.reads_failed)
+        (Arbitrary.Analysis.read_availability tree ~p)
+        (rate r.Harness.writes_ok r.Harness.writes_failed)
+        (Arbitrary.Analysis.write_operation_availability tree ~p)
+        r.Harness.safety_violations)
+    [ 0.95; 0.9; 0.85; 0.8; 0.7; 0.6 ];
+  Format.printf
+    "@.Writes track the combined (version-read + write-quorum) availability;@.\
+     reads track the product over physical levels.  Safety violations stay 0:@.\
+     every read still sees the newest committed write despite the churn.@."

@@ -1,0 +1,41 @@
+(* Quickstart: the paper's §3.4 worked example, then the same tree driven
+   end-to-end through the simulator.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Build the tree of Figure 1: a logical root, a physical level of 3
+     replicas and a physical level of 5 (spec "1-3-5"). *)
+  let tree = Arbitrary.Tree.of_spec "1-3-5" in
+  Format.printf "The Figure-1 tree:@.%a@.@." Arbitrary.Tree.pp tree;
+
+  (* 2. Reproduce every number of the worked example. *)
+  let s = Arbitrary.Analysis.summarize tree ~p:0.7 in
+  Format.printf "Analytic model at p = 0.7:@.%a@.@." Arbitrary.Analysis.pp_summary s;
+  Format.printf "m(R) = %.0f read quorums, m(W) = %d write quorums@.@."
+    (Arbitrary.Analysis.num_read_quorums tree)
+    (Arbitrary.Analysis.num_write_quorums tree);
+
+  (* 3. Look at actual quorums. *)
+  let proto = Arbitrary.Quorums.protocol tree in
+  let rng = Dsutil.Rng.create 1 in
+  let alive = Quorum.Protocol.all_alive proto in
+  (match Arbitrary.Quorums.read_quorum tree ~alive ~rng with
+  | Some q -> Format.printf "a read quorum:  %a@." Dsutil.Bitset.pp q
+  | None -> assert false);
+  (match Arbitrary.Quorums.write_quorum tree ~alive ~rng with
+  | Some q -> Format.printf "a write quorum: %a@.@." Dsutil.Bitset.pp q
+  | None -> assert false);
+
+  (* 4. Run the protocol for real on the simulated network: 2 clients,
+     100 operations, 60% reads. *)
+  let scenario = Replication.Harness.default_scenario ~proto in
+  let report =
+    Replication.Harness.run
+      { scenario with Replication.Harness.n_clients = 2; ops_per_client = 50;
+        read_fraction = 0.6 }
+  in
+  Format.printf "Simulated run:@.%a@.@." Replication.Harness.pp_report report;
+  Format.printf "messages per operation: %.1f (read quorum = 2 contacts,@."
+    (Replication.Harness.messages_per_op report);
+  Format.printf "write = version read + 2PC over a full level)@."

@@ -1,0 +1,43 @@
+module Bitset = Dsutil.Bitset
+module Quorum_set = Quorum.Quorum_set
+
+let build_problem (qs : Quorum_set.t) =
+  let m = Quorum_set.size qs in
+  let n = qs.universe in
+  (* Variables: w_0 .. w_{m-1}, then L. *)
+  let nv = m + 1 in
+  let objective = Array.make nv 0.0 in
+  objective.(m) <- 1.0;
+  let sum_to_one =
+    let a = Array.make nv 0.0 in
+    for j = 0 to m - 1 do
+      a.(j) <- 1.0
+    done;
+    (a, Simplex.Eq, 1.0)
+  in
+  let site_rows =
+    List.init n (fun i ->
+        let a = Array.make nv 0.0 in
+        Array.iteri
+          (fun j q -> if Bitset.mem q i then a.(j) <- 1.0)
+          qs.quorums;
+        a.(m) <- -1.0;
+        (a, Simplex.Le, 0.0))
+  in
+  { Simplex.objective; constraints = sum_to_one :: site_rows }
+
+let optimal_strategy qs =
+  match Simplex.solve (build_problem qs) with
+  | Ok { value; x } -> (value, Array.sub x 0 (Quorum_set.size qs))
+  | Error e ->
+    Format.kasprintf failwith "Load_lp.optimal_strategy: %a" Simplex.pp_error e
+
+let optimal_load qs = fst (optimal_strategy qs)
+
+let check_witness (qs : Quorum_set.t) ~y ~load =
+  Array.length y = qs.universe
+  && Array.for_all (fun v -> v >= -.1e-9) y
+  && abs_float (Array.fold_left ( +. ) 0.0 y -. 1.0) < 1e-6
+  && Array.for_all
+       (fun q -> Bitset.fold (fun i acc -> acc +. y.(i)) q 0.0 >= load -. 1e-6)
+       qs.quorums

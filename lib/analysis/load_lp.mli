@@ -1,0 +1,20 @@
+(** Optimal system load of an explicit quorum system, computed from first
+    principles by linear programming (Naor–Wool).
+
+    The program: minimize L over strategies w ≥ 0 with Σw_j = 1 and, for
+    every site i, Σ_{j : i ∈ S_j} w_j ≤ L.  Its optimum is the system load
+    L(S) of Definition 2.5, which the paper's appendix derives analytically
+    for the arbitrary protocol; the property tests check the two agree. *)
+
+val optimal_load : Quorum.Quorum_set.t -> float
+(** Raises [Failure] if the LP solver fails (cannot happen for a well-formed
+    quorum system: the uniform strategy is always feasible). *)
+
+val optimal_strategy : Quorum.Quorum_set.t -> float * float array
+(** [(load, weights)] — an optimal strategy witnessing the load. *)
+
+val check_witness :
+  Quorum.Quorum_set.t -> y:float array -> load:float -> bool
+(** Proposition 2.1 (lower-bound certificate): [y ≥ 0], [y(U) = 1] and
+    [y(S) ≥ load] for every quorum [S].  The paper's appendix exhibits such
+    witnesses; the tests re-verify them mechanically. *)

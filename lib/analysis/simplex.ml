@@ -1,0 +1,219 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  objective : float array;
+  constraints : (float array * relation * float) list;
+}
+
+type solution = { value : float; x : float array }
+
+type error = Infeasible | Unbounded | Malformed of string
+
+let pp_error ppf = function
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Malformed msg -> Format.fprintf ppf "malformed problem: %s" msg
+
+let eps = 1e-9
+
+(* Tableau layout: [m] constraint rows over columns
+   0 .. n_total-1 (structural variables, then slacks/surpluses, then
+   artificials) plus a right-hand-side column.  [basis.(r)] is the variable
+   currently basic in row [r].  A separate cost row is maintained per
+   phase. *)
+type tableau = {
+  rows : float array array;  (* m × (n_total + 1) *)
+  basis : int array;
+  n_total : int;
+}
+
+let pivot t ~row ~col =
+  let m = Array.length t.rows in
+  let width = t.n_total + 1 in
+  let prow = t.rows.(row) in
+  let d = prow.(col) in
+  for j = 0 to width - 1 do
+    prow.(j) <- prow.(j) /. d
+  done;
+  for r = 0 to m - 1 do
+    if r <> row then begin
+      let factor = t.rows.(r).(col) in
+      if abs_float factor > 0.0 then
+        for j = 0 to width - 1 do
+          t.rows.(r).(j) <- t.rows.(r).(j) -. (factor *. prow.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Reduced-cost row for objective [c] (length n_total) given the current
+   basis: z_j - c_j computed by eliminating basic columns. *)
+let cost_row t c =
+  let width = t.n_total + 1 in
+  let row = Array.make width 0.0 in
+  Array.blit c 0 row 0 (Array.length c);
+  Array.iteri
+    (fun r b ->
+      let cb = if b < Array.length c then c.(b) else 0.0 in
+      if abs_float cb > 0.0 then
+        for j = 0 to width - 1 do
+          row.(j) <- row.(j) -. (cb *. t.rows.(r).(j))
+        done)
+    t.basis;
+  row
+
+(* One simplex phase: minimize c·x from the current basic feasible point.
+   Bland's rule: entering variable = lowest-index column with negative
+   reduced cost; leaving row = lowest-index argmin of the ratio test. *)
+let optimize t c =
+  let m = Array.length t.rows in
+  let rec loop () =
+    let reduced = cost_row t c in
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.n_total - 1 do
+         if reduced.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then Ok (-.reduced.(t.n_total))
+    else begin
+      let col = !entering in
+      let best = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to m - 1 do
+        let a = t.rows.(r).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(r).(t.n_total) /. a in
+          if
+            ratio < !best_ratio -. eps
+            || (abs_float (ratio -. !best_ratio) <= eps
+                && (!best < 0 || t.basis.(r) < t.basis.(!best)))
+          then begin
+            best := r;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then Error Unbounded
+      else begin
+        pivot t ~row:!best ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve problem =
+  let n = Array.length problem.objective in
+  if n = 0 then Error (Malformed "no variables")
+  else if
+    List.exists
+      (fun (a, _, _) -> Array.length a <> n)
+      problem.constraints
+  then Error (Malformed "constraint arity differs from objective")
+  else begin
+    (* Normalize to non-negative right-hand sides. *)
+    let cons =
+      List.map
+        (fun (a, rel, b) ->
+          if b < 0.0 then begin
+            let a = Array.map (fun v -> -.v) a in
+            let rel = match rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+            (a, rel, -.b)
+          end
+          else (Array.copy a, rel, b))
+        problem.constraints
+    in
+    let m = List.length cons in
+    let n_slack =
+      List.length (List.filter (fun (_, rel, _) -> rel <> Eq) cons)
+    in
+    let n_art =
+      List.length (List.filter (fun (_, rel, _) -> rel <> Le) cons)
+    in
+    let n_total = n + n_slack + n_art in
+    let rows = Array.init m (fun _ -> Array.make (n_total + 1) 0.0) in
+    let basis = Array.make m (-1) in
+    let next_slack = ref n in
+    let next_art = ref (n + n_slack) in
+    List.iteri
+      (fun r (a, rel, b) ->
+        Array.blit a 0 rows.(r) 0 n;
+        rows.(r).(n_total) <- b;
+        (match rel with
+        | Le ->
+          rows.(r).(!next_slack) <- 1.0;
+          basis.(r) <- !next_slack;
+          incr next_slack
+        | Ge ->
+          rows.(r).(!next_slack) <- -1.0;
+          incr next_slack;
+          rows.(r).(!next_art) <- 1.0;
+          basis.(r) <- !next_art;
+          incr next_art
+        | Eq ->
+          rows.(r).(!next_art) <- 1.0;
+          basis.(r) <- !next_art;
+          incr next_art))
+      cons;
+    let t = { rows; basis; n_total } in
+    (* Phase 1: minimize the sum of artificial variables. *)
+    let phase1_needed = n_art > 0 in
+    let result =
+      if not phase1_needed then Ok 0.0
+      else begin
+        let c1 = Array.make n_total 0.0 in
+        for j = n + n_slack to n_total - 1 do
+          c1.(j) <- 1.0
+        done;
+        optimize t c1
+      end
+    in
+    match result with
+    | Error e -> Error e
+    | Ok v1 when phase1_needed && v1 > 1e-7 -> Error Infeasible
+    | Ok _ -> begin
+      (* Drive any artificial still in the basis out (degenerate rows). *)
+      Array.iteri
+        (fun r b ->
+          if b >= n + n_slack then begin
+            let found = ref false in
+            for j = 0 to n + n_slack - 1 do
+              if (not !found) && abs_float t.rows.(r).(j) > eps then begin
+                pivot t ~row:r ~col:j;
+                found := true
+              end
+            done
+            (* A row with no eligible pivot is redundant (all-zero over the
+               structural columns); it can stay with its artificial at
+               value 0. *)
+          end)
+        t.basis;
+      (* Forbid artificials from re-entering: zero their columns. *)
+      Array.iter
+        (fun row ->
+          for j = n + n_slack to n_total - 1 do
+            row.(j) <- 0.0
+          done)
+        t.rows;
+      let c2 = Array.make n_total 0.0 in
+      Array.blit problem.objective 0 c2 0 n;
+      match optimize t c2 with
+      | Error e -> Error e
+      | Ok value ->
+        let x = Array.make n 0.0 in
+        Array.iteri
+          (fun r b -> if b < n then x.(b) <- t.rows.(r).(t.n_total))
+          t.basis;
+        Ok { value; x }
+    end
+  end
+
+let maximize problem =
+  let neg = { problem with objective = Array.map (fun v -> -.v) problem.objective } in
+  match solve neg with
+  | Ok { value; x } -> Ok { value = -.value; x }
+  | Error e -> Error e

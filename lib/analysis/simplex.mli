@@ -1,0 +1,29 @@
+(** A dense two-phase simplex solver for small linear programs.
+
+    Minimizes [c·x] subject to linear constraints and [x ≥ 0].  Built for
+    the optimal-load computations (tens of variables); it uses Bland's rule,
+    so it never cycles, at the price of speed on big programs. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  objective : float array;  (** [c]; minimized *)
+  constraints : (float array * relation * float) list;
+      (** [(a, rel, b)] encodes [a·x rel b]; each [a] must have the
+          objective's arity *)
+}
+
+type solution = { value : float; x : float array }
+
+type error =
+  | Infeasible
+  | Unbounded
+  | Malformed of string
+
+val solve : problem -> (solution, error) result
+
+val pp_error : Format.formatter -> error -> unit
+
+val maximize : problem -> (solution, error) result
+(** Convenience: negates the objective, solves, and negates the value
+    back. *)

@@ -1,0 +1,113 @@
+let physical_sizes t =
+  List.map (fun k -> (Tree.level t k).Tree.physical) (Tree.physical_levels t)
+
+let read_cost t = Tree.num_physical_levels t
+let write_cost_min t = Tree.min_level_size t
+let write_cost_max t = Tree.max_level_size t
+
+let write_cost_avg t =
+  float_of_int (Tree.n t) /. float_of_int (Tree.num_physical_levels t)
+
+let num_read_quorums t =
+  List.fold_left (fun acc m -> acc *. float_of_int m) 1.0 (physical_sizes t)
+
+let num_write_quorums t = Tree.num_physical_levels t
+
+let read_availability t ~p =
+  List.fold_left
+    (fun acc m -> acc *. (1.0 -. ((1.0 -. p) ** float_of_int m)))
+    1.0 (physical_sizes t)
+
+let write_fail t ~p =
+  List.fold_left
+    (fun acc m -> acc *. (1.0 -. (p ** float_of_int m)))
+    1.0 (physical_sizes t)
+
+let write_availability t ~p = 1.0 -. write_fail t ~p
+
+let write_operation_availability t ~p =
+  (* A full write operation needs a read quorum (version phase) {e and} a
+     write quorum from the same up/down pattern.  Levels fail
+     independently, so P(every level has a survivor ∧ some level is fully
+     up) = ∏aₖ − ∏(aₖ − bₖ) with aₖ = 1−(1−p)^mₖ and bₖ = p^mₖ. *)
+  let a_prod, ab_prod =
+    List.fold_left
+      (fun (a_acc, ab_acc) m ->
+        let mf = float_of_int m in
+        let a = 1.0 -. ((1.0 -. p) ** mf) in
+        let b = p ** mf in
+        (a_acc *. a, ab_acc *. (a -. b)))
+      (1.0, 1.0) (physical_sizes t)
+  in
+  a_prod -. ab_prod
+
+let read_load t = 1.0 /. float_of_int (Tree.min_level_size t)
+let write_load t = 1.0 /. float_of_int (Tree.num_physical_levels t)
+
+let expected_read_load t ~p =
+  (read_availability t ~p *. (read_load t -. 1.0)) +. 1.0
+
+let expected_write_load t ~p =
+  (write_availability t ~p *. write_load t) +. write_fail t ~p
+
+(* Per-level fold over individual replica availabilities. *)
+let fold_levels_hetero t ~level_term =
+  List.fold_left
+    (fun acc k -> acc *. level_term (Tree.replicas_at t k))
+    1.0 (Tree.physical_levels t)
+
+let read_availability_per_site t ~p =
+  fold_levels_hetero t ~level_term:(fun replicas ->
+      1.0 -. Array.fold_left (fun acc i -> acc *. (1.0 -. p i)) 1.0 replicas)
+
+let write_fail_per_site t ~p =
+  fold_levels_hetero t ~level_term:(fun replicas ->
+      1.0 -. Array.fold_left (fun acc i -> acc *. p i) 1.0 replicas)
+
+let write_availability_per_site t ~p = 1.0 -. write_fail_per_site t ~p
+
+let read_resilience t = Tree.min_level_size t
+let write_resilience t = Tree.num_physical_levels t
+
+let limit_read_availability ~p = (1.0 -. ((1.0 -. p) ** 4.0)) ** 7.0
+let limit_write_availability ~p = 1.0 -. ((1.0 -. (p ** 4.0)) ** 7.0)
+
+type summary = {
+  n : int;
+  spec : string;
+  rd_cost : int;
+  wr_cost_min : int;
+  wr_cost_max : int;
+  wr_cost_avg : float;
+  rd_availability : float;
+  wr_availability : float;
+  rd_load : float;
+  wr_load : float;
+  expected_rd_load : float;
+  expected_wr_load : float;
+}
+
+let summarize t ~p =
+  {
+    n = Tree.n t;
+    spec = Tree.to_spec t;
+    rd_cost = read_cost t;
+    wr_cost_min = write_cost_min t;
+    wr_cost_max = write_cost_max t;
+    wr_cost_avg = write_cost_avg t;
+    rd_availability = read_availability t ~p;
+    wr_availability = write_availability t ~p;
+    rd_load = read_load t;
+    wr_load = write_load t;
+    expected_rd_load = expected_read_load t ~p;
+    expected_wr_load = expected_write_load t ~p;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>tree %s (n=%d)@,\
+     read : cost=%d  avail=%.4f  load=%.4f  expected-load=%.4f@,\
+     write: cost=%d..%d (avg %.2f)  avail=%.4f  load=%.4f  expected-load=%.4f@]"
+    s.spec s.n s.rd_cost s.rd_availability s.rd_load s.expected_rd_load
+    s.wr_cost_min s.wr_cost_max s.wr_cost_avg s.wr_availability s.wr_load
+    s.expected_wr_load

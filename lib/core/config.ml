@@ -1,0 +1,87 @@
+type name =
+  | Binary
+  | Unmodified
+  | Arbitrary
+  | Hqc
+  | Mostly_read
+  | Mostly_write
+
+let name_to_string = function
+  | Binary -> "BINARY"
+  | Unmodified -> "UNMODIFIED"
+  | Arbitrary -> "ARBITRARY"
+  | Hqc -> "HQC"
+  | Mostly_read -> "MOSTLY-READ"
+  | Mostly_write -> "MOSTLY-WRITE"
+
+let all_names = [ Binary; Unmodified; Arbitrary; Hqc; Mostly_read; Mostly_write ]
+
+let with_logical_root physical_levels =
+  Tree.create ((0, 1) :: List.map (fun phy -> (phy, 0)) physical_levels)
+
+let mostly_read ~n =
+  if n < 1 then invalid_arg "Config.mostly_read: need at least one replica";
+  with_logical_root [ n ]
+
+let mostly_write ~n =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Config.mostly_write: n must be odd and at least 3";
+  (* (n-1)/2 physical levels: all of size two except the deepest, which
+     takes three so that the level count matches the paper's (n-1)/2 while
+     still placing all n replicas and keeping sizes non-decreasing. *)
+  if n = 3 then with_logical_root [ 3 ]
+  else with_logical_root (List.init ((n - 3) / 2) (fun _ -> 2) @ [ 3 ])
+
+let unmodified_binary ~height =
+  if height < 0 then invalid_arg "Config.unmodified_binary: negative height";
+  Tree.of_physical_counts (List.init (height + 1) (fun k -> 1 lsl k))
+
+(* Split [total] into [parts] non-decreasing chunks (larger chunks last). *)
+let spread total parts =
+  if parts < 1 || total < parts then
+    invalid_arg "Config.spread: cannot split";
+  let base = total / parts and rem = total mod parts in
+  List.init parts (fun i -> if i < parts - rem then base else base + 1)
+
+let algorithm1 ~n =
+  if n < 64 then invalid_arg "Config.algorithm1: requires n >= 64";
+  let k_phy = int_of_float (sqrt (float_of_int n)) in
+  let rest = spread (n - 28) (k_phy - 7) in
+  (* Assumption 3.1 needs the eighth level to be at least four; [spread]
+     yields at least ⌊(n−28)/(√n−7)⌋ ≥ 4 for every n ≥ 64. *)
+  with_logical_root (List.init 7 (fun _ -> 4) @ rest)
+
+let proportional_small ~n =
+  if n <= 32 then invalid_arg "Config.proportional_small: requires n > 32";
+  let leftover = n - 28 in
+  if leftover < 4 then begin
+    (* Too small for an eighth level: widen the deepest of the seven. *)
+    with_logical_root (List.init 6 (fun _ -> 4) @ [ 4 + leftover ])
+  end
+  else with_logical_root (List.init 7 (fun _ -> 4) @ [ leftover ])
+
+let even_levels ~n ~levels =
+  if levels < 1 || levels > n then
+    invalid_arg "Config.even_levels: levels must be within [1, n]";
+  with_logical_root (spread n levels)
+
+let build name ~n =
+  match name with
+  | Mostly_read -> mostly_read ~n
+  | Mostly_write -> mostly_write ~n
+  | Unmodified ->
+    let rec fit h = if (1 lsl (h + 2)) - 1 > n then h else fit (h + 1) in
+    unmodified_binary ~height:(fit 0)
+  | Arbitrary ->
+    if n >= 64 then algorithm1 ~n
+    else if n > 32 then proportional_small ~n
+    else begin
+      let levels = max 1 (int_of_float (sqrt (float_of_int n))) in
+      even_levels ~n ~levels
+    end
+  | Binary | Hqc ->
+    invalid_arg
+      (Printf.sprintf
+         "Config.build: %s is not an arbitrary tree (use Quorum.%s)"
+         (name_to_string name)
+         (if name = Binary then "Tree_quorum" else "Hqc"))

@@ -1,0 +1,54 @@
+(** The six tree configurations studied in §4 of the paper, plus the
+    general builders of §3.3. *)
+
+type name =
+  | Binary  (** Tree Quorum of Agrawal–El Abbadi — {e not} an arbitrary
+                tree; handled by {!Quorum.Tree_quorum} and listed here for
+                the evaluation harness. *)
+  | Unmodified
+      (** the arbitrary protocol run on a complete binary tree whose nodes
+          are all physical *)
+  | Arbitrary  (** the tree built by Algorithm 1 *)
+  | Hqc  (** Kumar's hierarchy — handled by {!Quorum.Hqc} *)
+  | Mostly_read  (** one physical level holding all n replicas *)
+  | Mostly_write  (** (n−1)/2 physical levels of two replicas *)
+
+val name_to_string : name -> string
+val all_names : name list
+
+val mostly_read : n:int -> Tree.t
+(** Logical root over a single physical level of [n] replicas; behaves like
+    ROWA. *)
+
+val mostly_write : n:int -> Tree.t
+(** For odd [n]: logical root over (n−1)/2 physical levels of 2 replicas.
+    Raises [Invalid_argument] for even or too-small [n]. *)
+
+val unmodified_binary : height:int -> Tree.t
+(** Complete binary tree, every node physical: level k holds 2^k
+    replicas (n = 2^(h+1) − 1). *)
+
+val algorithm1 : n:int -> Tree.t
+(** Algorithm 1 of the paper, for n > 64 (we accept n ≥ 44: seven levels of
+    four plus at least one further level no smaller than four).  The tree
+    has a logical root, ⌊√n⌋ physical levels, four replicas at each of the
+    first seven, and the remaining n − 28 replicas spread over the other
+    √n − 7 levels in non-decreasing sizes ≥ 4 (remainders go to the deepest
+    levels so Assumption 3.1 holds even when √n − 7 does not divide
+    n − 28). *)
+
+val proportional_small : n:int -> Tree.t
+(** The §3.3 recipe for 32 < n ≤ 64: seven physical levels of four, with
+    the n − 28 leftover replicas appended as additional levels obeying
+    Assumption 3.1. *)
+
+val even_levels : n:int -> levels:int -> Tree.t
+(** Generic spectrum point: [n] replicas over [levels] physical levels
+    under a logical root, sizes as equal as possible and non-decreasing.
+    Raises [Invalid_argument] when the shape cannot satisfy
+    Assumption 3.1 (i.e. [levels] > n/2 for [levels] ≥ 2). *)
+
+val build : name -> n:int -> Tree.t
+(** Builds the arbitrary-protocol tree for a configuration.  Raises
+    [Invalid_argument] for [Binary] and [Hqc], which are not arbitrary
+    trees. *)

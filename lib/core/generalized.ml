@@ -1,0 +1,210 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type t = {
+  tree : Tree.t;
+  read_t : int array;  (* per physical level, ascending level order *)
+  write_t : int array;
+}
+
+let create tree ~read_thresholds ~write_thresholds =
+  let levels = Tree.physical_levels tree in
+  if List.length read_thresholds <> List.length levels
+     || List.length write_thresholds <> List.length levels
+  then invalid_arg "Generalized.create: one threshold pair per physical level";
+  List.iteri
+    (fun idx k ->
+      let m = (Tree.level tree k).Tree.physical in
+      let r = List.nth read_thresholds idx in
+      let w = List.nth write_thresholds idx in
+      if r < 1 || r > m || w < 1 || w > m then
+        invalid_arg "Generalized.create: thresholds out of [1, m_k]";
+      if r + w <= m then
+        invalid_arg "Generalized.create: need r_k + w_k > m_k")
+    levels;
+  {
+    tree;
+    read_t = Array.of_list read_thresholds;
+    write_t = Array.of_list write_thresholds;
+  }
+
+let per_level tree f =
+  List.map (fun k -> f (Tree.level tree k).Tree.physical) (Tree.physical_levels tree)
+
+let classic tree =
+  create tree
+    ~read_thresholds:(per_level tree (fun _ -> 1))
+    ~write_thresholds:(per_level tree (fun m -> m))
+
+let level_majority tree =
+  let majority = per_level tree (fun m -> (m / 2) + 1) in
+  create tree ~read_thresholds:majority ~write_thresholds:majority
+
+let tree t = t.tree
+let read_thresholds t = Array.to_list t.read_t
+let write_thresholds t = Array.to_list t.write_t
+
+let level_sizes t = per_level t.tree (fun m -> m)
+let num_levels t = Array.length t.read_t
+
+(* Pick [threshold] alive replicas of physical level [k], uniformly. *)
+let pick_from_level t ~alive ~rng ~threshold k =
+  let candidates =
+    Array.to_list (Tree.replicas_at t.tree k) |> List.filter (Bitset.mem alive)
+  in
+  if List.length candidates < threshold then None
+  else begin
+    let arr = Array.of_list candidates in
+    Rng.shuffle rng arr;
+    Some (Array.sub arr 0 threshold)
+  end
+
+let read_quorum t ~alive ~rng =
+  let q = Bitset.create (Tree.n t.tree) in
+  let ok =
+    List.for_all
+      (fun (idx, k) ->
+        match pick_from_level t ~alive ~rng ~threshold:t.read_t.(idx) k with
+        | None -> false
+        | Some picks ->
+          Array.iter (Bitset.add q) picks;
+          true)
+      (List.mapi (fun idx k -> (idx, k)) (Tree.physical_levels t.tree))
+  in
+  if ok then Some q else None
+
+let write_quorum t ~alive ~rng =
+  let indexed = List.mapi (fun idx k -> (idx, k)) (Tree.physical_levels t.tree) in
+  let candidates =
+    List.filter
+      (fun (idx, k) ->
+        let alive_count =
+          Array.fold_left
+            (fun acc i -> if Bitset.mem alive i then acc + 1 else acc)
+            0 (Tree.replicas_at t.tree k)
+        in
+        alive_count >= t.write_t.(idx))
+      indexed
+  in
+  match candidates with
+  | [] -> None
+  | _ -> (
+    (* Load-optimal level choice: weight level k proportionally to
+       m_k / w_k, which equalizes the per-replica loads x_k·w_k/m_k and
+       achieves the optimum 1/Σ(m_k/w_k). *)
+    let weight (idx, k) =
+      float_of_int (Tree.level t.tree k).Tree.physical
+      /. float_of_int t.write_t.(idx)
+    in
+    let total = List.fold_left (fun acc c -> acc +. weight c) 0.0 candidates in
+    let roll = Rng.float rng total in
+    let rec select acc = function
+      | [ last ] -> last
+      | c :: rest -> if roll < acc +. weight c then c else select (acc +. weight c) rest
+      | [] -> assert false
+    in
+    let idx, k = select 0.0 candidates in
+    match pick_from_level t ~alive ~rng ~threshold:t.write_t.(idx) k with
+    | None -> None
+    | Some picks ->
+      let q = Bitset.create (Tree.n t.tree) in
+      Array.iter (Bitset.add q) picks;
+      Some q)
+
+(* Enumeration: all size-[threshold] subsets of a level. *)
+let rec subsets k = function
+  | _ when k = 0 -> Seq.return []
+  | [] -> Seq.empty
+  | x :: rest ->
+    Seq.append
+      (Seq.map (fun tail -> x :: tail) (subsets (k - 1) rest))
+      (subsets k rest)
+
+let level_subsets t ~threshold k =
+  subsets threshold (Array.to_list (Tree.replicas_at t.tree k))
+
+let enumerate_read_quorums t =
+  let n = Tree.n t.tree in
+  List.fold_left
+    (fun acc (idx, k) ->
+      Seq.concat_map
+        (fun partial ->
+          Seq.map
+            (fun picks ->
+              let q = Bitset.copy partial in
+              List.iter (Bitset.add q) picks;
+              q)
+            (level_subsets t ~threshold:t.read_t.(idx) k))
+        acc)
+    (Seq.return (Bitset.create n))
+    (List.mapi (fun idx k -> (idx, k)) (Tree.physical_levels t.tree))
+
+let enumerate_write_quorums t =
+  let n = Tree.n t.tree in
+  Seq.concat_map
+    (fun (idx, k) ->
+      Seq.map
+        (fun picks -> Bitset.of_list n picks)
+        (level_subsets t ~threshold:t.write_t.(idx) k))
+    (List.to_seq (List.mapi (fun idx k -> (idx, k)) (Tree.physical_levels t.tree)))
+
+let read_cost t = Array.fold_left ( + ) 0 t.read_t
+
+let write_cost_avg t =
+  float_of_int (Array.fold_left ( + ) 0 t.write_t) /. float_of_int (num_levels t)
+
+let binomial_tail ~m ~threshold q =
+  let rec choose n k =
+    if k = 0 || k = n then 1.0
+    else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+  in
+  let acc = ref 0.0 in
+  for j = threshold to m do
+    acc :=
+      !acc
+      +. choose m j *. (q ** float_of_int j)
+         *. ((1.0 -. q) ** float_of_int (m - j))
+  done;
+  !acc
+
+let read_availability t ~p =
+  List.fold_left ( *. ) 1.0
+    (List.mapi
+       (fun idx m -> binomial_tail ~m ~threshold:t.read_t.(idx) p)
+       (level_sizes t))
+
+let write_availability t ~p =
+  1.0
+  -. List.fold_left ( *. ) 1.0
+       (List.mapi
+          (fun idx m -> 1.0 -. binomial_tail ~m ~threshold:t.write_t.(idx) p)
+          (level_sizes t))
+
+let read_load t =
+  List.fold_left Float.max 0.0
+    (List.mapi
+       (fun idx m -> float_of_int t.read_t.(idx) /. float_of_int m)
+       (level_sizes t))
+
+let write_load t =
+  (* Optimal strategy weights level k by m_k/w_k (equalizing per-replica
+     loads), giving 1/Σₖ(m_k/w_k); this reduces to 1/|K_phy| at w = m. *)
+  1.0
+  /. List.fold_left ( +. ) 0.0
+       (List.mapi
+          (fun idx m -> float_of_int m /. float_of_int t.write_t.(idx))
+          (level_sizes t))
+
+let protocol t =
+  Quorum.Protocol.pack
+    (module struct
+      type nonrec t = t
+
+      let name t = Printf.sprintf "GeneralizedArbitrary(%s)" (Tree.to_spec t.tree)
+      let universe_size t = Tree.n t.tree
+      let read_quorum = read_quorum
+      let write_quorum = write_quorum
+      let enumerate_read_quorums = enumerate_read_quorums
+      let enumerate_write_quorums = enumerate_write_quorums
+    end)
+    t

@@ -1,0 +1,115 @@
+type objective = Read_availability | Write_availability | Weighted of float
+
+type assignment = int array
+
+let check tree p =
+  if Array.length p <> Tree.n tree then
+    invalid_arg "Placement: availability array size differs from n"
+
+let availability_of tree ~p assignment objective =
+  check tree p;
+  let p_of position = p.(assignment.(position)) in
+  match objective with
+  | Read_availability -> Analysis.read_availability_per_site tree ~p:p_of
+  | Write_availability -> Analysis.write_availability_per_site tree ~p:p_of
+  | Weighted w ->
+    if w < 0.0 || w > 1.0 then invalid_arg "Placement: weight out of [0,1]";
+    (w *. Analysis.read_availability_per_site tree ~p:p_of)
+    +. ((1.0 -. w) *. Analysis.write_availability_per_site tree ~p:p_of)
+
+let identity tree = Array.init (Tree.n tree) Fun.id
+
+(* Physical levels ordered smallest first, as (level, positions). *)
+let levels_by_size tree =
+  Tree.physical_levels tree
+  |> List.map (fun k -> Tree.replicas_at tree k)
+  |> List.sort (fun a b -> compare (Array.length a) (Array.length b))
+
+let greedy tree ~p objective =
+  check tree p;
+  let sites = Array.init (Tree.n tree) Fun.id in
+  Array.sort (fun a b -> Float.compare p.(b) p.(a)) sites;
+  let assignment = Array.make (Tree.n tree) 0 in
+  let next = ref 0 in
+  let spread_for_reads =
+    (* Reads need one survivor per level: spread the reliable sites, one
+       per level in rotation.  Writes need one fully-up level: concentrate
+       them on the smallest level. *)
+    match objective with
+    | Read_availability -> true
+    | Write_availability -> false
+    | Weighted w -> w >= 0.5
+  in
+  if spread_for_reads then begin
+    let groups = Array.of_list (levels_by_size tree) in
+    let cursors = Array.make (Array.length groups) 0 in
+    let remaining = ref (Tree.n tree) in
+    while !remaining > 0 do
+      Array.iteri
+        (fun gi positions ->
+          if cursors.(gi) < Array.length positions then begin
+            assignment.(positions.(cursors.(gi))) <- sites.(!next);
+            cursors.(gi) <- cursors.(gi) + 1;
+            incr next;
+            decr remaining
+          end)
+        groups
+    done
+  end
+  else
+    List.iter
+      (fun positions ->
+        Array.iter
+          (fun position ->
+            assignment.(position) <- sites.(!next);
+            incr next)
+          positions)
+      (levels_by_size tree);
+  assignment
+
+let exhaustive tree ~p objective =
+  check tree p;
+  let n = Tree.n tree in
+  if n > 12 then invalid_arg "Placement.exhaustive: n too large";
+  let best = ref (identity tree) in
+  let best_score = ref (availability_of tree ~p !best objective) in
+  (* Permute assignments level-set by level-set: order within a level is
+     irrelevant, so enumerate which sites go to which level by recursing
+     over positions grouped by level and pruning same-level permutations
+     via a canonical (ascending within level) order. *)
+  let positions = List.concat_map Array.to_list (levels_by_size tree) in
+  let level_of = Array.make n (-1) in
+  List.iteri
+    (fun li group -> Array.iter (fun pos -> level_of.(pos) <- li) group)
+    (levels_by_size tree);
+  let used = Array.make n false in
+  let assignment = Array.make n 0 in
+  let rec go prev_in_level = function
+    | [] ->
+      let score = availability_of tree ~p assignment objective in
+      if score > !best_score then begin
+        best_score := score;
+        best := Array.copy assignment
+      end
+    | pos :: rest ->
+      let floor =
+        (* Canonical order: within a level, site ids ascend. *)
+        match prev_in_level with
+        | Some (lvl, site) when lvl = level_of.(pos) -> site + 1
+        | _ -> 0
+      in
+      for site = floor to n - 1 do
+        if not used.(site) then begin
+          used.(site) <- true;
+          assignment.(pos) <- site;
+          go (Some (level_of.(pos), site)) rest;
+          used.(site) <- false
+        end
+      done
+  in
+  go None positions;
+  !best
+
+let improvement tree ~p objective ~worst ~best =
+  availability_of tree ~p best objective
+  -. availability_of tree ~p worst objective

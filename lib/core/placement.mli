@@ -1,0 +1,43 @@
+(** Replica placement under heterogeneous availability.
+
+    The paper assumes every site is up with the same probability p (§2.2).
+    When sites differ, {e where} each site sits in the tree matters: a
+    physical level blocks reads when all its members are down and blocks
+    writes when any member is down, so small levels want reliable sites
+    for reads while every level's weakest member caps its write term.
+    This module assigns sites to the physical positions of a given tree
+    shape to maximize availability
+    (cf. Garcia-Molina & Barbara's vote-assignment question [6]). *)
+
+type objective =
+  | Read_availability
+  | Write_availability
+  | Weighted of float
+      (** [Weighted w]: w·read + (1−w)·write availability. *)
+
+type assignment = private int array
+(** [assignment.(position) = site]: position [i] is the tree's replica
+    slot with site id [i] under {!Tree}'s numbering; the value is the
+    index into the caller's availability array. *)
+
+val availability_of :
+  Tree.t -> p:float array -> assignment -> objective -> float
+
+val greedy : Tree.t -> p:float array -> objective -> assignment
+(** Objective-aware heuristic, O(n log n).  For reads it {e spreads} the
+    reliable sites one per level (each level only needs one survivor);
+    for writes it {e concentrates} them on the smallest level (one fully-up
+    level suffices).  That these are opposites is the interesting part —
+    see the tests. *)
+
+val exhaustive : Tree.t -> p:float array -> objective -> assignment
+(** Best assignment by enumerating all level partitions (the order within
+    a level does not matter).  Only for small n — raises
+    [Invalid_argument] when n > 12. *)
+
+val identity : Tree.t -> assignment
+
+val improvement :
+  Tree.t -> p:float array -> objective -> worst:assignment -> best:assignment
+  -> float
+(** Availability gained by [best] over [worst]. *)

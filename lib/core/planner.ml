@@ -1,0 +1,82 @@
+type objective = Expected_load | Communication_cost | Weighted of float
+
+let check_fraction f =
+  if f < 0.0 || f > 1.0 then invalid_arg "Planner: read_fraction out of [0,1]"
+
+let score tree ~p ~read_fraction ~objective =
+  check_fraction read_fraction;
+  let rf = read_fraction and wf = 1.0 -. read_fraction in
+  let load =
+    (rf *. Analysis.expected_read_load tree ~p)
+    +. (wf *. Analysis.expected_write_load tree ~p)
+  in
+  let cost =
+    (rf *. float_of_int (Analysis.read_cost tree))
+    +. (wf *. Analysis.write_cost_avg tree)
+  in
+  match objective with
+  | Expected_load -> load
+  | Communication_cost -> cost
+  | Weighted w ->
+    if w < 0.0 || w > 1.0 then invalid_arg "Planner: weight out of [0,1]";
+    (* Normalize cost to [0,1] by the worst case n so the two terms are
+       commensurable. *)
+    (w *. load) +. ((1.0 -. w) *. (cost /. float_of_int (Tree.n tree)))
+
+let candidates ~n =
+  if n < 1 then invalid_arg "Planner.candidates: need at least one replica";
+  let max_levels = max 1 (n / 2) in
+  (* Cap the sweep: the objective is monotone between neighbouring level
+     counts, so a 64-point sweep loses nothing of interest. *)
+  let steps =
+    if max_levels <= 64 then List.init max_levels (fun i -> i + 1)
+    else begin
+      let stride = max_levels / 64 in
+      List.sort_uniq compare
+        (List.init 64 (fun i -> max 1 ((i + 1) * stride)) @ [ max_levels ])
+    end
+  in
+  let even = List.map (fun levels -> Config.even_levels ~n ~levels) steps in
+  let special =
+    (if n >= 64 then [ Config.algorithm1 ~n ] else [])
+    @ (if n > 32 && n < 64 then [ Config.proportional_small ~n ] else [])
+    @ if n >= 3 && n mod 2 = 1 then [ Config.mostly_write ~n ] else []
+  in
+  even @ special
+
+let spectrum ~n ~p ~read_fraction ?(objective = Expected_load) () =
+  candidates ~n
+  |> List.map (fun tree ->
+         (tree, score tree ~p ~read_fraction ~objective))
+  |> List.sort (fun (_, a) (_, b) -> Float.compare a b)
+
+let generalized_score g ~p ~read_fraction =
+  let rf = read_fraction and wf = 1.0 -. read_fraction in
+  let rd_avail = Generalized.read_availability g ~p in
+  let wr_avail = Generalized.write_availability g ~p in
+  let e_rd = (rd_avail *. (Generalized.read_load g -. 1.0)) +. 1.0 in
+  let e_wr = (wr_avail *. Generalized.write_load g) +. (1.0 -. wr_avail) in
+  (rf *. e_rd) +. (wf *. e_wr)
+
+let plan_generalized ~n ~p ~read_fraction () =
+  check_fraction read_fraction;
+  let candidates =
+    List.concat_map
+      (fun tree -> [ Generalized.classic tree; Generalized.level_majority tree ])
+      (candidates ~n)
+  in
+  match
+    List.sort
+      (fun a b ->
+        Float.compare
+          (generalized_score a ~p ~read_fraction)
+          (generalized_score b ~p ~read_fraction))
+      candidates
+  with
+  | best :: _ -> best
+  | [] -> assert false
+
+let plan ~n ~p ~read_fraction ?(objective = Expected_load) () =
+  match spectrum ~n ~p ~read_fraction ~objective () with
+  | (best, _) :: _ -> best
+  | [] -> assert false

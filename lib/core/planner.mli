@@ -1,0 +1,43 @@
+(** Frequency-aware tree configuration (§3.3).
+
+    The arbitrary protocol is a "spectrum" algorithm: more physical levels
+    favour writes, fewer favour reads.  The planner scores candidate level
+    counts against the observed read/write mix and replica availability and
+    returns the best tree — switching configuration is just re-building the
+    tree; the protocol itself never changes. *)
+
+type objective =
+  | Expected_load
+      (** read_fraction·E L_RD + (1−read_fraction)·E L_WR — the paper's
+          primary metric (Equation 3.2). *)
+  | Communication_cost
+      (** read_fraction·RD_cost + (1−read_fraction)·WR_cost_avg. *)
+  | Weighted of float
+      (** [Weighted w]: w·normalized-load + (1−w)·normalized-cost. *)
+
+val score :
+  Tree.t -> p:float -> read_fraction:float -> objective:objective -> float
+(** Lower is better. *)
+
+val candidates : n:int -> Tree.t list
+(** The spectrum of even-level trees for 1 ≤ |K_phy| ≤ n/2 levels (capped
+    at 64 candidates), plus Algorithm 1 / the §3.3 small-n recipe when
+    applicable. *)
+
+val plan :
+  n:int -> p:float -> read_fraction:float -> ?objective:objective -> unit ->
+  Tree.t
+(** The best-scoring candidate (default objective: {!Expected_load}). *)
+
+val spectrum :
+  n:int -> p:float -> read_fraction:float -> ?objective:objective -> unit ->
+  (Tree.t * float) list
+(** All candidates with their scores, best first. *)
+
+val plan_generalized :
+  n:int -> p:float -> read_fraction:float -> unit -> Generalized.t
+(** Extension-aware planning: for each candidate tree also considers the
+    per-level threshold assignments of {!Generalized} (the paper's
+    1-of/all-of rule and the level-majority rule) and returns the best
+    (tree, thresholds) pair by expected load — Equation 3.2 applied with
+    the generalized closed forms. *)

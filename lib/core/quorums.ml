@@ -1,0 +1,84 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type policy = Uniform | First_alive
+
+let alive_at_level tree ~alive k =
+  Array.to_list (Tree.replicas_at tree k)
+  |> List.filter (Bitset.mem alive)
+
+let read_quorum ?(policy = Uniform) tree ~alive ~rng =
+  let n = Tree.n tree in
+  let q = Bitset.create n in
+  let ok =
+    List.for_all
+      (fun k ->
+        match alive_at_level tree ~alive k with
+        | [] -> false
+        | first :: _ as candidates ->
+          let site =
+            match policy with
+            | First_alive -> first
+            | Uniform -> Rng.pick rng (Array.of_list candidates)
+          in
+          Bitset.add q site;
+          true)
+      (Tree.physical_levels tree)
+  in
+  if ok then Some q else None
+
+let write_quorum_of_level tree ~level =
+  let replicas = Tree.replicas_at tree level in
+  if Array.length replicas = 0 then
+    invalid_arg "Quorums.write_quorum_of_level: logical level";
+  Bitset.of_list (Tree.n tree) (Array.to_list replicas)
+
+let level_fully_alive tree ~alive k =
+  Array.for_all (Bitset.mem alive) (Tree.replicas_at tree k)
+
+let write_quorum ?(policy = Uniform) tree ~alive ~rng =
+  let candidates =
+    List.filter (level_fully_alive tree ~alive) (Tree.physical_levels tree)
+  in
+  match candidates with
+  | [] -> None
+  | first :: _ ->
+    let k =
+      match policy with
+      | First_alive -> first
+      | Uniform -> Rng.pick rng (Array.of_list candidates)
+    in
+    Some (write_quorum_of_level tree ~level:k)
+
+let enumerate_read_quorums tree =
+  let levels =
+    List.map
+      (fun k -> Array.to_list (Tree.replicas_at tree k))
+      (Tree.physical_levels tree)
+  in
+  let rec product = function
+    | [] -> Seq.return []
+    | sites :: rest ->
+      Seq.concat_map
+        (fun site -> Seq.map (fun tail -> site :: tail) (product rest))
+        (List.to_seq sites)
+  in
+  Seq.map (Bitset.of_list (Tree.n tree)) (product levels)
+
+let enumerate_write_quorums tree =
+  List.to_seq (Tree.physical_levels tree)
+  |> Seq.map (fun k -> write_quorum_of_level tree ~level:k)
+
+let protocol tree =
+  Quorum.Protocol.pack
+    (module struct
+      type t = Tree.t
+
+      let name t = Printf.sprintf "Arbitrary(%s)" (Tree.to_spec t)
+      let universe_size = Tree.n
+      let read_quorum t ~alive ~rng = read_quorum t ~alive ~rng
+      let write_quorum t ~alive ~rng = write_quorum t ~alive ~rng
+      let enumerate_read_quorums = enumerate_read_quorums
+      let enumerate_write_quorums = enumerate_write_quorums
+    end)
+    tree

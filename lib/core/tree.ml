@@ -1,0 +1,144 @@
+type level = {
+  total : int;
+  physical : int;
+  logical : int;
+  first_replica : int;
+}
+
+type t = { levels : level array; n : int }
+
+type kind = Logical | Physical
+
+let create specs =
+  if specs = [] then invalid_arg "Tree.create: no levels";
+  let next_replica = ref 0 in
+  let seen_physical = ref false in
+  let levels =
+    List.map
+      (fun (phy, log) ->
+        if phy < 0 || log < 0 then invalid_arg "Tree.create: negative count";
+        if phy + log = 0 then invalid_arg "Tree.create: empty level";
+        if phy = 0 && !seen_physical then
+          invalid_arg "Tree.create: logical level below a physical level";
+        if phy > 0 then seen_physical := true;
+        let first_replica = !next_replica in
+        next_replica := !next_replica + phy;
+        { total = phy + log; physical = phy; logical = log; first_replica })
+      specs
+  in
+  if !next_replica = 0 then invalid_arg "Tree.create: tree has no replica";
+  { levels = Array.of_list levels; n = !next_replica }
+
+let of_physical_counts counts =
+  create (List.map (fun phy -> if phy = 0 then (0, 1) else (phy, 0)) counts)
+
+let of_spec s =
+  let parts = String.split_on_char '-' (String.trim s) in
+  let nums =
+    List.map
+      (fun part ->
+        match int_of_string_opt (String.trim part) with
+        | Some v when v >= 1 -> v
+        | _ -> invalid_arg (Printf.sprintf "Tree.of_spec: bad component %S" part))
+      parts
+  in
+  match nums with
+  | [] -> invalid_arg "Tree.of_spec: empty spec"
+  | 1 :: (_ :: _ as rest) ->
+    (* A leading 1 is the paper's logical-root marker. *)
+    create ((0, 1) :: List.map (fun phy -> (phy, 0)) rest)
+  | all -> create (List.map (fun phy -> (phy, 0)) all)
+
+let to_spec t =
+  Array.to_list t.levels
+  |> List.map (fun l -> if l.physical = 0 then "1" else string_of_int l.physical)
+  |> String.concat "-"
+
+let figure1 () = create [ (0, 1); (3, 0); (5, 4) ]
+
+let height t = Array.length t.levels - 1
+let n t = t.n
+let level t k = t.levels.(k)
+
+let physical_levels t =
+  Array.to_list t.levels
+  |> List.mapi (fun k l -> (k, l))
+  |> List.filter_map (fun (k, l) -> if l.physical > 0 then Some k else None)
+
+let logical_levels t =
+  Array.to_list t.levels
+  |> List.mapi (fun k l -> (k, l))
+  |> List.filter_map (fun (k, l) -> if l.physical = 0 then Some k else None)
+
+let num_physical_levels t = List.length (physical_levels t)
+
+let fold_physical f init t =
+  Array.fold_left
+    (fun acc l -> if l.physical > 0 then f acc l.physical else acc)
+    init t.levels
+
+let min_level_size t = fold_physical min max_int t
+let max_level_size t = fold_physical max 0 t
+
+let replicas_at t k =
+  let l = t.levels.(k) in
+  Array.init l.physical (fun i -> l.first_replica + i)
+
+let level_of_replica t r =
+  if r < 0 || r >= t.n then invalid_arg "Tree.level_of_replica: bad site id";
+  let rec find k =
+    let l = t.levels.(k) in
+    if r >= l.first_replica && r < l.first_replica + l.physical then k
+    else find (k + 1)
+  in
+  find 0
+
+let node_kind t ~level:k ~index =
+  let l = t.levels.(k) in
+  if index < 0 || index >= l.total then invalid_arg "Tree.node_kind: bad index";
+  if index < l.physical then Physical else Logical
+
+let parent t ~level:k ~index =
+  if k = 0 then None
+  else begin
+    let l = t.levels.(k) in
+    if index < 0 || index >= l.total then invalid_arg "Tree.parent: bad index";
+    Some (index mod t.levels.(k - 1).total, k - 1)
+  end
+
+let descendants_count t ~level:k ~index =
+  let l = t.levels.(k) in
+  if index < 0 || index >= l.total then
+    invalid_arg "Tree.descendants_count: bad index";
+  if k = height t then 0
+  else begin
+    (* Children at level k+1 are assigned round-robin: node (i,k) receives
+       child (j,k+1) whenever j ≡ i (mod m_k). *)
+    let m_child = t.levels.(k + 1).total in
+    let base = m_child / l.total in
+    if index < m_child mod l.total then base + 1 else base
+  end
+
+let satisfies_assumption t =
+  let h = height t in
+  if h = 0 then true
+  else begin
+    let phy k = t.levels.(k).physical in
+    let rec check k = k > h || (phy (k - 1) <= phy k && check (k + 1)) in
+    phy 0 < phy 1 && check 2
+  end
+
+let equal a b = a.levels = b.levels && a.n = b.n
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun k l ->
+      Format.fprintf ppf "level %d: %d physical, %d logical%s@," k l.physical
+        l.logical
+        (if l.physical > 0 then
+           Printf.sprintf " (sites %d..%d)" l.first_replica
+             (l.first_replica + l.physical - 1)
+         else ""))
+    t.levels;
+  Format.fprintf ppf "n=%d height=%d@]" t.n (height t)

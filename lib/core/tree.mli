@@ -1,0 +1,104 @@
+(** The arbitrary tree structure of the paper (§3.1).
+
+    A tree of height [h] whose nodes are either {e logical} (placeholders)
+    or {e physical} (replicas).  Level [k] holds [m_k] nodes, of which
+    [m_phy k] are physical and [m_log k] logical.  A level is {e physical}
+    when it holds at least one physical node, {e logical} otherwise.
+
+    Only the per-level counts matter to the protocol (read = one physical
+    node of every physical level; write = all physical nodes of one physical
+    level), but the full S(i,k) node addressing is exposed for fidelity with
+    the paper's formalism: node [(i,k)] is the i-th node of level [k]
+    (0-based here; the paper is 1-based), its parent is node
+    [(i mod m_{k-1}, k-1)], and within a level the physical nodes come
+    first.
+
+    Replicas (physical nodes) are numbered 0 .. n−1 top-to-bottom,
+    left-to-right; these ids are the site ids used by every other module. *)
+
+type level = private {
+  total : int;  (** m_k *)
+  physical : int;  (** m_phy k *)
+  logical : int;  (** m_log k *)
+  first_replica : int;  (** site id of this level's first physical node *)
+}
+
+type t = private {
+  levels : level array;  (** indexed by level number 0..h *)
+  n : int;  (** total number of replicas *)
+}
+
+type kind = Logical | Physical
+
+val create : (int * int) list -> t
+(** [create [(phy0, log0); (phy1, log1); ...]] builds a tree from per-level
+    (physical, logical) node counts, top level first.  Raises
+    [Invalid_argument] if a level is empty, the tree has no replica, or a
+    logical level sits below a physical one (which Assumption 3.1
+    forbids). *)
+
+val of_physical_counts : int list -> t
+(** [of_physical_counts [0; 3; 5]] — levels with the given physical counts
+    and no extra logical nodes except that a count of 0 denotes a fully
+    logical level of one node (e.g. a logical root). *)
+
+val of_spec : string -> t
+(** Parses the paper's compact notation: ["1-3-5"] is a logical root above
+    physical levels of 3 and 5 replicas.  A leading ["1"] always denotes
+    the logical root; any other first number is a physical level.
+    Raises [Invalid_argument] on malformed input. *)
+
+val to_spec : t -> string
+(** Inverse of {!of_spec} for trees without interior logical nodes. *)
+
+val figure1 : unit -> t
+(** The exact tree of the paper's Figure 1 / Table 1: a logical root, a
+    physical level of 3, and a mixed level of 5 physical + 4 logical
+    nodes. *)
+
+val height : t -> int
+(** [h]; the tree has [h+1] levels. *)
+
+val n : t -> int
+(** Number of replicas. *)
+
+val level : t -> int -> level
+
+val physical_levels : t -> int list
+(** K_phy: level numbers holding at least one physical node, ascending. *)
+
+val logical_levels : t -> int list
+(** K_log. *)
+
+val num_physical_levels : t -> int
+(** |K_phy|. *)
+
+val min_level_size : t -> int
+(** d = min over physical levels of m_phy k. *)
+
+val max_level_size : t -> int
+(** e = max over physical levels of m_phy k. *)
+
+val replicas_at : t -> int -> int array
+(** Site ids of the physical nodes at the given level (empty for logical
+    levels). *)
+
+val level_of_replica : t -> int -> int
+(** Level number of a site id. *)
+
+val node_kind : t -> level:int -> index:int -> kind
+(** Kind of node (i,k); physical nodes occupy the low indices. *)
+
+val parent : t -> level:int -> index:int -> (int * int) option
+(** [(index, level)] of the parent node, [None] for the root. *)
+
+val descendants_count : t -> level:int -> index:int -> int
+(** m(i,k): number of children of node (i,k) under the round-robin parent
+    assignment. *)
+
+val satisfies_assumption : t -> bool
+(** Assumption 3.1: m_phy0 < m_phy1 ≤ m_phy2 ≤ … ≤ m_phyh (with logical
+    levels counting 0 physical nodes, which confines them to the top). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let node_id ~level ~index = Printf.sprintf "n_%d_%d" level index
+
+let to_dot tree =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph arbitrary_tree {\n";
+  Buffer.add_string buf "  rankdir=TB;\n  node [fontsize=10];\n";
+  for k = 0 to Tree.height tree do
+    let l = Tree.level tree k in
+    (* Keep each level on its own rank. *)
+    Buffer.add_string buf "  { rank=same; ";
+    for i = 0 to l.Tree.total - 1 do
+      Buffer.add_string buf (node_id ~level:k ~index:i);
+      Buffer.add_string buf "; "
+    done;
+    Buffer.add_string buf "}\n";
+    for i = 0 to l.Tree.total - 1 do
+      (match Tree.node_kind tree ~level:k ~index:i with
+      | Tree.Physical ->
+        let site = l.Tree.first_replica + i in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %s [shape=box style=filled fillcolor=lightblue label=\"s%d\"];\n"
+             (node_id ~level:k ~index:i) site)
+      | Tree.Logical ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [shape=circle label=\"\"];\n"
+             (node_id ~level:k ~index:i)));
+      match Tree.parent tree ~level:k ~index:i with
+      | None -> ()
+      | Some (pi, pk) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n"
+             (node_id ~level:pk ~index:pi)
+             (node_id ~level:k ~index:i))
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz rendering of arbitrary trees: logical nodes are drawn as
+    hollow circles, physical nodes as filled boxes labelled with their
+    site ids; edges follow the round-robin parent assignment of
+    {!Tree.parent}. *)
+
+val to_dot : Tree.t -> string
+(** A complete [digraph] document; render with [dot -Tpng]. *)

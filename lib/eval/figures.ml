@@ -1,0 +1,299 @@
+module Config = Arbitrary.Config
+
+let default_sizes = [ 9; 17; 33; 65; 129; 257; 513 ]
+let default_p = 0.7
+
+let configs = Config.all_names
+
+let header_with name = name :: List.map Config.name_to_string configs
+
+(* One table: a row per size, a column per configuration. *)
+let sweep ~sizes ~p ~cell =
+  List.map
+    (fun n ->
+      string_of_int n
+      :: List.map
+           (fun c ->
+             let m = Config_metrics.compute c ~n ~p in
+             Printf.sprintf "%s (n=%d)" (cell m) m.Config_metrics.n)
+           configs)
+    sizes
+
+let section title body = Printf.sprintf "== %s ==\n%s\n" title body
+
+let fig2 ?(sizes = default_sizes) () =
+  let table cell =
+    Tablefmt.render ~header:(header_with "n") ~rows:(sweep ~sizes ~p:default_p ~cell)
+  in
+  section "Figure 2a: read communication cost"
+    (table (fun m -> Tablefmt.f2 m.Config_metrics.rd_cost))
+  ^ section "Figure 2b: write communication cost"
+      (table (fun m -> Tablefmt.f2 m.Config_metrics.wr_cost))
+
+let fig3 ?(sizes = default_sizes) ?(p = default_p) () =
+  let table cell =
+    Tablefmt.render ~header:(header_with "n") ~rows:(sweep ~sizes ~p ~cell)
+  in
+  section "Figure 3a: system load of read operations"
+    (table (fun m -> Tablefmt.f4 m.Config_metrics.rd_load))
+  ^ section
+      (Printf.sprintf "Figure 3b: expected system load of reads (p=%.2f)" p)
+      (table (fun m -> Tablefmt.f4 m.Config_metrics.e_rd_load))
+
+let fig4 ?(sizes = default_sizes) ?(p = default_p) () =
+  let table cell =
+    Tablefmt.render ~header:(header_with "n") ~rows:(sweep ~sizes ~p ~cell)
+  in
+  section "Figure 4a: system load of write operations"
+    (table (fun m -> Tablefmt.f4 m.Config_metrics.wr_load))
+  ^ section
+      (Printf.sprintf "Figure 4b: expected system load of writes (p=%.2f)" p)
+      (table (fun m -> Tablefmt.f4 m.Config_metrics.e_wr_load))
+
+let table1 () =
+  let tree = Arbitrary.Tree.figure1 () in
+  let rows =
+    List.init
+      (Arbitrary.Tree.height tree + 1)
+      (fun k ->
+        let l = Arbitrary.Tree.level tree k in
+        [
+          string_of_int k;
+          string_of_int l.Arbitrary.Tree.total;
+          string_of_int l.Arbitrary.Tree.physical;
+          string_of_int l.Arbitrary.Tree.logical;
+        ])
+  in
+  let node_table =
+    Tablefmt.render ~header:[ "level k"; "m_k"; "m_phy k"; "m_log k" ] ~rows
+  in
+  let s = Arbitrary.Analysis.summarize tree ~p:0.7 in
+  let example =
+    Printf.sprintf
+      "worked example (p=0.7): m(R)=%.0f m(W)=%d\n\
+       RD_cost=%d RD_avail=%.2f L_RD=%.4f E[L_RD]=%.4f\n\
+       WR_cost=%.0f WR_avail=%.2f L_WR=%.4f E[L_WR]=%.4f\n\
+       paper:  m(R)=15 m(W)=2 | RD: 2, 0.97, 1/3, 0.35 | WR: 4, 0.45, 1/2, 0.775\n"
+      (Arbitrary.Analysis.num_read_quorums tree)
+      (Arbitrary.Analysis.num_write_quorums tree)
+      s.Arbitrary.Analysis.rd_cost s.Arbitrary.Analysis.rd_availability
+      s.Arbitrary.Analysis.rd_load s.Arbitrary.Analysis.expected_rd_load
+      s.Arbitrary.Analysis.wr_cost_avg s.Arbitrary.Analysis.wr_availability
+      s.Arbitrary.Analysis.wr_load s.Arbitrary.Analysis.expected_wr_load
+  in
+  section "Table 1: node counts of the Figure-1 tree (spec 1-3-5)"
+    (node_table ^ example)
+
+let limits ?(ps = [ 0.55; 0.65; 0.7; 0.75; 0.8; 0.85; 0.9; 0.95 ]) () =
+  let rows =
+    List.map
+      (fun p ->
+        let tree = Config.algorithm1 ~n:10000 in
+        [
+          Tablefmt.f2 p;
+          Tablefmt.f4 (Arbitrary.Analysis.limit_read_availability ~p);
+          Tablefmt.f4 (Arbitrary.Analysis.read_availability tree ~p);
+          Tablefmt.f4 (Arbitrary.Analysis.limit_write_availability ~p);
+          Tablefmt.f4 (Arbitrary.Analysis.write_availability tree ~p);
+        ])
+      ps
+  in
+  section "Limits (§3.3): Algorithm-1 availabilities as n→∞ vs n=10000"
+    (Tablefmt.render
+       ~header:
+         [ "p"; "lim RD_avail"; "RD_avail(10k)"; "lim WR_avail"; "WR_avail(10k)" ]
+       ~rows)
+
+let related_work ?(n = 64) ?(p = default_p) () =
+  let rng = Dsutil.Rng.create 97 in
+  let trials = 3000 in
+  let mc_avail proto =
+    ( Quorum.Availability.read_availability_mc ~trials ~rng ~p proto,
+      Quorum.Availability.write_availability_mc ~trials ~rng ~p proto )
+  in
+  let row ~name ~n ~rd_cost ~wr_cost ~rd_load ~wr_load ~rd_avail ~wr_avail =
+    [
+      name;
+      string_of_int n;
+      Tablefmt.f2 rd_cost;
+      Tablefmt.f2 wr_cost;
+      Tablefmt.f4 rd_load;
+      Tablefmt.f4 wr_load;
+      Tablefmt.f4 rd_avail;
+      Tablefmt.f4 wr_avail;
+    ]
+  in
+  let rows =
+    [
+      (let r = Quorum.Rowa.create ~n in
+       row ~name:"ROWA" ~n
+         ~rd_cost:(float_of_int (Quorum.Rowa.read_cost r))
+         ~wr_cost:(float_of_int (Quorum.Rowa.write_cost r))
+         ~rd_load:(Quorum.Rowa.read_load r) ~wr_load:(Quorum.Rowa.write_load r)
+         ~rd_avail:(Quorum.Rowa.read_availability r ~p)
+         ~wr_avail:(Quorum.Rowa.write_availability r ~p));
+      (let m = Quorum.Majority.create ~n:(if n mod 2 = 0 then n + 1 else n) in
+       let a = Quorum.Majority.availability m ~p in
+       row ~name:"Majority" ~n:(Quorum.Majority.universe_size m)
+         ~rd_cost:(float_of_int (Quorum.Majority.read_cost m))
+         ~wr_cost:(float_of_int (Quorum.Majority.write_cost m))
+         ~rd_load:(Quorum.Majority.load m) ~wr_load:(Quorum.Majority.load m)
+         ~rd_avail:a ~wr_avail:a);
+      (let g = Quorum.Grid.square ~n in
+       let rd_avail, wr_avail = mc_avail (Quorum.Grid.protocol g) in
+       row ~name:"Grid" ~n:(Quorum.Grid.universe_size g)
+         ~rd_cost:(float_of_int (Quorum.Grid.read_cost g))
+         ~wr_cost:(float_of_int (Quorum.Grid.write_cost g))
+         ~rd_load:(Quorum.Grid.read_load g) ~wr_load:(Quorum.Grid.write_load g)
+         ~rd_avail ~wr_avail);
+      (let m = Quorum.Maekawa.of_n ~n in
+       let rd_avail, wr_avail = mc_avail (Quorum.Maekawa.protocol m) in
+       row ~name:"Maekawa sqrt(n)" ~n:(Quorum.Maekawa.universe_size m)
+         ~rd_cost:(float_of_int (Quorum.Maekawa.quorum_size m))
+         ~wr_cost:(float_of_int (Quorum.Maekawa.quorum_size m))
+         ~rd_load:(Quorum.Maekawa.load m) ~wr_load:(Quorum.Maekawa.load m)
+         ~rd_avail ~wr_avail);
+      (let rec fit h =
+         if Quorum.Tqp.n (Quorum.Tqp.create ~d:1 ~height:(h + 1)) > n then h
+         else fit (h + 1)
+       in
+       let t = Quorum.Tqp.create ~d:1 ~height:(fit 0) in
+       row ~name:"TreeQuorum VLDB90" ~n:(Quorum.Tqp.n t)
+         ~rd_cost:(float_of_int (Quorum.Tqp.min_read_cost t))
+         ~wr_cost:(float_of_int (Quorum.Tqp.write_cost t))
+         ~rd_load:1.0 ~wr_load:(Quorum.Tqp.write_load t)
+         ~rd_avail:(Quorum.Tqp.read_availability t ~p)
+         ~wr_avail:(Quorum.Tqp.write_availability t ~p));
+      (let m = Config_metrics.compute Config.Binary ~n ~p in
+       row ~name:"BINARY (AE91)" ~n:m.Config_metrics.n
+         ~rd_cost:m.Config_metrics.rd_cost ~wr_cost:m.Config_metrics.wr_cost
+         ~rd_load:m.Config_metrics.rd_load ~wr_load:m.Config_metrics.wr_load
+         ~rd_avail:m.Config_metrics.rd_avail ~wr_avail:m.Config_metrics.wr_avail);
+      (let m = Config_metrics.compute Config.Hqc ~n ~p in
+       row ~name:"HQC (Kumar)" ~n:m.Config_metrics.n
+         ~rd_cost:m.Config_metrics.rd_cost ~wr_cost:m.Config_metrics.wr_cost
+         ~rd_load:m.Config_metrics.rd_load ~wr_load:m.Config_metrics.wr_load
+         ~rd_avail:m.Config_metrics.rd_avail ~wr_avail:m.Config_metrics.wr_avail);
+      (let m = Config_metrics.compute Config.Arbitrary ~n ~p in
+       row ~name:"ARBITRARY (this paper)" ~n:m.Config_metrics.n
+         ~rd_cost:m.Config_metrics.rd_cost ~wr_cost:m.Config_metrics.wr_cost
+         ~rd_load:m.Config_metrics.rd_load ~wr_load:m.Config_metrics.wr_load
+         ~rd_avail:m.Config_metrics.rd_avail ~wr_avail:m.Config_metrics.wr_avail);
+    ]
+  in
+  section
+    (Printf.sprintf "Related work (§1) at n~%d, p=%.2f" n p)
+    (Tablefmt.render
+       ~header:
+         [ "protocol"; "n"; "rd cost"; "wr cost"; "rd load"; "wr load";
+           "rd avail"; "wr avail" ]
+       ~rows)
+
+let shape_checks () =
+  let p = default_p in
+  let buf = Buffer.create 1024 in
+  let check name ok =
+    Buffer.add_string buf (Printf.sprintf "[%s] %s\n" (if ok then "OK " else "FAIL") name)
+  in
+  let at c n = Config_metrics.compute c ~n ~p in
+  let structured = [ Config.Binary; Config.Unmodified; Config.Arbitrary; Config.Hqc ] in
+  let sizes = [ 65; 129; 257; 513 ] in
+  check "MOSTLY-READ read cost is 1 and write cost is n (all sizes)"
+    (List.for_all
+       (fun n ->
+         let m = at Config.Mostly_read n in
+         m.Config_metrics.rd_cost = 1.0
+         && m.Config_metrics.wr_cost = float_of_int m.Config_metrics.n)
+       sizes);
+  check "MOSTLY-WRITE has the highest read cost and ~2 write cost"
+    (List.for_all
+       (fun n ->
+         let mw = at Config.Mostly_write n in
+         mw.Config_metrics.wr_cost <= 2.5
+         && List.for_all
+              (fun c ->
+                (at c n).Config_metrics.rd_cost <= mw.Config_metrics.rd_cost)
+              structured)
+       sizes);
+  check "ARBITRARY has the lowest write cost of the four structured configs"
+    (List.for_all
+       (fun n ->
+         let a = (at Config.Arbitrary n).Config_metrics.wr_cost in
+         List.for_all
+           (fun c -> (at c n).Config_metrics.wr_cost >= a -. 1e-9)
+           structured)
+       sizes);
+  check "UNMODIFIED has the lowest read cost of the four (log n) but read load 1"
+    (List.for_all
+       (fun n ->
+         let u = at Config.Unmodified n in
+         u.Config_metrics.rd_load = 1.0
+         && List.for_all
+              (fun c ->
+                (at c n).Config_metrics.rd_cost >= u.Config_metrics.rd_cost -. 1e-9)
+              structured)
+       sizes);
+  check "BINARY has the highest costs of the four structured configs"
+    (List.for_all
+       (fun n ->
+         let b = at Config.Binary n in
+         List.for_all
+           (fun c ->
+             (at c n).Config_metrics.rd_cost <= b.Config_metrics.rd_cost +. 1e-9)
+           structured)
+       sizes);
+  check "ARBITRARY read load is 1/4 for n > 32 and write load 1/sqrt(n)"
+    (List.for_all
+       (fun n ->
+         let a = at Config.Arbitrary n in
+         abs_float (a.Config_metrics.rd_load -. 0.25) < 1e-9
+         && abs_float
+              (a.Config_metrics.wr_load
+              -. (1.0 /. float_of_int (Arbitrary.Tree.num_physical_levels
+                                         (Config.build Config.Arbitrary ~n))))
+            < 1e-9)
+       sizes);
+  check
+    "new lower bound: UNMODIFIED write load 1/log2(n+1) < BINARY's 2/(log2(n+1)+1)"
+    (List.for_all
+       (fun n ->
+         let u = at Config.Unmodified n in
+         let b = at Config.Binary u.Config_metrics.n in
+         u.Config_metrics.wr_load < b.Config_metrics.wr_load)
+       sizes);
+  check "HQC has the least read system load of the four for n > 15"
+    (List.for_all
+       (fun n ->
+         let h = at Config.Hqc n in
+         List.for_all
+           (fun c -> (at c n).Config_metrics.rd_load >= h.Config_metrics.rd_load -. 1e-9)
+           structured)
+       sizes);
+  check "BINARY has the highest write system load of the four"
+    (List.for_all
+       (fun n ->
+         let b = at Config.Binary n in
+         List.for_all
+           (fun c -> (at c n).Config_metrics.wr_load <= b.Config_metrics.wr_load +. 1e-9)
+           structured)
+       sizes);
+  check "MOSTLY-WRITE write load 2/(n-1) is the lowest of all six"
+    (List.for_all
+       (fun n ->
+         let mw = at Config.Mostly_write n in
+         List.for_all
+           (fun c -> (at c n).Config_metrics.wr_load >= mw.Config_metrics.wr_load -. 1e-9)
+           Config.all_names)
+       sizes);
+  check "both Algorithm-1 availabilities ~1 when p > 0.8 (p=0.85, n=10000)"
+    (let tree = Config.algorithm1 ~n:10000 in
+     Arbitrary.Analysis.read_availability tree ~p:0.85 > 0.99
+     && Arbitrary.Analysis.write_availability tree ~p:0.85 > 0.99);
+  section "Shape checks (qualitative claims of §4)" (Buffer.contents buf)
+
+let all () =
+  String.concat "\n"
+    [
+      table1 (); fig2 (); fig3 (); fig4 (); limits (); related_work ();
+      shape_checks ();
+    ]

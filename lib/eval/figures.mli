@@ -1,0 +1,48 @@
+(** Regeneration of every figure and table of the paper's evaluation
+    (§3.4 and §4).  Each function renders the same series the paper plots,
+    as text tables; the benchmark executable prints them all. *)
+
+val default_sizes : int list
+(** System sizes swept on the x-axis: 9, 17, 33, 65, 129, 257, 513 (each
+    configuration snaps to its nearest feasible size at or below). *)
+
+val default_p : float
+(** Per-replica availability used for expected loads and availabilities:
+    0.7, the value of the paper's worked example. *)
+
+val fig2 : ?sizes:int list -> unit -> string
+(** Figure 2: read and write communication costs of the six
+    configurations. *)
+
+val fig3 : ?sizes:int list -> ?p:float -> unit -> string
+(** Figure 3: system loads and expected system loads of read
+    operations. *)
+
+val fig4 : ?sizes:int list -> ?p:float -> unit -> string
+(** Figure 4: system loads and expected system loads of write
+    operations. *)
+
+val table1 : unit -> string
+(** Table 1 plus the §3.4 worked example on the Figure-1 tree. *)
+
+val limits : ?ps:float list -> unit -> string
+(** §3.3: limit availabilities of Algorithm-1 trees as n→∞, against the
+    exact values at n = 10000. *)
+
+val related_work : ?n:int -> ?p:float -> unit -> string
+(** The §1 comparison, reconstructed: read/write cost, optimal load and
+    availability of ROWA, Majority, Grid, Maekawa √n, the VLDB-90 tree
+    quorum protocol, BINARY, HQC and the arbitrary protocol, each at its
+    feasible size nearest [n] (default 64).  Availabilities without a
+    closed form are Monte-Carlo estimates through the protocols' own
+    quorum assembly. *)
+
+val shape_checks : unit -> string
+(** The qualitative claims of §4 ("who wins"), each evaluated and marked
+    OK/FAIL: e.g. ARBITRARY has the lowest write cost of the four
+    structured configurations, UNMODIFIED read load is 1, BINARY write
+    load exceeds everyone's, the new lower bound 1/log₂(n+1) <
+    2/(log₂(n+1)+1), … *)
+
+val all : unit -> string
+(** Every section above, concatenated — the full analytic reproduction. *)

@@ -1,0 +1,18 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let pad i cell = Printf.sprintf "%-*s" widths.(i) cell in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let rule =
+    String.concat "  "
+      (List.init (min cols (List.length header)) (fun i ->
+           String.make widths.(i) '-'))
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows) ^ "\n"
+
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x

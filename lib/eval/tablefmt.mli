@@ -1,0 +1,11 @@
+(** Minimal fixed-width table rendering for the benchmark reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Columns are padded to the widest cell; the header is separated by a
+    rule. *)
+
+val f2 : float -> string
+(** Two-decimal float cell. *)
+
+val f4 : float -> string
+(** Four-decimal float cell. *)

@@ -1,0 +1,62 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type t = { k : int }
+
+let create ~k =
+  if k < 1 then invalid_arg "Maekawa.create: k must be positive";
+  { k }
+
+let of_n ~n =
+  if n < 1 then invalid_arg "Maekawa.of_n: need at least one replica";
+  create ~k:(max 1 (int_of_float (sqrt (float_of_int n))))
+
+let name _ = "Maekawa"
+let universe_size t = t.k * t.k
+
+let quorum_of_site t i =
+  let r = i / t.k and c = i mod t.k in
+  let q = Bitset.create (universe_size t) in
+  for j = 0 to t.k - 1 do
+    Bitset.add q ((r * t.k) + j);
+    Bitset.add q ((j * t.k) + c)
+  done;
+  q
+
+let pick_quorum t ~alive ~rng =
+  let n = universe_size t in
+  let candidates = ref [] in
+  for i = n - 1 downto 0 do
+    if Bitset.subset (quorum_of_site t i) alive then candidates := i :: !candidates
+  done;
+  match !candidates with
+  | [] -> None
+  | l -> Some (quorum_of_site t (Rng.pick rng (Array.of_list l)))
+
+let read_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+let write_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+
+let enumerate_quorums t =
+  Seq.init (universe_size t) (fun i -> quorum_of_site t i)
+
+let enumerate_read_quorums = enumerate_quorums
+let enumerate_write_quorums = enumerate_quorums
+
+let quorum_size t = (2 * t.k) - 1
+
+let load t =
+  float_of_int (quorum_size t) /. float_of_int (universe_size t)
+
+let protocol t =
+  Protocol.pack
+    (module struct
+      type nonrec t = t
+
+      let name = name
+      let universe_size = universe_size
+      let read_quorum = read_quorum
+      let write_quorum = write_quorum
+      let enumerate_read_quorums = enumerate_read_quorums
+      let enumerate_write_quorums = enumerate_write_quorums
+    end)
+    t

@@ -1,0 +1,21 @@
+(** Maekawa's √n protocol (grid-based finite-projective-plane
+    approximation).
+
+    Replicas form a k×k grid; the quorum of replica (r,c) is its full row
+    union its full column (size 2k−1).  Quorums pairwise intersect, read and
+    write quorums coincide, cost and load are Θ(√n). *)
+
+type t
+
+val create : k:int -> t
+(** A k×k grid of n = k² replicas. *)
+
+val of_n : n:int -> t
+(** Largest k with k² ≤ n. *)
+
+val protocol : t -> Protocol.t
+val quorum_size : t -> int
+val load : t -> float
+(** Optimal load (2k−1)/k² ≈ 2/√n under the uniform strategy. *)
+
+include Protocol.S with type t := t

@@ -1,0 +1,96 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type t = { n : int; q : int }
+
+let create ~n =
+  if n < 1 then invalid_arg "Majority.create: need at least one replica";
+  { n; q = (n / 2) + 1 }
+
+let name _ = "Majority"
+let universe_size t = t.n
+let quorum_size t = t.q
+
+let pick_quorum t ~alive ~rng =
+  let up = Array.of_list (Bitset.elements alive) in
+  if Array.length up < t.q then None
+  else begin
+    Rng.shuffle rng up;
+    let q = Bitset.create t.n in
+    for i = 0 to t.q - 1 do
+      Bitset.add q up.(i)
+    done;
+    Some q
+  end
+
+let read_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+let write_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+
+(* All subsets of size q, in lexicographic order. *)
+let enumerate_subsets n k =
+  let next comb =
+    (* [comb] is a sorted int array of length k; advance to the successor. *)
+    let comb = Array.copy comb in
+    let rec bump i =
+      if i < 0 then None
+      else if comb.(i) < n - k + i then begin
+        comb.(i) <- comb.(i) + 1;
+        for j = i + 1 to k - 1 do
+          comb.(j) <- comb.(j - 1) + 1
+        done;
+        Some comb
+      end
+      else bump (i - 1)
+    in
+    bump (k - 1)
+  in
+  let first = Array.init k (fun i -> i) in
+  let rec seq comb () =
+    match comb with
+    | None -> Seq.Nil
+    | Some c -> Seq.Cons (c, seq (next c))
+  in
+  seq (if k <= n then Some first else None)
+
+let enumerate_quorums t =
+  Seq.map
+    (fun comb -> Bitset.of_list t.n (Array.to_list comb))
+    (enumerate_subsets t.n t.q)
+
+let enumerate_read_quorums = enumerate_quorums
+let enumerate_write_quorums = enumerate_quorums
+
+let read_cost t = t.q
+let write_cost t = t.q
+let load t = float_of_int t.q /. float_of_int t.n
+
+let availability t ~p =
+  (* P[Binomial(n,p) >= q] *)
+  let n = t.n in
+  let rec choose n k =
+    if k = 0 || k = n then 1.0
+    else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+  in
+  let acc = ref 0.0 in
+  for k = t.q to n do
+    acc :=
+      !acc
+      +. choose n k
+         *. (p ** float_of_int k)
+         *. ((1.0 -. p) ** float_of_int (n - k))
+  done;
+  !acc
+
+let protocol t =
+  Protocol.pack
+    (module struct
+      type nonrec t = t
+
+      let name = name
+      let universe_size = universe_size
+      let read_quorum = read_quorum
+      let write_quorum = write_quorum
+      let enumerate_read_quorums = enumerate_read_quorums
+      let enumerate_write_quorums = enumerate_write_quorums
+    end)
+    t

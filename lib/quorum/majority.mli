@@ -1,0 +1,21 @@
+(** Majority quorum consensus (Thomas).
+
+    Every set of ⌈(n+1)/2⌉ replicas is both a read and a write quorum.
+    Cost (n+1)/2 for odd [n]; system load ≥ 1/2. *)
+
+type t
+
+val create : n:int -> t
+val protocol : t -> Protocol.t
+
+val quorum_size : t -> int
+val read_cost : t -> int
+val write_cost : t -> int
+val load : t -> float
+(** Optimal system load: [quorum_size / n]. *)
+
+val availability : t -> p:float -> float
+(** Probability that at least ⌈(n+1)/2⌉ replicas are up (exact binomial
+    tail). *)
+
+include Protocol.S with type t := t

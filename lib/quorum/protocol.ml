@@ -1,0 +1,42 @@
+module Bitset = Dsutil.Bitset
+
+module type S = sig
+  type t
+
+  val name : t -> string
+  val universe_size : t -> int
+
+  val read_quorum :
+    t -> alive:Bitset.t -> rng:Dsutil.Rng.t -> Bitset.t option
+
+  val write_quorum :
+    t -> alive:Bitset.t -> rng:Dsutil.Rng.t -> Bitset.t option
+
+  val enumerate_read_quorums : t -> Bitset.t Seq.t
+  val enumerate_write_quorums : t -> Bitset.t Seq.t
+end
+
+type t = Dyn : (module S with type t = 'a) * 'a -> t
+
+let pack (type a) (m : (module S with type t = a)) (p : a) = Dyn (m, p)
+
+let name (Dyn ((module P), p)) = P.name p
+let universe_size (Dyn ((module P), p)) = P.universe_size p
+let read_quorum (Dyn ((module P), p)) ~alive ~rng = P.read_quorum p ~alive ~rng
+let write_quorum (Dyn ((module P), p)) ~alive ~rng = P.write_quorum p ~alive ~rng
+
+let read_quorum_set (Dyn ((module P), p)) =
+  Quorum_set.create ~universe:(P.universe_size p)
+    (List.of_seq (P.enumerate_read_quorums p))
+
+let write_quorum_set (Dyn ((module P), p)) =
+  Quorum_set.create ~universe:(P.universe_size p)
+    (List.of_seq (P.enumerate_write_quorums p))
+
+let all_alive t =
+  let n = universe_size t in
+  let s = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.add s i
+  done;
+  s

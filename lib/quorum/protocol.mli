@@ -1,0 +1,53 @@
+(** The common interface every replica control protocol implements.
+
+    A protocol, given the set of currently reachable ("alive") replicas,
+    either assembles a read/write quorum from alive replicas or reports that
+    none exists.  Implementations must be {e complete}: they return [Some]
+    whenever any quorum is contained in the alive set, so that availability
+    can be measured by sampling alive patterns. *)
+
+module type S = sig
+  type t
+
+  val name : t -> string
+
+  val universe_size : t -> int
+  (** Number of replicas [n]. *)
+
+  val read_quorum :
+    t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+  (** A read quorum drawn according to the protocol's strategy, restricted
+      to alive replicas; [None] if no read quorum survives. *)
+
+  val write_quorum :
+    t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+  val enumerate_read_quorums : t -> Dsutil.Bitset.t Seq.t
+  (** All (minimal) read quorums.  Only call on small instances: the count
+      can be exponential. *)
+
+  val enumerate_write_quorums : t -> Dsutil.Bitset.t Seq.t
+end
+
+type t = Dyn : (module S with type t = 'a) * 'a -> t
+(** A protocol instance packaged with its operations, so heterogeneous
+    protocols can be compared by the evaluation harness. *)
+
+val pack : (module S with type t = 'a) -> 'a -> t
+
+val name : t -> string
+val universe_size : t -> int
+
+val read_quorum :
+  t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+val write_quorum :
+  t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+val read_quorum_set : t -> Quorum_set.t
+(** Materializes [enumerate_read_quorums] into an explicit system. *)
+
+val write_quorum_set : t -> Quorum_set.t
+
+val all_alive : t -> Dsutil.Bitset.t
+(** Convenience: the full universe as an alive view. *)

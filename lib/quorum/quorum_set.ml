@@ -1,0 +1,131 @@
+module Bitset = Dsutil.Bitset
+
+type t = { universe : int; quorums : Bitset.t array }
+
+let create ~universe sets =
+  if sets = [] then invalid_arg "Quorum_set.create: empty quorum list";
+  List.iter
+    (fun s ->
+      if Bitset.capacity s <> universe then
+        invalid_arg "Quorum_set.create: set capacity differs from universe";
+      if Bitset.is_empty s then
+        invalid_arg "Quorum_set.create: empty quorum")
+    sets;
+  { universe; quorums = Array.of_list sets }
+
+let of_lists ~universe lists =
+  create ~universe (List.map (Bitset.of_list universe) lists)
+
+let size t = Array.length t.quorums
+
+let is_quorum_system t =
+  let n = Array.length t.quorums in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Bitset.intersects t.quorums.(i) t.quorums.(j)) then ok := false
+    done
+  done;
+  !ok
+
+let has_proper_subset_pair t =
+  let n = Array.length t.quorums in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j
+         && Bitset.subset t.quorums.(i) t.quorums.(j)
+         && not (Bitset.equal t.quorums.(i) t.quorums.(j))
+      then found := true
+    done
+  done;
+  !found
+
+let is_coterie t = is_quorum_system t && not (has_proper_subset_pair t)
+
+let is_bicoterie ~read ~write =
+  if read.universe <> write.universe then
+    invalid_arg "Quorum_set.is_bicoterie: universe mismatch";
+  Array.for_all
+    (fun r -> Array.for_all (fun w -> Bitset.intersects r w) write.quorums)
+    read.quorums
+
+let minimize t =
+  let keep =
+    Array.to_list t.quorums
+    |> List.filteri (fun i q ->
+           not
+             (Array.exists
+                (fun q' ->
+                  q' != t.quorums.(i)
+                  && Bitset.subset q' q
+                  && not (Bitset.equal q' q))
+                t.quorums))
+  in
+  (* Deduplicate identical quorums while we are at it. *)
+  let dedup =
+    List.fold_left
+      (fun acc q -> if List.exists (Bitset.equal q) acc then acc else q :: acc)
+      [] keep
+    |> List.rev
+  in
+  create ~universe:t.universe dedup
+
+let mem_site t i = Array.exists (fun q -> Bitset.mem q i) t.quorums
+
+let smallest_quorum_size t =
+  Array.fold_left (fun acc q -> min acc (Bitset.cardinal q)) max_int t.quorums
+
+let can_form_within t ~alive =
+  Array.exists (fun q -> Bitset.subset q alive) t.quorums
+
+let dominates d ~over =
+  if d.universe <> over.universe then
+    invalid_arg "Quorum_set.dominates: universe mismatch";
+  let equal_systems =
+    Array.length d.quorums = Array.length over.quorums
+    && Array.for_all
+         (fun q -> Array.exists (Bitset.equal q) over.quorums)
+         d.quorums
+  in
+  (not equal_systems)
+  && Array.for_all
+       (fun c -> Array.exists (fun q -> Bitset.subset q c) d.quorums)
+       over.quorums
+
+let find_dominating t =
+  if t.universe > 16 then
+    invalid_arg "Quorum_set.find_dominating: universe too large";
+  (* A coterie C is dominated iff some set S intersects every quorum of C
+     but contains none of them (then minimize C ∪ {S}).  Search all S. *)
+  let n = t.universe in
+  let found = ref None in
+  (try
+     for mask = 1 to (1 lsl n) - 1 do
+       let s = Bitset.create n in
+       for i = 0 to n - 1 do
+         if mask land (1 lsl i) <> 0 then Bitset.add s i
+       done;
+       let intersects_all =
+         Array.for_all (fun q -> Bitset.intersects s q) t.quorums
+       in
+       let contains_none =
+         not (Array.exists (fun q -> Bitset.subset q s) t.quorums)
+       in
+       if intersects_all && contains_none then begin
+         let candidate =
+           minimize (create ~universe:n (s :: Array.to_list t.quorums))
+         in
+         if dominates candidate ~over:t then begin
+           found := Some candidate;
+           raise Exit
+         end
+       end
+     done
+   with Exit -> ());
+  !found
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>universe=%d@,%a@]" t.universe
+    (Format.pp_print_list Bitset.pp)
+    (Array.to_list t.quorums)

@@ -1,0 +1,56 @@
+(** Explicit quorum systems over a finite universe of sites.
+
+    A quorum system is represented extensionally as an array of site sets.
+    This representation is only viable for small systems (it is used by the
+    tests and the LP-based load computations); the protocol modules generate
+    quorums lazily for large universes. *)
+
+type t = private {
+  universe : int;  (** sites are 0 .. universe-1 *)
+  quorums : Dsutil.Bitset.t array;
+}
+
+val create : universe:int -> Dsutil.Bitset.t list -> t
+(** Raises [Invalid_argument] if any set exceeds the universe or the list is
+    empty. *)
+
+val of_lists : universe:int -> int list list -> t
+
+val size : t -> int
+(** Number of quorums. *)
+
+val is_quorum_system : t -> bool
+(** Pairwise non-empty intersection (Definition 2.1). *)
+
+val is_coterie : t -> bool
+(** Quorum system + minimality: no quorum contains another
+    (Definition 2.2). *)
+
+val is_bicoterie : read:t -> write:t -> bool
+(** Every read quorum intersects every write quorum (Definition 2.3).
+    The two systems must share a universe. *)
+
+val minimize : t -> t
+(** Drop quorums that are supersets of another quorum. *)
+
+val mem_site : t -> int -> bool
+(** Does any quorum contain the given site? *)
+
+val smallest_quorum_size : t -> int
+
+val can_form_within : t -> alive:Dsutil.Bitset.t -> bool
+(** Is some quorum fully contained in the alive set? *)
+
+val dominates : t -> over:t -> bool
+(** [dominates d ~over:c] — coterie domination (Garcia-Molina & Barbara):
+    [d ≠ c] and every quorum of [c] contains some quorum of [d].  A
+    dominated coterie is strictly worse: the dominating one is available
+    whenever it is, and more.  Both arguments must share a universe. *)
+
+val find_dominating : t -> t option
+(** Searches for a coterie dominating the argument by brute force over
+    candidate extra quorums (universe ≤ 16 only).  [None] means the
+    coterie is {e non-dominated} — e.g. majorities over an odd universe.
+    Raises [Invalid_argument] on larger universes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type t = { n : int }
+
+let create ~n =
+  if n < 1 then invalid_arg "Rowa.create: need at least one replica";
+  { n }
+
+let name _ = "ROWA"
+let universe_size t = t.n
+
+let read_quorum t ~alive ~rng =
+  let up = Bitset.elements alive in
+  match up with
+  | [] -> None
+  | _ ->
+    let arr = Array.of_list up in
+    let q = Bitset.create t.n in
+    Bitset.add q (Rng.pick rng arr);
+    Some q
+
+let write_quorum t ~alive ~rng:_ =
+  if Bitset.cardinal alive = t.n then Some (Bitset.copy alive) else None
+
+let enumerate_read_quorums t =
+  Seq.init t.n (fun i -> Bitset.of_list t.n [ i ])
+
+let enumerate_write_quorums t =
+  let all = Bitset.create t.n in
+  for i = 0 to t.n - 1 do
+    Bitset.add all i
+  done;
+  Seq.return all
+
+let read_cost _ = 1
+let write_cost t = t.n
+let read_load t = 1.0 /. float_of_int t.n
+let write_load _ = 1.0
+let read_availability t ~p = 1.0 -. ((1.0 -. p) ** float_of_int t.n)
+let write_availability t ~p = p ** float_of_int t.n
+
+let protocol t = Protocol.Dyn ((module struct
+  type nonrec t = t
+
+  let name = name
+  let universe_size = universe_size
+  let read_quorum = read_quorum
+  let write_quorum = write_quorum
+  let enumerate_read_quorums = enumerate_read_quorums
+  let enumerate_write_quorums = enumerate_write_quorums
+end), t)

@@ -1,0 +1,22 @@
+(** Read-One-Write-All (Bernstein–Goodman).
+
+    Read quorums are singletons; the only write quorum is the full universe.
+    Read cost 1, write cost [n]; read load 1/n, write load 1; a single crash
+    blocks all writes. *)
+
+type t
+
+val create : n:int -> t
+val protocol : t -> Protocol.t
+
+val read_cost : t -> int
+val write_cost : t -> int
+val read_load : t -> float
+val write_load : t -> float
+val read_availability : t -> p:float -> float
+(** [1 - (1-p)^n]. *)
+
+val write_availability : t -> p:float -> float
+(** [p^n]. *)
+
+include Protocol.S with type t := t

@@ -1,0 +1,37 @@
+module Bitset = Dsutil.Bitset
+
+type t = float array
+
+let uniform (qs : Quorum_set.t) =
+  let m = Quorum_set.size qs in
+  Array.make m (1.0 /. float_of_int m)
+
+let of_weights weights =
+  if Array.exists (fun w -> w < 0.0) weights then
+    invalid_arg "Strategy.of_weights: negative weight";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Strategy.of_weights: zero total";
+  Array.map (fun w -> w /. total) weights
+
+let is_distribution t =
+  Array.for_all (fun w -> w >= 0.0) t
+  && abs_float (Array.fold_left ( +. ) 0.0 t -. 1.0) < 1e-9
+
+let induced_site_loads (qs : Quorum_set.t) t =
+  if Array.length t <> Quorum_set.size qs then
+    invalid_arg "Strategy.induced_site_loads: arity mismatch";
+  let loads = Array.make qs.universe 0.0 in
+  Array.iteri
+    (fun j q -> Bitset.iter (fun i -> loads.(i) <- loads.(i) +. t.(j)) q)
+    qs.quorums;
+  loads
+
+let system_load qs t =
+  Array.fold_left max 0.0 (induced_site_loads qs t)
+
+let expected_quorum_size (qs : Quorum_set.t) t =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun j q -> acc := !acc +. (t.(j) *. float_of_int (Bitset.cardinal q)))
+    qs.quorums;
+  !acc

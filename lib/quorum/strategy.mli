@@ -1,0 +1,23 @@
+(** Strategies over explicit quorum systems and their induced loads
+    (Definitions 2.4 and 2.5 of the paper, after Naor–Wool). *)
+
+type t = private float array
+(** [t.(j)] is the probability of picking quorum [j].  Indices follow the
+    quorum order of the associated {!Quorum_set.t}. *)
+
+val uniform : Quorum_set.t -> t
+val of_weights : float array -> t
+(** Normalizes; raises [Invalid_argument] on a non-positive total or any
+    negative weight. *)
+
+val is_distribution : t -> bool
+
+val induced_site_loads : Quorum_set.t -> t -> float array
+(** [l_w(i)] for every site [i]: the sum of the probabilities of the quorums
+    containing [i]. *)
+
+val system_load : Quorum_set.t -> t -> float
+(** [max_i l_w(i)] — the load induced by the strategy (Definition 2.5). *)
+
+val expected_quorum_size : Quorum_set.t -> t -> float
+(** Average communication cost under the strategy. *)

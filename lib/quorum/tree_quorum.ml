@@ -1,0 +1,157 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type t = { height : int; n : int }
+
+let n_of_height h = (1 lsl (h + 1)) - 1
+
+let create ~height =
+  if height < 0 then invalid_arg "Tree_quorum.create: negative height";
+  { height; n = n_of_height height }
+
+let of_n ~n =
+  if n < 1 then invalid_arg "Tree_quorum.of_n: need at least one replica";
+  let rec fit h = if n_of_height (h + 1) > n then h else fit (h + 1) in
+  create ~height:(fit 0)
+
+let name _ = "TreeQuorum"
+let universe_size t = t.n
+let height t = t.height
+
+(* Heap layout: root 0, children of v are 2v+1 and 2v+2. *)
+let left v = (2 * v) + 1
+let right v = (2 * v) + 2
+let is_leaf t v = left v >= t.n
+
+(* Height of the subtree rooted at node [v]. *)
+let subtree_height t v =
+  let rec go v acc = if is_leaf t v then acc else go (left v) (acc + 1) in
+  go v 0
+
+(* Quorum assembly with the failure-replacement rule.  An alive internal
+   node is used as "root + one child path" only with probability
+   f = 2/(2 + l) (l = subtree height); otherwise the quorums of both
+   children are taken as if the node were inaccessible.  This is the
+   Naor–Wool strategy that achieves the optimal load 2/(h+2) — always
+   routing through the root would put a load of 1 on it.  Either way the
+   other shape is tried as a fallback, so assembly succeeds whenever any
+   quorum survives. *)
+let rec collect t ~alive ~rng v =
+  let through_root () =
+    if not (Bitset.mem alive v) then None
+    else begin
+      let first, second =
+        if Rng.bool rng then (left v, right v) else (right v, left v)
+      in
+      let through child =
+        match collect t ~alive ~rng child with
+        | None -> None
+        | Some q ->
+          Bitset.add q v;
+          Some q
+      in
+      match through first with Some q -> Some q | None -> through second
+    end
+  in
+  let both_children () =
+    match collect t ~alive ~rng (left v) with
+    | None -> None
+    | Some ql -> (
+      match collect t ~alive ~rng (right v) with
+      | None -> None
+      | Some qr -> Some (Bitset.union ql qr))
+  in
+  if is_leaf t v then
+    if Bitset.mem alive v then Some (Bitset.of_list t.n [ v ]) else None
+  else if not (Bitset.mem alive v) then both_children ()
+  else begin
+    let f = 2.0 /. (2.0 +. float_of_int (subtree_height t v)) in
+    if Rng.bernoulli rng f then begin
+      match through_root () with Some q -> Some q | None -> both_children ()
+    end
+    else begin
+      match both_children () with Some q -> Some q | None -> through_root ()
+    end
+  end
+
+let pick_quorum t ~alive ~rng = collect t ~alive ~rng 0
+
+let read_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+let write_quorum t ~alive ~rng = pick_quorum t ~alive ~rng
+
+(* Exhaustive enumeration, for small trees only. *)
+let rec enum t v =
+  if is_leaf t v then Seq.return (Bitset.of_list t.n [ v ])
+  else begin
+    let with_root child =
+      Seq.map
+        (fun q ->
+          let q = Bitset.copy q in
+          Bitset.add q v;
+          q)
+        (enum t child)
+    in
+    let without_root =
+      Seq.concat_map
+        (fun ql -> Seq.map (fun qr -> Bitset.union ql qr) (enum t (right v)))
+        (enum t (left v))
+    in
+    Seq.append (with_root (left v)) (Seq.append (with_root (right v)) without_root)
+  end
+
+let enumerate_read_quorums t = enum t 0
+let enumerate_write_quorums t = enum t 0
+
+let min_cost t = t.height + 1
+let max_cost t = (t.n + 1) / 2
+
+let paper_cost t =
+  let h = float_of_int t.height in
+  if t.height = 0 then 1.0
+  else
+    ((2.0 ** h) *. ((1.0 +. h) ** h) /. (h *. ((2.0 +. h) ** (h -. 1.0))))
+    -. (2.0 /. h)
+
+let optimal_load t = 2.0 /. float_of_int (t.height + 2)
+
+let expected_cost t =
+  (* Exact expected quorum size of the load-optimal strategy in the
+     failure-free case: C(0) = 1 and
+     C(l) = f·(1 + C(l−1)) + (1−f)·2·C(l−1) with f = 2/(2+l). *)
+  let rec go l =
+    if l = 0 then 1.0
+    else begin
+      let c = go (l - 1) in
+      let f = 2.0 /. (2.0 +. float_of_int l) in
+      (f *. (1.0 +. c)) +. ((1.0 -. f) *. 2.0 *. c)
+    end
+  in
+  go t.height
+
+let availability t ~p =
+  let rec go h = if h = 0 then p else begin
+    let r = go (h - 1) in
+    (p *. (1.0 -. ((1.0 -. r) ** 2.0))) +. ((1.0 -. p) *. r *. r)
+  end in
+  go t.height
+
+let quorum_count t =
+  let rec go h = if h = 0 then 1 else begin
+    let m = go (h - 1) in
+    (2 * m) + (m * m)
+  end in
+  go t.height
+
+let protocol t =
+  Protocol.pack
+    (module struct
+      type nonrec t = t
+
+      let name = name
+      let universe_size = universe_size
+      let read_quorum = read_quorum
+      let write_quorum = write_quorum
+      let enumerate_read_quorums = enumerate_read_quorums
+      let enumerate_write_quorums = enumerate_write_quorums
+    end)
+    t

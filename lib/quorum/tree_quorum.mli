@@ -1,0 +1,49 @@
+(** The Tree Quorum protocol of Agrawal and El Abbadi (the paper's "BINARY"
+    configuration).
+
+    Replicas form a complete binary tree of height [h]
+    (n = 2^(h+1) − 1).  A quorum is a root-to-leaf path; any inaccessible
+    node is replaced by paths starting from {e all} of its children.  Read
+    and write operations use the same quorum family.  Cost ranges from
+    log₂(n+1) (a bare path) to (n+1)/2 (all leaves); the optimal system
+    load, due to Naor–Wool, is 2/(h+2). *)
+
+type t
+
+val create : height:int -> t
+val of_n : n:int -> t
+(** Largest complete binary tree with at most [n] nodes. *)
+
+val protocol : t -> Protocol.t
+val height : t -> int
+val n_of_height : int -> int
+
+val min_cost : t -> int
+(** [h + 1 = log₂(n+1)]: a failure-free path. *)
+
+val max_cost : t -> int
+(** [(n+1)/2]: all leaves when all internal nodes are down. *)
+
+val paper_cost : t -> float
+(** The average communication cost formula the paper plots for "BINARY":
+    2^h·(1+h)^h / (h·(2+h)^(h−1)) − 2/h, obtained with
+    f = 2/(2+h) as the fraction of quorums through the root. *)
+
+val optimal_load : t -> float
+(** 2/(h+2) = 2/(log₂(n+1)+1) (Naor–Wool §6.3). *)
+
+val expected_cost : t -> float
+(** Exact failure-free expected quorum size of the load-optimal strategy
+    implemented by [read_quorum]/[write_quorum] (the recurrence
+    C(l) = f·(1+C(l−1)) + (1−f)·2C(l−1), f = 2/(2+l)).  The paper's
+    {!paper_cost} closed form approximates this from above. *)
+
+val availability : t -> p:float -> float
+(** Probability a quorum can be formed when every node is independently up
+    with probability [p]; computed by the exact recurrence
+    R(0) = p, R(h) = p·(1 − (1 − R(h−1))²) + (1−p)·R(h−1)². *)
+
+val quorum_count : t -> int
+(** Number of distinct quorums: N(0) = 1, N(h) = 2N(h−1) + N(h−1)². *)
+
+include Protocol.S with type t := t

@@ -1,0 +1,349 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Stats = Dsutil.Stats
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Protocol = Quorum.Protocol
+
+type config = {
+  timeout : float;
+  max_retries : int;
+  oracle_view : bool;
+  read_repair : bool;
+}
+
+let default_config =
+  { timeout = 25.0; max_retries = 4; oracle_view = true; read_repair = false }
+
+type read_result = { value : string; ts : Timestamp.t; attempts : int }
+
+type metrics = {
+  reads_ok : int;
+  reads_failed : int;
+  writes_ok : int;
+  writes_failed : int;
+  retries : int;
+  repairs_sent : int;
+  read_latency : Stats.t;
+  write_latency : Stats.t;
+}
+
+type kind =
+  | Read_op of (read_result option -> unit)
+  | Write_op of string * (Timestamp.t option -> unit)
+
+type phase =
+  | Querying  (** collecting Read_replies (a read, or a write's version
+                  phase) *)
+  | Preparing
+  | Committing
+
+type op_state = {
+  op : int;  (** the id of the {e current attempt} *)
+  key : int;
+  kind : kind;
+  attempts : int;
+  started : float;
+  mutable phase : phase;
+  mutable waiting : int list;  (** members yet to reply in this phase *)
+  mutable max_ts : Timestamp.t;
+  mutable max_value : string;
+  mutable write_quorum : int list;  (** members of the 2PC, once chosen *)
+  mutable write_ts : Timestamp.t;
+  mutable replies : (int * Timestamp.t) list;
+      (** per-member timestamps gathered while querying (read repair) *)
+}
+
+type t = {
+  site : int;
+  net : Message.t Network.t;
+  mutable proto : Protocol.t;
+  locks : Lock_manager.t option;
+  config : config;
+  rng : Rng.t;
+  n_replicas : int;
+  mutable next_seq : int;
+  pending : (int, op_state) Hashtbl.t;
+  suspects : (int, float) Hashtbl.t;  (** site -> suspicion expiry time *)
+  mutable reads_ok : int;
+  mutable reads_failed : int;
+  mutable writes_ok : int;
+  mutable writes_failed : int;
+  mutable retries : int;
+  mutable repairs_sent : int;
+  read_latency : Stats.t;
+  write_latency : Stats.t;
+}
+
+let engine t = Network.engine t.net
+
+let fresh_op t =
+  let id = (t.next_seq * Network.size t.net) + t.site in
+  t.next_seq <- t.next_seq + 1;
+  id
+
+(* The believed-alive replica view: ground truth when [oracle_view] (the
+   paper assumes detectable failures), otherwise everything not currently
+   suspected; in both cases partition reachability from this coordinator is
+   respected. *)
+let current_view t =
+  let now = Engine.now (engine t) in
+  let view = Bitset.create t.n_replicas in
+  for i = 0 to t.n_replicas - 1 do
+    let believed_up =
+      if t.config.oracle_view then Network.is_up t.net i
+      else begin
+        match Hashtbl.find_opt t.suspects i with
+        | Some expiry when expiry > now -> false
+        | _ -> true
+      end
+    in
+    if believed_up && Network.reachable t.net t.site i then Bitset.add view i
+  done;
+  view
+
+let suspect t site =
+  let expiry = Engine.now (engine t) +. (4.0 *. t.config.timeout) in
+  Hashtbl.replace t.suspects site expiry
+
+let send t ~dst msg = Network.send t.net ~src:t.site ~dst msg
+
+let with_lock t ~key ~mode body =
+  match t.locks with
+  | None -> body (fun k -> k ())
+  | Some lm ->
+    Lock_manager.acquire lm ~key ~mode ~owner:t.site (fun () ->
+        body (fun k ->
+            Lock_manager.release lm ~key ~owner:t.site;
+            k ()))
+
+(* --- operation lifecycle ------------------------------------------------ *)
+
+let finish t st outcome =
+  Hashtbl.remove t.pending st.op;
+  let elapsed = Engine.now (engine t) -. st.started in
+  match (st.kind, outcome) with
+  | Read_op k, `Read_ok result ->
+    t.reads_ok <- t.reads_ok + 1;
+    Stats.add t.read_latency elapsed;
+    k (Some result)
+  | Read_op k, `Failed ->
+    t.reads_failed <- t.reads_failed + 1;
+    k None
+  | Write_op (_, k), `Write_ok ts ->
+    t.writes_ok <- t.writes_ok + 1;
+    Stats.add t.write_latency elapsed;
+    k (Some ts)
+  | Write_op (_, k), `Failed ->
+    t.writes_failed <- t.writes_failed + 1;
+    k None
+  | Read_op _, `Write_ok _ | Write_op _, `Read_ok _ -> assert false
+
+let rec start_attempt t ~key ~kind ~attempts ~started =
+  let op = fresh_op t in
+  let st =
+    {
+      op;
+      key;
+      kind;
+      attempts;
+      started;
+      phase = Querying;
+      waiting = [];
+      max_ts = Timestamp.zero;
+      max_value = "";
+      write_quorum = [];
+      write_ts = Timestamp.zero;
+      replies = [];
+    }
+  in
+  Hashtbl.replace t.pending op st;
+  let view = current_view t in
+  match Protocol.read_quorum t.proto ~alive:view ~rng:t.rng with
+  | None -> retry t st
+  | Some quorum ->
+    let members = Bitset.elements quorum in
+    st.waiting <- members;
+    arm_timeout t st;
+    List.iter (fun m -> send t ~dst:m (Message.Read_request { op; key })) members
+
+and retry t st =
+  Hashtbl.remove t.pending st.op;
+  (* Roll back any prepared members of this attempt. *)
+  if st.phase = Preparing then
+    List.iter (fun m -> send t ~dst:m (Message.Abort { op = st.op })) st.write_quorum;
+  if st.attempts >= t.config.max_retries then finish t st `Failed
+  else begin
+    t.retries <- t.retries + 1;
+    if not t.config.oracle_view then List.iter (suspect t) st.waiting;
+    (* Back off before re-assembling: an instant retry against the same
+       failed view (e.g. during a partition) would burn the whole budget
+       in one instant of virtual time. *)
+    Engine.schedule (engine t) ~delay:(t.config.timeout /. 2.0) (fun () ->
+        start_attempt t ~key:st.key ~kind:st.kind ~attempts:(st.attempts + 1)
+          ~started:st.started)
+  end
+
+and arm_timeout t st =
+  let op = st.op and phase = st.phase in
+  Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+      match Hashtbl.find_opt t.pending op with
+      | Some st' when st'.phase = phase && st'.waiting <> [] ->
+        if phase = Committing then commit_timeout t st' else retry t st'
+      | _ -> ())
+
+and commit_timeout t st =
+  (* The decision is already commit; resend to the laggards instead of
+     aborting.  Give up (uncertain outcome, counted failed) after the retry
+     budget. *)
+  if st.attempts >= t.config.max_retries then begin
+    Hashtbl.remove t.pending st.op;
+    finish t st `Failed
+  end
+  else begin
+    t.retries <- t.retries + 1;
+    let st =
+      (* [attempts] is immutable; track resends by re-registering. *)
+      { st with attempts = st.attempts + 1 }
+    in
+    Hashtbl.replace t.pending st.op st;
+    arm_timeout t st;
+    List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.waiting
+  end
+
+let reply_received st ~src =
+  st.waiting <- List.filter (fun m -> m <> src) st.waiting
+
+(* Push the newest value back to quorum members that replied with an older
+   timestamp (§2.2's transient failures: a recovered replica catches up on
+   first contact). *)
+let send_repairs t st =
+  if
+    t.config.read_repair
+    && not (Timestamp.equal st.max_ts Timestamp.zero)
+  then
+    List.iter
+      (fun (site, ts) ->
+        if Timestamp.newer_than st.max_ts ts then begin
+          t.repairs_sent <- t.repairs_sent + 1;
+          send t ~dst:site
+            (Message.Repair
+               { op = st.op; key = st.key; ts = st.max_ts; value = st.max_value })
+        end)
+      st.replies
+
+let query_complete t st =
+  send_repairs t st;
+  match st.kind with
+  | Read_op _ ->
+    finish t st
+      (`Read_ok { value = st.max_value; ts = st.max_ts; attempts = st.attempts + 1 })
+  | Write_op (value, _) -> begin
+    (* Version obtained; move to 2PC over a write quorum. *)
+    let view = current_view t in
+    match Protocol.write_quorum t.proto ~alive:view ~rng:t.rng with
+    | None -> retry t st
+    | Some quorum ->
+      let members = Bitset.elements quorum in
+      let ts =
+        Timestamp.make ~version:(st.max_ts.Timestamp.version + 1) ~sid:t.site
+      in
+      st.phase <- Preparing;
+      st.waiting <- members;
+      st.write_quorum <- members;
+      st.write_ts <- ts;
+      arm_timeout t st;
+      List.iter
+        (fun m ->
+          send t ~dst:m (Message.Prepare { op = st.op; key = st.key; ts; value }))
+        members
+  end
+
+let prepare_complete t st =
+  st.phase <- Committing;
+  st.waiting <- st.write_quorum;
+  arm_timeout t st;
+  List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.write_quorum
+
+let handle t ~src msg =
+  let op = Message.op_id msg in
+  match Hashtbl.find_opt t.pending op with
+  | None -> ()  (* stale: an earlier attempt or a finished operation *)
+  | Some st -> begin
+    match (msg : Message.t) with
+    | Read_reply { ts; value; _ } when st.phase = Querying ->
+      reply_received st ~src;
+      if t.config.read_repair then st.replies <- (src, ts) :: st.replies;
+      if Timestamp.newer_than ts st.max_ts then begin
+        st.max_ts <- ts;
+        st.max_value <- value
+      end;
+      if st.waiting = [] then query_complete t st
+    | Prepare_ack _ when st.phase = Preparing ->
+      reply_received st ~src;
+      if st.waiting = [] then prepare_complete t st
+    | Prepare_nack _ when st.phase = Preparing -> retry t st
+    | Commit_ack _ when st.phase = Committing ->
+      reply_received st ~src;
+      if st.waiting = [] then finish t st (`Write_ok st.write_ts)
+    | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
+    | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ ->
+      ()  (* out-of-phase or replica-bound: ignore *)
+  end
+
+let create ~site ~net ~proto ?locks ?(config = default_config) () =
+  let t =
+    {
+      site;
+      net;
+      proto;
+      locks;
+      config;
+      rng = Rng.split (Engine.rng (Network.engine net));
+      n_replicas = Protocol.universe_size proto;
+      next_seq = 0;
+      pending = Hashtbl.create 16;
+      suspects = Hashtbl.create 16;
+      reads_ok = 0;
+      reads_failed = 0;
+      writes_ok = 0;
+      writes_failed = 0;
+      retries = 0;
+      repairs_sent = 0;
+      read_latency = Stats.create ();
+      write_latency = Stats.create ();
+    }
+  in
+  Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
+  t
+
+let read t ~key k =
+  with_lock t ~key ~mode:Lock_manager.Shared (fun unlock ->
+      start_attempt t ~key
+        ~kind:(Read_op (fun r -> unlock (fun () -> k r)))
+        ~attempts:0
+        ~started:(Engine.now (engine t)))
+
+let write t ~key ~value k =
+  with_lock t ~key ~mode:Lock_manager.Exclusive (fun unlock ->
+      start_attempt t ~key
+        ~kind:(Write_op (value, fun r -> unlock (fun () -> k r)))
+        ~attempts:0
+        ~started:(Engine.now (engine t)))
+
+let set_protocol t proto =
+  if Protocol.universe_size proto <> t.n_replicas then
+    invalid_arg "Coordinator.set_protocol: replica universe changed";
+  t.proto <- proto
+
+let metrics t =
+  {
+    reads_ok = t.reads_ok;
+    reads_failed = t.reads_failed;
+    writes_ok = t.writes_ok;
+    writes_failed = t.writes_failed;
+    retries = t.retries;
+    repairs_sent = t.repairs_sent;
+    read_latency = t.read_latency;
+    write_latency = t.write_latency;
+  }

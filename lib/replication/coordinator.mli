@@ -1,0 +1,72 @@
+(** Transaction coordinator: drives read and write operations against the
+    replicas using the quorums of a pluggable replica control protocol.
+
+    - {b read}: assemble a read quorum, query every member, return the
+      value with the newest timestamp (§3.2.1).
+    - {b write}: obtain the highest version through a read quorum,
+      increment it, then two-phase-commit the new (timestamp, value) on
+      every member of a write quorum (§3.2.2, §2.2).
+
+    Failures are handled by per-phase timeouts: a timed-out attempt is
+    aborted and the operation retried with freshly assembled quorums from
+    the current failure-detector view, up to [max_retries].  Per §2.2
+    failures are detectable, so the default detector is the simulator's
+    ground-truth oracle; a purely timeout-driven suspect list is available
+    for ablation. *)
+
+type config = {
+  timeout : float;  (** per-phase response deadline *)
+  max_retries : int;  (** quorum re-assembly attempts per operation *)
+  oracle_view : bool;  (** ground-truth failure detector (default) vs.
+                           timeout-based suspicion *)
+  read_repair : bool;
+      (** after a successful query, push the newest value back to quorum
+          members that answered with an older timestamp (off by
+          default) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  site:int ->
+  net:Message.t Dsim.Network.t ->
+  proto:Quorum.Protocol.t ->
+  ?locks:Lock_manager.t ->
+  ?config:config ->
+  unit ->
+  t
+(** [site] is the coordinator's own network address (distinct from every
+    replica's).  When [locks] is given, reads take shared and writes
+    exclusive per-key locks around the quorum protocol. *)
+
+type read_result = { value : string; ts : Timestamp.t; attempts : int }
+
+val read : t -> key:int -> (read_result option -> unit) -> unit
+(** [None] when no read quorum could be assembled within the retry
+    budget. *)
+
+val write : t -> key:int -> value:string -> (Timestamp.t option -> unit) -> unit
+(** On success, the timestamp under which the value was committed. *)
+
+val set_protocol : t -> Quorum.Protocol.t -> unit
+(** Swap the quorum geometry (reconfiguration, §3.3).  Only safe while the
+    coordinator has no operation in flight — the reconfiguration engine
+    guarantees this by holding every key's exclusive lock.  Raises
+    [Invalid_argument] if the replica universe size changes. *)
+
+(** {2 Metrics} *)
+
+type metrics = {
+  reads_ok : int;
+  reads_failed : int;
+  writes_ok : int;
+  writes_failed : int;
+  retries : int;
+  repairs_sent : int;
+  read_latency : Dsutil.Stats.t;
+  write_latency : Dsutil.Stats.t;
+}
+
+val metrics : t -> metrics

@@ -1,0 +1,197 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Latency = Dsim.Latency
+module Failure = Dsim.Failure
+module Rng = Dsutil.Rng
+module Stats = Dsutil.Stats
+module Protocol = Quorum.Protocol
+
+type scenario = {
+  proto : Protocol.t;
+  n_clients : int;
+  ops_per_client : int;
+  read_fraction : float;
+  key_space : int;
+  zipf_theta : float;
+  latency : Latency.t;
+  loss_rate : float;
+  think_time : float;
+  failures : Failure.entry list;
+  seed : int;
+  use_locks : bool;
+  coordinator : Coordinator.config;
+  horizon : float;
+  warmup : float;
+}
+
+let default_scenario ~proto =
+  {
+    proto;
+    n_clients = 4;
+    ops_per_client = 50;
+    read_fraction = 0.5;
+    key_space = 8;
+    zipf_theta = 0.0;
+    latency = Latency.Exponential 1.0;
+    loss_rate = 0.0;
+    think_time = 1.0;
+    failures = [];
+    seed = 42;
+    use_locks = true;
+    coordinator = Coordinator.default_config;
+    horizon = 100_000.0;
+    warmup = 0.0;
+  }
+
+type report = {
+  duration : float;
+  reads_ok : int;
+  reads_failed : int;
+  writes_ok : int;
+  writes_failed : int;
+  retries : int;
+  safety_violations : int;
+  read_latency : Stats.t;
+  write_latency : Stats.t;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  replica_reads_served : int array;
+  replica_prepares_seen : int array;
+  replica_writes_applied : int array;
+}
+
+(* Per-key newest successfully committed timestamp, for the freshness
+   check. *)
+type checker = { latest : (int, Timestamp.t) Hashtbl.t; mutable violations : int }
+
+let run scenario =
+  let n = Protocol.universe_size scenario.proto in
+  if scenario.n_clients < 1 then invalid_arg "Harness.run: need a client";
+  let engine = Engine.create ~seed:scenario.seed () in
+  let net =
+    Network.create ~engine ~n:(n + scenario.n_clients)
+      ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
+  in
+  let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let locks =
+    if scenario.use_locks then Some (Lock_manager.create ~engine) else None
+  in
+  let checker = { latest = Hashtbl.create 16; violations = 0 } in
+  let clients_done = ref 0 in
+  let run_client idx =
+    let site = n + idx in
+    let coord =
+      Coordinator.create ~site ~net ~proto:scenario.proto ?locks
+        ~config:scenario.coordinator ()
+    in
+    let gen =
+      Workload.Generator.create
+        ~rng:(Rng.split (Engine.rng engine))
+        ~read_fraction:scenario.read_fraction ~key_space:scenario.key_space
+        ~zipf_theta:scenario.zipf_theta ()
+    in
+    let rec step remaining =
+      if remaining = 0 then incr clients_done
+      else begin
+        let continue () =
+          Engine.schedule engine
+            ~delay:(Workload.Generator.think_time gen ~mean:scenario.think_time)
+            (fun () -> step (remaining - 1))
+        in
+        match Workload.Generator.next gen with
+        | Workload.Generator.Read key ->
+          let expected =
+            Option.value ~default:Timestamp.zero
+              (Hashtbl.find_opt checker.latest key)
+          in
+          Coordinator.read coord ~key (fun result ->
+              (match result with
+              | Some { Coordinator.ts; _ } ->
+                if Timestamp.newer_than expected ts then
+                  checker.violations <- checker.violations + 1
+              | None -> ());
+              continue ())
+        | Workload.Generator.Write (key, value) ->
+          Coordinator.write coord ~key ~value (fun result ->
+              (match result with
+              | Some ts ->
+                let prev =
+                  Option.value ~default:Timestamp.zero
+                    (Hashtbl.find_opt checker.latest key)
+                in
+                Hashtbl.replace checker.latest key (Timestamp.max prev ts)
+              | None -> ());
+              continue ())
+      end
+    in
+    if scenario.warmup > 0.0 then
+      Engine.schedule engine ~delay:scenario.warmup (fun () ->
+          step scenario.ops_per_client)
+    else step scenario.ops_per_client;
+    coord
+  in
+  let coords = List.init scenario.n_clients run_client in
+  Failure.apply net scenario.failures;
+  Engine.run ~until:scenario.horizon engine;
+  let metrics = List.map Coordinator.metrics coords in
+  let sum f = List.fold_left (fun acc m -> acc + f m) 0 metrics in
+  let counters = Network.counters net in
+  {
+    duration = Engine.now engine;
+    reads_ok = sum (fun m -> m.Coordinator.reads_ok);
+    reads_failed = sum (fun m -> m.Coordinator.reads_failed);
+    writes_ok = sum (fun m -> m.Coordinator.writes_ok);
+    writes_failed = sum (fun m -> m.Coordinator.writes_failed);
+    retries = sum (fun m -> m.Coordinator.retries);
+    safety_violations = checker.violations;
+    read_latency =
+      List.fold_left
+        (fun acc m -> Stats.merge acc m.Coordinator.read_latency)
+        (Stats.create ()) metrics;
+    write_latency =
+      List.fold_left
+        (fun acc m -> Stats.merge acc m.Coordinator.write_latency)
+        (Stats.create ()) metrics;
+    messages_sent = counters.Network.sent;
+    messages_delivered = counters.Network.delivered;
+    messages_dropped =
+      counters.Network.dropped_loss + counters.Network.dropped_crash
+      + counters.Network.dropped_partition;
+    replica_reads_served = Array.map Replica.reads_served replicas;
+    replica_prepares_seen = Array.map Replica.prepares_seen replicas;
+    replica_writes_applied = Array.map Replica.writes_applied replicas;
+  }
+
+let completed r = r.reads_ok + r.writes_ok
+
+let messages_per_op r =
+  if completed r = 0 then 0.0
+  else float_of_int r.messages_delivered /. float_of_int (completed r)
+
+let max_over_total counts total =
+  if total = 0 then 0.0
+  else begin
+    let m = Array.fold_left max 0 counts in
+    float_of_int m /. float_of_int total
+  end
+
+let measured_read_load r = max_over_total r.replica_reads_served r.reads_ok
+let measured_write_load r = max_over_total r.replica_prepares_seen r.writes_ok
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>duration=%.1f@,\
+     reads: ok=%d failed=%d  writes: ok=%d failed=%d  retries=%d@,\
+     safety violations=%d@,\
+     read latency: mean=%.2f p99=%.2f   write latency: mean=%.2f p99=%.2f@,\
+     messages: sent=%d delivered=%d dropped=%d (%.1f per op)@]"
+    r.duration r.reads_ok r.reads_failed r.writes_ok r.writes_failed r.retries
+    r.safety_violations
+    (Stats.mean r.read_latency)
+    (if Stats.count r.read_latency = 0 then 0.0
+     else Stats.percentile r.read_latency 0.99)
+    (Stats.mean r.write_latency)
+    (if Stats.count r.write_latency = 0 then 0.0
+     else Stats.percentile r.write_latency 0.99)
+    r.messages_sent r.messages_delivered r.messages_dropped (messages_per_op r)

@@ -1,0 +1,39 @@
+type t =
+  | Read_request of { op : int; key : int }
+  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Prepare_ack of { op : int }
+  | Prepare_nack of { op : int; reason : string }
+  | Commit of { op : int }
+  | Commit_ack of { op : int }
+  | Abort of { op : int }
+  | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
+      (** read-repair: install this committed (timestamp, value) directly —
+          monotone installs make it always safe *)
+
+let op_id = function
+  | Read_request { op; _ }
+  | Read_reply { op; _ }
+  | Prepare { op; _ }
+  | Prepare_ack { op }
+  | Prepare_nack { op; _ }
+  | Commit { op }
+  | Commit_ack { op }
+  | Abort { op }
+  | Repair { op; _ } ->
+    op
+
+let pp ppf = function
+  | Read_request { op; key } -> Format.fprintf ppf "read-req(op=%d key=%d)" op key
+  | Read_reply { op; key; ts; _ } ->
+    Format.fprintf ppf "read-reply(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Prepare { op; key; ts; _ } ->
+    Format.fprintf ppf "prepare(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Prepare_ack { op } -> Format.fprintf ppf "prepare-ack(op=%d)" op
+  | Prepare_nack { op; reason } ->
+    Format.fprintf ppf "prepare-nack(op=%d %s)" op reason
+  | Commit { op } -> Format.fprintf ppf "commit(op=%d)" op
+  | Commit_ack { op } -> Format.fprintf ppf "commit-ack(op=%d)" op
+  | Abort { op } -> Format.fprintf ppf "abort(op=%d)" op
+  | Repair { op; key; ts; _ } ->
+    Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts

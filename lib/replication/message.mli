@@ -1,0 +1,24 @@
+(** Protocol messages exchanged between transaction coordinators and
+    replica servers.
+
+    A read queries every member of a read quorum and keeps the
+    newest-timestamped reply.  A write first queries a read quorum for the
+    highest version (piggybacked on the same read machinery), increments
+    it, then runs a two-phase commit over a write quorum (§2.2: writes end
+    with 2PC among participants). *)
+
+type t =
+  | Read_request of { op : int; key : int }
+  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Prepare_ack of { op : int }
+  | Prepare_nack of { op : int; reason : string }
+  | Commit of { op : int }
+  | Commit_ack of { op : int }
+  | Abort of { op : int }
+  | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
+      (** read-repair: install this committed (timestamp, value) directly —
+          monotone installs make it always safe *)
+
+val op_id : t -> int
+val pp : Format.formatter -> t -> unit

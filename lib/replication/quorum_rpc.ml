@@ -1,0 +1,197 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Protocol = Quorum.Protocol
+
+type config = { timeout : float; max_retries : int }
+
+let default_config = { timeout = 25.0; max_retries = 4 }
+
+type phase = Query | Prepare_phase | Commit_phase
+
+type gather = {
+  phase : phase;
+  mutable waiting : int list;
+  mutable max_ts : Timestamp.t;
+  mutable max_value : string;
+  complete : unit -> unit;
+}
+
+type t = {
+  site : int;
+  net : Message.t Network.t;
+  mutable proto : Protocol.t;
+  config : config;
+  rng : Rng.t;
+  mutable next_seq : int;
+  pending : (int, gather) Hashtbl.t;
+}
+
+let engine t = Network.engine t.net
+let site t = t.site
+let protocol t = t.proto
+
+let set_protocol t proto =
+  if Protocol.universe_size proto <> Protocol.universe_size t.proto then
+    invalid_arg "Quorum_rpc.set_protocol: replica universe changed";
+  t.proto <- proto
+
+let fresh_op t =
+  let id = (t.next_seq * Network.size t.net) + t.site in
+  t.next_seq <- t.next_seq + 1;
+  id
+
+let current_view t =
+  let n = Protocol.universe_size t.proto in
+  let view = Bitset.create n in
+  for i = 0 to n - 1 do
+    if Network.is_up t.net i && Network.reachable t.net t.site i then
+      Bitset.add view i
+  done;
+  view
+
+let handle t ~src msg =
+  match Hashtbl.find_opt t.pending (Message.op_id msg) with
+  | None -> ()
+  | Some g ->
+    let expected =
+      match (msg : Message.t) with
+      | Read_reply { ts; value; _ } ->
+        if g.phase = Query then begin
+          if Timestamp.newer_than ts g.max_ts then begin
+            g.max_ts <- ts;
+            g.max_value <- value
+          end;
+          true
+        end
+        else false
+      | Prepare_ack _ -> g.phase = Prepare_phase
+      | Commit_ack _ -> g.phase = Commit_phase
+      | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
+      | Repair _ ->
+        false
+    in
+    if expected then begin
+      g.waiting <- List.filter (fun m -> m <> src) g.waiting;
+      if g.waiting = [] then begin
+        Hashtbl.remove t.pending (Message.op_id msg);
+        g.complete ()
+      end
+    end
+
+let create ~site ~net ~proto ?(config = default_config) () =
+  let t =
+    {
+      site;
+      net;
+      proto;
+      config;
+      rng = Rng.split (Engine.rng (Network.engine net));
+      next_seq = 0;
+      pending = Hashtbl.create 16;
+    }
+  in
+  Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
+  t
+
+(* One gather phase over [members]: send [mk_msg op] to each, then either
+   [on_success op gather] once every member answered or [on_timeout] after
+   the deadline. *)
+let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
+  let op = fresh_op t in
+  let rec g =
+    {
+      phase;
+      waiting = members;
+      max_ts = Timestamp.zero;
+      max_value = "";
+      complete = (fun () -> on_success op g);
+    }
+  in
+  Hashtbl.replace t.pending op g;
+  Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+      (* Only kill our own gather: a successful prepare hands its op id on
+         to the commit phase, which re-registers the same id. *)
+      match Hashtbl.find_opt t.pending op with
+      | Some g' when g' == g ->
+        Hashtbl.remove t.pending op;
+        on_timeout ()
+      | _ -> ());
+  List.iter (fun m -> Network.send t.net ~src:t.site ~dst:m (mk_msg op)) members
+
+let backoff t retry =
+  Engine.schedule (engine t) ~delay:(t.config.timeout /. 2.0) retry
+
+let query t ~key k =
+  let rec attempt tries =
+    match Protocol.read_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
+    | None ->
+      if tries > 0 then backoff t (fun () -> attempt (tries - 1)) else k None
+    | Some quorum ->
+      run_phase t ~phase:Query ~members:(Bitset.elements quorum)
+        ~mk_msg:(fun op -> Message.Read_request { op; key })
+        ~on_success:(fun _op g -> k (Some (g.max_ts, g.max_value)))
+        ~on_timeout:(fun () -> if tries > 0 then attempt (tries - 1) else k None)
+  in
+  attempt t.config.max_retries
+
+let prepare t ~key ~ts ~value k =
+  let rec attempt tries =
+    match Protocol.write_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
+    | None ->
+      if tries > 0 then backoff t (fun () -> attempt (tries - 1)) else k None
+    | Some quorum ->
+      let members = Bitset.elements quorum in
+      run_phase t ~phase:Prepare_phase ~members
+        ~mk_msg:(fun op -> Message.Prepare { op; key; ts; value })
+        ~on_success:(fun op _g -> k (Some (op, members)))
+        ~on_timeout:(fun () -> if tries > 0 then attempt (tries - 1) else k None)
+  in
+  attempt t.config.max_retries
+
+let commit_staged t ~op ~members k =
+  let rec send tries ms =
+    let g =
+      {
+        phase = Commit_phase;
+        waiting = ms;
+        max_ts = Timestamp.zero;
+        max_value = "";
+        complete = (fun () -> k true);
+      }
+    in
+    Hashtbl.replace t.pending op g;
+    Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+        match Hashtbl.find_opt t.pending op with
+        | Some g' when g' == g ->
+          Hashtbl.remove t.pending op;
+          if tries > 0 then send (tries - 1) g.waiting else k false
+        | _ -> ());
+    List.iter
+      (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Commit { op }))
+      ms
+  in
+  send t.config.max_retries members
+
+let abort_staged t ~op ~members =
+  List.iter
+    (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Abort { op }))
+    members
+
+let write t ~key ?ts ~value k =
+  let do_write ts =
+    prepare t ~key ~ts ~value (function
+      | None -> k None
+      | Some (op, members) ->
+        commit_staged t ~op ~members (fun ok ->
+            if ok then k (Some ts) else k None))
+  in
+  match ts with
+  | Some ts -> do_write ts
+  | None ->
+    query t ~key (function
+      | None -> k None
+      | Some (current, _) ->
+        do_write
+          (Timestamp.make ~version:(current.Timestamp.version + 1) ~sid:t.site))

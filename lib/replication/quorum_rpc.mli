@@ -1,0 +1,65 @@
+(** Low-level quorum RPC endpoint: the phase primitives shared by the
+    transaction layer and the reconfiguration engine.
+
+    One endpoint per client site; it owns the site's message handler.  All
+    operations assemble quorums from the current ground-truth view
+    (failures are detectable, §2.2), retry with fresh quorums on per-phase
+    timeouts, and deliver their results through callbacks on the
+    simulation thread. *)
+
+type t
+
+type config = { timeout : float; max_retries : int }
+
+val default_config : config
+
+val create :
+  site:int ->
+  net:Message.t Dsim.Network.t ->
+  proto:Quorum.Protocol.t ->
+  ?config:config ->
+  unit ->
+  t
+
+val site : t -> int
+val protocol : t -> Quorum.Protocol.t
+
+val set_protocol : t -> Quorum.Protocol.t -> unit
+(** Swap the quorum geometry (used by reconfiguration).  The replica
+    universe must keep the same size. *)
+
+val query :
+  t -> key:int -> ((Timestamp.t * string) option -> unit) -> unit
+(** Read quorum: newest (timestamp, value) among all members, [None] when
+    no quorum could be assembled within the retry budget. *)
+
+val prepare :
+  t ->
+  key:int ->
+  ts:Timestamp.t ->
+  value:string ->
+  ((int * int list) option -> unit) ->
+  unit
+(** Stage the write on every member of a write quorum.  On success yields
+    [(op, members)]: the staging handle to later {!commit_staged} or
+    {!abort_staged}. *)
+
+val commit_staged :
+  t -> op:int -> members:int list -> (bool -> unit) -> unit
+(** Commit a staged write everywhere, resending on timeout; [false] when
+    some member never acknowledged (outcome uncertain). *)
+
+val abort_staged : t -> op:int -> members:int list -> unit
+(** Fire-and-forget rollback. *)
+
+val write :
+  t ->
+  key:int ->
+  ?ts:Timestamp.t ->
+  value:string ->
+  (Timestamp.t option -> unit) ->
+  unit
+(** Full write: version-phase read (skipped when [ts] is forced), then
+    prepare + commit on a write quorum.  A forced [ts] is used by state
+    transfer, which must re-install values {e without} minting new
+    versions. *)

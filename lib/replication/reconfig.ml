@@ -1,0 +1,58 @@
+type result = { migrated : int; failed : int list }
+
+let migrate ~rpc ~locks ~new_proto ~key_space ?(on_switch = fun () -> ()) k =
+  if key_space < 1 then invalid_arg "Reconfig.migrate: empty key space";
+  let owner = Quorum_rpc.site rpc in
+  let migrated = ref 0 in
+  let failed = ref [] in
+  let release_all () =
+    for key = 0 to key_space - 1 do
+      Lock_manager.release locks ~key ~owner
+    done
+  in
+  let finish () =
+    (* Every key has been carried over: flip the geometry (the caller swaps
+       its coordinators' protocols in [on_switch]) and let clients back in. *)
+    Quorum_rpc.set_protocol rpc new_proto;
+    on_switch ();
+    release_all ();
+    k { migrated = !migrated; failed = List.rev !failed }
+  in
+  (* Transfer one key: read newest under the old tree, re-install under the
+     new tree with the original timestamp (no version minting: the transfer
+     is not a logical write). *)
+  let rec transfer key =
+    if key = key_space then finish ()
+    else
+      Quorum_rpc.query rpc ~key (function
+        | None ->
+          failed := key :: !failed;
+          transfer (key + 1)
+        | Some (ts, value) ->
+          if Timestamp.equal ts Timestamp.zero then begin
+            (* Never written: nothing to carry over. *)
+            incr migrated;
+            transfer (key + 1)
+          end
+          else begin
+            (* Address the new tree for the install, then return to the old
+               geometry for the remaining reads. *)
+            let old_proto = Quorum_rpc.protocol rpc in
+            Quorum_rpc.set_protocol rpc new_proto;
+            Quorum_rpc.write rpc ~key ~ts ~value (fun r ->
+                Quorum_rpc.set_protocol rpc old_proto;
+                (match r with
+                | Some _ -> incr migrated
+                | None -> failed := key :: !failed);
+                transfer (key + 1))
+          end)
+  in
+  (* Lock phase: take every key's exclusive lock, in order, quiescing all
+     clients before any data moves. *)
+  let rec lock key =
+    if key = key_space then transfer 0
+    else
+      Lock_manager.acquire locks ~key ~mode:Lock_manager.Exclusive ~owner
+        (fun () -> lock (key + 1))
+  in
+  lock 0

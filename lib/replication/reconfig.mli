@@ -1,0 +1,37 @@
+(** Online reconfiguration: "our protocol enables the shifting from one
+    configuration into another by just modifying the structure of the
+    tree" (§1, §3.3) — made executable.
+
+    A quorum of the old geometry need not intersect a quorum of the new
+    one, so switching requires a state transfer.  The engine:
+
+    + takes the exclusive lock of every key in the key space (so no client
+      operation is in flight anywhere during the switch),
+    + for every key, reads the newest value through an {e old-tree} read
+      quorum and re-installs it — under its {e original} timestamp — on a
+      {e new-tree} write quorum,
+    + invokes [on_switch] (where callers swap the protocol of their
+      coordinators / RPC endpoints) and releases the locks.
+
+    After the switch, every new-tree read quorum intersects the new-tree
+    write quorum that received the transfer, so no committed write is
+    lost.  Keys whose transfer failed (no quorum within the retry budget)
+    are reported; the migration still completes for the others. *)
+
+type result = {
+  migrated : int;  (** keys successfully transferred (or empty) *)
+  failed : int list;  (** keys whose transfer could not complete *)
+}
+
+val migrate :
+  rpc:Quorum_rpc.t ->
+  locks:Lock_manager.t ->
+  new_proto:Quorum.Protocol.t ->
+  key_space:int ->
+  ?on_switch:(unit -> unit) ->
+  (result -> unit) ->
+  unit
+(** [rpc] must currently carry the {e old} protocol; on completion it has
+    been switched to [new_proto].  Clients must confine their keys to
+    [0 .. key_space-1].  The lock owner id used is the RPC site, so the
+    caller must not run transactions from the same site concurrently. *)

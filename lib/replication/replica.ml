@@ -1,0 +1,55 @@
+module Network = Dsim.Network
+
+type t = {
+  site : int;
+  net : Message.t Network.t;
+  store : Store.t;
+  mutable reads_served : int;
+  mutable writes_applied : int;
+  mutable prepares_seen : int;
+  mutable repairs_applied : int;
+}
+
+let handle t ~src msg =
+  match (msg : Message.t) with
+  | Read_request { op; key } ->
+    t.reads_served <- t.reads_served + 1;
+    let ts, value = Store.read t.store ~key in
+    Network.send t.net ~src:t.site ~dst:src (Message.Read_reply { op; key; ts; value })
+  | Prepare { op; key; ts; value } ->
+    t.prepares_seen <- t.prepares_seen + 1;
+    Store.stage t.store ~op ~key ~ts ~value;
+    Network.send t.net ~src:t.site ~dst:src (Message.Prepare_ack { op })
+  | Commit { op } ->
+    if Store.commit_staged t.store ~op then
+      t.writes_applied <- t.writes_applied + 1;
+    Network.send t.net ~src:t.site ~dst:src (Message.Commit_ack { op })
+  | Abort { op } -> Store.abort_staged t.store ~op
+  | Repair { key; ts; value; _ } ->
+    if Store.install t.store ~key ~ts ~value then
+      t.repairs_applied <- t.repairs_applied + 1
+  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ ->
+    (* Coordinator-bound messages; a replica ignores strays. *)
+    ()
+
+let create ~site ~net =
+  let t =
+    {
+      site;
+      net;
+      store = Store.create ();
+      reads_served = 0;
+      writes_applied = 0;
+      prepares_seen = 0;
+      repairs_applied = 0;
+    }
+  in
+  Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
+  t
+
+let site t = t.site
+let store t = t.store
+let reads_served t = t.reads_served
+let writes_applied t = t.writes_applied
+let prepares_seen t = t.prepares_seen
+let repairs_applied t = t.repairs_applied

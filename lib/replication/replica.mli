@@ -1,0 +1,19 @@
+(** Replica server: the per-site message handler.
+
+    Stateless beyond its {!Store.t}; all protocol decisions live in the
+    coordinator.  Install one per replica site with {!attach}. *)
+
+type t
+
+val create : site:int -> net:Message.t Dsim.Network.t -> t
+(** Creates the replica and installs its handler on the network. *)
+
+val site : t -> int
+val store : t -> Store.t
+
+val reads_served : t -> int
+val writes_applied : t -> int
+val prepares_seen : t -> int
+
+val repairs_applied : t -> int
+(** Read-repair installs that actually changed this replica's state. *)

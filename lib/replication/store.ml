@@ -1,0 +1,41 @@
+type entry = { ts : Timestamp.t; value : string }
+
+type t = {
+  committed : (int, entry) Hashtbl.t;
+  pending : (int, int * Timestamp.t * string) Hashtbl.t;  (* op -> staged *)
+}
+
+let create () = { committed = Hashtbl.create 16; pending = Hashtbl.create 8 }
+
+let read t ~key =
+  match Hashtbl.find_opt t.committed key with
+  | None -> (Timestamp.zero, "")
+  | Some { ts; value } -> (ts, value)
+
+let install t ~key ~ts ~value =
+  let current, _ = read t ~key in
+  if Timestamp.newer_than ts current then begin
+    Hashtbl.replace t.committed key { ts; value };
+    true
+  end
+  else false
+
+let stage t ~op ~key ~ts ~value = Hashtbl.replace t.pending op (key, ts, value)
+
+let staged t ~op = Hashtbl.find_opt t.pending op
+
+let commit_staged t ~op =
+  match Hashtbl.find_opt t.pending op with
+  | None -> false
+  | Some (key, ts, value) ->
+    Hashtbl.remove t.pending op;
+    ignore (install t ~key ~ts ~value);
+    true
+
+let abort_staged t ~op = Hashtbl.remove t.pending op
+
+let staged_count t = Hashtbl.length t.pending
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.committed []
+  |> List.sort_uniq compare

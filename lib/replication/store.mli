@@ -1,0 +1,27 @@
+(** A replica's versioned key-value store with two-phase-commit staging.
+
+    Committed state maps keys to the newest (timestamp, value) pair seen;
+    installs are monotone in timestamp order, so re-delivered or re-ordered
+    commits are harmless.  Prepared-but-undecided writes are staged per
+    operation id, surviving crashes (fail-stop with stable storage). *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> key:int -> Timestamp.t * string
+(** [Timestamp.zero] and the empty string for never-written keys. *)
+
+val install : t -> key:int -> ts:Timestamp.t -> value:string -> bool
+(** Applies the write if [ts] is newer than the committed timestamp;
+    returns whether the state changed. *)
+
+val stage : t -> op:int -> key:int -> ts:Timestamp.t -> value:string -> unit
+val staged : t -> op:int -> (int * Timestamp.t * string) option
+val commit_staged : t -> op:int -> bool
+(** Installs the staged write (if any) and clears it; returns whether a
+    staged write existed. *)
+
+val abort_staged : t -> op:int -> unit
+val staged_count : t -> int
+val keys : t -> int list

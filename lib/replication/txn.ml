@@ -1,0 +1,274 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+
+type config = { timeout : float; max_retries : int; lock_timeout : float }
+
+let default_config = { timeout = 25.0; max_retries = 4; lock_timeout = 200.0 }
+
+type manager = {
+  rpc : Quorum_rpc.t;
+  locks : Lock_manager.t;
+  lock_timeout : float;
+  engine : Engine.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create_manager ~site ~net ~proto ~locks ?(config = default_config) () =
+  let rpc =
+    Quorum_rpc.create ~site ~net ~proto
+      ~config:
+        { Quorum_rpc.timeout = config.timeout; max_retries = config.max_retries }
+      ()
+  in
+  {
+    rpc;
+    locks;
+    lock_timeout = config.lock_timeout;
+    engine = Network.engine net;
+    committed = 0;
+    aborted = 0;
+  }
+
+let committed mgr = mgr.committed
+let aborted mgr = mgr.aborted
+
+(* --- transactions -------------------------------------------------------- *)
+
+type outcome = Committed | Aborted of string
+
+type state = Active | Committing | Done of outcome
+
+type t = {
+  mgr : manager;
+  owner : int;
+  mutable state : state;
+  read_cache : (int, string) Hashtbl.t;
+  write_buf : (int, string) Hashtbl.t;
+  mutable held : (int * Lock_manager.mode) list;
+}
+
+let txn_counter = ref 0
+
+let begin_txn mgr =
+  incr txn_counter;
+  {
+    mgr;
+    owner = (!txn_counter * 1_000_003) + Quorum_rpc.site mgr.rpc;
+    state = Active;
+    read_cache = Hashtbl.create 8;
+    write_buf = Hashtbl.create 8;
+    held = [];
+  }
+
+let is_finished t = match t.state with Done _ -> true | _ -> false
+
+let held_mode t key = List.assoc_opt key t.held
+
+let release_all t =
+  List.iter
+    (fun (key, _) -> Lock_manager.release t.mgr.locks ~key ~owner:t.owner)
+    t.held;
+  t.held <- []
+
+let finish t outcome =
+  release_all t;
+  t.state <- Done outcome;
+  match outcome with
+  | Committed -> t.mgr.committed <- t.mgr.committed + 1
+  | Aborted _ -> t.mgr.aborted <- t.mgr.aborted + 1
+
+let abort t =
+  match t.state with
+  | Done _ -> ()
+  | Active | Committing -> finish t (Aborted "aborted by user")
+
+let read t ~key k =
+  match t.state with
+  | Done _ | Committing -> invalid_arg "Txn.read: transaction finished"
+  | Active -> (
+    match Hashtbl.find_opt t.write_buf key with
+    | Some v -> k (Some v)  (* read-your-writes *)
+    | None -> (
+      match Hashtbl.find_opt t.read_cache key with
+      | Some v -> k (Some v)  (* repeatable read *)
+      | None ->
+        let proceed () =
+          Quorum_rpc.query t.mgr.rpc ~key (fun result ->
+              match (t.state, result) with
+              | Active, Some (_, value) ->
+                Hashtbl.replace t.read_cache key value;
+                k (Some value)
+              | Active, None ->
+                finish t (Aborted "read quorum unavailable");
+                k None
+              | (Done _ | Committing), _ -> k None)
+        in
+        if held_mode t key = None then
+          Lock_manager.acquire t.mgr.locks ~key ~mode:Lock_manager.Shared
+            ~owner:t.owner (fun () ->
+              if t.state = Active then begin
+                t.held <- (key, Lock_manager.Shared) :: t.held;
+                proceed ()
+              end
+              else
+                (* Granted after the transaction finished: give it back. *)
+                Lock_manager.release t.mgr.locks ~key ~owner:t.owner)
+        else proceed ()))
+
+let write t ~key ~value =
+  match t.state with
+  | Done _ | Committing -> invalid_arg "Txn.write: transaction finished"
+  | Active -> Hashtbl.replace t.write_buf key value
+
+(* Commit-time exclusive lock acquisition over the sorted write keys, with
+   a global deadline resolving deadlocks by abort. *)
+let acquire_write_locks t keys k =
+  let deadline_hit = ref false in
+  let current_wait = ref None in
+  Engine.schedule t.mgr.engine ~delay:t.mgr.lock_timeout (fun () ->
+      if t.state = Committing && !current_wait <> None then begin
+        deadline_hit := true;
+        (match !current_wait with
+        | Some key -> ignore (Lock_manager.cancel t.mgr.locks ~key ~owner:t.owner)
+        | None -> ());
+        k (Error "lock timeout (possible deadlock)")
+      end);
+  let rec next = function
+    | [] ->
+      current_wait := None;
+      if not !deadline_hit then k (Ok ())
+    | key :: rest -> (
+      if !deadline_hit then ()
+      else begin
+        match held_mode t key with
+        | Some Lock_manager.Exclusive -> next rest
+        | Some Lock_manager.Shared ->
+          current_wait := Some key;
+          let accepted =
+            Lock_manager.try_upgrade t.mgr.locks ~key ~owner:t.owner (fun () ->
+                if not !deadline_hit then begin
+                  t.held <-
+                    (key, Lock_manager.Exclusive) :: List.remove_assoc key t.held;
+                  current_wait := None;
+                  next rest
+                end)
+          in
+          if not accepted then begin
+            current_wait := None;
+            k (Error "upgrade conflict")
+          end
+        | None ->
+          current_wait := Some key;
+          Lock_manager.acquire t.mgr.locks ~key ~mode:Lock_manager.Exclusive
+            ~owner:t.owner (fun () ->
+              if not !deadline_hit then begin
+                t.held <- (key, Lock_manager.Exclusive) :: t.held;
+                current_wait := None;
+                next rest
+              end
+              else
+                (* Granted in the same instant the deadline fired: the
+                   cancel missed, so release to avoid a leak. *)
+                Lock_manager.release t.mgr.locks ~key ~owner:t.owner)
+      end)
+  in
+  next keys
+
+(* Gather bumped version timestamps for every written key (in parallel). *)
+let version_all t keys k =
+  let results = Hashtbl.create 8 in
+  let remaining = ref (List.length keys) in
+  let failed = ref false in
+  let site = Quorum_rpc.site t.mgr.rpc in
+  List.iter
+    (fun key ->
+      Quorum_rpc.query t.mgr.rpc ~key (fun r ->
+          (match r with
+          | Some (ts, _) ->
+            Hashtbl.replace results key
+              (Timestamp.make ~version:(ts.Timestamp.version + 1) ~sid:site)
+          | None -> failed := true);
+          decr remaining;
+          if !remaining = 0 then if !failed then k None else k (Some results)))
+    keys
+
+(* Prepare every key on its own write quorum (in parallel); on any failure
+   roll back whatever was staged. *)
+let prepare_all t keys versions k =
+  let staged = Hashtbl.create 8 in
+  let remaining = ref (List.length keys) in
+  let failed = ref false in
+  List.iter
+    (fun key ->
+      let ts = Hashtbl.find versions key in
+      let value = Hashtbl.find t.write_buf key in
+      Quorum_rpc.prepare t.mgr.rpc ~key ~ts ~value (fun r ->
+          (match r with
+          | Some (op, members) -> Hashtbl.replace staged key (op, members)
+          | None -> failed := true);
+          decr remaining;
+          if !remaining = 0 then
+            if !failed then begin
+              Hashtbl.iter
+                (fun _ (op, members) ->
+                  Quorum_rpc.abort_staged t.mgr.rpc ~op ~members)
+                staged;
+              k None
+            end
+            else k (Some staged)))
+    keys
+
+(* Commit every staged key; all keys are already decided, so failures here
+   only mean uncertain delivery. *)
+let commit_all t staged k =
+  let entries = Hashtbl.fold (fun key v acc -> (key, v) :: acc) staged [] in
+  let remaining = ref (List.length entries) in
+  let failed = ref false in
+  List.iter
+    (fun (_key, (op, members)) ->
+      Quorum_rpc.commit_staged t.mgr.rpc ~op ~members (fun ok ->
+          if not ok then failed := true;
+          decr remaining;
+          if !remaining = 0 then k (not !failed)))
+    entries
+
+let commit t k =
+  match t.state with
+  | Done _ | Committing -> invalid_arg "Txn.commit: transaction finished"
+  | Active ->
+    let keys =
+      List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) t.write_buf [])
+    in
+    if keys = [] then begin
+      finish t Committed;
+      k Committed
+    end
+    else begin
+      t.state <- Committing;
+      acquire_write_locks t keys (function
+        | Error reason ->
+          finish t (Aborted reason);
+          k (Aborted reason)
+        | Ok () ->
+          version_all t keys (function
+            | None ->
+              finish t (Aborted "version phase failed");
+              k (Aborted "version phase failed")
+            | Some versions ->
+              prepare_all t keys versions (function
+                | None ->
+                  finish t (Aborted "prepare phase failed");
+                  k (Aborted "prepare phase failed")
+                | Some staged ->
+                  commit_all t staged (fun ok ->
+                      if ok then begin
+                        finish t Committed;
+                        k Committed
+                      end
+                      else begin
+                        let reason = "commit acks incomplete (outcome uncertain)" in
+                        finish t (Aborted reason);
+                        k (Aborted reason)
+                      end))))
+    end

@@ -1,0 +1,69 @@
+(** Multi-key transactions (§2.2): "users interact with sites by means of
+    transactions which are partially ordered sets of read and write
+    operations … if a transaction contains write operations, a
+    2-phase-commit protocol at the end of the transaction is executed".
+
+    Concurrency control is strict two-phase locking against the
+    centralized {!Lock_manager}: reads take shared locks as they execute,
+    writes are buffered and take exclusive locks (sorted by key, with
+    shared→exclusive upgrades) when {!commit} starts; all locks are held
+    to the end.  Commit then runs, per written key, a version-phase read
+    quorum and a prepare on a write quorum — and only after {e every} key
+    is prepared sends the commits, so the transaction is atomic across
+    keys.  Any failure before that point aborts all staged writes.
+
+    Deadlocks (cross-key lock cycles) are resolved by a lock-acquisition
+    timeout that aborts the transaction; upgrade-upgrade conflicts abort
+    immediately. *)
+
+type manager
+
+type config = {
+  timeout : float;  (** per-phase network deadline *)
+  max_retries : int;  (** quorum re-assembly attempts per key and phase *)
+  lock_timeout : float;  (** deadline for commit-time lock acquisition *)
+}
+
+val default_config : config
+
+val create_manager :
+  site:int ->
+  net:Message.t Dsim.Network.t ->
+  proto:Quorum.Protocol.t ->
+  locks:Lock_manager.t ->
+  ?config:config ->
+  unit ->
+  manager
+(** One manager per client site; it installs the site's message handler
+    (do not combine with a {!Coordinator} on the same site). *)
+
+type t
+(** An open transaction. *)
+
+type outcome = Committed | Aborted of string
+
+val begin_txn : manager -> t
+
+val read : t -> key:int -> (string option -> unit) -> unit
+(** Quorum read under a shared lock.  Reads-your-writes: a key this
+    transaction has written returns the buffered value; a key already
+    read returns the cached value (repeatable read).  [None] means the
+    quorum could not be assembled — the transaction is aborted. *)
+
+val write : t -> key:int -> value:string -> unit
+(** Buffers the write; all network work happens at commit. *)
+
+val commit : t -> (outcome -> unit) -> unit
+(** Runs 2PL lock acquisition + cross-key two-phase commit.  The callback
+    receives [Committed] or [Aborted reason]; locks are released either
+    way. *)
+
+val abort : t -> unit
+(** Drops buffered writes and releases locks.  No-op if finished. *)
+
+val is_finished : t -> bool
+
+(** {2 Metrics} *)
+
+val committed : manager -> int
+val aborted : manager -> int

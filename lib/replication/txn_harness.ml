@@ -1,0 +1,157 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Latency = Dsim.Latency
+module Failure = Dsim.Failure
+module Rng = Dsutil.Rng
+module Protocol = Quorum.Protocol
+
+type scenario = {
+  proto : Protocol.t;
+  n_clients : int;
+  txns_per_client : int;
+  keys_per_txn : int;
+  key_space : int;
+  latency : Latency.t;
+  loss_rate : float;
+  think_time : float;
+  failures : Failure.entry list;
+  seed : int;
+  config : Txn.config;
+  horizon : float;
+}
+
+let default_scenario ~proto =
+  {
+    proto;
+    n_clients = 3;
+    txns_per_client = 30;
+    keys_per_txn = 2;
+    key_space = 6;
+    latency = Latency.Exponential 1.0;
+    loss_rate = 0.0;
+    think_time = 2.0;
+    failures = [];
+    seed = 42;
+    config = Txn.default_config;
+    horizon = 100_000.0;
+  }
+
+type report = {
+  committed : int;
+  aborted : int;
+  uncertain : int;
+  committed_increments : int;
+  uncertain_increments : int;
+  observed_total : int;
+  conservation_ok : bool;
+  duration : float;
+}
+
+let value_of v = if v = "" then 0 else int_of_string v
+
+(* Read [count] distinct counters, then write each back + 1 and commit. *)
+let increment_txn mgr ~rng ~key_space ~count k =
+  let txn = Txn.begin_txn mgr in
+  let keys = Array.init key_space Fun.id in
+  Rng.shuffle rng keys;
+  let chosen = Array.to_list (Array.sub keys 0 count) in
+  let rec step = function
+    | [] -> Txn.commit txn k
+    | key :: rest ->
+      Txn.read txn ~key (function
+        | None -> k (Txn.Aborted "read failed")
+        | Some v ->
+          Txn.write txn ~key ~value:(string_of_int (value_of v + 1));
+          step rest)
+  in
+  step chosen
+
+let run scenario =
+  if scenario.keys_per_txn > scenario.key_space then
+    invalid_arg "Txn_harness.run: keys_per_txn exceeds key_space";
+  let n = Protocol.universe_size scenario.proto in
+  let engine = Engine.create ~seed:scenario.seed () in
+  let net =
+    Network.create ~engine ~n:(n + scenario.n_clients + 1)
+      ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
+  in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let locks = Lock_manager.create ~engine in
+  let committed = ref 0 and aborted = ref 0 and uncertain = ref 0 in
+  let committed_increments = ref 0 and uncertain_increments = ref 0 in
+  let run_client idx =
+    let mgr =
+      Txn.create_manager ~site:(n + idx) ~net ~proto:scenario.proto ~locks
+        ~config:scenario.config ()
+    in
+    let rng = Rng.split (Engine.rng engine) in
+    let rec go remaining =
+      if remaining > 0 then
+        increment_txn mgr ~rng ~key_space:scenario.key_space
+          ~count:scenario.keys_per_txn (fun outcome ->
+            (match outcome with
+            | Txn.Committed ->
+              incr committed;
+              committed_increments := !committed_increments + scenario.keys_per_txn
+            | Txn.Aborted reason ->
+              incr aborted;
+              (* The in-doubt window: the decision was commit but not every
+                 ack arrived; effects may be visible. *)
+              if reason = "commit acks incomplete (outcome uncertain)" then begin
+                incr uncertain;
+                uncertain_increments :=
+                  !uncertain_increments + scenario.keys_per_txn
+              end);
+            Engine.schedule engine
+              ~delay:(Rng.exponential rng scenario.think_time)
+              (fun () -> go (remaining - 1)))
+    in
+    go scenario.txns_per_client
+  in
+  for idx = 0 to scenario.n_clients - 1 do
+    run_client idx
+  done;
+  Failure.apply net scenario.failures;
+  Engine.run ~until:scenario.horizon engine;
+  (* Heal everything and tally the counters through quorum reads. *)
+  for site = 0 to n - 1 do
+    Network.recover net site
+  done;
+  Network.heal net;
+  let rpc =
+    Quorum_rpc.create ~site:(n + scenario.n_clients) ~net ~proto:scenario.proto ()
+  in
+  let observed = ref 0 in
+  let pending = ref scenario.key_space in
+  for key = 0 to scenario.key_space - 1 do
+    Quorum_rpc.query rpc ~key (fun r ->
+        (match r with
+        | Some (_, v) -> observed := !observed + value_of v
+        | None -> ());
+        decr pending)
+  done;
+  Engine.run engine;
+  assert (!pending = 0);
+  let conservation_ok =
+    !observed >= !committed_increments
+    && !observed <= !committed_increments + !uncertain_increments
+  in
+  {
+    committed = !committed;
+    aborted = !aborted;
+    uncertain = !uncertain;
+    committed_increments = !committed_increments;
+    uncertain_increments = !uncertain_increments;
+    observed_total = !observed;
+    conservation_ok;
+    duration = Engine.now engine;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>transactions: %d committed, %d aborted (%d in-doubt)@,\
+     increments: %d committed + %d uncertain; observed total %d@,\
+     conservation: %s@]"
+    r.committed r.aborted r.uncertain r.committed_increments
+    r.uncertain_increments r.observed_total
+    (if r.conservation_ok then "OK" else "VIOLATED")

@@ -1,0 +1,47 @@
+(** Scenario runner for the transaction layer: closed-loop clients execute
+    read-modify-write {e increment transactions} over a small key space,
+    with crash/recovery and message-loss injection.
+
+    Every transaction reads [keys_per_txn] distinct counters and writes
+    each back incremented by one.  Strict 2PL makes a committed increment
+    add exactly one, so the scenario carries a checkable invariant:
+
+    {v  Σ committed increments ≤ Σ final counter values
+                                ≤ Σ committed + Σ uncertain increments  v}
+
+    where {e uncertain} counts transactions whose commit acks never all
+    arrived (the classic 2PC in-doubt window: their effects may or may not
+    be visible).  [run] evaluates the invariant by reading every counter
+    through a read quorum after healing all replicas. *)
+
+type scenario = {
+  proto : Quorum.Protocol.t;
+  n_clients : int;
+  txns_per_client : int;
+  keys_per_txn : int;
+  key_space : int;
+  latency : Dsim.Latency.t;
+  loss_rate : float;
+  think_time : float;
+  failures : Dsim.Failure.entry list;
+  seed : int;
+  config : Txn.config;
+  horizon : float;
+}
+
+val default_scenario : proto:Quorum.Protocol.t -> scenario
+(** 3 clients × 30 transactions, 2 keys/txn over 6 keys, no failures. *)
+
+type report = {
+  committed : int;
+  aborted : int;
+  uncertain : int;  (** aborted with in-doubt commit acks *)
+  committed_increments : int;
+  uncertain_increments : int;
+  observed_total : int;  (** Σ final counter values *)
+  conservation_ok : bool;
+  duration : float;
+}
+
+val run : scenario -> report
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,50 @@
+module Heap = Dsutil.Heap
+module Rng = Dsutil.Rng
+
+type t = {
+  mutable clock : float;
+  queue : (float, unit -> unit) Heap.t;
+  rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.0; queue = Heap.create ~compare:Float.compare; rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.push t.queue (t.clock +. delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Heap.peek t.queue with
+      | None -> false
+      | Some (time, _) -> time <= limit)
+  in
+  while (not (Heap.is_empty t.queue)) && continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit && Heap.is_empty t.queue ->
+    (* Advance the clock to the horizon so repeated bounded runs compose. *)
+    t.clock <- limit
+  | _ -> ()
+
+let pending t = Heap.length t.queue

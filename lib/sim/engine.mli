@@ -1,0 +1,34 @@
+(** Deterministic discrete-event simulation engine.
+
+    Virtual time is a float (think milliseconds).  Events are closures
+    executed in timestamp order, FIFO among equal timestamps.  All
+    randomness flows from the engine's seeded {!Dsutil.Rng}, so a run is a
+    pure function of its seed. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Default seed 42. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Dsutil.Rng.t
+(** The engine's root random stream; [split] it per component. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the closure [delay] time units from now.  Negative delays raise
+    [Invalid_argument]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; times in the past raise [Invalid_argument]. *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue drains or virtual time would pass
+    [until].  Events at exactly [until] are processed. *)
+
+val step : t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

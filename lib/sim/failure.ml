@@ -1,0 +1,63 @@
+module Rng = Dsutil.Rng
+
+type event =
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+  | Heal
+
+type entry = { time : float; event : event }
+
+let apply net entries =
+  let engine = Network.engine net in
+  List.iter
+    (fun { time; event } ->
+      Engine.schedule_at engine ~time (fun () ->
+          match event with
+          | Crash i -> Network.crash net i
+          | Recover i -> Network.recover net i
+          | Partition groups -> Network.partition net groups
+          | Heal -> Network.heal net))
+    entries
+
+let random_crash_recovery ~rng ~n ~horizon ~mtbf ~mttr =
+  if mtbf <= 0.0 || mttr <= 0.0 then
+    invalid_arg "Failure.random_crash_recovery: non-positive means";
+  let entries = ref [] in
+  for site = 0 to n - 1 do
+    let t = ref (Rng.exponential rng mtbf) in
+    let up = ref true in
+    while !t < horizon do
+      entries :=
+        { time = !t; event = (if !up then Crash site else Recover site) }
+        :: !entries;
+      let dwell = Rng.exponential rng (if !up then mttr else mtbf) in
+      up := not !up;
+      t := !t +. dwell
+    done
+  done;
+  List.sort (fun a b -> Float.compare a.time b.time) !entries
+
+let steady_state_availability ~mtbf ~mttr = mtbf /. (mtbf +. mttr)
+
+let crash_fraction ~rng ~n ~at ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Failure.crash_fraction: fraction out of [0,1]";
+  let ids = Array.init n Fun.id in
+  Rng.shuffle rng ids;
+  let k = int_of_float (fraction *. float_of_int n) in
+  List.init k (fun i -> { time = at; event = Crash ids.(i) })
+
+let pp_entry ppf { time; event } =
+  match event with
+  | Crash i -> Format.fprintf ppf "%.2f: crash %d" time i
+  | Recover i -> Format.fprintf ppf "%.2f: recover %d" time i
+  | Partition groups ->
+    Format.fprintf ppf "%.2f: partition %a" time
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+            Format.pp_print_int))
+      groups
+  | Heal -> Format.fprintf ppf "%.2f: heal" time

@@ -1,0 +1,34 @@
+(** Timed failure schedules: crash/recovery and partition events applied to
+    a network at predetermined virtual times. *)
+
+type event =
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+  | Heal
+
+type entry = { time : float; event : event }
+
+val apply : 'msg Network.t -> entry list -> unit
+(** Schedules every entry on the network's engine.  Times must be in the
+    engine's future. *)
+
+val random_crash_recovery :
+  rng:Dsutil.Rng.t ->
+  n:int ->
+  horizon:float ->
+  mtbf:float ->
+  mttr:float ->
+  entry list
+(** Independent per-site alternating up/down renewal processes:
+    exponential time-between-failures with mean [mtbf], exponential repair
+    with mean [mttr], truncated at [horizon].  The stationary availability
+    of each site is mtbf/(mtbf+mttr). *)
+
+val steady_state_availability : mtbf:float -> mttr:float -> float
+
+val crash_fraction :
+  rng:Dsutil.Rng.t -> n:int -> at:float -> fraction:float -> entry list
+(** One-shot: crashes ⌊fraction·n⌋ distinct random sites at time [at]. *)
+
+val pp_entry : Format.formatter -> entry -> unit

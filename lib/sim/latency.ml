@@ -1,0 +1,19 @@
+module Rng = Dsutil.Rng
+
+type t = Constant of float | Uniform of float * float | Exponential of float
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform (lo, hi) -> Rng.uniform_in rng lo hi
+  | Exponential mean -> (0.1 *. mean) +. Rng.exponential rng mean
+
+let mean = function
+  | Constant d -> d
+  | Uniform (lo, hi) -> (lo +. hi) /. 2.0
+  | Exponential mean -> 1.1 *. mean
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%.2f)" d
+  | Uniform (lo, hi) -> Format.fprintf ppf "uniform(%.2f, %.2f)" lo hi
+  | Exponential mean -> Format.fprintf ppf "exponential(%.2f)" mean

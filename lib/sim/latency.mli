@@ -1,0 +1,12 @@
+(** Message latency models. *)
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** [Uniform (lo, hi)] *)
+  | Exponential of float  (** mean; a minimum propagation delay of a tenth
+                              of the mean is always added so causality
+                              never collapses to zero *)
+
+val sample : t -> Dsutil.Rng.t -> float
+val mean : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_crash : int;
+  mutable dropped_partition : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  n : int;
+  latency : Latency.t;
+  loss_rate : float;
+  fifo_floor : float array;  (* per src*n+dst: last delivery time; empty
+                                unless FIFO ordering was requested *)
+  rng : Rng.t;
+  handlers : (src:int -> 'msg -> unit) option array;
+  up : bool array;
+  group : int array;  (* partition group per site; all 0 when healed *)
+  counters : counters;
+  delivered_to : int array;
+  mutable trace : 'msg tracer option;
+}
+
+and 'msg tracer = { sink : Trace.t; describe : 'msg -> string }
+
+let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
+    ?(fifo = false) () =
+  if n < 1 then invalid_arg "Network.create: need at least one site";
+  if loss_rate < 0.0 || loss_rate >= 1.0 then
+    invalid_arg "Network.create: loss_rate out of [0,1)";
+  {
+    engine;
+    n;
+    latency;
+    loss_rate;
+    fifo_floor = (if fifo then Array.make (n * n) 0.0 else [||]);
+    rng = Rng.split (Engine.rng engine);
+    handlers = Array.make n None;
+    up = Array.make n true;
+    group = Array.make n 0;
+    counters =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped_loss = 0;
+        dropped_crash = 0;
+        dropped_partition = 0;
+      };
+    delivered_to = Array.make n 0;
+    trace = None;
+  }
+
+let engine t = t.engine
+let size t = t.n
+
+let attach_trace t ?(describe = fun _ -> "") sink =
+  t.trace <- Some { sink; describe }
+
+let emit t event =
+  match t.trace with
+  | None -> ()
+  | Some { sink; _ } -> Trace.record sink ~time:(Engine.now t.engine) event
+
+let emit_msg t mk msg =
+  match t.trace with
+  | None -> ()
+  | Some { sink; describe } ->
+    Trace.record sink ~time:(Engine.now t.engine) (mk (describe msg))
+
+let check_site t i =
+  if i < 0 || i >= t.n then invalid_arg "Network: bad site id"
+
+let set_handler t ~site f =
+  check_site t site;
+  t.handlers.(site) <- Some f
+
+let reachable t a b =
+  check_site t a;
+  check_site t b;
+  t.group.(a) = t.group.(b)
+
+let send t ~src ~dst msg =
+  check_site t src;
+  check_site t dst;
+  t.counters.sent <- t.counters.sent + 1;
+  emit_msg t (fun info -> Trace.Send { src; dst; info }) msg;
+  if not t.up.(src) then begin
+    t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+    emit t (Trace.Drop { src; dst; reason = "sender down" })
+  end
+  else if t.loss_rate > 0.0 && Rng.bernoulli t.rng t.loss_rate then begin
+    t.counters.dropped_loss <- t.counters.dropped_loss + 1;
+    emit t (Trace.Drop { src; dst; reason = "loss" })
+  end
+  else begin
+    let delay = Latency.sample t.latency t.rng in
+    let delay =
+      (* FIFO links: never deliver before an earlier message of the same
+         (src, dst) pair. *)
+      if Array.length t.fifo_floor = 0 then delay
+      else begin
+        let idx = (src * t.n) + dst in
+        let at =
+          Float.max (Engine.now t.engine +. delay) (t.fifo_floor.(idx) +. 1e-9)
+        in
+        t.fifo_floor.(idx) <- at;
+        at -. Engine.now t.engine
+      end
+    in
+    Engine.schedule t.engine ~delay (fun () ->
+        if not t.up.(dst) then begin
+          t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+          emit t (Trace.Drop { src; dst; reason = "destination down" })
+        end
+        else if t.group.(src) <> t.group.(dst) then begin
+          t.counters.dropped_partition <- t.counters.dropped_partition + 1;
+          emit t (Trace.Drop { src; dst; reason = "partition" })
+        end
+        else begin
+          match t.handlers.(dst) with
+          | None ->
+            t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+            emit t (Trace.Drop { src; dst; reason = "no handler" })
+          | Some h ->
+            t.counters.delivered <- t.counters.delivered + 1;
+            t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+            emit_msg t (fun info -> Trace.Deliver { src; dst; info }) msg;
+            h ~src msg
+        end)
+  end
+
+let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
+
+let crash t i =
+  check_site t i;
+  if t.up.(i) then emit t (Trace.Crash i);
+  t.up.(i) <- false
+
+let recover t i =
+  check_site t i;
+  if not t.up.(i) then emit t (Trace.Recover i);
+  t.up.(i) <- true
+
+let is_up t i =
+  check_site t i;
+  t.up.(i)
+
+let alive_view t =
+  let s = Bitset.create t.n in
+  for i = 0 to t.n - 1 do
+    if t.up.(i) then Bitset.add s i
+  done;
+  s
+
+let partition t groups =
+  emit t
+    (Trace.Partition_change
+       (String.concat " | "
+          (List.map
+             (fun g -> String.concat "," (List.map string_of_int g))
+             groups)));
+  Array.fill t.group 0 t.n 0;
+  List.iteri
+    (fun g sites ->
+      List.iter
+        (fun i ->
+          check_site t i;
+          t.group.(i) <- g + 1)
+        sites)
+    groups
+
+let heal t =
+  emit t (Trace.Partition_change "healed");
+  Array.fill t.group 0 t.n 0
+
+let counters t = t.counters
+let per_site_delivered t = Array.copy t.delivered_to

@@ -1,0 +1,75 @@
+(** Simulated message-passing network over a set of sites.
+
+    Sites are numbered 0 .. n−1 and fail-stop (§2.2 of the paper): a
+    crashed site silently drops incoming messages and does not emit any.
+    Links may lose messages and the network can be split into partitions;
+    only sites in the same partition communicate. *)
+
+type 'msg t
+
+val create :
+  engine:Engine.t ->
+  n:int ->
+  ?latency:Latency.t ->
+  ?loss_rate:float ->
+  ?fifo:bool ->
+  unit ->
+  'msg t
+(** Defaults: [latency = Exponential 1.0], [loss_rate = 0.0],
+    [fifo = false].  With [fifo], messages between the same (src, dst)
+    pair are delivered in send order (required by protocols that assume
+    FIFO channels, e.g. Maekawa's mutual exclusion). *)
+
+val engine : 'msg t -> Engine.t
+val size : 'msg t -> int
+
+val attach_trace :
+  'msg t -> ?describe:('msg -> string) -> Trace.t -> unit
+(** Start recording sends, deliveries, drops, crash/recover and partition
+    changes into the trace; [describe] renders message payloads (defaults
+    to the empty string). *)
+
+val set_handler : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
+(** Installs the message handler for a site.  A site without a handler
+    drops messages. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queues delivery after a sampled latency.  The message is dropped when
+    the source is down at send time, the destination is down at delivery
+    time, the pair is separated by a partition at delivery time, or the
+    link loses it. *)
+
+val broadcast : 'msg t -> src:int -> dst:int list -> 'msg -> unit
+
+(** {2 Failure injection} *)
+
+val crash : 'msg t -> int -> unit
+val recover : 'msg t -> int -> unit
+val is_up : 'msg t -> int -> bool
+val alive_view : 'msg t -> Dsutil.Bitset.t
+(** Ground-truth up/down snapshot (the oracle view used to seed failure
+    detectors). *)
+
+val partition : 'msg t -> int list list -> unit
+(** Splits the sites into the given groups; unlisted sites form one extra
+    implicit group.  Messages across groups are dropped. *)
+
+val heal : 'msg t -> unit
+(** Removes any partition. *)
+
+val reachable : 'msg t -> int -> int -> bool
+(** Same partition group (irrespective of up/down state). *)
+
+(** {2 Metrics} *)
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_crash : int;
+  mutable dropped_partition : int;
+}
+
+val counters : 'msg t -> counters
+val per_site_delivered : 'msg t -> int array
+(** Messages delivered {e to} each site — the measured per-replica load. *)

@@ -1,0 +1,66 @@
+type event =
+  | Send of { src : int; dst : int; info : string }
+  | Deliver of { src : int; dst : int; info : string }
+  | Drop of { src : int; dst : int; reason : string }
+  | Crash of int
+  | Recover of int
+  | Partition_change of string
+  | Custom of { tag : string; info : string }
+
+type entry = { time : float; event : event }
+
+type t = {
+  capacity : int option;
+  buffer : entry Queue.t;
+  mutable dropped : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  { capacity; buffer = Queue.create (); dropped = 0 }
+
+let record t ~time event =
+  Queue.add { time; event } t.buffer;
+  match t.capacity with
+  | Some cap when Queue.length t.buffer > cap ->
+    ignore (Queue.pop t.buffer);
+    t.dropped <- t.dropped + 1
+  | _ -> ()
+
+let length t = Queue.length t.buffer
+let dropped t = t.dropped
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+
+let filter t pred =
+  List.filter (fun e -> pred e.event) (entries t)
+
+let count_matching t pred = List.length (filter t pred)
+
+let find_first t pred =
+  Seq.find (fun e -> pred e.event) (Queue.to_seq t.buffer)
+
+let clear t =
+  Queue.clear t.buffer;
+  t.dropped <- 0
+
+let pp_event ppf = function
+  | Send { src; dst; info } -> Format.fprintf ppf "send %d->%d %s" src dst info
+  | Deliver { src; dst; info } ->
+    Format.fprintf ppf "deliver %d->%d %s" src dst info
+  | Drop { src; dst; reason } ->
+    Format.fprintf ppf "drop %d->%d (%s)" src dst reason
+  | Crash site -> Format.fprintf ppf "crash %d" site
+  | Recover site -> Format.fprintf ppf "recover %d" site
+  | Partition_change desc -> Format.fprintf ppf "partition %s" desc
+  | Custom { tag; info } -> Format.fprintf ppf "%s %s" tag info
+
+let pp_entry ppf { time; event } =
+  Format.fprintf ppf "%10.3f  %a" time pp_event event
+
+let dump t ~max =
+  let all = entries t in
+  let len = List.length all in
+  let tail = if len <= max then all else List.filteri (fun i _ -> i >= len - max) all in
+  String.concat "\n" (List.map (Format.asprintf "%a" pp_entry) tail)

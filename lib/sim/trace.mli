@@ -1,0 +1,46 @@
+(** Structured event traces of a simulation run.
+
+    A trace is an append-only, optionally bounded buffer of typed events
+    with virtual timestamps.  The {!Network} emits into a trace when one
+    is attached; protocol layers can append their own {!Custom} events.
+    Traces make failure scenarios auditable: tests assert on them and the
+    CLI can dump them. *)
+
+type event =
+  | Send of { src : int; dst : int; info : string }
+  | Deliver of { src : int; dst : int; info : string }
+  | Drop of { src : int; dst : int; reason : string }
+  | Crash of int
+  | Recover of int
+  | Partition_change of string
+  | Custom of { tag : string; info : string }
+
+type entry = { time : float; event : event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the buffer (oldest entries are discarded);
+    unbounded by default. *)
+
+val record : t -> time:float -> event -> unit
+val length : t -> int
+val dropped : t -> int
+(** Entries discarded due to the capacity bound. *)
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val filter : t -> (event -> bool) -> entry list
+
+val count_matching : t -> (event -> bool) -> int
+
+val find_first : t -> (event -> bool) -> entry option
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : t -> max:int -> string
+(** The last [max] entries, one per line. *)

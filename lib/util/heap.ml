@@ -1,0 +1,92 @@
+type ('k, 'v) entry = { key : 'k; seq : int; value : 'v }
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  mutable data : ('k, 'v) entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_lt t a b =
+  let c = t.compare a.key b.key in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* Dummy slot reuse: every live slot will be overwritten before read. *)
+  let dummy = t.data.(0) in
+  let ndata = Array.make ncap dummy in
+  Array.blit t.data 0 ndata 0 t.size;
+  t.data <- ndata
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.data = 0 then t.data <- Array.make 16 e
+  else if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (e.key, e.value)
+  end
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  if t.size = 0 then []
+  else begin
+    let copy =
+      {
+        compare = t.compare;
+        data = Array.sub t.data 0 t.size;
+        size = t.size;
+        next_seq = t.next_seq;
+      }
+    in
+    let rec drain acc =
+      match pop copy with None -> List.rev acc | Some kv -> drain (kv :: acc)
+    in
+    drain []
+  end

@@ -1,0 +1,24 @@
+(** Binary min-heap priority queue.
+
+    The simulator's event queue needs stable ordering between events with
+    equal keys, so every insertion is tagged with a monotonically increasing
+    sequence number and ties are broken FIFO. *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the minimum-key entry (FIFO among equal keys). *)
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+val clear : ('k, 'v) t -> unit
+
+val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
+(** Non-destructive: returns all entries in pop order. *)

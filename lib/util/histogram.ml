@@ -1,0 +1,47 @@
+type t = {
+  base : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(base = 2.0) ?(buckets = 64) () =
+  if base <= 1.0 then invalid_arg "Histogram.create: base must exceed 1";
+  if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
+  { base; counts = Array.make buckets 0; total = 0 }
+
+let bucket_of t x =
+  if x < 1.0 then 0
+  else begin
+    let i = int_of_float (log x /. log t.base) in
+    min i (Array.length t.counts - 1)
+  end
+
+let add t x =
+  let i = bucket_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bucket_counts t =
+  let out = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo = if i = 0 then 0.0 else t.base ** float_of_int i in
+      let hi = t.base ** float_of_int (i + 1) in
+      out := (lo, hi, t.counts.(i)) :: !out
+    end
+  done;
+  !out
+
+let render t ~width =
+  let rows = bucket_counts t in
+  let max_count = List.fold_left (fun acc (_, _, c) -> max acc c) 1 rows in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar = c * width / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c (String.make bar '#')))
+    rows;
+  Buffer.contents buf

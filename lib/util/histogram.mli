@@ -1,0 +1,16 @@
+(** Logarithmically-bucketed histogram for latency-like measurements. *)
+
+type t
+
+val create : ?base:float -> ?buckets:int -> unit -> t
+(** [create ~base ~buckets ()] — bucket [i] covers values in
+    [\[base^i, base^(i+1))]; values below 1.0 land in bucket 0.
+    Defaults: base = 2.0, buckets = 64. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bucket_counts : t -> (float * float * int) list
+(** [(lo, hi, count)] for every non-empty bucket, ascending. *)
+
+val render : t -> width:int -> string
+(** ASCII bar rendering, for quick terminal inspection. *)

@@ -1,0 +1,67 @@
+type t = { mutable state : int64; mutable gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele, Lea, Flood: "Fast splittable PRNGs"). *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(* A distinct finalizer used to derive gammas; gamma must be odd. *)
+let mix_gamma z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L) in
+  let z = Int64.(logxor z (shift_right_logical z 33)) in
+  Int64.logor z 1L
+
+let create seed =
+  { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_seed t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let int64 t = mix64 (next_seed t)
+
+let split t =
+  let state = mix64 (next_seed t) in
+  let gamma = mix_gamma (next_seed t) in
+  { state; gamma }
+
+let copy t = { state = t.state; gamma = t.gamma }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's native int without touching the
+     sign bit; modulo bias is negligible for our bounds. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  (* 53 significant bits, uniform in [0,1). *)
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let uniform_in t lo hi = lo +. float t (hi -. lo)
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

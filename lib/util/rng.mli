@@ -1,0 +1,44 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    Based on the SplitMix64 mixing function.  Every simulation component
+    receives its own split stream so that adding a component never perturbs
+    the random draws of another — a requirement for reproducible
+    discrete-event simulations. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent stream; [t] itself advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (both streams then evolve
+    identically). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache invalidated by [add] *)
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let total t = t.mean *. float_of_int t.n
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min_value t = t.min_v
+let max_value t = t.max_v
+
+let sorted_samples t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t q =
+  if t.n = 0 then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let a = sorted_samples t in
+  let idx = int_of_float (ceil (q *. float_of_int t.n)) - 1 in
+  a.(max 0 (min (t.n - 1) idx))
+
+let ci95 t =
+  if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (List.rev_append a.samples b.samples);
+  t
+
+let mean_of xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev_of xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean_of xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))

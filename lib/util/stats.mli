@@ -1,0 +1,30 @@
+(** Summary statistics for simulation measurements. *)
+
+type t
+(** A running accumulator (Welford's algorithm: numerically stable mean and
+    variance in one pass, plus retained samples for percentiles). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [\[0,1\]]; nearest-rank on the retained
+    samples.  Raises [Invalid_argument] on an empty accumulator. *)
+
+val ci95 : t -> float
+(** Half-width of the normal-approximation 95% confidence interval of the
+    mean. *)
+
+val merge : t -> t -> t
+
+val mean_of : float list -> float
+val stddev_of : float list -> float

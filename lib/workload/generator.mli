@@ -1,0 +1,22 @@
+(** Operation stream generation: read/write mixes over a skewed key
+    space. *)
+
+type op = Read of int | Write of int * string  (** key, payload *)
+
+type t
+
+val create :
+  rng:Dsutil.Rng.t ->
+  read_fraction:float ->
+  key_space:int ->
+  ?zipf_theta:float ->
+  unit ->
+  t
+(** [zipf_theta] defaults to 0 (uniform keys). *)
+
+val next : t -> op
+(** Draws the next operation; write payloads are unique, so a committed
+    value identifies its originating operation in safety checks. *)
+
+val think_time : t -> mean:float -> float
+(** Exponential think-time draw for closed-loop clients. *)

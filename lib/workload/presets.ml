@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  description : string;
+  read_fraction : float;
+  zipf_theta : float;
+}
+
+let update_heavy =
+  {
+    name = "update-heavy";
+    description = "50% reads / 50% writes, skewed keys (YCSB-A)";
+    read_fraction = 0.5;
+    zipf_theta = 0.99;
+  }
+
+let read_mostly =
+  {
+    name = "read-mostly";
+    description = "95% reads / 5% writes, skewed keys (YCSB-B)";
+    read_fraction = 0.95;
+    zipf_theta = 0.99;
+  }
+
+let read_only =
+  {
+    name = "read-only";
+    description = "100% reads, skewed keys (YCSB-C)";
+    read_fraction = 1.0;
+    zipf_theta = 0.99;
+  }
+
+let write_heavy =
+  {
+    name = "write-heavy";
+    description = "5% reads / 95% writes, uniform keys";
+    read_fraction = 0.05;
+    zipf_theta = 0.0;
+  }
+
+let all = [ update_heavy; read_mostly; read_only; write_heavy ]
+
+let by_name name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun p -> p.name = name) all

@@ -1,0 +1,26 @@
+(** Canned workload mixes (YCSB-inspired), so scenarios across the
+    examples, CLI and benchmarks agree on what "read-heavy" means. *)
+
+type t = {
+  name : string;
+  description : string;
+  read_fraction : float;
+  zipf_theta : float;
+}
+
+val update_heavy : t
+(** 50% reads / 50% writes, skewed keys (YCSB-A). *)
+
+val read_mostly : t
+(** 95% reads (YCSB-B). *)
+
+val read_only : t
+(** 100% reads (YCSB-C). *)
+
+val write_heavy : t
+(** 5% reads — the regime MOSTLY-WRITE trees are built for. *)
+
+val all : t list
+
+val by_name : string -> t option
+(** Case-insensitive lookup. *)

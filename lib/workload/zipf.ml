@@ -1,0 +1,36 @@
+module Rng = Dsutil.Rng
+
+type t = { n : int; cdf : float array }
+
+let create ~n ~theta =
+  if n < 1 then invalid_arg "Zipf.create: need at least one key";
+  if theta < 0.0 || theta > 2.0 then invalid_arg "Zipf.create: theta out of [0,2]";
+  let weights =
+    Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta))
+  in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first cdf entry >= u. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (t.n - 1)
+
+let pmf t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.pmf: key out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

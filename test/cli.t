@@ -1,0 +1,101 @@
+The paper's worked example (§3.4): build the Figure-1 tree and analyze it.
+
+  $ replica-ctl tree --spec 1-3-5
+  level 0: 0 physical, 1 logical
+  level 1: 3 physical, 0 logical (sites 0..2)
+  level 2: 5 physical, 0 logical (sites 3..7)
+  n=8 height=2
+  spec: 1-3-5
+  satisfies assumption 3.1: true
+
+  $ replica-ctl analyze --spec 1-3-5 -p 0.7
+  tree 1-3-5 (n=8)
+  read : cost=2  avail=0.9706  load=0.3333  expected-load=0.3529
+  write: cost=3..5 (avg 4.00)  avail=0.4534  load=0.5000  expected-load=0.7733
+  write operation availability (incl. version-phase read): 0.4481
+
+Quorum enumeration on a small tree (Facts 3.2.1 / 3.2.2):
+
+  $ replica-ctl quorums --spec 1-2-3
+  read quorums (m(R) = 6):
+    {0,2}
+    {0,3}
+    {0,4}
+    {1,2}
+    {1,3}
+    {1,4}
+  write quorums (m(W) = 2):
+    {0,1}
+    {2,3,4}
+
+The planner picks more physical levels as writes dominate (§3.3):
+
+  $ replica-ctl plan -n 100 -p 0.8 --read-fraction 0.1 | head -2
+  best trees for n=100, p=0.80, 10% reads:
+    1. score 0.0639  |K_phy|=25   1-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4-4
+
+Resilience numbers come from the tree shape:
+
+  $ replica-ctl tree --config mostly-write -n 9
+  level 0: 0 physical, 1 logical
+  level 1: 2 physical, 0 logical (sites 0..1)
+  level 2: 2 physical, 0 logical (sites 2..3)
+  level 3: 2 physical, 0 logical (sites 4..5)
+  level 4: 3 physical, 0 logical (sites 6..8)
+  n=9 height=4
+  spec: 1-2-2-2-3
+  satisfies assumption 3.1: true
+
+Figure/table regeneration is deterministic:
+
+  $ replica-ctl figures --section table1 | head -8
+  == Table 1: node counts of the Figure-1 tree (spec 1-3-5) ==
+  level k  m_k  m_phy k  m_log k
+  -------  ---  -------  -------
+  0        1    0        1      
+  1        3    3        0      
+  2        9    5        4      
+  worked example (p=0.7): m(R)=15 m(W)=2
+  RD_cost=2 RD_avail=0.97 L_RD=0.3333 E[L_RD]=0.3529
+
+Transactions conserve the counter total (conservation line is the check):
+
+  $ replica-ctl txn -n 24 --txns 10 | tail -2
+  increments: 28 committed + 0 uncertain; observed total 28
+  conservation: OK
+
+Graphviz export marks physical nodes as boxes:
+
+  $ replica-ctl tree --spec 1-2-2 --dot | grep -c "shape=box"
+  4
+
+Configurations that are not arbitrary trees are rejected gracefully:
+
+  $ replica-ctl tree --config hqc
+  replica-ctl: Config.build: HQC is not an arbitrary tree (use Quorum.Hqc)
+  [1]
+
+  $ replica-ctl tree --spec 0-3
+  replica-ctl: Tree.of_spec: bad component "0"
+  [1]
+
+End-to-end simulation from the CLI is deterministic under a fixed seed:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=20 failed=0  writes: ok=20 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
+  messages: sent=480 delivered=480 dropped=0 (12.0 per op)
+
+CSV export writes one file per figure plus a gnuplot script:
+
+  $ replica-ctl figures --section table1 --export out >/dev/null && ls out
+  fig2_read_cost.csv
+  fig2_write_cost.csv
+  fig3_expected_read_load.csv
+  fig3_read_load.csv
+  fig4_expected_write_load.csv
+  fig4_write_load.csv
+  plot.gp

@@ -1,0 +1,243 @@
+module Tree = Arbitrary.Tree
+module Load_lp = Analysis.Load_lp
+module Analysis = Arbitrary.Analysis
+module Quorums = Arbitrary.Quorums
+module Availability = Quorum.Availability
+module Protocol = Quorum.Protocol
+module Rng = Dsutil.Rng
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+let fig1 = Tree.figure1 ()
+
+let test_costs () =
+  Alcotest.(check int) "RD_cost = |K_phy|" 2 (Analysis.read_cost fig1);
+  Alcotest.(check int) "min write cost d" 3 (Analysis.write_cost_min fig1);
+  Alcotest.(check int) "max write cost e" 5 (Analysis.write_cost_max fig1);
+  Alcotest.(check bool) "avg write cost n/|K_phy|" true
+    (feq (Analysis.write_cost_avg fig1) 4.0)
+
+let test_quorum_counts () =
+  Alcotest.(check bool) "m(R)=15" true (feq (Analysis.num_read_quorums fig1) 15.0);
+  Alcotest.(check int) "m(W)=2" 2 (Analysis.num_write_quorums fig1)
+
+let test_availability_formulas () =
+  let p = 0.7 in
+  (* RD: (1-0.3^3)(1-0.3^5); WR_fail: (1-0.7^3)(1-0.7^5) *)
+  Alcotest.(check bool) "read availability" true
+    (feq (Analysis.read_availability fig1 ~p)
+       ((1.0 -. (0.3 ** 3.0)) *. (1.0 -. (0.3 ** 5.0))));
+  Alcotest.(check bool) "write fail" true
+    (feq (Analysis.write_fail fig1 ~p)
+       ((1.0 -. (0.7 ** 3.0)) *. (1.0 -. (0.7 ** 5.0))));
+  Alcotest.(check bool) "complement" true
+    (feq (Analysis.write_availability fig1 ~p) (1.0 -. Analysis.write_fail fig1 ~p))
+
+let test_availability_vs_exact_enumeration () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun p ->
+      let exact_rd =
+        Availability.exact ~n:8 ~p (fun ~alive ->
+            Quorums.read_quorum fig1 ~alive ~rng <> None)
+      in
+      let exact_wr =
+        Availability.exact ~n:8 ~p (fun ~alive ->
+            Quorums.write_quorum fig1 ~alive ~rng <> None)
+      in
+      Alcotest.(check bool) "read closed form = enumeration" true
+        (feq ~eps:1e-9 exact_rd (Analysis.read_availability fig1 ~p));
+      Alcotest.(check bool) "write closed form = enumeration" true
+        (feq ~eps:1e-9 exact_wr (Analysis.write_availability fig1 ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_write_operation_availability_vs_exact () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun p ->
+      let exact =
+        Availability.exact ~n:8 ~p (fun ~alive ->
+            Quorums.read_quorum fig1 ~alive ~rng <> None
+            && Quorums.write_quorum fig1 ~alive ~rng <> None)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "combined availability p=%.1f" p)
+        true
+        (feq ~eps:1e-9 exact (Analysis.write_operation_availability fig1 ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_per_site_availability () =
+  (* Constant p must reduce to the uniform formulas. *)
+  let p = 0.7 in
+  Alcotest.(check bool) "reduces to uniform (read)" true
+    (feq
+       (Analysis.read_availability_per_site fig1 ~p:(fun _ -> p))
+       (Analysis.read_availability fig1 ~p));
+  Alcotest.(check bool) "reduces to uniform (write)" true
+    (feq
+       (Analysis.write_availability_per_site fig1 ~p:(fun _ -> p))
+       (Analysis.write_availability fig1 ~p));
+  (* Heterogeneous case against exact enumeration. *)
+  let p_of i = 0.5 +. (0.05 *. float_of_int i) in
+  let rng = Rng.create 13 in
+  let exact_rd =
+    Availability.exact_hetero ~n:8 ~p:p_of (fun ~alive ->
+        Quorums.read_quorum fig1 ~alive ~rng <> None)
+  in
+  let exact_wr =
+    Availability.exact_hetero ~n:8 ~p:p_of (fun ~alive ->
+        Quorums.write_quorum fig1 ~alive ~rng <> None)
+  in
+  Alcotest.(check bool) "hetero read matches enumeration" true
+    (feq ~eps:1e-9 exact_rd (Analysis.read_availability_per_site fig1 ~p:p_of));
+  Alcotest.(check bool) "hetero write matches enumeration" true
+    (feq ~eps:1e-9 exact_wr (Analysis.write_availability_per_site fig1 ~p:p_of));
+  (* Placement matters: reliable replicas on the small level beat the
+     reverse placement for reads (the small level is the read
+     bottleneck). *)
+  let good i = if Tree.level_of_replica fig1 i = 1 then 0.95 else 0.6 in
+  let bad i = if Tree.level_of_replica fig1 i = 1 then 0.6 else 0.95 in
+  Alcotest.(check bool) "reliable small level helps reads" true
+    (Analysis.read_availability_per_site fig1 ~p:good
+    > Analysis.read_availability_per_site fig1 ~p:bad)
+
+let test_resilience () =
+  Alcotest.(check int) "read resilience = d" 3 (Analysis.read_resilience fig1);
+  Alcotest.(check int) "write resilience = |K_phy|" 2
+    (Analysis.write_resilience fig1);
+  (* Witness: killing d replicas of the smallest level blocks reads. *)
+  let rng = Rng.create 17 in
+  let alive = Dsutil.Bitset.of_list 8 [ 3; 4; 5; 6; 7 ] in
+  Alcotest.(check bool) "d crashes block reads" true
+    (Quorums.read_quorum fig1 ~alive ~rng = None);
+  (* And one crash per level blocks writes. *)
+  let alive2 = Dsutil.Bitset.of_list 8 [ 1; 2; 4; 5; 6; 7 ] in
+  Alcotest.(check bool) "|K_phy| crashes block writes" true
+    (Quorums.write_quorum fig1 ~alive:alive2 ~rng = None)
+
+let test_loads () =
+  Alcotest.(check bool) "L_RD = 1/d" true (feq (Analysis.read_load fig1) (1.0 /. 3.0));
+  Alcotest.(check bool) "L_WR = 1/|K_phy|" true (feq (Analysis.write_load fig1) 0.5)
+
+let test_section_3_4_example () =
+  (* Every number of the worked example, to the paper's printed
+     precision. *)
+  let s = Analysis.summarize fig1 ~p:0.7 in
+  Alcotest.(check int) "RD_cost" 2 s.Analysis.rd_cost;
+  Alcotest.(check bool) "RD_avail ~ 0.97" true
+    (abs_float (s.Analysis.rd_availability -. 0.97) < 0.005);
+  Alcotest.(check bool) "L_RD = 1/3" true (feq s.Analysis.rd_load (1.0 /. 3.0));
+  Alcotest.(check bool) "WR_cost = 4" true (feq s.Analysis.wr_cost_avg 4.0);
+  Alcotest.(check bool) "WR_avail ~ 0.45" true
+    (abs_float (s.Analysis.wr_availability -. 0.45) < 0.005);
+  Alcotest.(check bool) "L_WR = 1/2" true (feq s.Analysis.wr_load 0.5);
+  Alcotest.(check bool) "E[L_RD] ~ 0.35" true
+    (abs_float (s.Analysis.expected_rd_load -. 0.35) < 0.005);
+  Alcotest.(check bool) "E[L_WR] ~ 0.775" true
+    (abs_float (s.Analysis.expected_wr_load -. 0.775) < 0.005)
+
+let test_load_optimality_via_lp () =
+  (* Appendix §6: the analytic loads are optimal.  Verify against the LP
+     optimum on several trees. *)
+  List.iter
+    (fun spec ->
+      let tree = Tree.of_spec spec in
+      let reads =
+        Quorum.Quorum_set.create ~universe:(Tree.n tree)
+          (List.of_seq (Quorums.enumerate_read_quorums tree))
+      in
+      let writes =
+        Quorum.Quorum_set.create ~universe:(Tree.n tree)
+          (List.of_seq (Quorums.enumerate_write_quorums tree))
+      in
+      Alcotest.(check bool)
+        (spec ^ ": LP read load = 1/d")
+        true
+        (feq ~eps:1e-6 (Load_lp.optimal_load reads)
+           (Arbitrary.Analysis.read_load tree));
+      Alcotest.(check bool)
+        (spec ^ ": LP write load = 1/|K_phy|")
+        true
+        (feq ~eps:1e-6 (Load_lp.optimal_load writes)
+           (Arbitrary.Analysis.write_load tree)))
+    [ "1-3-5"; "2-3-4"; "1-2-2-3"; "4"; "1-4-4-4" ]
+
+let test_lower_bound_witnesses () =
+  (* The appendix's Proposition-2.1 certificates, verified mechanically:
+     reads put weight 1/d on the smallest level, writes 1/|K_phy| on one
+     replica per level. *)
+  let tree = fig1 in
+  let n = Tree.n tree in
+  let reads =
+    Quorum.Quorum_set.create ~universe:n
+      (List.of_seq (Quorums.enumerate_read_quorums tree))
+  in
+  let writes =
+    Quorum.Quorum_set.create ~universe:n
+      (List.of_seq (Quorums.enumerate_write_quorums tree))
+  in
+  (* Read witness: level 1 has d = 3 replicas (sites 0,1,2). *)
+  let y_read = Array.make n 0.0 in
+  Array.iter (fun i -> y_read.(i) <- 1.0 /. 3.0) (Tree.replicas_at tree 1);
+  Alcotest.(check bool) "read witness validates" true
+    (Load_lp.check_witness reads ~y:y_read ~load:(1.0 /. 3.0));
+  (* Write witness: one replica from each physical level. *)
+  let y_write = Array.make n 0.0 in
+  y_write.(0) <- 0.5;
+  y_write.(3) <- 0.5;
+  Alcotest.(check bool) "write witness validates" true
+    (Load_lp.check_witness writes ~y:y_write ~load:0.5)
+
+let test_limits () =
+  (* §3.3 limit formulas at p=0.7 against a very large Algorithm-1 tree. *)
+  let big = Arbitrary.Config.algorithm1 ~n:100_000 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "read limit" true
+        (abs_float
+           (Analysis.limit_read_availability ~p
+           -. Analysis.read_availability big ~p)
+        < 1e-6);
+      Alcotest.(check bool) "write limit" true
+        (abs_float
+           (Analysis.limit_write_availability ~p
+           -. Analysis.write_availability big ~p)
+        < 1e-6))
+    [ 0.55; 0.7; 0.85 ]
+
+let test_monotonicity_in_levels () =
+  (* §3.3 trade-off: more physical levels -> lower write load/cost, higher
+     read cost. *)
+  let n = 60 in
+  let prev_wr = ref infinity and prev_rd = ref 0.0 in
+  List.iter
+    (fun levels ->
+      let t = Arbitrary.Config.even_levels ~n ~levels in
+      let wr = Analysis.write_load t in
+      let rd = float_of_int (Analysis.read_cost t) in
+      Alcotest.(check bool) "write load decreases" true (wr <= !prev_wr);
+      Alcotest.(check bool) "read cost increases" true (rd >= !prev_rd);
+      prev_wr := wr;
+      prev_rd := rd)
+    [ 1; 2; 3; 5; 6; 10; 15; 30 ]
+
+let suite =
+  [
+    Alcotest.test_case "costs" `Quick test_costs;
+    Alcotest.test_case "quorum counts" `Quick test_quorum_counts;
+    Alcotest.test_case "availability formulas" `Quick test_availability_formulas;
+    Alcotest.test_case "availability vs exact enumeration" `Quick
+      test_availability_vs_exact_enumeration;
+    Alcotest.test_case "write operation availability vs exact" `Quick
+      test_write_operation_availability_vs_exact;
+    Alcotest.test_case "per-site availability" `Quick test_per_site_availability;
+    Alcotest.test_case "resilience" `Quick test_resilience;
+    Alcotest.test_case "loads" `Quick test_loads;
+    Alcotest.test_case "§3.4 worked example" `Quick test_section_3_4_example;
+    Alcotest.test_case "load optimality via LP (appendix §6)" `Quick
+      test_load_optimality_via_lp;
+    Alcotest.test_case "lower-bound witnesses (Prop 2.1)" `Quick
+      test_lower_bound_witnesses;
+    Alcotest.test_case "limit availabilities (§3.3)" `Quick test_limits;
+    Alcotest.test_case "trade-off monotonicity (§3.3)" `Quick
+      test_monotonicity_in_levels;
+  ]

@@ -1,0 +1,119 @@
+module Tree = Arbitrary.Tree
+module Config = Arbitrary.Config
+
+let test_mostly_read () =
+  let t = Config.mostly_read ~n:10 in
+  Alcotest.(check int) "n" 10 (Tree.n t);
+  Alcotest.(check int) "one physical level" 1 (Tree.num_physical_levels t);
+  Alcotest.(check bool) "assumption" true (Tree.satisfies_assumption t)
+
+let test_mostly_write () =
+  let t = Config.mostly_write ~n:9 in
+  Alcotest.(check int) "n" 9 (Tree.n t);
+  Alcotest.(check int) "(n-1)/2 levels" 4 (Tree.num_physical_levels t);
+  Alcotest.(check int) "min level 2" 2 (Tree.min_level_size t);
+  Alcotest.(check int) "max level 3" 3 (Tree.max_level_size t);
+  Alcotest.(check bool) "assumption" true (Tree.satisfies_assumption t);
+  Alcotest.check_raises "even n rejected"
+    (Invalid_argument "Config.mostly_write: n must be odd and at least 3")
+    (fun () -> ignore (Config.mostly_write ~n:10));
+  let t3 = Config.mostly_write ~n:3 in
+  Alcotest.(check int) "n=3 single level" 1 (Tree.num_physical_levels t3)
+
+let test_unmodified_binary () =
+  let t = Config.unmodified_binary ~height:3 in
+  Alcotest.(check int) "n = 2^(h+1)-1" 15 (Tree.n t);
+  Alcotest.(check int) "h+1 physical levels" 4 (Tree.num_physical_levels t);
+  Alcotest.(check (list int)) "no logical levels" [] (Tree.logical_levels t);
+  List.iteri
+    (fun k l ->
+      ignore l;
+      Alcotest.(check int)
+        (Printf.sprintf "level %d size" k)
+        (1 lsl k)
+        (Tree.level t k).Tree.physical)
+    [ (); (); (); () ]
+
+let test_algorithm1 () =
+  List.iter
+    (fun n ->
+      let t = Config.algorithm1 ~n in
+      Alcotest.(check int) (Printf.sprintf "n=%d placed" n) n (Tree.n t);
+      Alcotest.(check bool) "assumption holds" true (Tree.satisfies_assumption t);
+      let k_phy = int_of_float (sqrt (float_of_int n)) in
+      Alcotest.(check int) "sqrt(n) physical levels" k_phy
+        (Tree.num_physical_levels t);
+      (* First seven physical levels have four replicas. *)
+      List.iteri
+        (fun i k ->
+          if i < 7 then
+            Alcotest.(check int)
+              (Printf.sprintf "level %d has 4" k)
+              4
+              (Tree.level t k).Tree.physical)
+        (Tree.physical_levels t);
+      Alcotest.(check int) "min level size 4" 4 (Tree.min_level_size t))
+    [ 64; 65; 100; 256; 1000; 10000 ];
+  Alcotest.check_raises "small n rejected"
+    (Invalid_argument "Config.algorithm1: requires n >= 64") (fun () ->
+      ignore (Config.algorithm1 ~n:63))
+
+let test_proportional_small () =
+  List.iter
+    (fun n ->
+      let t = Config.proportional_small ~n in
+      Alcotest.(check int) (Printf.sprintf "n=%d placed" n) n (Tree.n t);
+      Alcotest.(check bool) "assumption holds" true (Tree.satisfies_assumption t))
+    [ 33; 36; 40; 50; 63 ]
+
+let test_even_levels () =
+  let t = Config.even_levels ~n:10 ~levels:3 in
+  Alcotest.(check int) "n" 10 (Tree.n t);
+  Alcotest.(check int) "levels" 3 (Tree.num_physical_levels t);
+  Alcotest.(check bool) "assumption" true (Tree.satisfies_assumption t);
+  (* 10 over 3 -> 3,3,4 *)
+  Alcotest.(check int) "min 3" 3 (Tree.min_level_size t);
+  Alcotest.(check int) "max 4" 4 (Tree.max_level_size t)
+
+let test_build_dispatch () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun name ->
+          match name with
+          | Config.Binary | Config.Hqc ->
+            Alcotest.(check bool)
+              (Config.name_to_string name ^ " rejected")
+              true
+              (try
+                 ignore (Config.build name ~n);
+                 false
+               with Invalid_argument _ -> true)
+          | _ ->
+            let t = Config.build name ~n in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s n=%d assumption" (Config.name_to_string name) n)
+              true (Tree.satisfies_assumption t))
+        Config.all_names)
+    [ 9; 33; 65; 129 ]
+
+let test_build_sizes () =
+  (* build must place exactly n replicas for the arbitrary-tree configs
+     (odd-n snap for MOSTLY-WRITE). *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int) "mostly-read" n (Tree.n (Config.build Config.Mostly_read ~n));
+      Alcotest.(check int) "arbitrary" n (Tree.n (Config.build Config.Arbitrary ~n)))
+    [ 8; 16; 33; 64; 65; 128; 500 ]
+
+let suite =
+  [
+    Alcotest.test_case "mostly-read" `Quick test_mostly_read;
+    Alcotest.test_case "mostly-write" `Quick test_mostly_write;
+    Alcotest.test_case "unmodified binary" `Quick test_unmodified_binary;
+    Alcotest.test_case "algorithm 1" `Quick test_algorithm1;
+    Alcotest.test_case "proportional small" `Quick test_proportional_small;
+    Alcotest.test_case "even levels" `Quick test_even_levels;
+    Alcotest.test_case "build dispatch" `Quick test_build_dispatch;
+    Alcotest.test_case "build sizes" `Quick test_build_sizes;
+  ]

@@ -1,0 +1,168 @@
+(* Edge cases for the coordinator and the low-level quorum RPC. *)
+
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Coordinator = Replication.Coordinator
+module Replica = Replication.Replica
+module Quorum_rpc = Replication.Quorum_rpc
+module Timestamp = Replication.Timestamp
+module Stats = Dsutil.Stats
+
+let build ?(spec = "1-3-5") ?(seed = 42) ?(loss_rate = 0.0) ?config () =
+  let tree = Arbitrary.Tree.of_spec spec in
+  let proto = Arbitrary.Quorums.protocol tree in
+  let n = Arbitrary.Tree.n tree in
+  let engine = Engine.create ~seed () in
+  let net = Network.create ~engine ~n:(n + 2) ~loss_rate () in
+  let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let coord = Coordinator.create ~site:n ~net ~proto ?config () in
+  let rpc = Quorum_rpc.create ~site:(n + 1) ~net ~proto () in
+  (engine, net, replicas, coord, rpc)
+
+let test_single_replica_system () =
+  let engine, net, _, coord, _ = build ~spec:"1" () in
+  let wrote = ref None and read = ref None in
+  Coordinator.write coord ~key:0 ~value:"solo" (fun r ->
+      wrote := r;
+      Coordinator.read coord ~key:0 (fun r -> read := r));
+  Engine.run engine;
+  Alcotest.(check bool) "write ok" true (!wrote <> None);
+  (match !read with
+  | Some { Coordinator.value; _ } -> Alcotest.(check string) "value" "solo" value
+  | None -> Alcotest.fail "read failed");
+  (* The sole replica down: everything fails. *)
+  Network.crash net 0;
+  let failed = ref false in
+  Coordinator.read coord ~key:0 (fun r -> failed := r = None);
+  Engine.run engine;
+  Alcotest.(check bool) "read fails" true !failed
+
+let test_write_survives_message_loss () =
+  (* 20% loss: per-phase timeouts retry with fresh quorums and commit
+     resends absorb lost commit messages.  Several seeds for robustness. *)
+  let ok = ref 0 in
+  List.iter
+    (fun seed ->
+      let engine, _, _, coord, _ =
+        build ~loss_rate:0.2 ~seed
+          ~config:{ Coordinator.default_config with max_retries = 15 } ()
+      in
+      Coordinator.write coord ~key:1 ~value:"lossy" (fun r ->
+          if r <> None then incr ok);
+      Engine.run engine)
+    [ 1; 2; 3; 4; 5; 6 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "lossy writes succeed with retry budget (%d/6)" !ok)
+    true (!ok >= 5)
+
+let test_op_succeeds_after_partition_heals () =
+  let engine, net, _, coord, _ = build () in
+  (* Separate the coordinator from level 1 so the first attempts fail; heal
+     before the retry budget runs out. *)
+  Network.partition net [ [ 8; 3; 4; 5; 6; 7 ]; [ 0; 1; 2 ] ];
+  Engine.schedule engine ~delay:30.0 (fun () -> Network.heal net);
+  let result = ref None in
+  Coordinator.read coord ~key:0 (fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check bool) "read eventually succeeds" true (!result <> None);
+  Alcotest.(check bool) "retries were needed" true
+    ((Coordinator.metrics coord).Coordinator.retries >= 1)
+
+let test_latency_stats_recorded () =
+  let engine, _, _, coord, _ = build () in
+  for i = 0 to 4 do
+    Coordinator.write coord ~key:i ~value:"x" (fun _ -> ())
+  done;
+  Engine.run engine;
+  let m = Coordinator.metrics coord in
+  Alcotest.(check int) "five writes measured" 5 (Stats.count m.Coordinator.write_latency);
+  Alcotest.(check bool) "positive latency" true
+    (Stats.mean m.Coordinator.write_latency > 0.0);
+  Alcotest.(check int) "no read latencies" 0 (Stats.count m.Coordinator.read_latency)
+
+let test_concurrent_ops_different_keys () =
+  let engine, _, _, coord, _ = build () in
+  let done_count = ref 0 in
+  for i = 0 to 9 do
+    Coordinator.write coord ~key:i ~value:(string_of_int i) (fun r ->
+        if r <> None then incr done_count)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all ten writes complete" 10 !done_count;
+  let read_back = ref 0 in
+  for i = 0 to 9 do
+    Coordinator.read coord ~key:i (fun r ->
+        match r with
+        | Some { Coordinator.value; _ } when value = string_of_int i ->
+          incr read_back
+        | _ -> ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all values correct" 10 !read_back
+
+let test_rpc_query_no_quorum () =
+  let engine, net, _, _, rpc = build () in
+  List.iter (Network.crash net) [ 0; 1; 2 ];
+  let result = ref (Some (Timestamp.zero, "unset")) in
+  Quorum_rpc.query rpc ~key:0 (fun r -> result := r);
+  Engine.run engine;
+  Alcotest.(check bool) "None without read quorum" true (!result = None)
+
+let test_rpc_forced_ts_idempotent () =
+  let engine, _, replicas, _, rpc = build () in
+  let ts = Timestamp.make ~version:5 ~sid:2 in
+  let first = ref None and second = ref None in
+  Quorum_rpc.write rpc ~key:3 ~ts ~value:"once" (fun r ->
+      first := r;
+      Quorum_rpc.write rpc ~key:3 ~ts ~value:"once" (fun r -> second := r));
+  Engine.run engine;
+  Alcotest.(check bool) "both writes acknowledged" true
+    (!first <> None && !second <> None);
+  (* Same timestamp: applied at most once per replica. *)
+  let applied =
+    Array.fold_left (fun acc r -> acc + Replica.writes_applied r) 0 replicas
+  in
+  Alcotest.(check bool) "no double apply" true (applied <= 8)
+
+let test_rpc_commit_incomplete_on_crash () =
+  let engine, net, _, _, rpc = build ~spec:"2-2" () in
+  (* Prepare on the only... with spec 2-2 both levels have 2 replicas; the
+     write quorum is one full level.  Crash one member after prepare. *)
+  let outcome = ref None in
+  Quorum_rpc.prepare rpc ~key:0 ~ts:(Timestamp.make ~version:1 ~sid:9)
+    ~value:"v" (function
+    | None -> Alcotest.fail "prepare must succeed"
+    | Some (op, members) ->
+      (* Kill one member before the commit round. *)
+      Network.crash net (List.hd members);
+      Quorum_rpc.commit_staged rpc ~op ~members (fun ok -> outcome := Some ok));
+  Engine.run engine;
+  Alcotest.(check bool) "commit reported incomplete" true (!outcome = Some false)
+
+let test_set_protocol_validation () =
+  let _, _, _, coord, rpc = build () in
+  let other = Arbitrary.Quorums.protocol (Arbitrary.Tree.of_spec "1-2-3") in
+  Alcotest.check_raises "coordinator rejects size change"
+    (Invalid_argument "Coordinator.set_protocol: replica universe changed")
+    (fun () -> Coordinator.set_protocol coord other);
+  Alcotest.check_raises "rpc rejects size change"
+    (Invalid_argument "Quorum_rpc.set_protocol: replica universe changed")
+    (fun () -> Quorum_rpc.set_protocol rpc other)
+
+let suite =
+  [
+    Alcotest.test_case "single-replica system" `Quick test_single_replica_system;
+    Alcotest.test_case "write survives message loss" `Quick
+      test_write_survives_message_loss;
+    Alcotest.test_case "op succeeds after partition heals" `Quick
+      test_op_succeeds_after_partition_heals;
+    Alcotest.test_case "latency stats recorded" `Quick test_latency_stats_recorded;
+    Alcotest.test_case "concurrent ops on different keys" `Quick
+      test_concurrent_ops_different_keys;
+    Alcotest.test_case "rpc query without quorum" `Quick test_rpc_query_no_quorum;
+    Alcotest.test_case "rpc forced-ts idempotence" `Quick
+      test_rpc_forced_ts_idempotent;
+    Alcotest.test_case "rpc commit incomplete on crash" `Quick
+      test_rpc_commit_incomplete_on_crash;
+    Alcotest.test_case "set_protocol validation" `Quick test_set_protocol_validation;
+  ]

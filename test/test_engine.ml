@@ -1,0 +1,100 @@
+module Engine = Dsim.Engine
+
+let test_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> Engine.schedule e ~delay:1.0 (fun () -> log := tag :: !log))
+    [ "x"; "y"; "z" ];
+  Engine.run e;
+  Alcotest.(check (list string)) "FIFO" [ "x"; "y"; "z" ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:5.0 (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule e ~delay:2.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "times" [ 2.5; 5.0 ] (List.rev !seen)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref 0.0 in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      Engine.schedule e ~delay:1.0 (fun () -> fired := Engine.now e));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "relative to handler time" 2.0 !fired
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> incr count))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check int) "two fired" 2 !count;
+  Alcotest.(check int) "two pending" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "rest fired" 4 !count
+
+let test_until_inclusive () =
+  let e = Engine.create () in
+  let hit = ref false in
+  Engine.schedule e ~delay:2.0 (fun () -> hit := true);
+  Engine.run ~until:2.0 e;
+  Alcotest.(check bool) "event at horizon fires" true !hit
+
+let test_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) (fun () -> ()));
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule e ~delay:1.0 (fun () -> ());
+      Engine.run e;
+      Engine.schedule_at e ~time:0.5 (fun () -> ()))
+
+let test_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Alcotest.(check bool) "one step" true (Engine.step e);
+  Alcotest.(check bool) "drained" false (Engine.step e)
+
+let test_determinism () =
+  let run_once () =
+    let e = Engine.create ~seed:7 () in
+    let rng = Engine.rng e in
+    let log = ref [] in
+    for _ = 1 to 10 do
+      let d = Dsutil.Rng.float rng 10.0 in
+      Engine.schedule e ~delay:d (fun () -> log := Engine.now e :: !log)
+    done;
+    Engine.run e;
+    !log
+  in
+  Alcotest.(check (list (float 1e-12))) "same seed, same trace" (run_once ())
+    (run_once ())
+
+let suite =
+  [
+    Alcotest.test_case "timestamp ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO among equal times" `Quick test_fifo_same_time;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "until is inclusive" `Quick test_until_inclusive;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,211 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Tree = Arbitrary.Tree
+module Gen = Arbitrary.Generalized
+module Quorum_set = Quorum.Quorum_set
+
+let fig1 = Tree.figure1 ()
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let quorum_set_of seq n = Quorum_set.create ~universe:n (List.of_seq seq)
+
+let test_classic_equals_paper_protocol () =
+  (* r=1, w=m must generate exactly the paper's quorum families. *)
+  let g = Gen.classic fig1 in
+  let paper_reads =
+    quorum_set_of (Arbitrary.Quorums.enumerate_read_quorums fig1) 8
+  in
+  let gen_reads = quorum_set_of (Gen.enumerate_read_quorums g) 8 in
+  Alcotest.(check int) "same read count" (Quorum_set.size paper_reads)
+    (Quorum_set.size gen_reads);
+  Alcotest.(check bool) "same read sets" true
+    (List.for_all
+       (fun q ->
+         Array.exists (Bitset.equal q) gen_reads.Quorum_set.quorums)
+       (Array.to_list paper_reads.Quorum_set.quorums));
+  let paper_writes =
+    quorum_set_of (Arbitrary.Quorums.enumerate_write_quorums fig1) 8
+  in
+  let gen_writes = quorum_set_of (Gen.enumerate_write_quorums g) 8 in
+  Alcotest.(check int) "same write count" (Quorum_set.size paper_writes)
+    (Quorum_set.size gen_writes);
+  (* And the closed forms agree. *)
+  Alcotest.(check int) "read cost" (Arbitrary.Analysis.read_cost fig1)
+    (Gen.read_cost g);
+  Alcotest.(check bool) "write cost" true
+    (feq (Arbitrary.Analysis.write_cost_avg fig1) (Gen.write_cost_avg g));
+  Alcotest.(check bool) "read availability" true
+    (feq
+       (Arbitrary.Analysis.read_availability fig1 ~p:0.7)
+       (Gen.read_availability g ~p:0.7));
+  Alcotest.(check bool) "write availability" true
+    (feq
+       (Arbitrary.Analysis.write_availability fig1 ~p:0.7)
+       (Gen.write_availability g ~p:0.7));
+  Alcotest.(check bool) "read load" true
+    (feq (Arbitrary.Analysis.read_load fig1) (Gen.read_load g));
+  Alcotest.(check bool) "write load" true
+    (feq (Arbitrary.Analysis.write_load fig1) (Gen.write_load g))
+
+let test_validation () =
+  List.iter
+    (fun (r, w, why) ->
+      Alcotest.(check bool) why true
+        (try
+           ignore (Gen.create fig1 ~read_thresholds:r ~write_thresholds:w);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ([ 1 ], [ 3 ], "wrong arity");
+      ([ 1; 1 ], [ 2; 5 ], "r + w <= m");
+      ([ 0; 1 ], [ 3; 5 ], "r < 1");
+      ([ 1; 6 ], [ 3; 5 ], "r > m");
+    ]
+
+let test_majority_levels_bicoterie () =
+  let g = Gen.level_majority fig1 in
+  (* r = w = 2 on the 3-level, 3 on the 5-level. *)
+  Alcotest.(check (list int)) "read thresholds" [ 2; 3 ] (Gen.read_thresholds g);
+  let reads = quorum_set_of (Gen.enumerate_read_quorums g) 8 in
+  let writes = quorum_set_of (Gen.enumerate_write_quorums g) 8 in
+  Alcotest.(check bool) "bicoterie" true (Quorum_set.is_bicoterie ~read:reads ~write:writes);
+  (* m(R) = C(3,2)*C(5,3) = 30; m(W) = C(3,2)+C(5,3) = 13. *)
+  Alcotest.(check int) "m(R)" 30 (Quorum_set.size reads);
+  Alcotest.(check int) "m(W)" 13 (Quorum_set.size writes)
+
+let test_majority_trades_write_cost () =
+  let classic = Gen.classic fig1 in
+  let maj = Gen.level_majority fig1 in
+  Alcotest.(check bool) "cheaper writes" true
+    (Gen.write_cost_avg maj < Gen.write_cost_avg classic);
+  Alcotest.(check bool) "dearer reads" true (Gen.read_cost maj > Gen.read_cost classic)
+
+let test_availability_vs_exact () =
+  let g = Gen.level_majority fig1 in
+  let rng = Rng.create 3 in
+  List.iter
+    (fun p ->
+      let exact_rd =
+        Quorum.Availability.exact ~n:8 ~p (fun ~alive ->
+            Gen.read_quorum g ~alive ~rng <> None)
+      in
+      let exact_wr =
+        Quorum.Availability.exact ~n:8 ~p (fun ~alive ->
+            Gen.write_quorum g ~alive ~rng <> None)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "read p=%.1f" p)
+        true
+        (feq exact_rd (Gen.read_availability g ~p));
+      Alcotest.(check bool)
+        (Printf.sprintf "write p=%.1f" p)
+        true
+        (feq exact_wr (Gen.write_availability g ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_loads_via_lp () =
+  List.iter
+    (fun (r, w) ->
+      let g = Gen.create fig1 ~read_thresholds:r ~write_thresholds:w in
+      let reads = quorum_set_of (Gen.enumerate_read_quorums g) 8 in
+      let writes = quorum_set_of (Gen.enumerate_write_quorums g) 8 in
+      Alcotest.(check bool) "read load formula = LP optimum" true
+        (feq ~eps:1e-6 (Analysis.Load_lp.optimal_load reads) (Gen.read_load g));
+      Alcotest.(check bool) "write load formula = LP optimum" true
+        (feq ~eps:1e-6 (Analysis.Load_lp.optimal_load writes) (Gen.write_load g)))
+    [ ([ 1; 1 ], [ 3; 5 ]); ([ 2; 3 ], [ 2; 3 ]); ([ 1; 2 ], [ 3; 4 ]); ([ 3; 3 ], [ 1; 3 ]) ]
+
+let prop_random_thresholds_bicoterie =
+  QCheck.Test.make ~name:"random thresholds keep the bicoterie property"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         let* sizes = list_repeat 2 (int_range 2 4) in
+         let* pairs =
+           flatten_l
+             (List.map
+                (fun m ->
+                  let* r = int_range 1 m in
+                  let* w = int_range (m - r + 1) m in
+                  return (r, w))
+                sizes)
+         in
+         return (sizes, pairs))
+       ~print:(fun (sizes, pairs) ->
+         Printf.sprintf "sizes=%s thresholds=%s"
+           (String.concat "-" (List.map string_of_int sizes))
+           (String.concat ","
+              (List.map (fun (r, w) -> Printf.sprintf "%d/%d" r w) pairs))))
+    (fun (sizes, pairs) ->
+      let tree = Tree.create ((0, 1) :: List.map (fun m -> (m, 0)) sizes) in
+      let g =
+        Gen.create tree ~read_thresholds:(List.map fst pairs)
+          ~write_thresholds:(List.map snd pairs)
+      in
+      let n = Tree.n tree in
+      let reads = quorum_set_of (Gen.enumerate_read_quorums g) n in
+      let writes = quorum_set_of (Gen.enumerate_write_quorums g) n in
+      Quorum_set.is_bicoterie ~read:reads ~write:writes)
+
+let prop_load_formulas_match_lp =
+  QCheck.Test.make ~name:"load formulas = LP optimum on random thresholds"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         let* sizes = list_repeat 2 (int_range 2 4) in
+         let* pairs =
+           flatten_l
+             (List.map
+                (fun m ->
+                  let* r = int_range 1 m in
+                  let* w = int_range (m - r + 1) m in
+                  return (r, w))
+                sizes)
+         in
+         return (sizes, pairs))
+       ~print:(fun (sizes, pairs) ->
+         Printf.sprintf "sizes=%s thresholds=%s"
+           (String.concat "-" (List.map string_of_int sizes))
+           (String.concat ","
+              (List.map (fun (r, w) -> Printf.sprintf "%d/%d" r w) pairs))))
+    (fun (sizes, pairs) ->
+      let tree = Tree.create ((0, 1) :: List.map (fun m -> (m, 0)) sizes) in
+      let g =
+        Gen.create tree ~read_thresholds:(List.map fst pairs)
+          ~write_thresholds:(List.map snd pairs)
+      in
+      let n = Tree.n tree in
+      let reads = quorum_set_of (Gen.enumerate_read_quorums g) n in
+      let writes = quorum_set_of (Gen.enumerate_write_quorums g) n in
+      feq ~eps:1e-6 (Analysis.Load_lp.optimal_load reads) (Gen.read_load g)
+      && feq ~eps:1e-6 (Analysis.Load_lp.optimal_load writes) (Gen.write_load g))
+
+let test_runs_in_replication_stack () =
+  (* The generalized protocol plugs into the full stack unchanged. *)
+  let g = Gen.level_majority fig1 in
+  let s = Replication.Harness.default_scenario ~proto:(Gen.protocol g) in
+  let r =
+    Replication.Harness.run
+      { s with Replication.Harness.n_clients = 2; ops_per_client = 40 }
+  in
+  Alcotest.(check int) "no safety violations" 0 r.Replication.Harness.safety_violations;
+  Alcotest.(check int) "all ops ok" 80
+    (r.Replication.Harness.reads_ok + r.Replication.Harness.writes_ok)
+
+let suite =
+  [
+    Alcotest.test_case "classic = the paper's protocol" `Quick
+      test_classic_equals_paper_protocol;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "level-majority bicoterie" `Quick
+      test_majority_levels_bicoterie;
+    Alcotest.test_case "majority trades write cost for read cost" `Quick
+      test_majority_trades_write_cost;
+    Alcotest.test_case "availability vs exact" `Quick test_availability_vs_exact;
+    Alcotest.test_case "load formulas = LP optimum" `Quick test_loads_via_lp;
+    QCheck_alcotest.to_alcotest prop_random_thresholds_bicoterie;
+    QCheck_alcotest.to_alcotest prop_load_formulas_match_lp;
+    Alcotest.test_case "runs in the replication stack" `Quick
+      test_runs_in_replication_stack;
+  ]

@@ -1,0 +1,97 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Grid = Quorum.Grid
+module Maekawa = Quorum.Maekawa
+
+let feq a b = abs_float (a -. b) < 1e-9
+
+let test_grid_costs () =
+  let g = Grid.create ~rows:3 ~cols:4 in
+  Alcotest.(check int) "read cost = cols" 4 (Grid.read_cost g);
+  Alcotest.(check int) "write cost = rows+cols-1" 6 (Grid.write_cost g)
+
+let test_grid_quorum_shapes () =
+  let g = Grid.create ~rows:3 ~cols:3 in
+  let rng = Rng.create 11 in
+  let alive = Quorum.Protocol.all_alive (Grid.protocol g) in
+  (match Grid.read_quorum g ~alive ~rng with
+  | None -> Alcotest.fail "read quorum must exist"
+  | Some q -> Alcotest.(check int) "read size" 3 (Bitset.cardinal q));
+  match Grid.write_quorum g ~alive ~rng with
+  | None -> Alcotest.fail "write quorum must exist"
+  | Some q -> Alcotest.(check int) "write size" 5 (Bitset.cardinal q)
+
+let test_grid_write_needs_full_column () =
+  let g = Grid.create ~rows:2 ~cols:2 in
+  let rng = Rng.create 13 in
+  (* Kill one site of each column: reads fine, writes impossible. *)
+  let alive = Bitset.of_list 4 [ 0; 3 ] in
+  Alcotest.(check bool) "read ok" true (Grid.read_quorum g ~alive ~rng <> None);
+  Alcotest.(check bool) "write blocked" true
+    (Grid.write_quorum g ~alive ~rng = None)
+
+let test_grid_loads () =
+  let g = Grid.create ~rows:4 ~cols:4 in
+  Alcotest.(check bool) "read load 1/rows" true (feq (Grid.read_load g) 0.25);
+  Alcotest.(check bool) "write load" true
+    (feq (Grid.write_load g) ((1.0 /. 4.0) +. (3.0 /. 4.0 /. 4.0)))
+
+let test_grid_square () =
+  let g = Grid.square ~n:10 in
+  Alcotest.(check int) "3x3 from 10" 9 (Grid.universe_size g)
+
+let test_grid_enumeration_counts () =
+  let g = Grid.create ~rows:2 ~cols:3 in
+  Alcotest.(check int) "reads: rows^cols" 8
+    (List.length (List.of_seq (Grid.enumerate_read_quorums g)));
+  Alcotest.(check int) "writes: cols * rows^(cols-1)" 12
+    (List.length (List.of_seq (Grid.enumerate_write_quorums g)))
+
+let test_maekawa_quorum_size () =
+  let m = Maekawa.create ~k:4 in
+  Alcotest.(check int) "2k-1" 7 (Maekawa.quorum_size m);
+  Alcotest.(check int) "n = k^2" 16 (Maekawa.universe_size m);
+  Alcotest.(check bool) "load" true (feq (Maekawa.load m) (7.0 /. 16.0))
+
+let test_maekawa_quorums_intersect_pairwise () =
+  let m = Maekawa.create ~k:3 in
+  let qs = List.of_seq (Maekawa.enumerate_read_quorums m) in
+  Alcotest.(check int) "n quorums" 9 (List.length qs);
+  List.iteri
+    (fun i qi ->
+      List.iteri
+        (fun j qj ->
+          if i < j then
+            Alcotest.(check bool) "row-col quorums intersect" true
+              (Bitset.intersects qi qj))
+        qs)
+    qs
+
+let test_maekawa_assembly_size () =
+  let m = Maekawa.create ~k:3 in
+  let rng = Rng.create 17 in
+  let alive = Quorum.Protocol.all_alive (Maekawa.protocol m) in
+  match Maekawa.read_quorum m ~alive ~rng with
+  | None -> Alcotest.fail "quorum must exist when all alive"
+  | Some q -> Alcotest.(check int) "size 2k-1" 5 (Bitset.cardinal q)
+
+let test_maekawa_of_n () =
+  let m = Maekawa.of_n ~n:10 in
+  Alcotest.(check int) "k=3 from n=10" 9 (Maekawa.universe_size m)
+
+let suite =
+  [
+    Alcotest.test_case "grid costs" `Quick test_grid_costs;
+    Alcotest.test_case "grid quorum shapes" `Quick test_grid_quorum_shapes;
+    Alcotest.test_case "grid write needs a full column" `Quick
+      test_grid_write_needs_full_column;
+    Alcotest.test_case "grid loads" `Quick test_grid_loads;
+    Alcotest.test_case "grid square constructor" `Quick test_grid_square;
+    Alcotest.test_case "grid enumeration counts" `Quick
+      test_grid_enumeration_counts;
+    Alcotest.test_case "maekawa quorum size" `Quick test_maekawa_quorum_size;
+    Alcotest.test_case "maekawa pairwise intersection" `Quick
+      test_maekawa_quorums_intersect_pairwise;
+    Alcotest.test_case "maekawa assembly size" `Quick test_maekawa_assembly_size;
+    Alcotest.test_case "maekawa of_n" `Quick test_maekawa_of_n;
+  ]

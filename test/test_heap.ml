@@ -1,0 +1,82 @@
+module Heap = Dsutil.Heap
+
+let test_empty () =
+  let h = Heap.create ~compare:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_ordering () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (fun k -> Heap.push h k (string_of_int k)) [ 5; 3; 8; 1; 9; 2 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (k, _) ->
+      order := k :: !order;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (List.rev !order)
+
+let test_fifo_ties () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (fun v -> Heap.push h 1 v) [ "a"; "b"; "c" ];
+  let vs =
+    List.init 3 (fun _ ->
+        match Heap.pop h with Some (_, v) -> v | None -> assert false)
+  in
+  Alcotest.(check (list string)) "FIFO among ties" [ "a"; "b"; "c" ] vs
+
+let test_interleaved () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 4 "d";
+  Heap.push h 2 "b";
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some (2, "b"));
+  ignore (Heap.pop h);
+  Heap.push h 1 "a";
+  Heap.push h 3 "c";
+  Alcotest.(check bool) "pop a" true (Heap.pop h = Some (1, "a"));
+  Alcotest.(check bool) "pop c" true (Heap.pop h = Some (3, "c"));
+  Alcotest.(check bool) "pop d" true (Heap.pop h = Some (4, "d"))
+
+let test_to_sorted_list () =
+  let h = Heap.create ~compare:Int.compare in
+  Alcotest.(check bool) "empty sorted list" true (Heap.to_sorted_list h = []);
+  List.iter (fun k -> Heap.push h k k) [ 3; 1; 2 ];
+  Alcotest.(check bool) "sorted list" true
+    (Heap.to_sorted_list h = [ (1, 1); (2, 2); (3, 3) ]);
+  Alcotest.(check int) "non-destructive" 3 (Heap.length h)
+
+let test_clear () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 1 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_large_random () =
+  let rng = Dsutil.Rng.create 31 in
+  let h = Heap.create ~compare:Int.compare in
+  let keys = List.init 5000 (fun _ -> Dsutil.Rng.int rng 1000) in
+  List.iter (fun k -> Heap.push h k ()) keys;
+  let rec drain last acc =
+    match Heap.pop h with
+    | None -> acc
+    | Some (k, ()) ->
+      Alcotest.(check bool) "non-decreasing" true (k >= last);
+      drain k (acc + 1)
+  in
+  Alcotest.(check int) "drained all" 5000 (drain min_int 0)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO among equal keys" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "large random drain" `Quick test_large_random;
+  ]

@@ -1,0 +1,53 @@
+module Histogram = Dsutil.Histogram
+
+let test_bucketing () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 3.0; 5.0; 100.0 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  let buckets = Histogram.bucket_counts h in
+  (* 0.5 -> [0,2); 1.5 -> [0,2) (log2 1.5 = 0); 3.0 -> [2,4); 5.0 -> [4,8);
+     100.0 -> [64,128) *)
+  Alcotest.(check int) "bucket count" 4 (List.length buckets);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "sums to count" 5 total
+
+let test_ascending_ranges () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.0; 10.0; 1000.0 ];
+  let rec check_sorted = function
+    | (_, hi1, _) :: ((lo2, _, _) :: _ as rest) ->
+      Alcotest.(check bool) "ascending" true (hi1 <= lo2 +. 1e-9);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted (Histogram.bucket_counts h)
+
+let test_invalid_args () =
+  Alcotest.check_raises "bad base"
+    (Invalid_argument "Histogram.create: base must exceed 1") (fun () ->
+      ignore (Histogram.create ~base:1.0 ()));
+  Alcotest.check_raises "bad buckets"
+    (Invalid_argument "Histogram.create: need at least one bucket") (fun () ->
+      ignore (Histogram.create ~buckets:0 ()))
+
+let test_render () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.0; 1.0; 4.0 ];
+  let s = Histogram.render h ~width:10 in
+  Alcotest.(check bool) "mentions counts" true
+    (String.length s > 0 && String.contains s '#')
+
+let test_overflow_bucket () =
+  let h = Histogram.create ~base:2.0 ~buckets:4 () in
+  Histogram.add h 1e12;
+  (* Clamped into the last bucket rather than raising. *)
+  Alcotest.(check int) "clamped" 1 (Histogram.count h)
+
+let suite =
+  [
+    Alcotest.test_case "bucketing" `Quick test_bucketing;
+    Alcotest.test_case "ascending ranges" `Quick test_ascending_ranges;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "overflow clamps" `Quick test_overflow_bucket;
+  ]

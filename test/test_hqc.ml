@@ -1,0 +1,163 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Hqc = Quorum.Hqc
+module Availability = Quorum.Availability
+module Protocol = Quorum.Protocol
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_sizes () =
+  List.iter
+    (fun (d, n) ->
+      Alcotest.(check int) (Printf.sprintf "n for depth %d" d) n (Hqc.n_of_depth d))
+    [ (0, 1); (1, 3); (2, 9); (3, 27) ];
+  Alcotest.(check int) "of_n snaps down" 2 (Hqc.depth (Hqc.of_n ~n:20))
+
+let test_quorum_size_n063 () =
+  let h = Hqc.create ~depth:3 in
+  Alcotest.(check int) "2^depth" 8 (Hqc.quorum_size h);
+  (* 27^0.63 ≈ 7.97 ≈ 8 = n^log3(2) *)
+  Alcotest.(check bool) "matches n^0.63" true
+    (abs_float (Hqc.cost h -. (27.0 ** 0.63)) < 0.1)
+
+let test_assembled_quorum_size () =
+  let h = Hqc.create ~depth:2 in
+  let rng = Rng.create 7 in
+  let alive = Protocol.all_alive (Hqc.protocol h) in
+  for _ = 1 to 50 do
+    match Hqc.read_quorum h ~alive ~rng with
+    | None -> Alcotest.fail "assembly failed"
+    | Some q -> Alcotest.(check int) "size 4" 4 (Bitset.cardinal q)
+  done
+
+let test_enumeration_count () =
+  (* Q(l) = 3 Q(l-1)^2, Q(0) = 1 -> 3, 27. *)
+  Alcotest.(check int) "depth 1" 3
+    (List.length (List.of_seq (Hqc.enumerate_read_quorums (Hqc.create ~depth:1))));
+  Alcotest.(check int) "depth 2" 27
+    (List.length (List.of_seq (Hqc.enumerate_read_quorums (Hqc.create ~depth:2))))
+
+let test_coterie () =
+  let qs = Protocol.read_quorum_set (Hqc.protocol (Hqc.create ~depth:2)) in
+  Alcotest.(check bool) "quorum system" true (Quorum.Quorum_set.is_quorum_system qs)
+
+let test_availability_recurrence_vs_exact () =
+  let h = Hqc.create ~depth:2 in
+  let proto = Hqc.protocol h in
+  let rng = Rng.create 11 in
+  List.iter
+    (fun p ->
+      let exact =
+        Availability.exact ~n:9 ~p (fun ~alive ->
+            Protocol.read_quorum proto ~alive ~rng <> None)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%.2f" p)
+        true
+        (feq ~eps:1e-9 exact (Hqc.availability h ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_availability_amplification () =
+  (* HQC amplifies availability above p for p > 1/2 and degrades it below. *)
+  let h = Hqc.create ~depth:4 in
+  Alcotest.(check bool) "amplifies above 1/2" true
+    (Hqc.availability h ~p:0.7 > 0.7);
+  Alcotest.(check bool) "degrades below 1/2" true
+    (Hqc.availability h ~p:0.3 < 0.3);
+  Alcotest.(check bool) "fixed point at 1/2" true
+    (feq ~eps:1e-9 (Hqc.availability h ~p:0.5) 0.5)
+
+let test_load_optimality_via_lp () =
+  let h = Hqc.create ~depth:2 in
+  let qs = Protocol.read_quorum_set (Hqc.protocol h) in
+  Alcotest.(check bool) "LP load = (2/3)^depth" true
+    (feq ~eps:1e-6 (Analysis.Load_lp.optimal_load qs) (Hqc.optimal_load h))
+
+let test_tolerates_third_of_each_group () =
+  let h = Hqc.create ~depth:2 in
+  let rng = Rng.create 13 in
+  (* Kill leaves 0, 3, 6: one per ternary group; quorums of the other two
+     leaves per group survive. *)
+  let alive = Bitset.of_list 9 [ 1; 2; 4; 5; 7; 8 ] in
+  Alcotest.(check bool) "survives" true (Hqc.read_quorum h ~alive ~rng <> None);
+  (* Kill two whole groups: no 2-of-3 at the top. *)
+  let alive2 = Bitset.of_list 9 [ 0; 1; 2 ] in
+  Alcotest.(check bool) "two dead groups block" true
+    (Hqc.read_quorum h ~alive:alive2 ~rng = None)
+
+let test_general_thresholds () =
+  (* Asymmetric instance: s=5, r=2, w=4 (r+w=6>5, 2w=8>5). *)
+  let h = Hqc.create_general ~depth:2 ~s:5 ~r:2 ~w:4 in
+  Alcotest.(check int) "universe 25" 25 (Hqc.universe h);
+  Alcotest.(check int) "read size 4" 4 (Hqc.read_quorum_size h);
+  Alcotest.(check int) "write size 16" 16 (Hqc.write_quorum_size h);
+  Alcotest.(check bool) "read load (2/5)^2" true
+    (abs_float (Hqc.read_load h -. 0.16) < 1e-9);
+  Alcotest.(check bool) "write load (4/5)^2" true
+    (abs_float (Hqc.write_load h -. 0.64) < 1e-9);
+  (* Bicoterie across asymmetric thresholds. *)
+  let reads = List.of_seq (Hqc.enumerate_read_quorums h) in
+  let writes = List.of_seq (Hqc.enumerate_write_quorums h) in
+  Alcotest.(check bool) "reads intersect writes" true
+    (List.for_all
+       (fun r -> List.for_all (fun w -> Bitset.intersects r w) writes)
+       reads);
+  (* Writes must intersect each other (one-copy). *)
+  Alcotest.(check bool) "writes intersect writes" true
+    (List.for_all
+       (fun a -> List.for_all (fun b -> Bitset.intersects a b) writes)
+       writes)
+
+let test_general_validation () =
+  List.iter
+    (fun (s, r, w, why) ->
+      Alcotest.(check bool) why true
+        (try
+           ignore (Hqc.create_general ~depth:1 ~s ~r ~w);
+           false
+         with Invalid_argument _ -> true))
+    [
+      (3, 1, 2, "r + w <= s rejected");
+      (4, 3, 2, "2w <= s rejected");
+      (3, 0, 3, "r < 1 rejected");
+      (3, 2, 4, "w > s rejected");
+    ]
+
+let test_general_availability_vs_exact () =
+  let h = Hqc.create_general ~depth:1 ~s:5 ~r:2 ~w:4 in
+  let proto = Hqc.protocol h in
+  let rng = Rng.create 23 in
+  let p = 0.7 in
+  let exact_rd =
+    Availability.exact ~n:5 ~p (fun ~alive ->
+        Protocol.read_quorum proto ~alive ~rng <> None)
+  in
+  let exact_wr =
+    Availability.exact ~n:5 ~p (fun ~alive ->
+        Protocol.write_quorum proto ~alive ~rng <> None)
+  in
+  Alcotest.(check bool) "read tail formula" true
+    (feq ~eps:1e-9 exact_rd (Hqc.read_availability h ~p));
+  Alcotest.(check bool) "write tail formula" true
+    (feq ~eps:1e-9 exact_wr (Hqc.write_availability h ~p))
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "quorum size is n^0.63" `Quick test_quorum_size_n063;
+    Alcotest.test_case "assembled quorum size" `Quick test_assembled_quorum_size;
+    Alcotest.test_case "enumeration count" `Quick test_enumeration_count;
+    Alcotest.test_case "quorum system" `Quick test_coterie;
+    Alcotest.test_case "availability recurrence vs exact" `Quick
+      test_availability_recurrence_vs_exact;
+    Alcotest.test_case "availability amplification" `Quick
+      test_availability_amplification;
+    Alcotest.test_case "load optimality via LP" `Quick test_load_optimality_via_lp;
+    Alcotest.test_case "tolerates one dead leaf per group" `Quick
+      test_tolerates_third_of_each_group;
+    Alcotest.test_case "general (r,w) thresholds" `Quick test_general_thresholds;
+    Alcotest.test_case "general threshold validation" `Quick
+      test_general_validation;
+    Alcotest.test_case "general availability vs exact" `Quick
+      test_general_availability_vs_exact;
+  ]

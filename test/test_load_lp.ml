@@ -1,0 +1,99 @@
+module Load_lp = Analysis.Load_lp
+module Quorum_set = Quorum.Quorum_set
+module Strategy = Quorum.Strategy
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) < eps
+
+let test_singleton () =
+  (* One quorum containing one site: the only strategy loads it fully. *)
+  let qs = Quorum_set.of_lists ~universe:1 [ [ 0 ] ] in
+  Alcotest.(check bool) "load 1" true (feq (Load_lp.optimal_load qs) 1.0)
+
+let test_majority_3 () =
+  let qs = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "load 2/3" true (feq (Load_lp.optimal_load qs) (2.0 /. 3.0))
+
+let test_singleton_universe_rowa_reads () =
+  (* n singleton read quorums: spreading evenly gives 1/n. *)
+  let qs = Quorum_set.of_lists ~universe:5 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ] ] in
+  Alcotest.(check bool) "load 1/5" true (feq (Load_lp.optimal_load qs) 0.2)
+
+let test_common_site_forces_load_1 () =
+  (* Site 0 in every quorum: load cannot drop below 1. *)
+  let qs = Quorum_set.of_lists ~universe:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ] in
+  Alcotest.(check bool) "load 1" true (feq (Load_lp.optimal_load qs) 1.0)
+
+let test_strategy_is_optimal_and_valid () =
+  let qs = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  let load, weights = Load_lp.optimal_strategy qs in
+  let strat = Strategy.of_weights weights in
+  Alcotest.(check bool) "weights form a distribution" true
+    (Strategy.is_distribution strat);
+  Alcotest.(check bool) "achieves its own load" true
+    (Strategy.system_load qs strat <= load +. 1e-6)
+
+let test_grid_load () =
+  (* 2x2 grid read quorums: one site per column -> load 1/2. *)
+  let g = Quorum.Grid.create ~rows:2 ~cols:2 in
+  let qs = Quorum.Protocol.read_quorum_set (Quorum.Grid.protocol g) in
+  Alcotest.(check bool) "grid read load" true
+    (feq (Load_lp.optimal_load qs) (Quorum.Grid.read_load g))
+
+let test_maekawa_load () =
+  let m = Quorum.Maekawa.create ~k:2 in
+  let qs = Quorum.Protocol.read_quorum_set (Quorum.Maekawa.protocol m) in
+  (* k=2: quorum size 3 over 4 sites; uniform strategy gives 3/4. *)
+  Alcotest.(check bool) "maekawa load" true
+    (feq (Load_lp.optimal_load qs) (Quorum.Maekawa.load m))
+
+let test_witness_rejections () =
+  let qs = Quorum_set.of_lists ~universe:2 [ [ 0 ]; [ 1 ] ] in
+  (* Not summing to one. *)
+  Alcotest.(check bool) "bad sum rejected" false
+    (Load_lp.check_witness qs ~y:[| 0.2; 0.2 |] ~load:0.2);
+  (* Wrong arity. *)
+  Alcotest.(check bool) "bad arity rejected" false
+    (Load_lp.check_witness qs ~y:[| 1.0 |] ~load:0.5);
+  (* A quorum below the claimed load. *)
+  Alcotest.(check bool) "low quorum rejected" false
+    (Load_lp.check_witness qs ~y:[| 1.0; 0.0 |] ~load:0.5);
+  (* Valid: y = (1/2, 1/2), both quorums get 1/2. *)
+  Alcotest.(check bool) "valid witness" true
+    (Load_lp.check_witness qs ~y:[| 0.5; 0.5 |] ~load:0.5)
+
+let test_naor_wool_sqrt_bound () =
+  (* Naor–Wool: every quorum system has load >= max(1/c(S), c(S)/n) where
+     c(S) is the smallest quorum size; so load >= 1/sqrt(n).  Check the
+     bound holds for all our small systems. *)
+  let systems =
+    [
+      Quorum.Protocol.read_quorum_set
+        (Quorum.Maekawa.protocol (Quorum.Maekawa.create ~k:3));
+      Quorum.Protocol.read_quorum_set
+        (Quorum.Tree_quorum.protocol (Quorum.Tree_quorum.create ~height:2));
+      Quorum.Protocol.read_quorum_set (Quorum.Hqc.protocol (Quorum.Hqc.create ~depth:2));
+    ]
+  in
+  List.iter
+    (fun (qs : Quorum_set.t) ->
+      let n = float_of_int qs.Quorum_set.universe in
+      let c = float_of_int (Quorum_set.smallest_quorum_size qs) in
+      let lower = Float.max (1.0 /. c) (c /. n) in
+      Alcotest.(check bool) "NW lower bound" true
+        (Load_lp.optimal_load qs >= lower -. 1e-6))
+    systems
+
+let suite =
+  [
+    Alcotest.test_case "singleton system" `Quick test_singleton;
+    Alcotest.test_case "majority-3 load" `Quick test_majority_3;
+    Alcotest.test_case "ROWA reads load 1/n" `Quick test_singleton_universe_rowa_reads;
+    Alcotest.test_case "common site forces load 1" `Quick
+      test_common_site_forces_load_1;
+    Alcotest.test_case "optimal strategy is valid" `Quick
+      test_strategy_is_optimal_and_valid;
+    Alcotest.test_case "grid read load" `Quick test_grid_load;
+    Alcotest.test_case "maekawa load" `Quick test_maekawa_load;
+    Alcotest.test_case "witness rejections" `Quick test_witness_rejections;
+    Alcotest.test_case "Naor-Wool lower bound" `Quick test_naor_wool_sqrt_bound;
+  ]

@@ -1,0 +1,135 @@
+module Engine = Dsim.Engine
+module Lock_manager = Replication.Lock_manager
+
+let setup () =
+  let engine = Engine.create () in
+  (engine, Lock_manager.create ~engine)
+
+let test_immediate_grant () =
+  let engine, lm = setup () in
+  let granted = ref false in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:100
+    (fun () -> granted := true);
+  Engine.run engine;
+  Alcotest.(check bool) "granted" true !granted;
+  Alcotest.(check bool) "held" true
+    (Lock_manager.holders lm ~key:1 = Some (Lock_manager.Exclusive, [ 100 ]))
+
+let test_shared_coexist () =
+  let engine, lm = setup () in
+  let count = ref 0 in
+  List.iter
+    (fun owner ->
+      Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner (fun () ->
+          incr count))
+    [ 1; 2; 3 ];
+  Engine.run engine;
+  Alcotest.(check int) "all three hold" 3 !count
+
+let test_exclusive_waits () =
+  let engine, lm = setup () in
+  let order = ref [] in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:1 (fun () ->
+      order := "s" :: !order);
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:2 (fun () ->
+      order := "x" :: !order);
+  Engine.run engine;
+  Alcotest.(check (list string)) "writer waits" [ "s" ] (List.rev !order);
+  Alcotest.(check int) "one waiting" 1 (Lock_manager.waiting lm ~key:1);
+  Lock_manager.release lm ~key:1 ~owner:1;
+  Engine.run engine;
+  Alcotest.(check (list string)) "writer granted after release" [ "s"; "x" ]
+    (List.rev !order)
+
+let test_fifo_no_starvation () =
+  (* shared(1) held; exclusive(2) queued; shared(3) must queue behind the
+     writer, not jump ahead. *)
+  let engine, lm = setup () in
+  let order = ref [] in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:1 (fun () ->
+      order := 1 :: !order);
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:2 (fun () ->
+      order := 2 :: !order);
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:3 (fun () ->
+      order := 3 :: !order);
+  Engine.run engine;
+  Lock_manager.release lm ~key:1 ~owner:1;
+  Engine.run engine;
+  Alcotest.(check (list int)) "writer before late reader" [ 1; 2 ] (List.rev !order);
+  Lock_manager.release lm ~key:1 ~owner:2;
+  Engine.run engine;
+  Alcotest.(check (list int)) "reader last" [ 1; 2; 3 ] (List.rev !order)
+
+let test_shared_batch_grant () =
+  let engine, lm = setup () in
+  let order = ref [] in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:1 (fun () ->
+      order := "x" :: !order);
+  List.iter
+    (fun owner ->
+      Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner (fun () ->
+          order := "s" :: !order))
+    [ 2; 3 ];
+  Engine.run engine;
+  Lock_manager.release lm ~key:1 ~owner:1;
+  Engine.run engine;
+  Alcotest.(check (list string)) "both readers granted together" [ "x"; "s"; "s" ]
+    (List.rev !order)
+
+let test_independent_keys () =
+  let engine, lm = setup () in
+  let count = ref 0 in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:1 (fun () ->
+      incr count);
+  Lock_manager.acquire lm ~key:2 ~mode:Lock_manager.Exclusive ~owner:2 (fun () ->
+      incr count);
+  Engine.run engine;
+  Alcotest.(check int) "no interference" 2 !count
+
+let test_release_validation () =
+  let engine, lm = setup () in
+  Alcotest.check_raises "release unlocked key"
+    (Invalid_argument "Lock_manager.release: key not locked") (fun () ->
+      Lock_manager.release lm ~key:9 ~owner:1);
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:1 (fun () -> ());
+  Engine.run engine;
+  Alcotest.check_raises "release by non-holder"
+    (Invalid_argument "Lock_manager.release: lock not held by owner") (fun () ->
+      Lock_manager.release lm ~key:1 ~owner:2)
+
+let test_double_acquire_rejected () =
+  let engine, lm = setup () in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:1 (fun () -> ());
+  Engine.run engine;
+  Alcotest.check_raises "reentrant acquire"
+    (Invalid_argument "Lock_manager.acquire: owner already holds or waits")
+    (fun () ->
+      Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Shared ~owner:1 (fun () ->
+          ()))
+
+let test_cleanup_after_release () =
+  let engine, lm = setup () in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:1 (fun () -> ());
+  Engine.run engine;
+  Lock_manager.release lm ~key:1 ~owner:1;
+  Alcotest.(check bool) "no holders" true (Lock_manager.holders lm ~key:1 = None);
+  (* Key can be re-acquired fresh. *)
+  let again = ref false in
+  Lock_manager.acquire lm ~key:1 ~mode:Lock_manager.Exclusive ~owner:2 (fun () ->
+      again := true);
+  Engine.run engine;
+  Alcotest.(check bool) "re-acquired" true !again
+
+let suite =
+  [
+    Alcotest.test_case "immediate grant" `Quick test_immediate_grant;
+    Alcotest.test_case "shared locks coexist" `Quick test_shared_coexist;
+    Alcotest.test_case "exclusive waits for shared" `Quick test_exclusive_waits;
+    Alcotest.test_case "FIFO prevents writer starvation" `Quick
+      test_fifo_no_starvation;
+    Alcotest.test_case "shared batch grant" `Quick test_shared_batch_grant;
+    Alcotest.test_case "independent keys" `Quick test_independent_keys;
+    Alcotest.test_case "release validation" `Quick test_release_validation;
+    Alcotest.test_case "double acquire rejected" `Quick test_double_acquire_rejected;
+    Alcotest.test_case "cleanup after release" `Quick test_cleanup_after_release;
+  ]

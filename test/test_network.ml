@@ -1,0 +1,172 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Latency = Dsim.Latency
+module Failure = Dsim.Failure
+
+let make ?(n = 4) ?latency ?loss_rate () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~n ?latency ?loss_rate () in
+  (engine, net)
+
+let test_delivery () =
+  let engine, net = make () in
+  let received = ref [] in
+  Network.set_handler net ~site:1 (fun ~src msg -> received := (src, msg) :: !received);
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  Alcotest.(check bool) "delivered" true (!received = [ (0, "hello") ]);
+  let c = Network.counters net in
+  Alcotest.(check int) "sent" 1 c.Network.sent;
+  Alcotest.(check int) "delivered count" 1 c.Network.delivered
+
+let test_latency_applied () =
+  let engine, net = make ~latency:(Latency.Constant 7.0) () in
+  let at = ref 0.0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> at := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "constant latency" 7.0 !at
+
+let test_crash_drops () =
+  let engine, net = make () in
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "dropped_crash" 1 (Network.counters net).Network.dropped_crash;
+  (* Recovery restores delivery. *)
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check int) "delivered after recovery" 1 !got
+
+let test_crashed_sender_drops () =
+  let engine, net = make () in
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check int) "silent sender" 0 !got
+
+let test_crash_at_delivery_time () =
+  (* Crash after send but before delivery: message lost. *)
+  let engine, net = make ~latency:(Latency.Constant 5.0) () in
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.schedule engine ~delay:1.0 (fun () -> Network.crash net 1);
+  Engine.run engine;
+  Alcotest.(check int) "lost in flight" 0 !got
+
+let test_partition () =
+  let engine, net = make ~n:4 () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Network.set_handler net ~site:i (fun ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "same side reachable" true (Network.reachable net 0 1);
+  Alcotest.(check bool) "other side unreachable" false (Network.reachable net 0 2);
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:2 ();
+  Engine.run engine;
+  Alcotest.(check int) "same side delivered" 1 got.(1);
+  Alcotest.(check int) "cross partition dropped" 0 got.(2);
+  Alcotest.(check int) "dropped_partition" 1
+    (Network.counters net).Network.dropped_partition;
+  Network.heal net;
+  Network.send net ~src:0 ~dst:2 ();
+  Engine.run engine;
+  Alcotest.(check int) "healed" 1 got.(2)
+
+let test_loss_rate () =
+  let engine, net = make ~loss_rate:0.5 () in
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 2000 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run engine;
+  let rate = float_of_int !got /. 2000.0 in
+  Alcotest.(check bool) "about half arrive" true (abs_float (rate -. 0.5) < 0.05)
+
+let test_alive_view () =
+  let _, net = make ~n:3 () in
+  Network.crash net 1;
+  Alcotest.(check (list int)) "view" [ 0; 2 ]
+    (Dsutil.Bitset.elements (Network.alive_view net))
+
+let test_broadcast_and_per_site () =
+  let engine, net = make ~n:4 () in
+  for i = 0 to 3 do
+    Network.set_handler net ~site:i (fun ~src:_ _ -> ())
+  done;
+  Network.broadcast net ~src:0 ~dst:[ 1; 2; 3 ] ();
+  Engine.run engine;
+  Alcotest.(check (array int)) "per-site delivered" [| 0; 1; 1; 1 |]
+    (Network.per_site_delivered net)
+
+let test_failure_schedule () =
+  let engine, net = make ~n:2 () in
+  Failure.apply net
+    [
+      { Failure.time = 1.0; event = Failure.Crash 0 };
+      { Failure.time = 2.0; event = Failure.Recover 0 };
+    ];
+  let up_at = ref [] in
+  List.iter
+    (fun t ->
+      Engine.schedule engine ~delay:t (fun () ->
+          up_at := (t, Network.is_up net 0) :: !up_at))
+    [ 0.5; 1.5; 2.5 ];
+  Engine.run engine;
+  Alcotest.(check bool) "schedule respected" true
+    (List.sort compare !up_at = [ (0.5, true); (1.5, false); (2.5, true) ])
+
+let test_random_crash_recovery_stats () =
+  let rng = Dsutil.Rng.create 53 in
+  let entries =
+    Failure.random_crash_recovery ~rng ~n:50 ~horizon:1000.0 ~mtbf:100.0
+      ~mttr:20.0
+  in
+  Alcotest.(check bool) "non-empty" true (List.length entries > 0);
+  (* Sorted by time. *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Failure.time <= b.Failure.time && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted entries);
+  Alcotest.(check (float 1e-9)) "steady-state availability" (100.0 /. 120.0)
+    (Failure.steady_state_availability ~mtbf:100.0 ~mttr:20.0)
+
+let test_crash_fraction () =
+  let rng = Dsutil.Rng.create 59 in
+  let entries = Failure.crash_fraction ~rng ~n:10 ~at:5.0 ~fraction:0.3 in
+  Alcotest.(check int) "three crashes" 3 (List.length entries);
+  let sites =
+    List.map
+      (fun e -> match e.Failure.event with Failure.Crash i -> i | _ -> -1)
+      entries
+  in
+  Alcotest.(check int) "distinct sites" 3 (List.length (List.sort_uniq compare sites))
+
+let suite =
+  [
+    Alcotest.test_case "delivery" `Quick test_delivery;
+    Alcotest.test_case "latency applied" `Quick test_latency_applied;
+    Alcotest.test_case "crashed destination drops" `Quick test_crash_drops;
+    Alcotest.test_case "crashed sender drops" `Quick test_crashed_sender_drops;
+    Alcotest.test_case "crash while in flight" `Quick test_crash_at_delivery_time;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "loss rate" `Quick test_loss_rate;
+    Alcotest.test_case "alive view" `Quick test_alive_view;
+    Alcotest.test_case "broadcast / per-site counts" `Quick
+      test_broadcast_and_per_site;
+    Alcotest.test_case "failure schedule" `Quick test_failure_schedule;
+    Alcotest.test_case "random crash/recovery schedule" `Quick
+      test_random_crash_recovery_stats;
+    Alcotest.test_case "crash fraction" `Quick test_crash_fraction;
+  ]

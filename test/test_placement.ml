@@ -1,0 +1,131 @@
+module Tree = Arbitrary.Tree
+module Placement = Arbitrary.Placement
+module Analysis = Arbitrary.Analysis
+
+let fig1 = Tree.figure1 ()
+
+(* Three reliable sites among eight flaky ones. *)
+let p_mixed =
+  [| 0.95; 0.95; 0.95; 0.6; 0.6; 0.6; 0.6; 0.6 |]
+
+let test_identity_matches_per_site () =
+  let a = Placement.identity fig1 in
+  Alcotest.(check (float 1e-9)) "read availability"
+    (Analysis.read_availability_per_site fig1 ~p:(fun i -> p_mixed.(i)))
+    (Placement.availability_of fig1 ~p:p_mixed a Placement.Read_availability);
+  Alcotest.(check (float 1e-9)) "write availability"
+    (Analysis.write_availability_per_site fig1 ~p:(fun i -> p_mixed.(i)))
+    (Placement.availability_of fig1 ~p:p_mixed a Placement.Write_availability)
+
+let test_greedy_beats_worst_case () =
+  (* Reverse placement: reliable sites on the big level. *)
+  let reversed = [| 0.6; 0.6; 0.6; 0.6; 0.6; 0.95; 0.95; 0.95 |] in
+  let greedy = Placement.greedy fig1 ~p:reversed Placement.Read_availability in
+  let id = Placement.identity fig1 in
+  let better =
+    Placement.improvement fig1 ~p:reversed Placement.Read_availability
+      ~worst:id ~best:greedy
+  in
+  Alcotest.(check bool) "greedy improves reads" true (better > 0.0)
+
+let test_greedy_is_permutation () =
+  let a = Placement.greedy fig1 ~p:p_mixed Placement.Read_availability in
+  let sorted = Array.copy (a :> int array) in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 8 Fun.id) sorted
+
+let test_write_greedy_concentrates () =
+  let a = Placement.greedy fig1 ~p:p_mixed Placement.Write_availability in
+  (* Positions 0..2 are the small level; for writes they must get all
+     three 0.95 sites (one fully-reliable write quorum). *)
+  for pos = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "position %d reliable" pos)
+      true
+      (p_mixed.((a :> int array).(pos)) > 0.9)
+  done
+
+let test_read_greedy_spreads () =
+  let a = Placement.greedy fig1 ~p:p_mixed Placement.Read_availability in
+  (* Reads want a reliable site on EVERY level: both levels must hold at
+     least one 0.95 site. *)
+  let reliable_in lo hi =
+    let found = ref false in
+    for pos = lo to hi do
+      if p_mixed.((a :> int array).(pos)) > 0.9 then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "level 1 covered" true (reliable_in 0 2);
+  Alcotest.(check bool) "level 2 covered" true (reliable_in 3 7);
+  (* And the spread placement beats the concentrated one for reads. *)
+  let concentrated = Placement.greedy fig1 ~p:p_mixed Placement.Write_availability in
+  Alcotest.(check bool) "spread beats concentrate for reads" true
+    (Placement.availability_of fig1 ~p:p_mixed a Placement.Read_availability
+    > Placement.availability_of fig1 ~p:p_mixed concentrated
+        Placement.Read_availability);
+  (* Symmetrically, concentrate beats spread for writes. *)
+  Alcotest.(check bool) "concentrate beats spread for writes" true
+    (Placement.availability_of fig1 ~p:p_mixed concentrated
+       Placement.Write_availability
+    > Placement.availability_of fig1 ~p:p_mixed a Placement.Write_availability)
+
+let test_exhaustive_at_least_greedy () =
+  List.iter
+    (fun objective ->
+      let ex = Placement.exhaustive fig1 ~p:p_mixed objective in
+      let gr = Placement.greedy fig1 ~p:p_mixed objective in
+      Alcotest.(check bool) "exhaustive >= greedy" true
+        (Placement.availability_of fig1 ~p:p_mixed ex objective
+        >= Placement.availability_of fig1 ~p:p_mixed gr objective -. 1e-12))
+    [
+      Placement.Read_availability;
+      Placement.Write_availability;
+      Placement.Weighted 0.5;
+    ]
+
+let test_greedy_near_optimal_here () =
+  (* On this instance the read-spread greedy achieves the exhaustive
+     optimum. *)
+  let ex = Placement.exhaustive fig1 ~p:p_mixed Placement.Read_availability in
+  let gr = Placement.greedy fig1 ~p:p_mixed Placement.Read_availability in
+  Alcotest.(check (float 1e-9)) "same availability"
+    (Placement.availability_of fig1 ~p:p_mixed ex Placement.Read_availability)
+    (Placement.availability_of fig1 ~p:p_mixed gr Placement.Read_availability)
+
+let test_uniform_p_placement_irrelevant () =
+  let uniform = Array.make 8 0.7 in
+  let ex = Placement.exhaustive fig1 ~p:uniform Placement.Read_availability in
+  let id = Placement.identity fig1 in
+  Alcotest.(check (float 1e-12)) "no gain under uniform p" 0.0
+    (Placement.improvement fig1 ~p:uniform Placement.Read_availability
+       ~worst:id ~best:ex)
+
+let test_validation () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Placement: availability array size differs from n")
+    (fun () -> ignore (Placement.greedy fig1 ~p:[| 0.5 |] Placement.Read_availability));
+  let big = Arbitrary.Config.mostly_read ~n:20 in
+  Alcotest.check_raises "exhaustive too large"
+    (Invalid_argument "Placement.exhaustive: n too large") (fun () ->
+      ignore
+        (Placement.exhaustive big ~p:(Array.make 20 0.5)
+           Placement.Read_availability))
+
+let suite =
+  [
+    Alcotest.test_case "identity matches per-site formulas" `Quick
+      test_identity_matches_per_site;
+    Alcotest.test_case "greedy beats reversed placement" `Quick
+      test_greedy_beats_worst_case;
+    Alcotest.test_case "greedy is a permutation" `Quick test_greedy_is_permutation;
+    Alcotest.test_case "write greedy concentrates" `Quick
+      test_write_greedy_concentrates;
+    Alcotest.test_case "read greedy spreads" `Quick test_read_greedy_spreads;
+    Alcotest.test_case "exhaustive >= greedy" `Quick test_exhaustive_at_least_greedy;
+    Alcotest.test_case "read greedy optimal on figure 1" `Quick
+      test_greedy_near_optimal_here;
+    Alcotest.test_case "uniform p: placement irrelevant" `Quick
+      test_uniform_p_placement_irrelevant;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,113 @@
+module Planner = Arbitrary.Planner
+module Tree = Arbitrary.Tree
+module Analysis = Arbitrary.Analysis
+
+let test_read_heavy_prefers_few_levels () =
+  let t = Planner.plan ~n:60 ~p:0.9 ~read_fraction:0.99 () in
+  Alcotest.(check bool) "at most 2 levels" true (Tree.num_physical_levels t <= 2)
+
+let test_write_heavy_prefers_many_levels () =
+  let t = Planner.plan ~n:60 ~p:0.9 ~read_fraction:0.01 () in
+  Alcotest.(check bool) "many levels" true (Tree.num_physical_levels t >= 10)
+
+let test_balanced_in_between () =
+  let few =
+    Tree.num_physical_levels (Planner.plan ~n:60 ~p:0.9 ~read_fraction:0.95 ())
+  in
+  let many =
+    Tree.num_physical_levels (Planner.plan ~n:60 ~p:0.9 ~read_fraction:0.05 ())
+  in
+  let mid =
+    Tree.num_physical_levels (Planner.plan ~n:60 ~p:0.9 ~read_fraction:0.5 ())
+  in
+  Alcotest.(check bool) "monotone spectrum" true (few <= mid && mid <= many)
+
+let test_spectrum_sorted () =
+  let spec = Planner.spectrum ~n:40 ~p:0.8 ~read_fraction:0.5 () in
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-12 && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ascending scores" true (sorted spec);
+  Alcotest.(check bool) "non-empty" true (List.length spec > 1)
+
+let test_score_matches_components () =
+  let tree = Tree.of_spec "1-3-5" in
+  let p = 0.7 in
+  let expected =
+    (0.6 *. Analysis.expected_read_load tree ~p)
+    +. (0.4 *. Analysis.expected_write_load tree ~p)
+  in
+  Alcotest.(check (float 1e-9)) "expected-load objective" expected
+    (Planner.score tree ~p ~read_fraction:0.6 ~objective:Planner.Expected_load)
+
+let test_cost_objective () =
+  let tree = Tree.of_spec "1-3-5" in
+  let score =
+    Planner.score tree ~p:0.7 ~read_fraction:0.5
+      ~objective:Planner.Communication_cost
+  in
+  (* 0.5*2 + 0.5*4 = 3 *)
+  Alcotest.(check (float 1e-9)) "cost objective" 3.0 score
+
+let test_validation () =
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Planner: read_fraction out of [0,1]") (fun () ->
+      ignore
+        (Planner.score (Tree.of_spec "1-3-5") ~p:0.7 ~read_fraction:2.0
+           ~objective:Planner.Expected_load))
+
+let test_candidates_satisfy_assumption () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d spec=%s" n (Tree.to_spec t))
+            true (Tree.satisfies_assumption t))
+        (Planner.candidates ~n))
+    [ 5; 33; 64; 65; 129; 501 ]
+
+let test_large_n_candidate_cap () =
+  Alcotest.(check bool) "capped sweep" true
+    (List.length (Planner.candidates ~n:2000) <= 70)
+
+let test_generalized_planner () =
+  (* The generalized planner can only do as well or better than the
+     classic rule on its own metric, and it returns a valid instance. *)
+  List.iter
+    (fun read_fraction ->
+      let g = Planner.plan_generalized ~n:48 ~p:0.8 ~read_fraction () in
+      let tree = Arbitrary.Generalized.tree g in
+      Alcotest.(check bool) "assumption holds" true (Tree.satisfies_assumption tree);
+      let classic_best = Planner.plan ~n:48 ~p:0.8 ~read_fraction () in
+      let classic_g = Arbitrary.Generalized.classic classic_best in
+      let score x =
+        let rf = read_fraction and wf = 1.0 -. read_fraction in
+        let ra = Arbitrary.Generalized.read_availability x ~p:0.8 in
+        let wa = Arbitrary.Generalized.write_availability x ~p:0.8 in
+        (rf *. ((ra *. (Arbitrary.Generalized.read_load x -. 1.0)) +. 1.0))
+        +. (wf *. ((wa *. Arbitrary.Generalized.write_load x) +. (1.0 -. wa)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "generalized <= classic at rf=%.2f" read_fraction)
+        true
+        (score g <= score classic_g +. 1e-9))
+    [ 0.1; 0.5; 0.9 ]
+
+let suite =
+  [
+    Alcotest.test_case "read-heavy prefers few levels" `Quick
+      test_read_heavy_prefers_few_levels;
+    Alcotest.test_case "write-heavy prefers many levels" `Quick
+      test_write_heavy_prefers_many_levels;
+    Alcotest.test_case "balanced mid-spectrum" `Quick test_balanced_in_between;
+    Alcotest.test_case "spectrum sorted" `Quick test_spectrum_sorted;
+    Alcotest.test_case "score matches components" `Quick test_score_matches_components;
+    Alcotest.test_case "cost objective" `Quick test_cost_objective;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "candidates satisfy assumption 3.1" `Quick
+      test_candidates_satisfy_assumption;
+    Alcotest.test_case "large-n candidate cap" `Quick test_large_n_candidate_cap;
+    Alcotest.test_case "generalized planner" `Quick test_generalized_planner;
+  ]

@@ -1,0 +1,170 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+
+let build ?(proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ()))
+    ?(n_clients = 3) ?(seed = 42) () =
+  let n = Quorum.Protocol.universe_size proto in
+  let engine = Engine.create ~seed () in
+  let net = Network.create ~engine ~n:(n + n_clients) ~fifo:true () in
+  let _arbiters = Array.init n (fun site -> Qmutex.create_arbiter ~site ~net) in
+  let clients =
+    Array.init n_clients (fun i ->
+        Qmutex.create_client ~site:(n + i) ~net ~proto ())
+  in
+  (engine, net, clients)
+
+let test_single_client_acquire_release () =
+  let engine, _, clients = build ~n_clients:1 () in
+  let entered = ref false in
+  Qmutex.acquire clients.(0) (fun () -> entered := true);
+  Engine.run engine;
+  Alcotest.(check bool) "entered" true !entered;
+  Alcotest.(check bool) "holding" true (Qmutex.holding clients.(0));
+  Qmutex.release clients.(0);
+  Alcotest.(check bool) "released" false (Qmutex.holding clients.(0));
+  Alcotest.(check int) "one acquisition" 1 (Qmutex.acquisitions clients.(0))
+
+let test_reacquire () =
+  let engine, _, clients = build ~n_clients:1 () in
+  let rec cycle i =
+    if i < 5 then
+      Qmutex.acquire clients.(0) (fun () ->
+          Qmutex.release clients.(0);
+          cycle (i + 1))
+  in
+  cycle 0;
+  Engine.run engine;
+  Alcotest.(check int) "five acquisitions" 5 (Qmutex.acquisitions clients.(0))
+
+(* The core safety property: never two clients in the critical section. *)
+let contention_run ~proto ~n_clients ~rounds ~seed =
+  let engine, _, clients = build ~proto ~n_clients ~seed () in
+  let in_cs = ref 0 in
+  let max_in_cs = ref 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun c ->
+      let rec cycle i =
+        if i < rounds then
+          Qmutex.acquire c (fun () ->
+              incr in_cs;
+              incr total;
+              if !in_cs > !max_in_cs then max_in_cs := !in_cs;
+              (* Stay in the CS for a while before leaving. *)
+              Engine.schedule engine ~delay:2.0 (fun () ->
+                  decr in_cs;
+                  Qmutex.release c;
+                  Engine.schedule engine ~delay:1.0 (fun () -> cycle (i + 1))))
+      in
+      cycle 0)
+    clients;
+  Engine.run engine;
+  (!max_in_cs, !total)
+
+let test_mutual_exclusion_under_contention () =
+  let proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ()) in
+  List.iter
+    (fun seed ->
+      let max_in_cs, total = contention_run ~proto ~n_clients:4 ~rounds:10 ~seed in
+      Alcotest.(check int)
+        (Printf.sprintf "never two in CS (seed %d)" seed)
+        1 max_in_cs;
+      Alcotest.(check int) "all entries happened (liveness)" 40 total)
+    [ 1; 2; 3 ]
+
+let test_mutual_exclusion_other_protocols () =
+  List.iter
+    (fun (name, proto) ->
+      let max_in_cs, total = contention_run ~proto ~n_clients:3 ~rounds:8 ~seed:7 in
+      Alcotest.(check int) (name ^ ": exclusion") 1 max_in_cs;
+      Alcotest.(check int) (name ^ ": liveness") 24 total)
+    [
+      ("majority", Quorum.Majority.protocol (Quorum.Majority.create ~n:5));
+      ("maekawa", Quorum.Maekawa.protocol (Quorum.Maekawa.create ~k:3));
+      ("tree-quorum", Quorum.Tree_quorum.protocol (Quorum.Tree_quorum.create ~height:2));
+      ("grid", Quorum.Grid.protocol (Quorum.Grid.create ~rows:3 ~cols:3));
+    ]
+
+let test_yields_happen_under_contention () =
+  (* With many clients on few arbiters, some inquire/yield traffic is
+     expected — the deadlock-avoidance path actually runs. *)
+  let proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.of_spec "1-2-2") in
+  let engine, _, clients = build ~proto ~n_clients:5 ~seed:3 () in
+  let remaining = ref 25 in
+  Array.iter
+    (fun c ->
+      let rec cycle i =
+        if i < 5 then
+          Qmutex.acquire c (fun () ->
+              decr remaining;
+              Engine.schedule engine ~delay:0.5 (fun () ->
+                  Qmutex.release c;
+                  cycle (i + 1)))
+      in
+      cycle 0)
+    clients;
+  Engine.run engine;
+  Alcotest.(check int) "all done" 0 !remaining
+
+let test_exclusion_with_random_latency () =
+  (* Exponential latencies reorder messages between different pairs; the
+     per-pair FIFO guarantee is all the algorithm needs. *)
+  let proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ()) in
+  List.iter
+    (fun seed ->
+      let engine = Engine.create ~seed () in
+      let net =
+        Network.create ~engine ~n:12 ~fifo:true
+          ~latency:(Dsim.Latency.Exponential 2.0) ()
+      in
+      let _arbiters = Array.init 8 (fun site -> Qmutex.create_arbiter ~site ~net) in
+      let clients =
+        Array.init 4 (fun i -> Qmutex.create_client ~site:(8 + i) ~net ~proto ())
+      in
+      let in_cs = ref 0 and violations = ref 0 and total = ref 0 in
+      Array.iter
+        (fun c ->
+          let rec cycle i =
+            if i < 6 then
+              Qmutex.acquire c (fun () ->
+                  incr in_cs;
+                  incr total;
+                  if !in_cs > 1 then incr violations;
+                  Engine.schedule engine ~delay:1.5 (fun () ->
+                      decr in_cs;
+                      Qmutex.release c;
+                      cycle (i + 1)))
+          in
+          cycle 0)
+        clients;
+      Engine.run engine;
+      Alcotest.(check int) (Printf.sprintf "no violations (seed %d)" seed) 0 !violations;
+      Alcotest.(check int) "liveness" 24 !total)
+    [ 11; 22; 33; 44; 55 ]
+
+let test_api_misuse () =
+  let engine, _, clients = build ~n_clients:1 () in
+  Qmutex.acquire clients.(0) (fun () -> ());
+  Alcotest.check_raises "double acquire"
+    (Invalid_argument "Qmutex.acquire: already held or pending") (fun () ->
+      Qmutex.acquire clients.(0) (fun () -> ()));
+  Alcotest.check_raises "release before held"
+    (Invalid_argument "Qmutex.release: not held") (fun () ->
+      Qmutex.release clients.(0));
+  Engine.run engine;
+  Qmutex.release clients.(0)
+
+let suite =
+  [
+    Alcotest.test_case "acquire/release" `Quick test_single_client_acquire_release;
+    Alcotest.test_case "reacquire" `Quick test_reacquire;
+    Alcotest.test_case "mutual exclusion under contention" `Quick
+      test_mutual_exclusion_under_contention;
+    Alcotest.test_case "exclusion with baseline protocols" `Quick
+      test_mutual_exclusion_other_protocols;
+    Alcotest.test_case "yields under heavy contention" `Quick
+      test_yields_happen_under_contention;
+    Alcotest.test_case "exclusion with random latency" `Quick
+      test_exclusion_with_random_latency;
+    Alcotest.test_case "API misuse" `Quick test_api_misuse;
+  ]

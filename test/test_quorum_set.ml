@@ -1,0 +1,126 @@
+module Bitset = Dsutil.Bitset
+module Quorum_set = Quorum.Quorum_set
+
+let test_create_validation () =
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Quorum_set.create: empty quorum list") (fun () ->
+      ignore (Quorum_set.create ~universe:3 []));
+  Alcotest.check_raises "empty quorum"
+    (Invalid_argument "Quorum_set.create: empty quorum") (fun () ->
+      ignore (Quorum_set.of_lists ~universe:3 [ [] ]))
+
+let test_intersection_property () =
+  let majority = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "majority intersects" true
+    (Quorum_set.is_quorum_system majority);
+  let disjoint = Quorum_set.of_lists ~universe:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "disjoint does not" false
+    (Quorum_set.is_quorum_system disjoint)
+
+let test_coterie () =
+  let majority = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "majority is coterie" true (Quorum_set.is_coterie majority);
+  let dominated =
+    Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 0; 1; 2 ] ]
+  in
+  Alcotest.(check bool) "superset breaks minimality" false
+    (Quorum_set.is_coterie dominated)
+
+let test_bicoterie () =
+  (* ROWA: singletons vs the full set. *)
+  let read = Quorum_set.of_lists ~universe:3 [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+  let write = Quorum_set.of_lists ~universe:3 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "ROWA bicoterie" true (Quorum_set.is_bicoterie ~read ~write);
+  Alcotest.(check bool) "reads alone are not a quorum system" false
+    (Quorum_set.is_quorum_system read);
+  let bad_write = Quorum_set.of_lists ~universe:3 [ [ 1; 2 ] ] in
+  Alcotest.(check bool) "missing site breaks bicoterie" false
+    (Quorum_set.is_bicoterie ~read ~write:bad_write)
+
+let test_bicoterie_universe_mismatch () =
+  let read = Quorum_set.of_lists ~universe:3 [ [ 0 ] ] in
+  let write = Quorum_set.of_lists ~universe:4 [ [ 0 ] ] in
+  Alcotest.check_raises "universe mismatch"
+    (Invalid_argument "Quorum_set.is_bicoterie: universe mismatch") (fun () ->
+      ignore (Quorum_set.is_bicoterie ~read ~write))
+
+let test_minimize () =
+  let qs =
+    Quorum_set.of_lists ~universe:4 [ [ 0; 1 ]; [ 0; 1; 2 ]; [ 2; 3 ]; [ 2; 3 ] ]
+  in
+  let m = Quorum_set.minimize qs in
+  Alcotest.(check int) "dominated and duplicate dropped" 2 (Quorum_set.size m);
+  Alcotest.(check bool) "result minimal" false
+    (Quorum_set.is_coterie qs && false);
+  Alcotest.(check int) "smallest quorum" 2 (Quorum_set.smallest_quorum_size m)
+
+let test_can_form_within () =
+  let qs = Quorum_set.of_lists ~universe:4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "can form" true
+    (Quorum_set.can_form_within qs ~alive:(Bitset.of_list 4 [ 0; 1 ]));
+  Alcotest.(check bool) "cannot form" false
+    (Quorum_set.can_form_within qs ~alive:(Bitset.of_list 4 [ 0; 2 ]))
+
+let test_mem_site () =
+  let qs = Quorum_set.of_lists ~universe:4 [ [ 0; 1 ] ] in
+  Alcotest.(check bool) "member" true (Quorum_set.mem_site qs 1);
+  Alcotest.(check bool) "non-member" false (Quorum_set.mem_site qs 3)
+
+let test_domination_basics () =
+  (* The star coterie {{0,1},{0,2},{0,3}} is dominated: {1,2,3} intersects
+     every quorum without containing one. *)
+  let star = Quorum_set.of_lists ~universe:4 [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ] ] in
+  (match Quorum_set.find_dominating star with
+  | Some d ->
+    Alcotest.(check bool) "dominates" true (Quorum_set.dominates d ~over:star);
+    Alcotest.(check bool) "still a coterie" true (Quorum_set.is_coterie d);
+    Alcotest.(check bool) "asymmetric" false (Quorum_set.dominates star ~over:d)
+  | None -> Alcotest.fail "star coterie must be dominated");
+  (* Majority over an odd universe is non-dominated. *)
+  let maj = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "majority-3 non-dominated" true
+    (Quorum_set.find_dominating maj = None);
+  let maj5 =
+    Quorum_set.of_lists ~universe:5
+      [ [0;1;2]; [0;1;3]; [0;1;4]; [0;2;3]; [0;2;4]; [0;3;4];
+        [1;2;3]; [1;2;4]; [1;3;4]; [2;3;4] ]
+  in
+  Alcotest.(check bool) "majority-5 non-dominated" true
+    (Quorum_set.find_dominating maj5 = None)
+
+let test_domination_not_reflexive () =
+  let maj = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+  Alcotest.(check bool) "not self-dominating" false
+    (Quorum_set.dominates maj ~over:maj)
+
+let test_tree_quorum_coterie_domination () =
+  (* The tree-quorum coterie on 3 nodes IS the majority coterie — hence
+     non-dominated; the ROWA write "coterie" {U} is dominated by any
+     singleton-containing coterie. *)
+  let tq =
+    Quorum.Protocol.read_quorum_set
+      (Quorum.Tree_quorum.protocol (Quorum.Tree_quorum.create ~height:1))
+  in
+  Alcotest.(check bool) "h=1 tree quorum non-dominated" true
+    (Quorum_set.find_dominating tq = None);
+  let rowa_writes = Quorum_set.of_lists ~universe:3 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "ROWA writes dominated" true
+    (Quorum_set.find_dominating rowa_writes <> None)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "intersection property" `Quick test_intersection_property;
+    Alcotest.test_case "coterie minimality" `Quick test_coterie;
+    Alcotest.test_case "bicoterie" `Quick test_bicoterie;
+    Alcotest.test_case "bicoterie universe mismatch" `Quick
+      test_bicoterie_universe_mismatch;
+    Alcotest.test_case "minimize" `Quick test_minimize;
+    Alcotest.test_case "can_form_within" `Quick test_can_form_within;
+    Alcotest.test_case "mem_site" `Quick test_mem_site;
+    Alcotest.test_case "domination basics" `Quick test_domination_basics;
+    Alcotest.test_case "domination not reflexive" `Quick
+      test_domination_not_reflexive;
+    Alcotest.test_case "tree-quorum / ROWA domination" `Quick
+      test_tree_quorum_coterie_domination;
+  ]

@@ -1,0 +1,104 @@
+let test_determinism () =
+  let a = Dsutil.Rng.create 123 and b = Dsutil.Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Dsutil.Rng.int64 a) (Dsutil.Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Dsutil.Rng.create 1 and b = Dsutil.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Dsutil.Rng.int64 a <> Dsutil.Rng.int64 b)
+
+let test_split_independence () =
+  let parent = Dsutil.Rng.create 7 in
+  let child = Dsutil.Rng.split parent in
+  let c1 = Dsutil.Rng.int64 child in
+  (* Drawing more from the parent must not affect the child's past. *)
+  let parent2 = Dsutil.Rng.create 7 in
+  let child2 = Dsutil.Rng.split parent2 in
+  Alcotest.(check int64) "split streams reproducible" c1 (Dsutil.Rng.int64 child2)
+
+let test_int_bounds () =
+  let rng = Dsutil.Rng.create 99 in
+  for _ = 1 to 10_000 do
+    let v = Dsutil.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Dsutil.Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Dsutil.Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Dsutil.Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Dsutil.Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_int_mean () =
+  let rng = Dsutil.Rng.create 11 in
+  let n = 100_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Dsutil.Rng.int rng 100
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 49.5" true (abs_float (mean -. 49.5) < 1.0)
+
+let test_bernoulli_rate () =
+  let rng = Dsutil.Rng.create 13 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Dsutil.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (abs_float (rate -. 0.3) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Dsutil.Rng.create 17 in
+  let n = 100_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dsutil.Rng.exponential rng 4.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 4" true (abs_float (mean -. 4.0) < 0.1)
+
+let test_shuffle_permutation () =
+  let rng = Dsutil.Rng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Dsutil.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick_uniform () =
+  let rng = Dsutil.Rng.create 29 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 40_000 do
+    let v = Dsutil.Rng.pick rng [| 0; 1; 2; 3 |] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (abs (c - 10_000) < 500))
+    counts
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive bound" `Quick
+      test_int_rejects_nonpositive;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "int mean" `Quick test_int_mean;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick is uniform" `Quick test_pick_uniform;
+  ]

@@ -1,0 +1,110 @@
+module Rowa = Quorum.Rowa
+module Majority = Quorum.Majority
+module Availability = Quorum.Availability
+module Rng = Dsutil.Rng
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_rowa_costs_loads () =
+  let r = Rowa.create ~n:7 in
+  Alcotest.(check int) "read cost" 1 (Rowa.read_cost r);
+  Alcotest.(check int) "write cost" 7 (Rowa.write_cost r);
+  Alcotest.(check bool) "read load" true (feq (Rowa.read_load r) (1.0 /. 7.0));
+  Alcotest.(check bool) "write load" true (feq (Rowa.write_load r) 1.0)
+
+let test_rowa_availability_formulas () =
+  let r = Rowa.create ~n:4 in
+  let p = 0.8 in
+  Alcotest.(check bool) "read formula" true
+    (feq (Rowa.read_availability r ~p) (1.0 -. (0.2 ** 4.0)));
+  Alcotest.(check bool) "write formula" true
+    (feq (Rowa.write_availability r ~p) (0.8 ** 4.0))
+
+let test_rowa_availability_exact () =
+  (* The closed forms must equal exhaustive enumeration over up/down
+     patterns, with the protocol's own assembly as the oracle. *)
+  let r = Rowa.create ~n:6 in
+  let proto = Rowa.protocol r in
+  let rng = Rng.create 3 in
+  let p = 0.7 in
+  let exact_read =
+    Availability.exact ~n:6 ~p (fun ~alive ->
+        Quorum.Protocol.read_quorum proto ~alive ~rng <> None)
+  in
+  let exact_write =
+    Availability.exact ~n:6 ~p (fun ~alive ->
+        Quorum.Protocol.write_quorum proto ~alive ~rng <> None)
+  in
+  Alcotest.(check bool) "read exact" true
+    (feq ~eps:1e-9 exact_read (Rowa.read_availability r ~p));
+  Alcotest.(check bool) "write exact" true
+    (feq ~eps:1e-9 exact_write (Rowa.write_availability r ~p))
+
+let test_rowa_write_needs_all () =
+  let r = Rowa.create ~n:3 in
+  let rng = Rng.create 1 in
+  let alive = Dsutil.Bitset.of_list 3 [ 0; 1 ] in
+  Alcotest.(check bool) "write blocked by one crash" true
+    (Rowa.write_quorum r ~alive ~rng = None);
+  Alcotest.(check bool) "read survives" true
+    (Rowa.read_quorum r ~alive ~rng <> None)
+
+let test_majority_sizes () =
+  List.iter
+    (fun (n, q) ->
+      Alcotest.(check int)
+        (Printf.sprintf "majority of %d" n)
+        q
+        (Majority.quorum_size (Majority.create ~n)))
+    [ (1, 1); (2, 2); (3, 2); (5, 3); (7, 4); (100, 51) ]
+
+let test_majority_load () =
+  let m = Majority.create ~n:5 in
+  Alcotest.(check bool) "load 3/5" true (feq (Majority.load m) 0.6)
+
+let test_majority_availability_exact () =
+  let m = Majority.create ~n:7 in
+  let proto = Majority.protocol m in
+  let rng = Rng.create 5 in
+  let p = 0.6 in
+  let exact =
+    Availability.exact ~n:7 ~p (fun ~alive ->
+        Quorum.Protocol.read_quorum proto ~alive ~rng <> None)
+  in
+  Alcotest.(check bool) "binomial tail matches enumeration" true
+    (feq ~eps:1e-9 exact (Majority.availability m ~p))
+
+let test_majority_beats_rowa_write_availability () =
+  (* Majority tolerates minority crashes; ROWA writes do not. *)
+  let p = 0.9 and n = 9 in
+  Alcotest.(check bool) "majority > rowa for writes" true
+    (Majority.availability (Majority.create ~n) ~p
+    > Rowa.write_availability (Rowa.create ~n) ~p)
+
+let test_enumeration_counts () =
+  let m = Majority.create ~n:5 in
+  Alcotest.(check int) "C(5,3) quorums" 10
+    (List.length (List.of_seq (Majority.enumerate_read_quorums m)));
+  let r = Rowa.create ~n:5 in
+  Alcotest.(check int) "5 singleton reads" 5
+    (List.length (List.of_seq (Rowa.enumerate_read_quorums r)));
+  Alcotest.(check int) "1 write quorum" 1
+    (List.length (List.of_seq (Rowa.enumerate_write_quorums r)))
+
+let suite =
+  [
+    Alcotest.test_case "ROWA costs and loads" `Quick test_rowa_costs_loads;
+    Alcotest.test_case "ROWA availability formulas" `Quick
+      test_rowa_availability_formulas;
+    Alcotest.test_case "ROWA availability vs enumeration" `Quick
+      test_rowa_availability_exact;
+    Alcotest.test_case "ROWA write needs all replicas" `Quick
+      test_rowa_write_needs_all;
+    Alcotest.test_case "Majority quorum sizes" `Quick test_majority_sizes;
+    Alcotest.test_case "Majority load" `Quick test_majority_load;
+    Alcotest.test_case "Majority availability vs enumeration" `Quick
+      test_majority_availability_exact;
+    Alcotest.test_case "Majority beats ROWA write availability" `Quick
+      test_majority_beats_rowa_write_availability;
+    Alcotest.test_case "enumeration counts" `Quick test_enumeration_counts;
+  ]

@@ -1,0 +1,179 @@
+module Simplex = Analysis.Simplex
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) < eps
+
+let solve_exn p =
+  match Simplex.solve p with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unexpected: %a" Simplex.pp_error e
+
+let test_basic_le () =
+  (* min -x - y  s.t. x + y <= 4, x <= 2  (x,y >= 0): optimum -4 at (2,2) *)
+  let p =
+    {
+      Simplex.objective = [| -1.0; -1.0 |];
+      constraints =
+        [ ([| 1.0; 1.0 |], Simplex.Le, 4.0); ([| 1.0; 0.0 |], Simplex.Le, 2.0) ];
+    }
+  in
+  let s = solve_exn p in
+  Alcotest.(check bool) "value" true (feq s.Simplex.value (-4.0));
+  Alcotest.(check bool) "x" true (feq s.Simplex.x.(0) 2.0);
+  Alcotest.(check bool) "y" true (feq s.Simplex.x.(1) 2.0)
+
+let test_equality () =
+  (* min x + y  s.t. x + y = 3: optimum 3. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 1.0 |];
+      constraints = [ ([| 1.0; 1.0 |], Simplex.Eq, 3.0) ];
+    }
+  in
+  Alcotest.(check bool) "value 3" true (feq (solve_exn p).Simplex.value 3.0)
+
+let test_ge () =
+  (* min 2x + 3y  s.t. x + y >= 4, x - y >= -2: optimum at (4,0)? 2*4=8;
+     or (1,3): 2+9=11; y=0,x=4 satisfies x-y=4 >= -2 -> 8. *)
+  let p =
+    {
+      Simplex.objective = [| 2.0; 3.0 |];
+      constraints =
+        [ ([| 1.0; 1.0 |], Simplex.Ge, 4.0); ([| 1.0; -1.0 |], Simplex.Ge, -2.0) ];
+    }
+  in
+  Alcotest.(check bool) "value 8" true (feq (solve_exn p).Simplex.value 8.0)
+
+let test_infeasible () =
+  let p =
+    {
+      Simplex.objective = [| 1.0 |];
+      constraints =
+        [ ([| 1.0 |], Simplex.Le, 1.0); ([| 1.0 |], Simplex.Ge, 2.0) ];
+    }
+  in
+  Alcotest.(check bool) "infeasible" true (Simplex.solve p = Error Simplex.Infeasible)
+
+let test_unbounded () =
+  let p =
+    { Simplex.objective = [| -1.0 |]; constraints = [ ([| 0.0 |], Simplex.Le, 1.0) ] }
+  in
+  Alcotest.(check bool) "unbounded" true (Simplex.solve p = Error Simplex.Unbounded)
+
+let test_malformed () =
+  Alcotest.(check bool) "no variables" true
+    (match Simplex.solve { Simplex.objective = [||]; constraints = [] } with
+    | Error (Simplex.Malformed _) -> true
+    | _ -> false);
+  Alcotest.(check bool) "arity mismatch" true
+    (match
+       Simplex.solve
+         {
+           Simplex.objective = [| 1.0 |];
+           constraints = [ ([| 1.0; 2.0 |], Simplex.Le, 1.0) ];
+         }
+     with
+    | Error (Simplex.Malformed _) -> true
+    | _ -> false)
+
+let test_negative_rhs_normalization () =
+  (* min x s.t. -x <= -2  (i.e. x >= 2): optimum 2. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0 |];
+      constraints = [ ([| -1.0 |], Simplex.Le, -2.0) ];
+    }
+  in
+  Alcotest.(check bool) "value 2" true (feq (solve_exn p).Simplex.value 2.0)
+
+let test_maximize () =
+  (* max x + 2y s.t. x + y <= 3, y <= 2: optimum 5 at (1,2). *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 2.0 |];
+      constraints =
+        [ ([| 1.0; 1.0 |], Simplex.Le, 3.0); ([| 0.0; 1.0 |], Simplex.Le, 2.0) ];
+    }
+  in
+  match Simplex.maximize p with
+  | Ok s -> Alcotest.(check bool) "value 5" true (feq s.Simplex.value 5.0)
+  | Error e -> Alcotest.failf "unexpected: %a" Simplex.pp_error e
+
+let test_degenerate () =
+  (* Degenerate vertex: redundant constraints through the optimum. *)
+  let p =
+    {
+      Simplex.objective = [| -1.0 |];
+      constraints =
+        [
+          ([| 1.0 |], Simplex.Le, 1.0);
+          ([| 2.0 |], Simplex.Le, 2.0);
+          ([| 1.0 |], Simplex.Le, 2.0);
+        ];
+    }
+  in
+  Alcotest.(check bool) "value -1" true (feq (solve_exn p).Simplex.value (-1.0))
+
+let test_redundant_equalities () =
+  (* x + y = 2 stated twice: still feasible, optimum 2 at any split. *)
+  let p =
+    {
+      Simplex.objective = [| 1.0; 1.0 |];
+      constraints =
+        [ ([| 1.0; 1.0 |], Simplex.Eq, 2.0); ([| 1.0; 1.0 |], Simplex.Eq, 2.0) ];
+    }
+  in
+  Alcotest.(check bool) "value 2" true (feq (solve_exn p).Simplex.value 2.0)
+
+let test_random_lps_feasibility () =
+  (* Random bounded LPs: solver value must match brute-force grid search
+     within tolerance. *)
+  let rng = Dsutil.Rng.create 97 in
+  for _ = 1 to 20 do
+    let c = Array.init 2 (fun _ -> Dsutil.Rng.uniform_in rng (-3.0) 3.0) in
+    let a1 = Array.init 2 (fun _ -> Dsutil.Rng.uniform_in rng 0.2 2.0) in
+    let b1 = Dsutil.Rng.uniform_in rng 1.0 5.0 in
+    let p =
+      {
+        Simplex.objective = c;
+        constraints =
+          [
+            (a1, Simplex.Le, b1);
+            ([| 1.0; 0.0 |], Simplex.Le, 4.0);
+            ([| 0.0; 1.0 |], Simplex.Le, 4.0);
+          ];
+      }
+    in
+    let s = solve_exn p in
+    (* Brute force over a fine grid. *)
+    let best = ref infinity in
+    let steps = 200 in
+    for i = 0 to steps do
+      for j = 0 to steps do
+        let x = 4.0 *. float_of_int i /. float_of_int steps in
+        let y = 4.0 *. float_of_int j /. float_of_int steps in
+        if (a1.(0) *. x) +. (a1.(1) *. y) <= b1 +. 1e-12 then begin
+          let v = (c.(0) *. x) +. (c.(1) *. y) in
+          if v < !best then best := v
+        end
+      done
+    done;
+    Alcotest.(check bool) "within grid tolerance" true
+      (s.Simplex.value <= !best +. 1e-6 && s.Simplex.value >= !best -. 0.1)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "basic <= program" `Quick test_basic_le;
+    Alcotest.test_case "equality constraint" `Quick test_equality;
+    Alcotest.test_case ">= constraints" `Quick test_ge;
+    Alcotest.test_case "infeasible detection" `Quick test_infeasible;
+    Alcotest.test_case "unbounded detection" `Quick test_unbounded;
+    Alcotest.test_case "malformed input" `Quick test_malformed;
+    Alcotest.test_case "negative rhs normalization" `Quick
+      test_negative_rhs_normalization;
+    Alcotest.test_case "maximize wrapper" `Quick test_maximize;
+    Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+    Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+    Alcotest.test_case "random LPs vs grid search" `Quick
+      test_random_lps_feasibility;
+  ]

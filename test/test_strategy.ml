@@ -1,0 +1,63 @@
+module Quorum_set = Quorum.Quorum_set
+module Strategy = Quorum.Strategy
+
+let feq a b = abs_float (a -. b) < 1e-9
+
+let majority3 = Quorum_set.of_lists ~universe:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]
+
+let test_uniform_is_distribution () =
+  let w = Strategy.uniform majority3 in
+  Alcotest.(check bool) "valid" true (Strategy.is_distribution w)
+
+let test_uniform_load_majority () =
+  (* Each site is in 2 of 3 quorums -> load 2/3. *)
+  let w = Strategy.uniform majority3 in
+  Alcotest.(check bool) "site loads" true
+    (Array.for_all (fun l -> feq l (2.0 /. 3.0))
+       (Strategy.induced_site_loads majority3 w));
+  Alcotest.(check bool) "system load" true
+    (feq (Strategy.system_load majority3 w) (2.0 /. 3.0))
+
+let test_skewed_strategy () =
+  (* Put all weight on one quorum: its members carry load 1. *)
+  let w = Strategy.of_weights [| 1.0; 0.0; 0.0 |] in
+  let loads = Strategy.induced_site_loads majority3 w in
+  Alcotest.(check bool) "members loaded" true (feq loads.(0) 1.0 && feq loads.(1) 1.0);
+  Alcotest.(check bool) "non-member idle" true (feq loads.(2) 0.0);
+  Alcotest.(check bool) "system load 1" true (feq (Strategy.system_load majority3 w) 1.0)
+
+let test_of_weights_normalizes () =
+  let w = Strategy.of_weights [| 2.0; 2.0; 4.0 |] in
+  Alcotest.(check bool) "normalized" true (Strategy.is_distribution w);
+  Alcotest.(check bool) "ratios kept" true (feq ((w :> float array)).(2) 0.5)
+
+let test_of_weights_validation () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Strategy.of_weights: negative weight") (fun () ->
+      ignore (Strategy.of_weights [| -1.0; 2.0 |]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Strategy.of_weights: zero total") (fun () ->
+      ignore (Strategy.of_weights [| 0.0; 0.0 |]))
+
+let test_expected_quorum_size () =
+  let qs = Quorum_set.of_lists ~universe:4 [ [ 0 ]; [ 0; 1; 2; 3 ] ] in
+  let w = Strategy.of_weights [| 3.0; 1.0 |] in
+  (* 0.75*1 + 0.25*4 = 1.75 *)
+  Alcotest.(check bool) "expected size" true
+    (feq (Strategy.expected_quorum_size qs w) 1.75)
+
+let test_arity_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Strategy.induced_site_loads: arity mismatch") (fun () ->
+      ignore (Strategy.induced_site_loads majority3 (Strategy.of_weights [| 1.0 |])))
+
+let suite =
+  [
+    Alcotest.test_case "uniform is a distribution" `Quick test_uniform_is_distribution;
+    Alcotest.test_case "uniform load on majority-3" `Quick test_uniform_load_majority;
+    Alcotest.test_case "skewed strategy" `Quick test_skewed_strategy;
+    Alcotest.test_case "of_weights normalizes" `Quick test_of_weights_normalizes;
+    Alcotest.test_case "of_weights validation" `Quick test_of_weights_validation;
+    Alcotest.test_case "expected quorum size" `Quick test_expected_quorum_size;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+  ]

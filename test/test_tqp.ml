@@ -1,0 +1,150 @@
+module Tqp = Quorum.Tqp
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Availability = Quorum.Availability
+module Protocol = Quorum.Protocol
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_sizes () =
+  let t = Tqp.create ~d:1 ~height:2 in
+  Alcotest.(check int) "fanout 3" 3 (Tqp.fanout t);
+  Alcotest.(check int) "n = 13" 13 (Tqp.n t);
+  let t2 = Tqp.create ~d:2 ~height:1 in
+  Alcotest.(check int) "fanout 5" 5 (Tqp.fanout t2);
+  Alcotest.(check int) "n = 6" 6 (Tqp.n t2)
+
+let test_cost_formulas () =
+  (* §1: read within [1, (d+1)^h]; write ((d+1)^(h+1) - 1)/d. *)
+  let t = Tqp.create ~d:1 ~height:3 in
+  Alcotest.(check int) "min read 1" 1 (Tqp.min_read_cost t);
+  Alcotest.(check int) "max read 2^3" 8 (Tqp.max_read_cost t);
+  Alcotest.(check int) "write (2^4-1)/1" 15 (Tqp.write_cost t)
+
+let test_read_prefers_root () =
+  let t = Tqp.create ~d:1 ~height:2 in
+  let rng = Rng.create 3 in
+  let alive = Protocol.all_alive (Tqp.protocol t) in
+  match Tqp.read_quorum t ~alive ~rng with
+  | Some q -> Alcotest.(check (list int)) "just the root" [ 0 ] (Bitset.elements q)
+  | None -> Alcotest.fail "read must succeed"
+
+let test_read_fallback_on_root_crash () =
+  let t = Tqp.create ~d:1 ~height:1 in
+  let rng = Rng.create 5 in
+  (* Root dead: need majority (2 of 3) of children. *)
+  let alive = Bitset.of_list 4 [ 1; 2; 3 ] in
+  (match Tqp.read_quorum t ~alive ~rng with
+  | Some q -> Alcotest.(check int) "two children" 2 (Bitset.cardinal q)
+  | None -> Alcotest.fail "fallback read must succeed");
+  (* Root dead and two children dead: blocked. *)
+  let alive2 = Bitset.of_list 4 [ 1 ] in
+  Alcotest.(check bool) "minority blocked" true
+    (Tqp.read_quorum t ~alive:alive2 ~rng = None)
+
+let test_write_needs_root () =
+  (* §1's motivating weakness: a root crash blocks every write. *)
+  let t = Tqp.create ~d:1 ~height:1 in
+  let rng = Rng.create 7 in
+  let alive = Bitset.of_list 4 [ 1; 2; 3 ] in
+  Alcotest.(check bool) "write blocked by root crash" true
+    (Tqp.write_quorum t ~alive ~rng = None);
+  let all = Protocol.all_alive (Tqp.protocol t) in
+  match Tqp.write_quorum t ~alive:all ~rng with
+  | Some q ->
+    Alcotest.(check bool) "root in quorum" true (Bitset.mem q 0);
+    Alcotest.(check int) "size = write cost" (Tqp.write_cost t) (Bitset.cardinal q)
+  | None -> Alcotest.fail "write must succeed when all alive"
+
+let test_bicoterie () =
+  let t = Tqp.create ~d:1 ~height:1 in
+  let reads =
+    Quorum.Quorum_set.create ~universe:4 (List.of_seq (Tqp.enumerate_read_quorums t))
+  in
+  let writes =
+    Quorum.Quorum_set.create ~universe:4 (List.of_seq (Tqp.enumerate_write_quorums t))
+  in
+  Alcotest.(check bool) "bicoterie" true
+    (Quorum.Quorum_set.is_bicoterie ~read:reads ~write:writes);
+  (* h=1, d=1: reads = root + C(3,2) child pairs = 4; writes = root+pair = 3. *)
+  Alcotest.(check int) "4 read quorums" 4 (Quorum.Quorum_set.size reads);
+  Alcotest.(check int) "3 write quorums" 3 (Quorum.Quorum_set.size writes)
+
+let test_bicoterie_height2 () =
+  let t = Tqp.create ~d:1 ~height:2 in
+  let reads =
+    Quorum.Quorum_set.create ~universe:13 (List.of_seq (Tqp.enumerate_read_quorums t))
+  in
+  let writes =
+    Quorum.Quorum_set.create ~universe:13
+      (List.of_seq (Tqp.enumerate_write_quorums t))
+  in
+  Alcotest.(check bool) "bicoterie at height 2" true
+    (Quorum.Quorum_set.is_bicoterie ~read:reads ~write:writes)
+
+let test_availability_vs_exact () =
+  let t = Tqp.create ~d:1 ~height:1 in
+  let proto = Tqp.protocol t in
+  let rng = Rng.create 11 in
+  List.iter
+    (fun p ->
+      let exact_rd =
+        Availability.exact ~n:4 ~p (fun ~alive ->
+            Protocol.read_quorum proto ~alive ~rng <> None)
+      in
+      let exact_wr =
+        Availability.exact ~n:4 ~p (fun ~alive ->
+            Protocol.write_quorum proto ~alive ~rng <> None)
+      in
+      Alcotest.(check bool) "read recurrence" true
+        (feq exact_rd (Tqp.read_availability t ~p));
+      Alcotest.(check bool) "write recurrence" true
+        (feq exact_wr (Tqp.write_availability t ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_write_availability_below_p () =
+  (* §1: write availability is always at most p. *)
+  let t = Tqp.create ~d:1 ~height:3 in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "<= p" true (Tqp.write_availability t ~p <= p);
+      Alcotest.(check bool) "read >= p for p > 1/2" true
+        (p <= 0.5 || Tqp.read_availability t ~p >= p))
+    [ 0.4; 0.6; 0.8; 0.95 ]
+
+let test_write_load_is_one () =
+  (* LP on the enumerated write quorums: the root is in all of them. *)
+  let t = Tqp.create ~d:1 ~height:1 in
+  let writes =
+    Quorum.Quorum_set.create ~universe:4 (List.of_seq (Tqp.enumerate_write_quorums t))
+  in
+  Alcotest.(check bool) "LP write load 1" true
+    (abs_float (Analysis.Load_lp.optimal_load writes -. 1.0) < 1e-6);
+  Alcotest.(check bool) "formula agrees" true (feq (Tqp.write_load t) 1.0)
+
+let test_arbitrary_beats_tqp_write_load () =
+  (* The ICDCS paper's pitch: same n, the arbitrary protocol's write load
+     is far below the VLDB-90 protocol's load of 1. *)
+  let tqp = Tqp.create ~d:1 ~height:2 in
+  let tree = Arbitrary.Config.build Arbitrary.Config.Arbitrary ~n:(Tqp.n tqp) in
+  Alcotest.(check bool) "lower write load" true
+    (Arbitrary.Analysis.write_load tree < Tqp.write_load tqp)
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "cost formulas (§1)" `Quick test_cost_formulas;
+    Alcotest.test_case "read prefers the root" `Quick test_read_prefers_root;
+    Alcotest.test_case "read fallback on root crash" `Quick
+      test_read_fallback_on_root_crash;
+    Alcotest.test_case "write needs the root (§1)" `Quick test_write_needs_root;
+    Alcotest.test_case "bicoterie h=1" `Quick test_bicoterie;
+    Alcotest.test_case "bicoterie h=2" `Quick test_bicoterie_height2;
+    Alcotest.test_case "availability recurrences vs exact" `Quick
+      test_availability_vs_exact;
+    Alcotest.test_case "write availability <= p" `Quick
+      test_write_availability_below_p;
+    Alcotest.test_case "write load 1 via LP" `Quick test_write_load_is_one;
+    Alcotest.test_case "arbitrary beats VLDB-90 on write load" `Quick
+      test_arbitrary_beats_tqp_write_load;
+  ]

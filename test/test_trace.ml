@@ -1,0 +1,160 @@
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Trace = Dsim.Trace
+
+let is_send = function Trace.Send _ -> true | _ -> false
+let is_deliver = function Trace.Deliver _ -> true | _ -> false
+let is_drop = function Trace.Drop _ -> true | _ -> false
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 (Trace.Crash 3);
+  Trace.record t ~time:2.0 (Trace.Recover 3);
+  Alcotest.(check int) "two entries" 2 (Trace.length t);
+  match Trace.entries t with
+  | [ a; b ] ->
+    Alcotest.(check (float 1e-9)) "chronological" 1.0 a.Trace.time;
+    Alcotest.(check bool) "second is recover" true (b.Trace.event = Trace.Recover 3)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_capacity_bound () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) (Trace.Crash i)
+  done;
+  Alcotest.(check int) "bounded" 3 (Trace.length t);
+  Alcotest.(check int) "dropped count" 7 (Trace.dropped t);
+  match Trace.entries t with
+  | first :: _ -> Alcotest.(check (float 1e-9)) "oldest kept is 8" 8.0 first.Trace.time
+  | [] -> Alcotest.fail "empty"
+
+let test_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let test_filter_and_find () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 (Trace.Crash 1);
+  Trace.record t ~time:2.0 (Trace.Custom { tag = "x"; info = "y" });
+  Trace.record t ~time:3.0 (Trace.Crash 2);
+  Alcotest.(check int) "two crashes" 2
+    (Trace.count_matching t (function Trace.Crash _ -> true | _ -> false));
+  match Trace.find_first t (function Trace.Crash _ -> true | _ -> false) with
+  | Some e -> Alcotest.(check (float 1e-9)) "first crash at 1" 1.0 e.Trace.time
+  | None -> Alcotest.fail "no crash found"
+
+let test_network_emission () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~n:3 () in
+  let trace = Trace.create () in
+  Network.attach_trace net ~describe:(fun s -> s) trace;
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  Alcotest.(check int) "one send" 1 (Trace.count_matching trace is_send);
+  Alcotest.(check int) "one deliver" 1 (Trace.count_matching trace is_deliver);
+  (* Payload description captured. *)
+  (match Trace.find_first trace is_send with
+  | Some { Trace.event = Trace.Send { info; _ }; _ } ->
+    Alcotest.(check string) "describe used" "hello" info
+  | _ -> Alcotest.fail "send entry missing");
+  (* Drops recorded with their reason. *)
+  Network.crash net 2;
+  Network.send net ~src:0 ~dst:2 "lost";
+  Engine.run engine;
+  Alcotest.(check int) "crash event" 1
+    (Trace.count_matching trace (function Trace.Crash 2 -> true | _ -> false));
+  Alcotest.(check int) "drop recorded" 1 (Trace.count_matching trace is_drop)
+
+let test_network_partition_events () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~n:4 () in
+  let trace = Trace.create () in
+  Network.attach_trace net trace;
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Network.heal net;
+  let parts =
+    Trace.filter trace (function Trace.Partition_change _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "two partition events" 2 (List.length parts)
+
+let test_crash_dedup () =
+  (* Crashing an already-down site does not spam the trace. *)
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~n:2 () in
+  let trace = Trace.create () in
+  Network.attach_trace net trace;
+  Network.crash net 0;
+  Network.crash net 0;
+  Network.recover net 0;
+  Network.recover net 0;
+  Alcotest.(check int) "one crash + one recover" 2 (Trace.length trace)
+
+let test_dump () =
+  let t = Trace.create () in
+  for i = 1 to 5 do
+    Trace.record t ~time:(float_of_int i) (Trace.Crash i)
+  done;
+  let s = Trace.dump t ~max:2 in
+  Alcotest.(check int) "two lines" 2
+    (List.length (String.split_on_char '\n' s));
+  Alcotest.(check bool) "latest included" true
+    (String.length s > 0
+    && Trace.length t = 5
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> String.length l > 0) lines)
+
+let test_clear () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.record t ~time:1.0 (Trace.Crash 1);
+  Trace.record t ~time:2.0 (Trace.Crash 2);
+  Trace.record t ~time:3.0 (Trace.Crash 3);
+  Trace.clear t;
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  Alcotest.(check int) "dropped reset" 0 (Trace.dropped t)
+
+let test_end_to_end_protocol_trace () =
+  (* Full protocol run with tracing: the trace must show the write's
+     prepare/commit message flow. *)
+  let proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ()) in
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~n:9 () in
+  let trace = Trace.create () in
+  Network.attach_trace net
+    ~describe:(Format.asprintf "%a" Replication.Message.pp)
+    trace;
+  let _replicas = Array.init 8 (fun site -> Replication.Replica.create ~site ~net) in
+  let coord = Replication.Coordinator.create ~site:8 ~net ~proto () in
+  let done_ = ref false in
+  Replication.Coordinator.write coord ~key:1 ~value:"x" (fun _ -> done_ := true);
+  Engine.run engine;
+  Alcotest.(check bool) "write completed" true !done_;
+  let contains needle (e : Trace.event) =
+    match e with
+    | Trace.Send { info; _ } | Trace.Deliver { info; _ } ->
+      let nl = String.length needle and il = String.length info in
+      let rec go i = i + nl <= il && (String.sub info i nl = needle || go (i + 1)) in
+      go 0
+    | _ -> false
+  in
+  Alcotest.(check bool) "prepare messages traced" true
+    (Trace.count_matching trace (contains "prepare(") > 0);
+  Alcotest.(check bool) "commit messages traced" true
+    (Trace.count_matching trace (contains "commit(") > 0)
+
+let suite =
+  [
+    Alcotest.test_case "record and read" `Quick test_record_and_read;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+    Alcotest.test_case "filter and find" `Quick test_filter_and_find;
+    Alcotest.test_case "network emission" `Quick test_network_emission;
+    Alcotest.test_case "partition events" `Quick test_network_partition_events;
+    Alcotest.test_case "crash dedup" `Quick test_crash_dedup;
+    Alcotest.test_case "dump" `Quick test_dump;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "end-to-end protocol trace" `Quick
+      test_end_to_end_protocol_trace;
+  ]

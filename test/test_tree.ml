@@ -1,0 +1,118 @@
+module Tree = Arbitrary.Tree
+
+let test_figure1_counts () =
+  let t = Tree.figure1 () in
+  Alcotest.(check int) "n" 8 (Tree.n t);
+  Alcotest.(check int) "height" 2 (Tree.height t);
+  Alcotest.(check (list int)) "K_phy" [ 1; 2 ] (Tree.physical_levels t);
+  Alcotest.(check (list int)) "K_log" [ 0 ] (Tree.logical_levels t);
+  Alcotest.(check int) "|K_phy|" 2 (Tree.num_physical_levels t);
+  Alcotest.(check int) "d" 3 (Tree.min_level_size t);
+  Alcotest.(check int) "e" 5 (Tree.max_level_size t);
+  (* Table 1 exactly *)
+  List.iter
+    (fun (k, total, phy, log) ->
+      let l = Tree.level t k in
+      Alcotest.(check int) (Printf.sprintf "m_%d" k) total l.Tree.total;
+      Alcotest.(check int) (Printf.sprintf "m_phy%d" k) phy l.Tree.physical;
+      Alcotest.(check int) (Printf.sprintf "m_log%d" k) log l.Tree.logical)
+    [ (0, 1, 0, 1); (1, 3, 3, 0); (2, 9, 5, 4) ]
+
+let test_spec_roundtrip () =
+  let t = Tree.of_spec "1-3-5" in
+  Alcotest.(check string) "roundtrip" "1-3-5" (Tree.to_spec t);
+  Alcotest.(check int) "n" 8 (Tree.n t);
+  let t2 = Tree.of_spec "2-3-4" in
+  Alcotest.(check int) "physical root spec" 9 (Tree.n t2);
+  Alcotest.(check (list int)) "no logical level" [] (Tree.logical_levels t2)
+
+let test_spec_validation () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bad spec %S rejected" s)
+        true
+        (try
+           ignore (Tree.of_spec s);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "a-b"; "3--5"; "0-3"; "-1" ]
+
+let test_replica_numbering () =
+  let t = Tree.figure1 () in
+  Alcotest.(check (array int)) "level 1 replicas" [| 0; 1; 2 |] (Tree.replicas_at t 1);
+  Alcotest.(check (array int)) "level 2 replicas" [| 3; 4; 5; 6; 7 |]
+    (Tree.replicas_at t 2);
+  Alcotest.(check (array int)) "logical level empty" [||] (Tree.replicas_at t 0);
+  Alcotest.(check int) "site 0 at level 1" 1 (Tree.level_of_replica t 0);
+  Alcotest.(check int) "site 7 at level 2" 2 (Tree.level_of_replica t 7);
+  Alcotest.check_raises "bad site"
+    (Invalid_argument "Tree.level_of_replica: bad site id") (fun () ->
+      ignore (Tree.level_of_replica t 8))
+
+let test_node_kinds () =
+  let t = Tree.figure1 () in
+  Alcotest.(check bool) "root logical" true
+    (Tree.node_kind t ~level:0 ~index:0 = Tree.Logical);
+  Alcotest.(check bool) "level-1 physical" true
+    (Tree.node_kind t ~level:1 ~index:2 = Tree.Physical);
+  Alcotest.(check bool) "level-2 physical first" true
+    (Tree.node_kind t ~level:2 ~index:4 = Tree.Physical);
+  Alcotest.(check bool) "level-2 logical tail" true
+    (Tree.node_kind t ~level:2 ~index:5 = Tree.Logical)
+
+let test_parent_and_descendants () =
+  let t = Tree.figure1 () in
+  Alcotest.(check bool) "root has no parent" true
+    (Tree.parent t ~level:0 ~index:0 = None);
+  Alcotest.(check bool) "level-1 parent is root" true
+    (Tree.parent t ~level:1 ~index:2 = Some (0, 0));
+  (* Level 2 has 9 nodes over 3 parents: each parent gets 3. *)
+  Alcotest.(check int) "children of (0,1)" 3 (Tree.descendants_count t ~level:1 ~index:0);
+  Alcotest.(check int) "leaves have no children" 0
+    (Tree.descendants_count t ~level:2 ~index:0);
+  (* Sum of children counts equals the next level's node count. *)
+  let total =
+    List.fold_left
+      (fun acc i -> acc + Tree.descendants_count t ~level:1 ~index:i)
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "children sum to m_2" 9 total
+
+let test_assumption () =
+  Alcotest.(check bool) "figure1 ok" true (Tree.satisfies_assumption (Tree.figure1 ()));
+  Alcotest.(check bool) "decreasing violates" false
+    (Tree.satisfies_assumption (Tree.of_spec "1-5-3"));
+  Alcotest.(check bool) "equal first two violates strictness" false
+    (Tree.satisfies_assumption (Tree.of_spec "3-3"));
+  Alcotest.(check bool) "single level ok" true
+    (Tree.satisfies_assumption (Tree.of_spec "5"))
+
+let test_create_validation () =
+  Alcotest.check_raises "no levels" (Invalid_argument "Tree.create: no levels")
+    (fun () -> ignore (Tree.create []));
+  Alcotest.check_raises "no replica"
+    (Invalid_argument "Tree.create: tree has no replica") (fun () ->
+      ignore (Tree.create [ (0, 1); (0, 2) ]));
+  Alcotest.check_raises "interior logical level"
+    (Invalid_argument "Tree.create: logical level below a physical level")
+    (fun () -> ignore (Tree.create [ (2, 0); (0, 1); (3, 0) ]))
+
+let test_equal () =
+  Alcotest.(check bool) "structurally equal" true
+    (Tree.equal (Tree.of_spec "1-3-5") (Tree.figure1 ()) = false);
+  Alcotest.(check bool) "same spec equal" true
+    (Tree.equal (Tree.of_spec "1-3-5") (Tree.of_spec "1-3-5"))
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 / table 1 counts" `Quick test_figure1_counts;
+    Alcotest.test_case "spec roundtrip" `Quick test_spec_roundtrip;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "replica numbering" `Quick test_replica_numbering;
+    Alcotest.test_case "node kinds" `Quick test_node_kinds;
+    Alcotest.test_case "parents and descendants" `Quick test_parent_and_descendants;
+    Alcotest.test_case "assumption 3.1" `Quick test_assumption;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "equality" `Quick test_equal;
+  ]

@@ -1,0 +1,157 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Tree_quorum = Quorum.Tree_quorum
+module Availability = Quorum.Availability
+module Protocol = Quorum.Protocol
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_sizes () =
+  List.iter
+    (fun (h, n) ->
+      Alcotest.(check int) (Printf.sprintf "n for h=%d" h) n (Tree_quorum.n_of_height h))
+    [ (0, 1); (1, 3); (2, 7); (3, 15); (4, 31) ];
+  let t = Tree_quorum.of_n ~n:20 in
+  Alcotest.(check int) "of_n snaps down" 3 (Tree_quorum.height t)
+
+let test_cost_bounds () =
+  let t = Tree_quorum.create ~height:3 in
+  Alcotest.(check int) "min cost h+1" 4 (Tree_quorum.min_cost t);
+  Alcotest.(check int) "max cost (n+1)/2" 8 (Tree_quorum.max_cost t)
+
+let test_quorum_counts () =
+  (* N(h) = 2N(h-1) + N(h-1)^2, N(0)=1 -> 1, 3, 15, 255 *)
+  List.iter
+    (fun (h, count) ->
+      Alcotest.(check int)
+        (Printf.sprintf "count h=%d" h)
+        count
+        (Tree_quorum.quorum_count (Tree_quorum.create ~height:h)))
+    [ (0, 1); (1, 3); (2, 15); (3, 255) ];
+  (* And enumeration must agree. *)
+  let t = Tree_quorum.create ~height:2 in
+  Alcotest.(check int) "enumeration matches recurrence" 15
+    (List.length (List.of_seq (Tree_quorum.enumerate_read_quorums t)))
+
+let test_enumerated_quorums_intersect () =
+  let t = Tree_quorum.create ~height:2 in
+  let qs = List.of_seq (Tree_quorum.enumerate_read_quorums t) in
+  List.iteri
+    (fun i qi ->
+      List.iteri
+        (fun j qj ->
+          if i < j then
+            Alcotest.(check bool) "pairwise intersection" true
+              (Bitset.intersects qi qj))
+        qs)
+    qs
+
+let test_paper_cost_values () =
+  (* Hand-checked: h=1 -> 2, h=2 -> 3.5. *)
+  Alcotest.(check bool) "h=1" true
+    (feq (Tree_quorum.paper_cost (Tree_quorum.create ~height:1)) 2.0);
+  Alcotest.(check bool) "h=2" true
+    (feq (Tree_quorum.paper_cost (Tree_quorum.create ~height:2)) 3.5)
+
+let test_expected_cost_recurrence () =
+  (* C(1) = 2, C(2) = 3.5, C(3) = 6 by hand. *)
+  List.iter
+    (fun (h, c) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "C(%d)" h)
+        true
+        (feq (Tree_quorum.expected_cost (Tree_quorum.create ~height:h)) c))
+    [ (0, 1.0); (1, 2.0); (2, 3.5); (3, 6.0) ]
+
+let test_measured_cost_matches_recurrence () =
+  let t = Tree_quorum.create ~height:4 in
+  let rng = Rng.create 19 in
+  let alive = Protocol.all_alive (Tree_quorum.protocol t) in
+  let trials = 20_000 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    match Tree_quorum.read_quorum t ~alive ~rng with
+    | None -> Alcotest.fail "failure-free assembly cannot fail"
+    | Some q -> total := !total + Bitset.cardinal q
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expected = Tree_quorum.expected_cost t in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f vs expected %.3f" mean expected)
+    true
+    (abs_float (mean -. expected) /. expected < 0.03)
+
+let test_root_load_is_optimal () =
+  (* Under the spread strategy the root should appear in a fraction
+     f = 2/(h+2) of assembled quorums: exactly the optimal load. *)
+  let t = Tree_quorum.create ~height:3 in
+  let rng = Rng.create 23 in
+  let alive = Protocol.all_alive (Tree_quorum.protocol t) in
+  let trials = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    match Tree_quorum.read_quorum t ~alive ~rng with
+    | None -> Alcotest.fail "assembly failed"
+    | Some q -> if Bitset.mem q 0 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "root rate %.3f vs 0.4" rate)
+    true
+    (abs_float (rate -. Tree_quorum.optimal_load t) < 0.02)
+
+let test_availability_recurrence_vs_exact () =
+  let t = Tree_quorum.create ~height:2 in
+  let proto = Tree_quorum.protocol t in
+  let rng = Rng.create 29 in
+  List.iter
+    (fun p ->
+      let exact =
+        Availability.exact ~n:7 ~p (fun ~alive ->
+            Protocol.read_quorum proto ~alive ~rng <> None)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%.2f" p)
+        true
+        (feq ~eps:1e-9 exact (Tree_quorum.availability t ~p)))
+    [ 0.5; 0.7; 0.9 ]
+
+let test_survives_root_crash () =
+  (* The motivating property vs older tree protocols: the root's crash
+     does not block operations. *)
+  let t = Tree_quorum.create ~height:2 in
+  let rng = Rng.create 31 in
+  let alive = Bitset.of_list 7 [ 1; 2; 3; 4; 5; 6 ] in
+  match Tree_quorum.write_quorum t ~alive ~rng with
+  | None -> Alcotest.fail "root crash must not block writes"
+  | Some q -> Alcotest.(check bool) "root not in quorum" false (Bitset.mem q 0)
+
+let test_load_optimality_via_lp () =
+  List.iter
+    (fun h ->
+      let t = Tree_quorum.create ~height:h in
+      let qs = Protocol.read_quorum_set (Tree_quorum.protocol t) in
+      Alcotest.(check bool)
+        (Printf.sprintf "LP load = 2/(h+2) for h=%d" h)
+        true
+        (feq ~eps:1e-6 (Analysis.Load_lp.optimal_load qs) (Tree_quorum.optimal_load t)))
+    [ 1; 2 ]
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "cost bounds" `Quick test_cost_bounds;
+    Alcotest.test_case "quorum counts" `Quick test_quorum_counts;
+    Alcotest.test_case "enumerated quorums intersect" `Quick
+      test_enumerated_quorums_intersect;
+    Alcotest.test_case "paper cost formula values" `Quick test_paper_cost_values;
+    Alcotest.test_case "expected cost recurrence" `Quick
+      test_expected_cost_recurrence;
+    Alcotest.test_case "measured cost matches recurrence" `Slow
+      test_measured_cost_matches_recurrence;
+    Alcotest.test_case "root load is optimal" `Slow test_root_load_is_optimal;
+    Alcotest.test_case "availability recurrence vs exact" `Quick
+      test_availability_recurrence_vs_exact;
+    Alcotest.test_case "survives root crash" `Quick test_survives_root_crash;
+    Alcotest.test_case "load optimality via LP" `Quick test_load_optimality_via_lp;
+  ]

@@ -1,0 +1,71 @@
+module Txn_harness = Replication.Txn_harness
+
+let proto_of n = Arbitrary.Quorums.protocol (Arbitrary.Config.build Arbitrary.Config.Arbitrary ~n)
+
+let test_happy_path () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  let r = Txn_harness.run s in
+  Alcotest.(check bool) "conservation" true r.Txn_harness.conservation_ok;
+  Alcotest.(check bool) "most transactions commit" true (r.Txn_harness.committed > 0);
+  Alcotest.(check int) "every txn accounted" 90
+    (r.Txn_harness.committed + r.Txn_harness.aborted);
+  (* Failure-free: nothing in doubt and the observed total is exact. *)
+  Alcotest.(check int) "no in-doubt" 0 r.Txn_harness.uncertain;
+  Alcotest.(check int) "totals exact" r.Txn_harness.committed_increments
+    r.Txn_harness.observed_total
+
+let test_determinism () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  let r1 = Txn_harness.run s and r2 = Txn_harness.run s in
+  Alcotest.(check int) "same commits" r1.Txn_harness.committed r2.Txn_harness.committed;
+  Alcotest.(check int) "same observed" r1.Txn_harness.observed_total
+    r2.Txn_harness.observed_total
+
+let test_conservation_under_churn () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  List.iter
+    (fun seed ->
+      let rng = Dsutil.Rng.create seed in
+      let failures =
+        Dsim.Failure.random_crash_recovery ~rng ~n:24 ~horizon:400.0 ~mtbf:150.0
+          ~mttr:40.0
+      in
+      let r =
+        Txn_harness.run
+          { s with Txn_harness.failures; loss_rate = 0.02; n_clients = 4; seed }
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "conservation under churn (seed %d)" seed)
+        true r.Txn_harness.conservation_ok;
+      Alcotest.(check int) "all terminate" 120
+        (r.Txn_harness.committed + r.Txn_harness.aborted))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_single_key_txns () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  let r = Txn_harness.run { s with Txn_harness.keys_per_txn = 1 } in
+  Alcotest.(check bool) "conservation" true r.Txn_harness.conservation_ok
+
+let test_wide_txns () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  let r =
+    Txn_harness.run { s with Txn_harness.keys_per_txn = 4; n_clients = 2 }
+  in
+  Alcotest.(check bool) "conservation" true r.Txn_harness.conservation_ok
+
+let test_validation () =
+  let s = Txn_harness.default_scenario ~proto:(proto_of 24) in
+  Alcotest.check_raises "keys_per_txn too large"
+    (Invalid_argument "Txn_harness.run: keys_per_txn exceeds key_space")
+    (fun () -> ignore (Txn_harness.run { s with Txn_harness.keys_per_txn = 99 }))
+
+let suite =
+  [
+    Alcotest.test_case "happy path conservation" `Quick test_happy_path;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "conservation under churn" `Slow
+      test_conservation_under_churn;
+    Alcotest.test_case "single-key transactions" `Quick test_single_key_txns;
+    Alcotest.test_case "wide transactions" `Quick test_wide_txns;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,115 @@
+module Wv = Quorum.Weighted_voting
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Availability = Quorum.Availability
+
+let test_validation () =
+  List.iter
+    (fun (votes, r, w, why) ->
+      Alcotest.(check bool) why true
+        (try
+           ignore (Wv.create ~votes ~r ~w);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ([||], 1, 1, "no replicas");
+      ([| 1; -1 |], 1, 1, "negative votes");
+      ([| 0; 0 |], 1, 1, "zero total");
+      ([| 1; 1; 1 |], 1, 2, "r + w <= total");
+      ([| 1; 1; 1; 1 |], 3, 2, "2w <= total");
+    ]
+
+let test_corner_cases_match_classics () =
+  (* r=1, w=n is ROWA; r=w=majority is Majority. *)
+  let rowa = Wv.rowa ~n:5 in
+  Alcotest.(check int) "rowa min read size" 1 (Wv.min_read_quorum_size rowa);
+  Alcotest.(check int) "rowa min write size" 5 (Wv.min_write_quorum_size rowa);
+  let maj = Wv.majority ~n:5 in
+  Alcotest.(check int) "majority read size" 3 (Wv.min_read_quorum_size maj);
+  Alcotest.(check int) "majority write size" 3 (Wv.min_write_quorum_size maj)
+
+let test_weighted_assembly () =
+  (* Votes 3,1,1,1 with total 6, r=2, w=5: the heavy replica alone reads;
+     writes need the heavy replica plus two others. *)
+  let t = Wv.create ~votes:[| 3; 1; 1; 1 |] ~r:2 ~w:5 in
+  let rng = Rng.create 3 in
+  let heavy_only = Bitset.of_list 4 [ 0 ] in
+  (match Wv.read_quorum t ~alive:heavy_only ~rng with
+  | Some q -> Alcotest.(check (list int)) "heavy reads alone" [ 0 ] (Bitset.elements q)
+  | None -> Alcotest.fail "heavy replica gathers r votes");
+  Alcotest.(check bool) "heavy alone cannot write" true
+    (Wv.write_quorum t ~alive:heavy_only ~rng = None);
+  let without_heavy = Bitset.of_list 4 [ 1; 2; 3 ] in
+  (* 3 votes < w = 5. *)
+  Alcotest.(check bool) "light replicas cannot write" true
+    (Wv.write_quorum t ~alive:without_heavy ~rng = None);
+  (* But 3 votes >= r = 2: reads fine. *)
+  Alcotest.(check bool) "light replicas can read" true
+    (Wv.read_quorum t ~alive:without_heavy ~rng <> None)
+
+let test_bicoterie () =
+  let t = Wv.create ~votes:[| 3; 2; 1; 1 |] ~r:3 ~w:5 in
+  let reads =
+    Quorum.Quorum_set.create ~universe:4 (List.of_seq (Wv.enumerate_read_quorums t))
+  in
+  let writes =
+    Quorum.Quorum_set.create ~universe:4 (List.of_seq (Wv.enumerate_write_quorums t))
+  in
+  Alcotest.(check bool) "bicoterie" true
+    (Quorum.Quorum_set.is_bicoterie ~read:reads ~write:writes);
+  Alcotest.(check bool) "writes are a quorum system" true
+    (Quorum.Quorum_set.is_quorum_system writes)
+
+let test_enumeration_minimal () =
+  let t = Wv.uniform ~n:4 ~r:2 ~w:3 in
+  let reads = List.of_seq (Wv.enumerate_read_quorums t) in
+  (* Minimal 2-vote sets among 4 uniform voters: C(4,2) = 6. *)
+  Alcotest.(check int) "C(4,2)" 6 (List.length reads);
+  List.iter
+    (fun q -> Alcotest.(check int) "size 2" 2 (Bitset.cardinal q))
+    reads
+
+let test_availability_matches_exact () =
+  let t = Wv.create ~votes:[| 2; 1; 1; 1 |] ~r:2 ~w:4 in
+  let proto = Wv.protocol t in
+  let rng = Rng.create 7 in
+  let p = 0.7 in
+  let mc = Availability.monte_carlo ~trials:20_000 ~rng ~n:4 ~p (fun ~alive ->
+      Quorum.Protocol.read_quorum proto ~alive ~rng <> None)
+  in
+  let exact =
+    Availability.exact ~n:4 ~p (fun ~alive ->
+        Quorum.Protocol.read_quorum proto ~alive ~rng <> None)
+  in
+  Alcotest.(check bool) "MC matches exact" true (abs_float (mc -. exact) < 0.01)
+
+let prop_intersection =
+  QCheck.Test.make ~name:"weighted voting: reads intersect writes" ~count:60
+    QCheck.(
+      pair (list_of_size (Gen.int_range 2 5) (int_range 0 3)) (int_bound 100))
+    (fun (votes_list, salt) ->
+      let votes = Array.of_list votes_list in
+      let total = Array.fold_left ( + ) 0 votes in
+      QCheck.assume (total > 0);
+      let w = (total / 2) + 1 + (salt mod (max 1 (total - (total / 2)))) in
+      let w = min w total in
+      let r = total - w + 1 in
+      let t = Wv.create ~votes ~r ~w in
+      let reads = List.of_seq (Wv.enumerate_read_quorums t) in
+      let writes = List.of_seq (Wv.enumerate_write_quorums t) in
+      List.for_all
+        (fun rq -> List.for_all (fun wq -> Bitset.intersects rq wq) writes)
+        reads)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "corner cases: ROWA and Majority" `Quick
+      test_corner_cases_match_classics;
+    Alcotest.test_case "weighted assembly" `Quick test_weighted_assembly;
+    Alcotest.test_case "bicoterie" `Quick test_bicoterie;
+    Alcotest.test_case "minimal enumeration" `Quick test_enumeration_minimal;
+    Alcotest.test_case "availability MC vs exact" `Quick
+      test_availability_matches_exact;
+    QCheck_alcotest.to_alcotest prop_intersection;
+  ]
