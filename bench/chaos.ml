@@ -1,0 +1,42 @@
+(* Chaos-campaign runner: crash/partition/loss schedules × the four paper
+   tree configurations × oracle vs heartbeat failure detection.
+
+     dune exec bench/chaos.exe            # full campaign (32 cells)
+     dune exec bench/chaos.exe -- --smoke # CI budget (8 cells, seeded)
+
+   Exit status is non-zero when any cell records a safety violation or
+   when the heartbeat detector's success rate falls more than 10 points
+   behind the oracle's on the crash-only schedule — the campaign is a
+   gate, not just a report. *)
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let campaign =
+    if smoke then
+      Eval.Chaos.run ~n:45 ~clients:3 ~ops:20 ~horizon:3000.0
+        ~schedules:[ Eval.Chaos.crashes_schedule; Eval.Chaos.combined_schedule ]
+        ()
+    else Eval.Chaos.run ()
+  in
+  let label = if smoke then "smoke" else "full" in
+  Printf.printf "== Chaos campaign (%s): %d cells ==\n\n" label
+    (List.length campaign.Eval.Chaos.cells);
+  print_string (Eval.Chaos.table campaign);
+  Printf.printf "\n== Oracle vs heartbeat detection parity ==\n\n";
+  print_string (Eval.Chaos.parity_table campaign);
+  let gap = Eval.Chaos.crash_parity_gap campaign in
+  Printf.printf
+    "\ntotal safety violations: %d\nmax crash-schedule success-rate gap \
+     (oracle vs heartbeat): %.4f\n"
+    campaign.Eval.Chaos.safety_violations gap;
+  if campaign.Eval.Chaos.safety_violations > 0 then begin
+    prerr_endline "FAIL: safety violated under chaos";
+    exit 1
+  end;
+  if gap > 0.10 then begin
+    prerr_endline
+      "FAIL: heartbeat detection degrades availability by more than 10 \
+       points on crash-only schedules";
+    exit 1
+  end;
+  print_endline "chaos campaign OK"

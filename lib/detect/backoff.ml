@@ -1,0 +1,20 @@
+module Rng = Dsutil.Rng
+
+type policy = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default = { base = 12.5; factor = 2.0; max_delay = 200.0; jitter = 0.2 }
+
+let delay p ~rng ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  let raw = p.base *. (p.factor ** float_of_int attempt) in
+  let capped = Float.min p.max_delay raw in
+  let scale =
+    if p.jitter <= 0.0 then 1.0
+    else Rng.uniform_in rng (1.0 -. p.jitter) (1.0 +. p.jitter)
+  in
+  capped *. scale

@@ -1,0 +1,25 @@
+(** Exponential retry backoff with deterministic jitter.
+
+    Retrying a failed quorum immediately (or on a fixed half-timeout
+    cadence, as the seed code did) hammers a dead or partitioned quorum
+    and burns the whole retry budget inside one failure window.  Delays
+    here grow geometrically per attempt and are jittered from the caller's
+    seeded {!Dsutil.Rng} stream, so runs stay reproducible while retries
+    from concurrent clients decorrelate. *)
+
+type policy = {
+  base : float;  (** delay before the first retry (attempt 0) *)
+  factor : float;  (** geometric growth per attempt *)
+  max_delay : float;  (** cap on the un-jittered delay *)
+  jitter : float;
+      (** relative jitter amplitude in [0,1): the delay is scaled by a
+          uniform factor in [1−jitter, 1+jitter) *)
+}
+
+val default : policy
+(** [{ base = 12.5; factor = 2.0; max_delay = 200.0; jitter = 0.2 }] —
+    base matches the seed's fixed timeout/2 pause, so attempt 0 behaves
+    like before and later attempts spread out. *)
+
+val delay : policy -> rng:Dsutil.Rng.t -> attempt:int -> float
+(** Delay before retry number [attempt] (0-based). *)

@@ -1,0 +1,39 @@
+module Stats = Dsutil.Stats
+
+type config = {
+  initial : float;
+  min_timeout : float;
+  max_timeout : float;
+  quantile : float;
+  multiplier : float;
+  min_samples : int;
+}
+
+let default_config =
+  {
+    initial = 25.0;
+    min_timeout = 5.0;
+    max_timeout = 200.0;
+    quantile = 0.95;
+    multiplier = 3.0;
+    min_samples = 8;
+  }
+
+type t = { config : config; rtts : Stats.t }
+
+let create ?(config = default_config) () =
+  if config.quantile < 0.0 || config.quantile > 1.0 then
+    invalid_arg "Rto.create: quantile out of [0,1]";
+  { config; rtts = Stats.create () }
+
+let observe t rtt = if rtt > 0.0 then Stats.add t.rtts rtt
+
+let timeout t =
+  let c = t.config in
+  if Stats.count t.rtts < c.min_samples then c.initial
+  else
+    Float.min c.max_timeout
+      (Float.max c.min_timeout
+         (c.multiplier *. Stats.percentile t.rtts c.quantile))
+
+let samples t = Stats.count t.rtts

@@ -1,0 +1,29 @@
+module Bitset = Dsutil.Bitset
+module Network = Dsim.Network
+
+type t = {
+  alive : unit -> Bitset.t;
+  observe : int -> unit;
+  suspect : int -> unit;
+}
+
+let make ~alive ?(observe = ignore) ?(suspect = ignore) () =
+  { alive; observe; suspect }
+
+let oracle ~net ~self ~n =
+  let alive () =
+    let view = Bitset.create n in
+    for i = 0 to n - 1 do
+      if Network.is_up net i && Network.reachable net self i then
+        Bitset.add view i
+    done;
+    view
+  in
+  { alive; observe = ignore; suspect = ignore }
+
+let always_up ~n =
+  let full = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.add full i
+  done;
+  { alive = (fun () -> Bitset.copy full); observe = ignore; suspect = ignore }

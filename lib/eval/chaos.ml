@@ -1,0 +1,269 @@
+module Config = Arbitrary.Config
+module Harness = Replication.Harness
+module Coordinator = Replication.Coordinator
+module Failure = Dsim.Failure
+module Rng = Dsutil.Rng
+module Stats = Dsutil.Stats
+
+type schedule = {
+  label : string;
+  loss_rate : float;
+  entries : rng:Rng.t -> n:int -> horizon:float -> Failure.entry list;
+}
+
+(* Steady-state availability mtbf/(mtbf+mttr) = 0.8: harsh enough that a
+   detector that never rehabilitates would starve, long enough outages
+   that a detector that never suspects would stall every operation. *)
+let churn ~rng ~n ~horizon =
+  Failure.random_crash_recovery ~rng ~n ~horizon ~mtbf:400.0 ~mttr:100.0
+
+let crashes_schedule = { label = "crashes"; loss_rate = 0.0; entries = churn }
+
+(* Recurring minority partitions: every [period], isolate a random ~n/3
+   subset of replicas for [width].  Only replicas are listed, so clients
+   and the remaining majority stay mutually reachable (Network.partition
+   puts unlisted sites in one implicit group). *)
+let partition_entries ~rng ~n ~horizon =
+  let period = 600.0 and width = 200.0 and start = 300.0 in
+  let sites = Array.init n Fun.id in
+  let rec windows t acc =
+    if t >= horizon then List.rev acc
+    else begin
+      Rng.shuffle rng sites;
+      let minority = Array.to_list (Array.sub sites 0 (max 1 (n / 3))) in
+      let acc =
+        { Failure.time = t +. width; event = Failure.Heal }
+        :: { Failure.time = t; event = Failure.Partition [ minority ] }
+        :: acc
+      in
+      windows (t +. period) acc
+    end
+  in
+  windows start []
+
+let partitions_schedule =
+  { label = "partitions"; loss_rate = 0.0; entries = partition_entries }
+
+let loss_schedule =
+  {
+    label = "loss";
+    loss_rate = 0.05;
+    entries = (fun ~rng:_ ~n:_ ~horizon:_ -> []);
+  }
+
+let combined_schedule =
+  {
+    label = "combined";
+    loss_rate = 0.03;
+    entries =
+      (fun ~rng ~n ~horizon ->
+        let crashes =
+          Failure.random_crash_recovery ~rng ~n ~horizon ~mtbf:500.0
+            ~mttr:80.0
+        in
+        let parts = partition_entries ~rng ~n ~horizon in
+        List.sort
+          (fun a b -> Float.compare a.Failure.time b.Failure.time)
+          (crashes @ parts));
+  }
+
+let default_schedules =
+  [ crashes_schedule; partitions_schedule; loss_schedule; combined_schedule ]
+
+type detector = Oracle | Heartbeat
+
+let detector_to_string = function
+  | Oracle -> "oracle"
+  | Heartbeat -> "heartbeat"
+
+type cell = {
+  config : Config.name;
+  schedule : string;
+  detector : detector;
+  n : int;
+  report : Harness.report;
+  read_rate : float;
+  write_rate : float;
+}
+
+type campaign = { cells : cell list; safety_violations : int }
+
+let default_configs =
+  [ Config.Mostly_read; Config.Mostly_write; Config.Arbitrary; Config.Unmodified ]
+
+(* Degradation-tolerant coordinator: adaptive phase timeouts, jittered
+   exponential backoff, a hard per-operation deadline so dead quorums are
+   abandoned instead of hammered. *)
+let chaos_coordinator =
+  {
+    Coordinator.default_config with
+    Coordinator.max_retries = 8;
+    adaptive_timeout = true;
+    deadline = 600.0;
+  }
+
+(* Campaign detection settings: a short ping period cuts the blind window
+   after each crash (detection latency ~ period + threshold·σ) while the
+   default φ threshold keeps false suspicions rare — essential because a
+   write quorum needs {e every} node of a level, so one false suspect
+   fails the whole attempt. *)
+let chaos_heartbeat =
+  { Detect.Heartbeat.default_config with Detect.Heartbeat.period = 2.5 }
+
+let rate ok failed =
+  let total = ok + failed in
+  if total = 0 then 1.0 else float_of_int ok /. float_of_int total
+
+let run ?(n = 45) ?(clients = 3) ?(ops = 25) ?(seed = 42) ?(horizon = 3000.0)
+    ?(configs = default_configs) ?(schedules = default_schedules)
+    ?(detectors = [ Oracle; Heartbeat ]) () =
+  let cells = ref [] in
+  List.iteri
+    (fun ci name ->
+      let n = Config_metrics.feasible_n name n in
+      let proto = Config_metrics.protocol_of name ~n in
+      List.iteri
+        (fun si sched ->
+          (* One failure trace and one workload seed per (config,
+             schedule): detector modes face identical adversity. *)
+          let cell_seed = seed + (1000 * ci) + (100 * si) in
+          let entries =
+            sched.entries ~rng:(Rng.create cell_seed) ~n ~horizon
+          in
+          List.iter
+            (fun detector ->
+              let s = Harness.default_scenario ~proto in
+              let scenario =
+                {
+                  s with
+                  Harness.n_clients = clients;
+                  ops_per_client = ops;
+                  read_fraction = 0.5;
+                  key_space = 8;
+                  think_time = 3.0;
+                  loss_rate = sched.loss_rate;
+                  failures = entries;
+                  seed = cell_seed;
+                  coordinator = chaos_coordinator;
+                  detector =
+                    (match detector with
+                    | Oracle -> Harness.Oracle
+                    | Heartbeat -> Harness.Heartbeat chaos_heartbeat);
+                  horizon;
+                  warmup = 1.0;
+                }
+              in
+              let report = Harness.run scenario in
+              cells :=
+                {
+                  config = name;
+                  schedule = sched.label;
+                  detector;
+                  n;
+                  report;
+                  read_rate =
+                    rate report.Harness.reads_ok report.Harness.reads_failed;
+                  write_rate =
+                    rate report.Harness.writes_ok report.Harness.writes_failed;
+                }
+                :: !cells)
+            detectors)
+        schedules)
+    configs;
+  let cells = List.rev !cells in
+  {
+    cells;
+    safety_violations =
+      List.fold_left
+        (fun acc c -> acc + c.report.Harness.safety_violations)
+        0 cells;
+  }
+
+let p99 stats =
+  if Stats.count stats = 0 then "-"
+  else Printf.sprintf "%.1f" (Stats.percentile stats 0.99)
+
+let table campaign =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Config.name_to_string c.config;
+          string_of_int c.n;
+          c.schedule;
+          detector_to_string c.detector;
+          Tablefmt.f4 c.read_rate;
+          Tablefmt.f4 c.write_rate;
+          p99 c.report.Harness.read_latency;
+          p99 c.report.Harness.write_latency;
+          string_of_int c.report.Harness.retries;
+          string_of_int c.report.Harness.deadline_exceeded;
+          string_of_int c.report.Harness.messages_delivered;
+          string_of_int c.report.Harness.safety_violations;
+        ])
+      campaign.cells
+  in
+  Tablefmt.render
+    ~header:
+      [
+        "config"; "n"; "schedule"; "detector"; "rd rate"; "wr rate";
+        "rd p99"; "wr p99"; "retries"; "ddl"; "msgs"; "viol";
+      ]
+    ~rows
+
+(* Pair up oracle/heartbeat cells of the same (config, schedule). *)
+let pairs campaign =
+  List.filter_map
+    (fun c ->
+      if c.detector <> Oracle then None
+      else
+        List.find_opt
+          (fun c' ->
+            c'.detector = Heartbeat && c'.config = c.config
+            && c'.schedule = c.schedule)
+          campaign.cells
+        |> Option.map (fun c' -> (c, c')))
+    campaign.cells
+
+let parity_table campaign =
+  let rows =
+    List.map
+      (fun (o, h) ->
+        [
+          Config.name_to_string o.config;
+          o.schedule;
+          Tablefmt.f4 o.read_rate;
+          Tablefmt.f4 h.read_rate;
+          Printf.sprintf "%+.4f" (h.read_rate -. o.read_rate);
+          Tablefmt.f4 o.write_rate;
+          Tablefmt.f4 h.write_rate;
+          Printf.sprintf "%+.4f" (h.write_rate -. o.write_rate);
+        ])
+      (pairs campaign)
+  in
+  Tablefmt.render
+    ~header:
+      [
+        "config"; "schedule"; "rd oracle"; "rd hb"; "rd delta";
+        "wr oracle"; "wr hb"; "wr delta";
+      ]
+    ~rows
+
+(* Parity is only meaningful where the oracle itself can succeed: a
+   write-all quorum under heavy churn fails with ground-truth knowledge
+   too (P(all n up) ≈ availability^n), and comparing two near-zero rates
+   measures sampling luck, not detector quality.  Components whose oracle
+   rate is below [floor] are skipped. *)
+let crash_parity_gap ?(floor = 0.5) campaign =
+  let component oracle_rate hb_rate =
+    if oracle_rate < floor then 0.0 else Float.abs (oracle_rate -. hb_rate)
+  in
+  List.fold_left
+    (fun acc (o, h) ->
+      if o.schedule <> crashes_schedule.label then acc
+      else
+        Float.max acc
+          (Float.max
+             (component o.read_rate h.read_rate)
+             (component o.write_rate h.write_rate)))
+    0.0 (pairs campaign)

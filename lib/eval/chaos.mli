@@ -1,0 +1,92 @@
+(** Chaos campaign: sweep failure schedules × tree configurations ×
+    failure-detector modes, assert safety everywhere, measure degradation.
+
+    Each cell of the campaign runs the full replication stack
+    ({!Replication.Harness}) under an adversarial schedule — crash/recovery
+    churn, recurring minority partitions, message loss, or all three at
+    once — twice: once with the ground-truth oracle detector (the paper's
+    §2.2 assumption) and once with the realistic heartbeat/φ-accrual
+    detector ({!Detect.Heartbeat}).  Within a (configuration, schedule)
+    pair both detector modes see the {e same} failure entries and the same
+    workload seed, so their success rates are directly comparable.
+
+    The invariant asserted everywhere is one-copy read freshness
+    ([safety_violations = 0]): bad failure knowledge may cost availability
+    and latency, never consistency. *)
+
+type schedule = {
+  label : string;
+  loss_rate : float;
+  entries :
+    rng:Dsutil.Rng.t -> n:int -> horizon:float -> Dsim.Failure.entry list;
+}
+
+val crashes_schedule : schedule
+(** Continuous per-site crash/recovery churn (steady-state availability
+    ~0.8), no partitions, no loss. *)
+
+val partitions_schedule : schedule
+(** Recurring partitions isolating a random ~n/3 minority of replicas,
+    healed after a window; clients always stay with the majority. *)
+
+val loss_schedule : schedule
+(** 5% i.i.d. message loss, sites never fail. *)
+
+val combined_schedule : schedule
+(** Crash churn + recurring partitions + 3% loss together. *)
+
+val default_schedules : schedule list
+(** The four above. *)
+
+type detector = Oracle | Heartbeat
+
+val detector_to_string : detector -> string
+
+type cell = {
+  config : Arbitrary.Config.name;
+  schedule : string;
+  detector : detector;
+  n : int;  (** replica count the configuration snapped to *)
+  report : Replication.Harness.report;
+  read_rate : float;  (** successful / attempted reads (1.0 when none) *)
+  write_rate : float;
+}
+
+type campaign = {
+  cells : cell list;
+  safety_violations : int;  (** summed over every cell — must be 0 *)
+}
+
+val run :
+  ?n:int ->
+  ?clients:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?configs:Arbitrary.Config.name list ->
+  ?schedules:schedule list ->
+  ?detectors:detector list ->
+  unit ->
+  campaign
+(** Defaults: n = 45 (snapped per configuration), 3 clients × 25 ops,
+    seed 42, horizon 3000, the four paper tree configurations
+    (MOSTLY-READ, MOSTLY-WRITE, ARBITRARY, UNMODIFIED), all four
+    schedules, both detectors — 32 cells.  Deterministic for a fixed
+    argument set. *)
+
+val table : campaign -> string
+(** One row per cell: success rates, p99 latencies, retries, messages,
+    safety violations. *)
+
+val parity_table : campaign -> string
+(** Oracle vs heartbeat success-rate deltas per (configuration,
+    schedule). *)
+
+val crash_parity_gap : ?floor:float -> campaign -> float
+(** Largest |oracle − heartbeat| success-rate gap (reads or writes, in
+    rate points) across the crash-only schedule cells — the acceptance
+    bound is 0.10.  Components whose oracle-mode rate is below [floor]
+    (default 0.5) are skipped: where ground-truth detection cannot
+    assemble a quorum either (e.g. write-all under churn), the gap
+    between two near-zero rates measures sampling luck, not the
+    detector. *)

@@ -10,10 +10,23 @@ type config = {
   max_retries : int;
   oracle_view : bool;
   read_repair : bool;
+  adaptive_timeout : bool;
+  deadline : float;
+  backoff : Detect.Backoff.policy;
+  rto : Detect.Rto.config;
 }
 
 let default_config =
-  { timeout = 25.0; max_retries = 4; oracle_view = true; read_repair = false }
+  {
+    timeout = 25.0;
+    max_retries = 4;
+    oracle_view = true;
+    read_repair = false;
+    adaptive_timeout = false;
+    deadline = Float.infinity;
+    backoff = Detect.Backoff.default;
+    rto = Detect.Rto.default_config;
+  }
 
 type read_result = { value : string; ts : Timestamp.t; attempts : int }
 
@@ -24,6 +37,7 @@ type metrics = {
   writes_failed : int;
   retries : int;
   repairs_sent : int;
+  deadline_exceeded : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -45,6 +59,7 @@ type op_state = {
   attempts : int;
   started : float;
   mutable phase : phase;
+  mutable phase_started : float;  (** when this phase's requests went out *)
   mutable waiting : int list;  (** members yet to reply in this phase *)
   mutable max_ts : Timestamp.t;
   mutable max_value : string;
@@ -60,17 +75,21 @@ type t = {
   mutable proto : Protocol.t;
   locks : Lock_manager.t option;
   config : config;
+  mutable view : Detect.View.t;
+  rto : Detect.Rto.t;
   rng : Rng.t;
   n_replicas : int;
   mutable next_seq : int;
   pending : (int, op_state) Hashtbl.t;
-  suspects : (int, float) Hashtbl.t;  (** site -> suspicion expiry time *)
+  suspects : (int, float) Hashtbl.t;  (** site -> suspicion expiry time
+                                          (timeout-suspicion ablation) *)
   mutable reads_ok : int;
   mutable reads_failed : int;
   mutable writes_ok : int;
   mutable writes_failed : int;
   mutable retries : int;
   mutable repairs_sent : int;
+  mutable deadline_exceeded : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -82,29 +101,43 @@ let fresh_op t =
   t.next_seq <- t.next_seq + 1;
   id
 
-(* The believed-alive replica view: ground truth when [oracle_view] (the
-   paper assumes detectable failures), otherwise everything not currently
-   suspected; in both cases partition reachability from this coordinator is
-   respected. *)
-let current_view t =
-  let now = Engine.now (engine t) in
-  let view = Bitset.create t.n_replicas in
-  for i = 0 to t.n_replicas - 1 do
-    let believed_up =
-      if t.config.oracle_view then Network.is_up t.net i
-      else begin
+(* The believed-alive replica view comes from the pluggable detector:
+   ground truth by default (the paper assumes detectable failures), a
+   timeout-suspicion ablation with [oracle_view = false], or any
+   caller-supplied view (e.g. Detect.Heartbeat). *)
+let current_view t = t.view.Detect.View.alive ()
+
+let view t = t.view
+
+(* Legacy timeout-based suspicion, packaged as a detector view: sites are
+   suspected for a fixed window after missing a deadline and — the crucial
+   rehabilitation rule — cleared the moment they are heard from again. *)
+let suspicion_view t =
+  let alive () =
+    let now = Engine.now (engine t) in
+    let view = Bitset.create t.n_replicas in
+    for i = 0 to t.n_replicas - 1 do
+      let believed_up =
         match Hashtbl.find_opt t.suspects i with
         | Some expiry when expiry > now -> false
         | _ -> true
-      end
-    in
-    if believed_up && Network.reachable t.net t.site i then Bitset.add view i
-  done;
-  view
+      in
+      if believed_up && Network.reachable t.net t.site i then Bitset.add view i
+    done;
+    view
+  in
+  Detect.View.make ~alive
+    ~observe:(fun site -> Hashtbl.remove t.suspects site)
+    ~suspect:(fun site ->
+      let expiry = Engine.now (engine t) +. (4.0 *. t.config.timeout) in
+      Hashtbl.replace t.suspects site expiry)
+    ()
 
-let suspect t site =
-  let expiry = Engine.now (engine t) +. (4.0 *. t.config.timeout) in
-  Hashtbl.replace t.suspects site expiry
+let phase_timeout t =
+  if t.config.adaptive_timeout then Detect.Rto.timeout t.rto
+  else t.config.timeout
+
+let observed_timeout t = phase_timeout t
 
 let send t ~dst msg = Network.send t.net ~src:t.site ~dst msg
 
@@ -149,6 +182,7 @@ let rec start_attempt t ~key ~kind ~attempts ~started =
       attempts;
       started;
       phase = Querying;
+      phase_started = Engine.now (engine t);
       waiting = [];
       max_ts = Timestamp.zero;
       max_value = "";
@@ -172,21 +206,33 @@ and retry t st =
   (* Roll back any prepared members of this attempt. *)
   if st.phase = Preparing then
     List.iter (fun m -> send t ~dst:m (Message.Abort { op = st.op })) st.write_quorum;
+  (* The members that never answered are negative evidence for the
+     detector (the oracle view ignores it). *)
+  List.iter t.view.Detect.View.suspect st.waiting;
   if st.attempts >= t.config.max_retries then finish t st `Failed
   else begin
-    t.retries <- t.retries + 1;
-    if not t.config.oracle_view then List.iter (suspect t) st.waiting;
-    (* Back off before re-assembling: an instant retry against the same
-       failed view (e.g. during a partition) would burn the whole budget
-       in one instant of virtual time. *)
-    Engine.schedule (engine t) ~delay:(t.config.timeout /. 2.0) (fun () ->
-        start_attempt t ~key:st.key ~kind:st.kind ~attempts:(st.attempts + 1)
-          ~started:st.started)
+    (* Exponential backoff with jitter before re-assembling: an instant
+       retry against the same failed view (e.g. during a partition) would
+       burn the whole budget in one instant of virtual time, and a fixed
+       pause keeps hammering a dead quorum in lockstep. *)
+    let delay =
+      Detect.Backoff.delay t.config.backoff ~rng:t.rng ~attempt:st.attempts
+    in
+    if Engine.now (engine t) +. delay >= st.started +. t.config.deadline then begin
+      t.deadline_exceeded <- t.deadline_exceeded + 1;
+      finish t st `Failed
+    end
+    else begin
+      t.retries <- t.retries + 1;
+      Engine.schedule (engine t) ~delay (fun () ->
+          start_attempt t ~key:st.key ~kind:st.kind ~attempts:(st.attempts + 1)
+            ~started:st.started)
+    end
   end
 
 and arm_timeout t st =
   let op = st.op and phase = st.phase in
-  Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+  Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
       match Hashtbl.find_opt t.pending op with
       | Some st' when st'.phase = phase && st'.waiting <> [] ->
         if phase = Committing then commit_timeout t st' else retry t st'
@@ -196,6 +242,7 @@ and commit_timeout t st =
   (* The decision is already commit; resend to the laggards instead of
      aborting.  Give up (uncertain outcome, counted failed) after the retry
      budget. *)
+  List.iter t.view.Detect.View.suspect st.waiting;
   if st.attempts >= t.config.max_retries then begin
     Hashtbl.remove t.pending st.op;
     finish t st `Failed
@@ -211,7 +258,9 @@ and commit_timeout t st =
     List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.waiting
   end
 
-let reply_received st ~src =
+let reply_received t st ~src =
+  if List.mem src st.waiting then
+    Detect.Rto.observe t.rto (Engine.now (engine t) -. st.phase_started);
   st.waiting <- List.filter (fun m -> m <> src) st.waiting
 
 (* Push the newest value back to quorum members that replied with an older
@@ -249,6 +298,7 @@ let query_complete t st =
         Timestamp.make ~version:(st.max_ts.Timestamp.version + 1) ~sid:t.site
       in
       st.phase <- Preparing;
+      st.phase_started <- Engine.now (engine t);
       st.waiting <- members;
       st.write_quorum <- members;
       st.write_ts <- ts;
@@ -261,18 +311,22 @@ let query_complete t st =
 
 let prepare_complete t st =
   st.phase <- Committing;
+  st.phase_started <- Engine.now (engine t);
   st.waiting <- st.write_quorum;
   arm_timeout t st;
   List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.write_quorum
 
 let handle t ~src msg =
+  (* Any message is proof of life: rehabilitate its sender (clears both
+     the ablation suspect list and any pluggable detector's suspicion). *)
+  if src >= 0 && src < t.n_replicas then t.view.Detect.View.observe src;
   let op = Message.op_id msg in
   match Hashtbl.find_opt t.pending op with
   | None -> ()  (* stale: an earlier attempt or a finished operation *)
   | Some st -> begin
     match (msg : Message.t) with
     | Read_reply { ts; value; _ } when st.phase = Querying ->
-      reply_received st ~src;
+      reply_received t st ~src;
       if t.config.read_repair then st.replies <- (src, ts) :: st.replies;
       if Timestamp.newer_than ts st.max_ts then begin
         st.max_ts <- ts;
@@ -280,18 +334,20 @@ let handle t ~src msg =
       end;
       if st.waiting = [] then query_complete t st
     | Prepare_ack _ when st.phase = Preparing ->
-      reply_received st ~src;
+      reply_received t st ~src;
       if st.waiting = [] then prepare_complete t st
     | Prepare_nack _ when st.phase = Preparing -> retry t st
     | Commit_ack _ when st.phase = Committing ->
-      reply_received st ~src;
+      reply_received t st ~src;
       if st.waiting = [] then finish t st (`Write_ok st.write_ts)
     | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
-    | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ ->
+    | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ | Ping _
+    | Pong _ ->
       ()  (* out-of-phase or replica-bound: ignore *)
   end
 
-let create ~site ~net ~proto ?locks ?(config = default_config) () =
+let create ~site ~net ~proto ?locks ?view ?(config = default_config) () =
+  let n_replicas = Protocol.universe_size proto in
   let t =
     {
       site;
@@ -299,8 +355,10 @@ let create ~site ~net ~proto ?locks ?(config = default_config) () =
       proto;
       locks;
       config;
+      view = Detect.View.always_up ~n:1;  (* placeholder, set below *)
+      rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
-      n_replicas = Protocol.universe_size proto;
+      n_replicas;
       next_seq = 0;
       pending = Hashtbl.create 16;
       suspects = Hashtbl.create 16;
@@ -310,10 +368,18 @@ let create ~site ~net ~proto ?locks ?(config = default_config) () =
       writes_failed = 0;
       retries = 0;
       repairs_sent = 0;
+      deadline_exceeded = 0;
       read_latency = Stats.create ();
       write_latency = Stats.create ();
     }
   in
+  (t.view <-
+     (match view with
+     | Some v -> v
+     | None ->
+       if config.oracle_view then
+         Detect.View.oracle ~net ~self:site ~n:n_replicas
+       else suspicion_view t));
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
   t
 
@@ -344,6 +410,7 @@ let metrics t =
     writes_failed = t.writes_failed;
     retries = t.retries;
     repairs_sent = t.repairs_sent;
+    deadline_exceeded = t.deadline_exceeded;
     read_latency = t.read_latency;
     write_latency = t.write_latency;
   }

@@ -9,20 +9,38 @@
 
     Failures are handled by per-phase timeouts: a timed-out attempt is
     aborted and the operation retried with freshly assembled quorums from
-    the current failure-detector view, up to [max_retries].  Per §2.2
-    failures are detectable, so the default detector is the simulator's
-    ground-truth oracle; a purely timeout-driven suspect list is available
-    for ablation. *)
+    the current failure-detector view, up to [max_retries], pausing with
+    jittered exponential backoff and bounded by an optional per-operation
+    deadline budget.
+
+    The failure-detector view is pluggable ({!Detect.View}).  Per §2.2
+    failures are detectable, so the default is the simulator's
+    ground-truth oracle; [oracle_view = false] selects a purely
+    timeout-driven suspect list (suspicion expires after a fixed window
+    {e and} is cleared the moment the site is heard from again), and a
+    caller-supplied [view] — e.g. a {!Detect.Heartbeat} monitor — replaces
+    both.  Every received message rehabilitates its sender in the view;
+    every missed deadline reports the laggards as suspects. *)
 
 type config = {
-  timeout : float;  (** per-phase response deadline *)
+  timeout : float;  (** fixed per-phase response deadline *)
   max_retries : int;  (** quorum re-assembly attempts per operation *)
   oracle_view : bool;  (** ground-truth failure detector (default) vs.
-                           timeout-based suspicion *)
+                           timeout-based suspicion; ignored when an
+                           explicit [view] is supplied *)
   read_repair : bool;
       (** after a successful query, push the newest value back to quorum
           members that answered with an older timestamp (off by
           default) *)
+  adaptive_timeout : bool;
+      (** derive the phase deadline from observed RTT quantiles
+          ({!Detect.Rto}) instead of the fixed [timeout] *)
+  deadline : float;
+      (** per-operation time budget; a retry that cannot start before
+          [op start + deadline] fails the operation.  [infinity] (default)
+          disables the budget. *)
+  backoff : Detect.Backoff.policy;  (** retry pause policy *)
+  rto : Detect.Rto.config;  (** adaptive-timeout estimator parameters *)
 }
 
 val default_config : config
@@ -34,12 +52,14 @@ val create :
   net:Message.t Dsim.Network.t ->
   proto:Quorum.Protocol.t ->
   ?locks:Lock_manager.t ->
+  ?view:Detect.View.t ->
   ?config:config ->
   unit ->
   t
 (** [site] is the coordinator's own network address (distinct from every
     replica's).  When [locks] is given, reads take shared and writes
-    exclusive per-key locks around the quorum protocol. *)
+    exclusive per-key locks around the quorum protocol.  [view] overrides
+    the config-selected failure detector. *)
 
 type read_result = { value : string; ts : Timestamp.t; attempts : int }
 
@@ -49,6 +69,15 @@ val read : t -> key:int -> (read_result option -> unit) -> unit
 
 val write : t -> key:int -> value:string -> (Timestamp.t option -> unit) -> unit
 (** On success, the timestamp under which the value was committed. *)
+
+val view : t -> Detect.View.t
+(** The failure-detector view in force. *)
+
+val current_view : t -> Dsutil.Bitset.t
+(** The believed-alive replica set right now. *)
+
+val observed_timeout : t -> float
+(** The per-phase deadline currently in force (adaptive or fixed). *)
 
 val set_protocol : t -> Quorum.Protocol.t -> unit
 (** Swap the quorum geometry (reconfiguration, §3.3).  Only safe while the
@@ -65,6 +94,9 @@ type metrics = {
   writes_failed : int;
   retries : int;
   repairs_sent : int;
+  deadline_exceeded : int;
+      (** operations failed because the deadline budget ran out before the
+          retry budget *)
   read_latency : Dsutil.Stats.t;
   write_latency : Dsutil.Stats.t;
 }

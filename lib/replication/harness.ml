@@ -6,6 +6,8 @@ module Rng = Dsutil.Rng
 module Stats = Dsutil.Stats
 module Protocol = Quorum.Protocol
 
+type detector_mode = Oracle | Heartbeat of Detect.Heartbeat.config
+
 type scenario = {
   proto : Protocol.t;
   n_clients : int;
@@ -20,6 +22,7 @@ type scenario = {
   seed : int;
   use_locks : bool;
   coordinator : Coordinator.config;
+  detector : detector_mode;
   horizon : float;
   warmup : float;
 }
@@ -39,6 +42,7 @@ let default_scenario ~proto =
     seed = 42;
     use_locks = true;
     coordinator = Coordinator.default_config;
+    detector = Oracle;
     horizon = 100_000.0;
     warmup = 0.0;
   }
@@ -50,12 +54,14 @@ type report = {
   writes_ok : int;
   writes_failed : int;
   retries : int;
+  deadline_exceeded : int;
   safety_violations : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
+  heartbeat_pings : int;
   replica_reads_served : int array;
   replica_prepares_seen : int array;
   replica_writes_applied : int array;
@@ -79,10 +85,33 @@ let run scenario =
   in
   let checker = { latest = Hashtbl.create 16; violations = 0 } in
   let clients_done = ref 0 in
+  let monitors = ref [] in
+  (* All clients finished: stop the heartbeat loops so the engine drains
+     instead of pinging until the horizon. *)
+  let client_finished () =
+    incr clients_done;
+    if !clients_done = scenario.n_clients then
+      List.iter Detect.Heartbeat.stop !monitors
+  in
   let run_client idx =
     let site = n + idx in
+    let view =
+      match scenario.detector with
+      | Oracle -> None
+      | Heartbeat config ->
+        let seq = ref 0 in
+        let hb =
+          Detect.Heartbeat.create ~engine ~n ~config
+            ~send_ping:(fun dst ->
+              incr seq;
+              Network.send net ~src:site ~dst (Message.Ping { seq = !seq }))
+            ()
+        in
+        monitors := hb :: !monitors;
+        Some (Detect.Heartbeat.view hb)
+    in
     let coord =
-      Coordinator.create ~site ~net ~proto:scenario.proto ?locks
+      Coordinator.create ~site ~net ~proto:scenario.proto ?locks ?view
         ~config:scenario.coordinator ()
     in
     let gen =
@@ -92,7 +121,7 @@ let run scenario =
         ~zipf_theta:scenario.zipf_theta ()
     in
     let rec step remaining =
-      if remaining = 0 then incr clients_done
+      if remaining = 0 then client_finished ()
       else begin
         let continue () =
           Engine.schedule engine
@@ -144,6 +173,7 @@ let run scenario =
     writes_ok = sum (fun m -> m.Coordinator.writes_ok);
     writes_failed = sum (fun m -> m.Coordinator.writes_failed);
     retries = sum (fun m -> m.Coordinator.retries);
+    deadline_exceeded = sum (fun m -> m.Coordinator.deadline_exceeded);
     safety_violations = checker.violations;
     read_latency =
       List.fold_left
@@ -158,6 +188,9 @@ let run scenario =
     messages_dropped =
       counters.Network.dropped_loss + counters.Network.dropped_crash
       + counters.Network.dropped_partition;
+    heartbeat_pings =
+      List.fold_left (fun acc hb -> acc + Detect.Heartbeat.pings_sent hb) 0
+        !monitors;
     replica_reads_served = Array.map Replica.reads_served replicas;
     replica_prepares_seen = Array.map Replica.prepares_seen replicas;
     replica_writes_applied = Array.map Replica.writes_applied replicas;

@@ -8,6 +8,16 @@
     locking and intersecting quorums this must never fire; the counter is
     reported so fault-injection tests can assert it stays zero. *)
 
+type detector_mode =
+  | Oracle
+      (** the coordinator's config-selected view: ground truth by default,
+          or the timeout-suspicion ablation when its [oracle_view] is
+          off *)
+  | Heartbeat of Detect.Heartbeat.config
+      (** one φ-accrual heartbeat monitor per client, pinging every
+          replica; quorums are assembled from its believed-alive view and
+          the oracle is never consulted *)
+
 type scenario = {
   proto : Quorum.Protocol.t;
   n_clients : int;
@@ -22,6 +32,7 @@ type scenario = {
   seed : int;
   use_locks : bool;
   coordinator : Coordinator.config;
+  detector : detector_mode;
   horizon : float;  (** hard stop for the simulation clock *)
   warmup : float;
       (** virtual time before clients issue their first operation — lets
@@ -30,7 +41,8 @@ type scenario = {
 
 val default_scenario : proto:Quorum.Protocol.t -> scenario
 (** 4 clients × 50 ops, 50% reads, 8 keys, uniform keys, exponential(1)
-    latency, no loss, no failures, locks on, horizon 100000. *)
+    latency, no loss, no failures, locks on, oracle detector, horizon
+    100000. *)
 
 type report = {
   duration : float;  (** virtual time at completion *)
@@ -39,12 +51,15 @@ type report = {
   writes_ok : int;
   writes_failed : int;
   retries : int;
+  deadline_exceeded : int;  (** operations that ran out of deadline budget *)
   safety_violations : int;
   read_latency : Dsutil.Stats.t;
   write_latency : Dsutil.Stats.t;
   messages_sent : int;
   messages_delivered : int;
   messages_dropped : int;
+  heartbeat_pings : int;  (** probes sent by heartbeat monitors (0 under
+                              the oracle detector) *)
   replica_reads_served : int array;
   replica_prepares_seen : int array;
   replica_writes_applied : int array;

@@ -10,6 +10,8 @@ type t =
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
+  | Ping of { seq : int }
+  | Pong of { seq : int }
 
 let op_id = function
   | Read_request { op; _ }
@@ -22,6 +24,7 @@ let op_id = function
   | Abort { op }
   | Repair { op; _ } ->
     op
+  | Ping _ | Pong _ -> -1  (* never matches a pending operation *)
 
 let pp ppf = function
   | Read_request { op; key } -> Format.fprintf ppf "read-req(op=%d key=%d)" op key
@@ -37,3 +40,5 @@ let pp ppf = function
   | Abort { op } -> Format.fprintf ppf "abort(op=%d)" op
   | Repair { op; key; ts; _ } ->
     Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Ping { seq } -> Format.fprintf ppf "ping(seq=%d)" seq
+  | Pong { seq } -> Format.fprintf ppf "pong(seq=%d)" seq

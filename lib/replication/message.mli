@@ -19,6 +19,12 @@ type t =
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
+  | Ping of { seq : int }
+      (** heartbeat probe from a failure-detecting coordinator *)
+  | Pong of { seq : int }  (** heartbeat answer *)
 
 val op_id : t -> int
+(** Operation id the message belongs to; −1 for [Ping]/[Pong], which
+    belong to no operation. *)
+
 val pp : Format.formatter -> t -> unit

@@ -4,14 +4,30 @@ module Engine = Dsim.Engine
 module Network = Dsim.Network
 module Protocol = Quorum.Protocol
 
-type config = { timeout : float; max_retries : int }
+type config = {
+  timeout : float;
+  max_retries : int;
+  adaptive_timeout : bool;
+  deadline : float;
+  backoff : Detect.Backoff.policy;
+  rto : Detect.Rto.config;
+}
 
-let default_config = { timeout = 25.0; max_retries = 4 }
+let default_config =
+  {
+    timeout = 25.0;
+    max_retries = 4;
+    adaptive_timeout = false;
+    deadline = Float.infinity;
+    backoff = Detect.Backoff.default;
+    rto = Detect.Rto.default_config;
+  }
 
 type phase = Query | Prepare_phase | Commit_phase
 
 type gather = {
   phase : phase;
+  started : float;  (** phase start, for RTT samples *)
   mutable waiting : int list;
   mutable max_ts : Timestamp.t;
   mutable max_value : string;
@@ -23,6 +39,8 @@ type t = {
   net : Message.t Network.t;
   mutable proto : Protocol.t;
   config : config;
+  view : Detect.View.t;
+  rto : Detect.Rto.t;
   rng : Rng.t;
   mutable next_seq : int;
   pending : (int, gather) Hashtbl.t;
@@ -31,6 +49,7 @@ type t = {
 let engine t = Network.engine t.net
 let site t = t.site
 let protocol t = t.proto
+let view t = t.view
 
 let set_protocol t proto =
   if Protocol.universe_size proto <> Protocol.universe_size t.proto then
@@ -42,16 +61,21 @@ let fresh_op t =
   t.next_seq <- t.next_seq + 1;
   id
 
-let current_view t =
-  let n = Protocol.universe_size t.proto in
-  let view = Bitset.create n in
-  for i = 0 to n - 1 do
-    if Network.is_up t.net i && Network.reachable t.net t.site i then
-      Bitset.add view i
-  done;
-  view
+let current_view t = t.view.Detect.View.alive ()
+
+(* Per-phase response deadline: fixed, or derived from the observed RTT
+   quantile once enough samples exist. *)
+let phase_timeout t =
+  if t.config.adaptive_timeout then Detect.Rto.timeout t.rto
+  else t.config.timeout
+
+let observed_timeout t = phase_timeout t
 
 let handle t ~src msg =
+  (* Any message is proof of life for its sender (replicas only: detector
+     views cover the replica universe, not client sites). *)
+  if src >= 0 && src < Protocol.universe_size t.proto then
+    t.view.Detect.View.observe src;
   match Hashtbl.find_opt t.pending (Message.op_id msg) with
   | None -> ()
   | Some g ->
@@ -69,10 +93,12 @@ let handle t ~src msg =
       | Prepare_ack _ -> g.phase = Prepare_phase
       | Commit_ack _ -> g.phase = Commit_phase
       | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-      | Repair _ ->
+      | Repair _ | Ping _ | Pong _ ->
         false
     in
     if expected then begin
+      if List.mem src g.waiting then
+        Detect.Rto.observe t.rto (Engine.now (engine t) -. g.started);
       g.waiting <- List.filter (fun m -> m <> src) g.waiting;
       if g.waiting = [] then begin
         Hashtbl.remove t.pending (Message.op_id msg);
@@ -80,13 +106,21 @@ let handle t ~src msg =
       end
     end
 
-let create ~site ~net ~proto ?(config = default_config) () =
+let create ~site ~net ~proto ?view ?(config = default_config) () =
+  let view =
+    match view with
+    | Some v -> v
+    | None ->
+      Detect.View.oracle ~net ~self:site ~n:(Protocol.universe_size proto)
+  in
   let t =
     {
       site;
       net;
       proto;
       config;
+      view;
+      rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
       next_seq = 0;
       pending = Hashtbl.create 16;
@@ -103,6 +137,7 @@ let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
   let rec g =
     {
       phase;
+      started = Engine.now (engine t);
       waiting = members;
       max_ts = Timestamp.zero;
       max_value = "";
@@ -110,43 +145,67 @@ let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
     }
   in
   Hashtbl.replace t.pending op g;
-  Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+  Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
       (* Only kill our own gather: a successful prepare hands its op id on
          to the commit phase, which re-registers the same id. *)
       match Hashtbl.find_opt t.pending op with
       | Some g' when g' == g ->
         Hashtbl.remove t.pending op;
+        (* The laggards missed the deadline: negative evidence. *)
+        List.iter t.view.Detect.View.suspect g.waiting;
         on_timeout ()
       | _ -> ());
   List.iter (fun m -> Network.send t.net ~src:t.site ~dst:m (mk_msg op)) members
 
-let backoff t retry =
-  Engine.schedule (engine t) ~delay:(t.config.timeout /. 2.0) retry
+(* Retry scheduling: exponential backoff with jitter, bounded by the
+   per-operation deadline budget — once a retry could not even be issued
+   before the deadline, fail fast instead of hammering a dead quorum. *)
+let backoff t ~op_started ~attempt retry give_up =
+  let delay = Detect.Backoff.delay t.config.backoff ~rng:t.rng ~attempt in
+  if Engine.now (engine t) +. delay >= op_started +. t.config.deadline then
+    give_up ()
+  else Engine.schedule (engine t) ~delay retry
 
 let query t ~key k =
+  let op_started = Engine.now (engine t) in
   let rec attempt tries =
+    let attempt_no = t.config.max_retries - tries in
+    let again () =
+      if tries > 0 then
+        backoff t ~op_started ~attempt:attempt_no
+          (fun () -> attempt (tries - 1))
+          (fun () -> k None)
+      else k None
+    in
     match Protocol.read_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
-    | None ->
-      if tries > 0 then backoff t (fun () -> attempt (tries - 1)) else k None
+    | None -> again ()
     | Some quorum ->
       run_phase t ~phase:Query ~members:(Bitset.elements quorum)
         ~mk_msg:(fun op -> Message.Read_request { op; key })
         ~on_success:(fun _op g -> k (Some (g.max_ts, g.max_value)))
-        ~on_timeout:(fun () -> if tries > 0 then attempt (tries - 1) else k None)
+        ~on_timeout:again
   in
   attempt t.config.max_retries
 
 let prepare t ~key ~ts ~value k =
+  let op_started = Engine.now (engine t) in
   let rec attempt tries =
+    let attempt_no = t.config.max_retries - tries in
+    let again () =
+      if tries > 0 then
+        backoff t ~op_started ~attempt:attempt_no
+          (fun () -> attempt (tries - 1))
+          (fun () -> k None)
+      else k None
+    in
     match Protocol.write_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
-    | None ->
-      if tries > 0 then backoff t (fun () -> attempt (tries - 1)) else k None
+    | None -> again ()
     | Some quorum ->
       let members = Bitset.elements quorum in
       run_phase t ~phase:Prepare_phase ~members
         ~mk_msg:(fun op -> Message.Prepare { op; key; ts; value })
         ~on_success:(fun op _g -> k (Some (op, members)))
-        ~on_timeout:(fun () -> if tries > 0 then attempt (tries - 1) else k None)
+        ~on_timeout:again
   in
   attempt t.config.max_retries
 
@@ -155,6 +214,7 @@ let commit_staged t ~op ~members k =
     let g =
       {
         phase = Commit_phase;
+        started = Engine.now (engine t);
         waiting = ms;
         max_ts = Timestamp.zero;
         max_value = "";
@@ -162,10 +222,11 @@ let commit_staged t ~op ~members k =
       }
     in
     Hashtbl.replace t.pending op g;
-    Engine.schedule (engine t) ~delay:t.config.timeout (fun () ->
+    Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
         match Hashtbl.find_opt t.pending op with
         | Some g' when g' == g ->
           Hashtbl.remove t.pending op;
+          List.iter t.view.Detect.View.suspect g.waiting;
           if tries > 0 then send (tries - 1) g.waiting else k false
         | _ -> ());
     List.iter

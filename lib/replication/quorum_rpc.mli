@@ -2,14 +2,32 @@
     transaction layer and the reconfiguration engine.
 
     One endpoint per client site; it owns the site's message handler.  All
-    operations assemble quorums from the current ground-truth view
-    (failures are detectable, §2.2), retry with fresh quorums on per-phase
-    timeouts, and deliver their results through callbacks on the
+    operations assemble quorums from a pluggable failure-detector view
+    ({!Detect.View}) — by default the simulator's ground-truth oracle
+    (failures are detectable, §2.2), but any detector (e.g. the
+    {!Detect.Heartbeat} accrual monitor) can be substituted.  Phases retry
+    with fresh quorums on per-phase timeouts, pausing with jittered
+    exponential backoff ({!Detect.Backoff}) and bounded by an optional
+    per-operation deadline budget; with [adaptive_timeout] the phase
+    deadline tracks observed RTT quantiles ({!Detect.Rto}) instead of the
+    fixed [timeout].  Results are delivered through callbacks on the
     simulation thread. *)
 
 type t
 
-type config = { timeout : float; max_retries : int }
+type config = {
+  timeout : float;  (** fixed per-phase response deadline *)
+  max_retries : int;  (** quorum re-assembly attempts per operation *)
+  adaptive_timeout : bool;
+      (** derive the phase deadline from observed RTT quantiles instead of
+          [timeout] (off by default: the seed's fixed-timeout behavior) *)
+  deadline : float;
+      (** per-operation time budget: a retry that cannot start before
+          [op start + deadline] fails the operation instead.  [infinity]
+          (the default) disables the budget. *)
+  backoff : Detect.Backoff.policy;  (** retry pause policy *)
+  rto : Detect.Rto.config;  (** adaptive-timeout estimator parameters *)
+}
 
 val default_config : config
 
@@ -17,12 +35,26 @@ val create :
   site:int ->
   net:Message.t Dsim.Network.t ->
   proto:Quorum.Protocol.t ->
+  ?view:Detect.View.t ->
   ?config:config ->
   unit ->
   t
+(** [view] defaults to the ground-truth oracle over the replica universe.
+    The endpoint reports evidence into the view: every received message
+    [observe]s its sender, every phase timeout [suspect]s the members
+    still waiting. *)
 
 val site : t -> int
 val protocol : t -> Quorum.Protocol.t
+
+val view : t -> Detect.View.t
+(** The failure-detector view quorums are assembled from. *)
+
+val current_view : t -> Dsutil.Bitset.t
+(** The believed-alive replica set right now ([view].alive ()). *)
+
+val observed_timeout : t -> float
+(** The per-phase deadline currently in force (adaptive or fixed). *)
 
 val set_protocol : t -> Quorum.Protocol.t -> unit
 (** Swap the quorum geometry (used by reconfiguration).  The replica
@@ -31,7 +63,7 @@ val set_protocol : t -> Quorum.Protocol.t -> unit
 val query :
   t -> key:int -> ((Timestamp.t * string) option -> unit) -> unit
 (** Read quorum: newest (timestamp, value) among all members, [None] when
-    no quorum could be assembled within the retry budget. *)
+    no quorum could be assembled within the retry/deadline budget. *)
 
 val prepare :
   t ->

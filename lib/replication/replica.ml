@@ -28,7 +28,9 @@ let handle t ~src msg =
   | Repair { key; ts; value; _ } ->
     if Store.install t.store ~key ~ts ~value then
       t.repairs_applied <- t.repairs_applied + 1
-  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ ->
+  | Ping { seq } ->
+    Network.send t.net ~src:t.site ~dst:src (Message.Pong { seq })
+  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Pong _ ->
     (* Coordinator-bound messages; a replica ignores strays. *)
     ()
 

@@ -1,9 +1,9 @@
 module Engine = Dsim.Engine
 module Network = Dsim.Network
 
-type config = { timeout : float; max_retries : int; lock_timeout : float }
+type config = { rpc : Quorum_rpc.config; lock_timeout : float }
 
-let default_config = { timeout = 25.0; max_retries = 4; lock_timeout = 200.0 }
+let default_config = { rpc = Quorum_rpc.default_config; lock_timeout = 200.0 }
 
 type manager = {
   rpc : Quorum_rpc.t;
@@ -14,13 +14,8 @@ type manager = {
   mutable aborted : int;
 }
 
-let create_manager ~site ~net ~proto ~locks ?(config = default_config) () =
-  let rpc =
-    Quorum_rpc.create ~site ~net ~proto
-      ~config:
-        { Quorum_rpc.timeout = config.timeout; max_retries = config.max_retries }
-      ()
-  in
+let create_manager ~site ~net ~proto ~locks ?view ?(config = default_config) () =
+  let rpc = Quorum_rpc.create ~site ~net ~proto ?view ~config:config.rpc () in
   {
     rpc;
     locks;

@@ -19,8 +19,9 @@
 type manager
 
 type config = {
-  timeout : float;  (** per-phase network deadline *)
-  max_retries : int;  (** quorum re-assembly attempts per key and phase *)
+  rpc : Quorum_rpc.config;
+      (** per-phase deadlines, retry budget, backoff and deadline policy
+          of the underlying quorum RPC endpoint *)
   lock_timeout : float;  (** deadline for commit-time lock acquisition *)
 }
 
@@ -31,11 +32,14 @@ val create_manager :
   net:Message.t Dsim.Network.t ->
   proto:Quorum.Protocol.t ->
   locks:Lock_manager.t ->
+  ?view:Detect.View.t ->
   ?config:config ->
   unit ->
   manager
 (** One manager per client site; it installs the site's message handler
-    (do not combine with a {!Coordinator} on the same site). *)
+    (do not combine with a {!Coordinator} on the same site).  [view] is
+    the failure-detector view quorums are assembled from; the ground-truth
+    oracle when omitted. *)
 
 type t
 (** An open transaction. *)

@@ -1,0 +1,95 @@
+(* Fault-injection tests over the chaos campaign: safety must hold under
+   every schedule × configuration × detector, and the heartbeat detector
+   must stay close to the oracle on crash-only schedules.  All runs are
+   seeded and deterministic. *)
+
+module Chaos = Eval.Chaos
+module Harness = Replication.Harness
+
+let small ?(schedules = [ Chaos.combined_schedule ]) ?(seed = 42) () =
+  Chaos.run ~clients:2 ~ops:10 ~seed ~horizon:1500.0 ~schedules ()
+
+let cell_label c =
+  Printf.sprintf "%s/%s/%s"
+    (Arbitrary.Config.name_to_string c.Chaos.config)
+    c.Chaos.schedule
+    (Chaos.detector_to_string c.Chaos.detector)
+
+let test_combined_safety () =
+  (* Crash churn + recurring partitions + message loss at once, all four
+     paper configurations, both detectors. *)
+  let campaign = small () in
+  Alcotest.(check int) "8 cells" 8 (List.length campaign.Chaos.cells);
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (cell_label c ^ ": no stale reads")
+        0 c.Chaos.report.Harness.safety_violations;
+      Alcotest.(check bool)
+        (cell_label c ^ ": made progress")
+        true
+        (c.Chaos.report.Harness.reads_ok + c.Chaos.report.Harness.writes_ok
+        > 0))
+    campaign.Chaos.cells;
+  Alcotest.(check int) "campaign total" 0 campaign.Chaos.safety_violations
+
+let test_safety_across_seeds () =
+  List.iter
+    (fun seed ->
+      let campaign = small ~seed () in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d" seed)
+        0 campaign.Chaos.safety_violations)
+    [ 7; 1234 ]
+
+let test_crash_parity () =
+  let campaign = small ~schedules:[ Chaos.crashes_schedule ] () in
+  Alcotest.(check int) "no violations" 0 campaign.Chaos.safety_violations;
+  let gap = Chaos.crash_parity_gap campaign in
+  if gap > 0.10 then
+    Alcotest.failf
+      "heartbeat detection loses %.3f success-rate points to the oracle \
+       under crash churn (budget 0.10)"
+      gap
+
+let test_detector_bookkeeping () =
+  let campaign = small ~schedules:[ Chaos.crashes_schedule ] () in
+  List.iter
+    (fun c ->
+      match c.Chaos.detector with
+      | Chaos.Oracle ->
+        Alcotest.(check int)
+          (cell_label c ^ ": oracle sends no probes")
+          0 c.Chaos.report.Harness.heartbeat_pings
+      | Chaos.Heartbeat ->
+        Alcotest.(check bool)
+          (cell_label c ^ ": monitor probed")
+          true
+          (c.Chaos.report.Harness.heartbeat_pings > 0))
+    campaign.Chaos.cells
+
+let test_deterministic () =
+  let summary campaign =
+    List.map
+      (fun c ->
+        ( cell_label c,
+          c.Chaos.report.Harness.reads_ok,
+          c.Chaos.report.Harness.writes_ok,
+          c.Chaos.report.Harness.retries,
+          c.Chaos.report.Harness.messages_delivered ))
+      campaign.Chaos.cells
+  in
+  let a = summary (small ()) and b = summary (small ()) in
+  Alcotest.(check bool) "same seed, same campaign" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "combined chaos keeps safety" `Quick
+      test_combined_safety;
+    Alcotest.test_case "safety holds across seeds" `Quick
+      test_safety_across_seeds;
+    Alcotest.test_case "heartbeat parity under crash churn" `Quick
+      test_crash_parity;
+    Alcotest.test_case "detector bookkeeping" `Quick test_detector_bookkeeping;
+    Alcotest.test_case "campaign is deterministic" `Quick test_deterministic;
+  ]

@@ -1,0 +1,315 @@
+(* Unit tests for the failure-detection library: φ-accrual estimation,
+   adaptive RTO, jittered backoff, heartbeat monitor, detector views. *)
+
+module Accrual = Detect.Accrual
+module Rto = Detect.Rto
+module Backoff = Detect.Backoff
+module Heartbeat = Detect.Heartbeat
+module View = Detect.View
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+(* -- Accrual ------------------------------------------------------------ *)
+
+(* Feed [count] heartbeats at a regular [period], starting at [start]. *)
+let feed acc ~site ~start ~period ~count =
+  for i = 0 to count - 1 do
+    Accrual.heartbeat acc ~site ~now:(start +. (float_of_int i *. period))
+  done
+
+let test_bootstrap_grace () =
+  let acc = Accrual.create ~n:2 () in
+  Alcotest.(check bool)
+    "never heard: not suspected" false
+    (Accrual.suspected acc ~site:0 ~now:1000.0);
+  Accrual.heartbeat acc ~site:0 ~now:0.0;
+  Accrual.heartbeat acc ~site:0 ~now:5.0;
+  (* Only 1 interval < min_samples: still in grace however long the
+     silence. *)
+  Alcotest.(check (float 0.0)) "phi 0 in grace" 0.0
+    (Accrual.phi acc ~site:0 ~now:10_000.0)
+
+let test_phi_grows_with_silence () =
+  let acc = Accrual.create ~n:1 () in
+  feed acc ~site:0 ~start:0.0 ~period:5.0 ~count:10;
+  let last = 45.0 in
+  let phi_soon = Accrual.phi acc ~site:0 ~now:(last +. 5.0) in
+  let phi_late = Accrual.phi acc ~site:0 ~now:(last +. 20.0) in
+  let phi_very_late = Accrual.phi acc ~site:0 ~now:(last +. 60.0) in
+  Alcotest.(check bool) "phi monotone in silence" true
+    (phi_soon < phi_late && phi_late < phi_very_late);
+  Alcotest.(check bool)
+    "on-schedule heartbeat is unsuspicious" true (phi_soon < 1.0);
+  Alcotest.(check bool) "long silence suspected" true
+    (Accrual.suspected acc ~site:0 ~now:(last +. 60.0))
+
+let test_rehabilitation () =
+  let acc = Accrual.create ~n:1 () in
+  feed acc ~site:0 ~start:0.0 ~period:5.0 ~count:10;
+  Alcotest.(check bool) "suspected after outage" true
+    (Accrual.suspected acc ~site:0 ~now:200.0);
+  (* A single heartbeat resets φ. *)
+  Accrual.heartbeat acc ~site:0 ~now:200.0;
+  Alcotest.(check bool) "rehabilitated instantly" false
+    (Accrual.suspected acc ~site:0 ~now:200.1)
+
+let test_outage_clamp () =
+  let acc = Accrual.create ~n:1 () in
+  feed acc ~site:0 ~start:0.0 ~period:5.0 ~count:20;
+  (* A 500-unit outage, then heartbeats resume.  The outage gap must be
+     clamped, not recorded raw, so the mean stays near the true period and
+     the detector still reacts to the next outage promptly. *)
+  Accrual.heartbeat acc ~site:0 ~now:595.0;
+  feed acc ~site:0 ~start:600.0 ~period:5.0 ~count:10;
+  let mean = Accrual.mean_interval acc ~site:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f stays near period" mean)
+    true (mean < 10.0);
+  Alcotest.(check bool) "re-suspects after second outage" true
+    (Accrual.suspected acc ~site:0 ~now:800.0)
+
+let test_out_of_order_evidence () =
+  let acc = Accrual.create ~n:1 () in
+  feed acc ~site:0 ~start:0.0 ~period:5.0 ~count:5;
+  let before = Accrual.samples acc ~site:0 in
+  (* Evidence older than the newest heartbeat adds no interval and does
+     not move the freshness clock backwards. *)
+  Accrual.heartbeat acc ~site:0 ~now:3.0;
+  Alcotest.(check int) "stale heartbeat ignored" before
+    (Accrual.samples acc ~site:0);
+  Alcotest.(check bool) "freshness kept" true
+    (Accrual.phi acc ~site:0 ~now:21.0 < 1.0)
+
+let test_accrual_bad_site () =
+  let acc = Accrual.create ~n:3 () in
+  Alcotest.check_raises "site out of range"
+    (Invalid_argument "Accrual: bad site id") (fun () ->
+      Accrual.heartbeat acc ~site:3 ~now:0.0)
+
+(* -- Rto ---------------------------------------------------------------- *)
+
+let test_rto_initial () =
+  let rto = Rto.create () in
+  Alcotest.(check (float 0.0)) "no samples: initial"
+    Rto.default_config.Rto.initial (Rto.timeout rto);
+  for _ = 1 to Rto.default_config.Rto.min_samples - 1 do
+    Rto.observe rto 1.0
+  done;
+  Alcotest.(check (float 0.0)) "below min_samples: initial"
+    Rto.default_config.Rto.initial (Rto.timeout rto)
+
+let test_rto_adapts () =
+  let rto = Rto.create () in
+  for _ = 1 to 100 do
+    Rto.observe rto 2.0
+  done;
+  (* quantile of a constant stream = 2.0; timeout = 3 × 2 = 6. *)
+  Alcotest.(check (float 0.5)) "3x the observed RTT" 6.0 (Rto.timeout rto)
+
+let test_rto_clamps () =
+  let tight = Rto.create () in
+  for _ = 1 to 100 do
+    Rto.observe tight 0.01
+  done;
+  Alcotest.(check (float 0.0)) "clamped below"
+    Rto.default_config.Rto.min_timeout (Rto.timeout tight);
+  let slow = Rto.create () in
+  for _ = 1 to 100 do
+    Rto.observe slow 1000.0
+  done;
+  Alcotest.(check (float 0.0)) "clamped above"
+    Rto.default_config.Rto.max_timeout (Rto.timeout slow)
+
+let test_rto_ignores_garbage () =
+  let rto = Rto.create () in
+  Rto.observe rto (-5.0);
+  Rto.observe rto 0.0;
+  Alcotest.(check int) "non-positive samples dropped" 0 (Rto.samples rto)
+
+(* -- Backoff ------------------------------------------------------------ *)
+
+let test_backoff_growth () =
+  let policy = { Backoff.default with Backoff.jitter = 0.0 } in
+  let rng = Rng.create 7 in
+  let d k = Backoff.delay policy ~rng ~attempt:k in
+  Alcotest.(check (float 1e-9)) "attempt 0 = base" policy.Backoff.base (d 0);
+  Alcotest.(check (float 1e-9)) "attempt 1 doubles"
+    (policy.Backoff.base *. 2.0) (d 1);
+  Alcotest.(check (float 1e-9)) "attempt 2 quadruples"
+    (policy.Backoff.base *. 4.0) (d 2);
+  Alcotest.(check (float 1e-9)) "capped" policy.Backoff.max_delay (d 50)
+
+let test_backoff_jitter_bounds () =
+  let policy = Backoff.default in
+  let rng = Rng.create 11 in
+  for attempt = 0 to 8 do
+    let raw =
+      Float.min policy.Backoff.max_delay
+        (policy.Backoff.base
+        *. Float.pow policy.Backoff.factor (float_of_int attempt))
+    in
+    for _ = 1 to 50 do
+      let d = Backoff.delay policy ~rng ~attempt in
+      let lo = raw *. (1.0 -. policy.Backoff.jitter)
+      and hi = raw *. (1.0 +. policy.Backoff.jitter) in
+      if d < lo -. 1e-9 || d > hi +. 1e-9 then
+        Alcotest.failf "attempt %d: delay %.3f outside [%.3f, %.3f]" attempt d
+          lo hi
+    done
+  done
+
+let test_backoff_deterministic () =
+  let gen seed =
+    let rng = Rng.create seed in
+    List.init 10 (fun k -> Backoff.delay Backoff.default ~rng ~attempt:k)
+  in
+  Alcotest.(check (list (float 1e-12))) "same seed, same delays"
+    (gen 3) (gen 3);
+  Alcotest.(check bool) "different seeds decorrelate" true (gen 3 <> gen 4)
+
+(* -- Heartbeat monitor -------------------------------------------------- *)
+
+(* A monitor over [n] fake replicas: pings are counted per destination and
+   answered (observe) after [rtt] unless the site is in [down]. *)
+let monitor_setup ?(n = 3) ?(rtt = 1.0) () =
+  let engine = Engine.create ~seed:1 () in
+  let down = Array.make n false in
+  let pings = Array.make n 0 in
+  let hb = ref None in
+  let send_ping dst =
+    pings.(dst) <- pings.(dst) + 1;
+    if not down.(dst) then
+      Engine.schedule engine ~delay:rtt (fun () ->
+          Heartbeat.observe (Option.get !hb) ~site:dst)
+  in
+  let config =
+    { Heartbeat.period = 5.0; accrual = Accrual.default_config }
+  in
+  hb := Some (Heartbeat.create ~engine ~n ~config ~send_ping ());
+  (engine, Option.get !hb, down, pings)
+
+let test_heartbeat_pings_on_period () =
+  let engine, hb, _, pings = monitor_setup () in
+  Engine.run ~until:51.0 engine;
+  Heartbeat.stop hb;
+  (* Ticks at t = 0, 5, …, 50: 11 pings per site. *)
+  Array.iteri
+    (fun site c -> Alcotest.(check int) (Printf.sprintf "site %d" site) 11 c)
+    pings;
+  Alcotest.(check int) "pings_sent totals" 33 (Heartbeat.pings_sent hb)
+
+let test_heartbeat_detects_and_rehabilitates () =
+  let engine, hb, down, _ = monitor_setup () in
+  Engine.run ~until:100.0 engine;
+  Alcotest.(check bool) "healthy site trusted" false
+    (Heartbeat.suspected hb ~site:1);
+  down.(1) <- true;
+  Engine.run ~until:200.0 engine;
+  Alcotest.(check bool) "silent site suspected" true
+    (Heartbeat.suspected hb ~site:1);
+  Alcotest.(check bool) "others unaffected" false
+    (Heartbeat.suspected hb ~site:0 || Heartbeat.suspected hb ~site:2);
+  down.(1) <- false;
+  Engine.run ~until:220.0 engine;
+  Heartbeat.stop hb;
+  Alcotest.(check bool) "rehabilitated after recovery" false
+    (Heartbeat.suspected hb ~site:1)
+
+let test_heartbeat_explicit_suspicion_sticky () =
+  let engine, hb, down, _ = monitor_setup () in
+  down.(2) <- true;
+  (* Protocol-level negative evidence arrives before accrual would fire. *)
+  Heartbeat.suspect hb ~site:2;
+  Alcotest.(check bool) "suspect is immediate" true
+    (Heartbeat.suspected hb ~site:2);
+  let view = Heartbeat.view hb in
+  Alcotest.(check bool) "view excludes it" false
+    (Bitset.mem (view.View.alive ()) 2);
+  down.(2) <- false;
+  Engine.run ~until:20.0 engine;
+  Heartbeat.stop hb;
+  (* The next pong rehabilitates: sticky only while silent. *)
+  Alcotest.(check bool) "cleared by proof of life" false
+    (Heartbeat.suspected hb ~site:2);
+  Alcotest.(check bool) "view includes it again" true
+    (Bitset.mem (view.View.alive ()) 2)
+
+let test_heartbeat_stop () =
+  let engine, hb, _, pings = monitor_setup ~n:1 () in
+  Engine.run ~until:20.0 engine;
+  Heartbeat.stop hb;
+  let before = pings.(0) in
+  Engine.run ~until:100.0 engine;
+  Alcotest.(check int) "no pings after stop" before pings.(0);
+  Alcotest.(check int) "engine drained" 0 (Engine.pending engine)
+
+(* -- Views -------------------------------------------------------------- *)
+
+let test_always_up_view () =
+  let v = View.always_up ~n:5 in
+  let alive = v.View.alive () in
+  Alcotest.(check int) "all alive" 5 (Bitset.cardinal alive);
+  v.View.suspect 3;
+  Alcotest.(check bool) "suspicion ignored" true
+    (Bitset.mem (v.View.alive ()) 3)
+
+let test_oracle_view () =
+  let engine = Engine.create ~seed:1 () in
+  (* 4 replicas + 1 client site; the view covers only the replicas. *)
+  let net = Network.create ~engine ~n:5 () in
+  Network.set_handler net ~site:4 (fun ~src:_ () -> ());
+  let v = View.oracle ~net ~self:4 ~n:4 in
+  Alcotest.(check int) "replica universe only" 4
+    (Bitset.capacity (v.View.alive ()));
+  Alcotest.(check int) "all up initially" 4
+    (Bitset.cardinal (v.View.alive ()));
+  Network.crash net 2;
+  Alcotest.(check bool) "crash visible instantly" false
+    (Bitset.mem (v.View.alive ()) 2);
+  Network.recover net 2;
+  Network.partition net [ [ 0; 1 ] ];
+  let alive = v.View.alive () in
+  Alcotest.(check bool) "partitioned minority unreachable" false
+    (Bitset.mem alive 0 || Bitset.mem alive 1);
+  Alcotest.(check bool) "own side reachable" true
+    (Bitset.mem alive 2 && Bitset.mem alive 3);
+  Network.heal net;
+  Alcotest.(check int) "heal restores" 4 (Bitset.cardinal (v.View.alive ()))
+
+let suite =
+  [
+    Alcotest.test_case "accrual: bootstrap grace" `Quick test_bootstrap_grace;
+    Alcotest.test_case "accrual: phi grows with silence" `Quick
+      test_phi_grows_with_silence;
+    Alcotest.test_case "accrual: one heartbeat rehabilitates" `Quick
+      test_rehabilitation;
+    Alcotest.test_case "accrual: outage gap clamped" `Quick test_outage_clamp;
+    Alcotest.test_case "accrual: stale evidence ignored" `Quick
+      test_out_of_order_evidence;
+    Alcotest.test_case "accrual: bad site rejected" `Quick
+      test_accrual_bad_site;
+    Alcotest.test_case "rto: initial until enough samples" `Quick
+      test_rto_initial;
+    Alcotest.test_case "rto: tracks observed RTT" `Quick test_rto_adapts;
+    Alcotest.test_case "rto: clamped to band" `Quick test_rto_clamps;
+    Alcotest.test_case "rto: non-positive samples dropped" `Quick
+      test_rto_ignores_garbage;
+    Alcotest.test_case "backoff: geometric growth, capped" `Quick
+      test_backoff_growth;
+    Alcotest.test_case "backoff: jitter stays in bounds" `Quick
+      test_backoff_jitter_bounds;
+    Alcotest.test_case "backoff: deterministic per seed" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "heartbeat: pings on period" `Quick
+      test_heartbeat_pings_on_period;
+    Alcotest.test_case "heartbeat: detects silence, rehabilitates" `Quick
+      test_heartbeat_detects_and_rehabilitates;
+    Alcotest.test_case "heartbeat: explicit suspicion sticky" `Quick
+      test_heartbeat_explicit_suspicion_sticky;
+    Alcotest.test_case "heartbeat: stop drains" `Quick test_heartbeat_stop;
+    Alcotest.test_case "view: always_up" `Quick test_always_up_view;
+    Alcotest.test_case "view: oracle tracks ground truth" `Quick
+      test_oracle_view;
+  ]
