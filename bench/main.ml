@@ -1,9 +1,16 @@
 (* The full benchmark harness: regenerates every table and figure of the
    paper's evaluation (see DESIGN.md's experiment index), compares the
-   analytic model against full protocol executions on the simulator, and
-   finishes with bechamel micro-benchmarks of the hot paths.
+   analytic model against full protocol executions on the simulator,
+   produces the instrumented baseline (BENCH_baseline.json), and finishes
+   with bechamel micro-benchmarks of the hot paths.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe            # everything
+             dune exec bench/main.exe -- --smoke # baseline only (CI gate)
+
+   The baseline section is a gate, not just a report: it exits non-zero
+   when the measured per-site loads drift more than 10% from Equation 3.2,
+   when span accounting leaks, or when the JSON payload fails its
+   structural check. *)
 
 open Bechamel
 
@@ -140,6 +147,55 @@ let planner_section () =
     (String.concat "," (List.map string_of_int (Arbitrary.Generalized.read_thresholds g)))
     (String.concat "," (List.map string_of_int (Arbitrary.Generalized.write_thresholds g)))
 
+(* --- instrumented baseline (gate) --------------------------------------- *)
+
+let baseline_path = "BENCH_baseline.json"
+
+(* Cheap structural check of the payload we just wrote: schema marker,
+   every configuration present, object closed.  Catches truncated or
+   garbled writes without a JSON parser. *)
+let baseline_json_valid json =
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  String.length json > 2
+  && String.sub json 0 1 = "{"
+  && json.[String.length json - 1] = '}'
+  && contains "\"schema\":\"bench-baseline/1\""
+  && contains "\"max_load_error\""
+  && contains "\"spans\""
+  && List.for_all
+       (fun (name, _, _) ->
+         contains (Printf.sprintf "\"config\":\"%s\"" (Arbitrary.Config.name_to_string name)))
+       Eval.Baseline.default_cases
+
+let baseline_section () =
+  hr "B0 | Baseline: instrumented workloads vs Equation 3.2";
+  let seed = Eval.Baseline.default_seed and n = Eval.Baseline.default_n in
+  let rows = Eval.Baseline.measure_all ~seed ~n () in
+  print_string (Eval.Baseline.table rows);
+  let err = Eval.Baseline.max_load_error rows in
+  let leaks = Eval.Baseline.span_leaks rows in
+  Printf.printf "\nmax per-site load deviation vs closed form: %.1f%% (gate: 10%%)\n"
+    (100.0 *. err);
+  Printf.printf "span accounting: %d leaked (gate: 0)\n" leaks;
+  let json = Eval.Baseline.to_json ~seed ~n rows in
+  let oc = open_out baseline_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  let valid = baseline_json_valid json in
+  Printf.printf "wrote %s (%d bytes, structural check %s)\n" baseline_path
+    (String.length json + 1)
+    (if valid then "OK" else "FAILED");
+  let ok = err <= 0.10 && leaks = 0 && valid in
+  if not ok then begin
+    print_endline "BASELINE GATE FAILED";
+    exit 1
+  end
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let bench_tests () =
@@ -222,11 +278,16 @@ let run_benchmarks () =
     (List.sort compare !rows)
 
 let () =
-  analytic_sections ();
-  planner_section ();
-  simulation_sections ();
-  txn_section ();
-  placement_section ();
-  generalized_section ();
-  run_benchmarks ();
-  print_newline ()
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then baseline_section ()
+  else begin
+    analytic_sections ();
+    planner_section ();
+    simulation_sections ();
+    txn_section ();
+    placement_section ();
+    generalized_section ();
+    baseline_section ();
+    run_benchmarks ();
+    print_newline ()
+  end

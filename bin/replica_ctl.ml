@@ -62,6 +62,54 @@ let p_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Attach the observability layer to the run and write a snapshot \
+           of every counter, gauge and histogram (plus span accounting) to \
+           PATH as JSON.")
+
+let spans_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans-jsonl" ] ~docv:"PATH"
+        ~doc:
+          "Stream every completed operation span to PATH as JSON lines \
+           (one object per operation: phases, quorums, retries, outcome).")
+
+(* Build the optional observability context for a simulation command.
+   Returns the obs handle to thread into the harness and a finalizer that
+   writes the requested artifacts once the run completes. *)
+let obs_setup ~metrics_json ~spans_jsonl =
+  match (metrics_json, spans_jsonl) with
+  | None, None -> (None, fun () -> ())
+  | _ ->
+    let obs = Obs.create () in
+    let close_spans =
+      match spans_jsonl with
+      | None -> fun () -> ()
+      | Some path ->
+        let sink, close = Eval.Export.file_sink ~path in
+        Obs.add_sink obs sink;
+        fun () ->
+          Obs.flush obs;
+          close ();
+          Format.printf "wrote %s@." path
+    in
+    let finish () =
+      close_spans ();
+      match metrics_json with
+      | None -> ()
+      | Some path ->
+        Eval.Export.write_metrics_json ~path obs;
+        Format.printf "wrote %s@." path
+    in
+    (Some obs, finish)
+
 let tree_of ~spec ~config ~n =
   match (spec, config) with
   | Some s, _ -> Arbitrary.Tree.of_spec s
@@ -228,7 +276,7 @@ let txn_cmd =
       value & opt (some float) None
       & info [ "mtbf" ] ~docv:"T" ~doc:"Mean time between failures (enables churn).")
   in
-  let run config n clients txns keys loss mtbf seed =
+  let run config n clients txns keys loss mtbf seed metrics_json spans_jsonl =
     let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
     or_fail @@ fun () ->
     let proto = Eval.Config_metrics.protocol_of name ~n in
@@ -242,8 +290,9 @@ let txn_cmd =
           ~n:n_replicas ~horizon:2000.0 ~mtbf ~mttr:(mtbf /. 4.0)
     in
     let s = Replication.Txn_harness.default_scenario ~proto in
+    let obs, obs_finish = obs_setup ~metrics_json ~spans_jsonl in
     let report =
-      Replication.Txn_harness.run
+      Replication.Txn_harness.run ?obs
         {
           s with
           Replication.Txn_harness.n_clients = clients;
@@ -256,7 +305,8 @@ let txn_cmd =
     in
     Format.printf "%s over %d replicas:@.%a@."
       (Arbitrary.Config.name_to_string name)
-      n_replicas Replication.Txn_harness.pp_report report
+      n_replicas Replication.Txn_harness.pp_report report;
+    obs_finish ()
   in
   Cmd.v
     (Cmd.info "txn"
@@ -265,7 +315,7 @@ let txn_cmd =
           check the conservation invariant.")
     Term.(
       const run $ config_arg $ n_arg $ clients_arg $ txns_arg $ keys_arg
-      $ loss_arg $ mtbf_arg $ seed_arg)
+      $ loss_arg $ mtbf_arg $ seed_arg $ metrics_json_arg $ spans_jsonl_arg)
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -347,7 +397,8 @@ let simulate_cmd =
             "Workload preset: update-heavy, read-mostly, read-only or \
              write-heavy (overrides --read-fraction).")
   in
-  let run config n clients ops read_fraction loss mtbf mttr seed preset =
+  let run config n clients ops read_fraction loss mtbf mttr seed preset
+      metrics_json spans_jsonl =
     let read_fraction, zipf_theta =
       match preset with
       | None -> (read_fraction, 0.0)
@@ -373,8 +424,9 @@ let simulate_cmd =
           ~n:n_replicas ~horizon:10_000.0 ~mtbf ~mttr
     in
     let s = Replication.Harness.default_scenario ~proto in
+    let obs, obs_finish = obs_setup ~metrics_json ~spans_jsonl in
     let report =
-      Replication.Harness.run
+      Replication.Harness.run ?obs
         {
           s with
           Replication.Harness.n_clients = clients;
@@ -388,14 +440,16 @@ let simulate_cmd =
     in
     Format.printf "%s over %d replicas:@.%a@."
       (Arbitrary.Config.name_to_string name)
-      n_replicas Replication.Harness.pp_report report
+      n_replicas Replication.Harness.pp_report report;
+    obs_finish ()
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run clients against the protocol on the simulated network.")
     Term.(
       const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ read_fraction_arg
-      $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg)
+      $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg
+      $ metrics_json_arg $ spans_jsonl_arg)
 
 let () =
   let info =

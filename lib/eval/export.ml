@@ -79,3 +79,82 @@ let write_all ?(sizes = Figures.default_sizes) ?(p = Figures.default_p) ~dir () 
       all_figures
   in
   csvs @ [ write_file "plot.gp" (gnuplot_script ()) ]
+
+(* --- observability exports ---------------------------------------------- *)
+
+let spans_jsonl spans =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string buf (Obs.Span.to_json sp);
+      Buffer.add_char buf '\n')
+    spans;
+  Buffer.contents buf
+
+let write_spans_jsonl ~path spans =
+  let oc = open_out path in
+  output_string oc (spans_jsonl spans);
+  close_out oc
+
+let file_sink ~path =
+  let oc = open_out path in
+  let sink =
+    Obs.Sink.make
+      ~flush:(fun () -> flush oc)
+      (fun sp ->
+        output_string oc (Obs.Span.to_json sp);
+        output_char oc '\n')
+  in
+  (sink, fun () -> close_out oc)
+
+let metrics_json obs =
+  let m = Obs.metrics obs in
+  let buf = Buffer.create 1024 in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let counters =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v)
+      (Obs.Metrics.counters m)
+  in
+  let gauges =
+    List.map
+      (fun (name, v) -> Printf.sprintf "\"%s\":%.6g" name v)
+      (Obs.Metrics.gauges m)
+  in
+  let histograms =
+    List.map
+      (fun (name, h) ->
+        let s = Obs.Metrics.summary h in
+        let count = Dsutil.Stats.count s in
+        let body =
+          if count = 0 then Printf.sprintf "\"count\":0"
+          else
+            Printf.sprintf
+              "\"count\":%d,\"mean\":%.6g,\"min\":%.6g,\"max\":%.6g,\
+               \"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g"
+              count (Dsutil.Stats.mean s)
+              (Dsutil.Stats.min_value s)
+              (Dsutil.Stats.max_value s)
+              (Dsutil.Stats.percentile s 0.5)
+              (Dsutil.Stats.percentile s 0.95)
+              (Dsutil.Stats.percentile s 0.99)
+        in
+        Printf.sprintf "\"%s\":{%s}" name body)
+      (Obs.Metrics.histograms m)
+  in
+  Buffer.add_string buf
+    (obj
+       [
+         "\"counters\":" ^ obj counters;
+         "\"gauges\":" ^ obj gauges;
+         "\"histograms\":" ^ obj histograms;
+         Printf.sprintf "\"spans\":{\"started\":%d,\"closed\":%d,\"open\":%d}"
+           (Obs.spans_started obs) (Obs.spans_closed obs) (Obs.spans_open obs);
+       ]);
+  Buffer.contents buf
+
+let write_metrics_json ~path obs =
+  let oc = open_out path in
+  output_string oc (metrics_json obs);
+  output_char oc '\n';
+  close_out oc

@@ -18,3 +18,23 @@ val gnuplot_script : ?figures:figure list -> unit -> string
 val write_all : ?sizes:int list -> ?p:float -> dir:string -> unit -> string list
 (** Writes [<figure>.csv] for every figure plus [plot.gp] into [dir]
     (created if missing); returns the paths written. *)
+
+(** {2 Observability exports} *)
+
+val spans_jsonl : Obs.Span.t list -> string
+(** One {!Obs.Span.to_json} line per span. *)
+
+val write_spans_jsonl : path:string -> Obs.Span.t list -> unit
+
+val file_sink : path:string -> Obs.Sink.t * (unit -> unit)
+(** A sink that streams each closed span to [path] as JSONL, plus the
+    close function (call it after {!Obs.flush} when the run ends). *)
+
+val metrics_json : Obs.t -> string
+(** Snapshot of the whole registry:
+    [{"counters":{..},"gauges":{..},
+      "histograms":{name:{count,mean,min,max,p50,p95,p99},..},
+      "spans":{started,closed,open}}].
+    Metric names are sorted, so output is deterministic. *)
+
+val write_metrics_json : path:string -> Obs.t -> unit

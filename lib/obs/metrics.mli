@@ -1,0 +1,57 @@
+(** Named-metric registry: counters, gauges and latency histograms.
+
+    Metrics are created on first use ([counter], [gauge] and [histogram]
+    are get-or-create) and then held by reference, so an instrumentation
+    point pays one hashtable lookup when it attaches and a plain field
+    update per event afterwards.  Histograms pair a log-bucketed
+    {!Dsutil.Histogram} (cheap shape) with an exact {!Dsutil.Stats}
+    summary (percentiles). *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Get-or-create the named counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_name : counter -> string
+val counter_value : counter -> int
+
+val counter_of : t -> string -> int
+(** Current value of the named counter; 0 when it was never created. *)
+
+(** {2 Gauges} *)
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_name : gauge -> string
+val gauge_value : gauge -> float
+
+(** {2 Histograms} *)
+
+val histogram : t -> ?base:float -> ?buckets:int -> string -> histogram
+(** Get-or-create; [base]/[buckets] (defaults 2.0/64) only apply to the
+    first creation of a name. *)
+
+val observe : histogram -> float -> unit
+val histogram_name : histogram -> string
+
+val summary : histogram -> Dsutil.Stats.t
+(** Exact running summary of every observation (mean, percentiles). *)
+
+val buckets : histogram -> Dsutil.Histogram.t
+(** The log-bucketed shape, e.g. for {!Dsutil.Histogram.render}. *)
+
+(** {2 Enumeration (sorted by name)} *)
+
+val counters : t -> (string * int) list
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram) list

@@ -1,0 +1,19 @@
+type t = { on_span : Span.t -> unit; on_flush : unit -> unit }
+
+let make ?(flush = Fun.id) on_span = { on_span; on_flush = flush }
+let emit t span = t.on_span span
+let flush t = t.on_flush ()
+
+type memory = { mutable rev_spans : Span.t list; mutable count : int }
+
+let memory () = { rev_spans = []; count = 0 }
+
+let memory_sink m =
+  make (fun span ->
+      m.rev_spans <- span :: m.rev_spans;
+      m.count <- m.count + 1)
+
+let memory_spans m = List.rev m.rev_spans
+let memory_count m = m.count
+
+let jsonl write = make (fun span -> write (Span.to_json span ^ "\n"))

@@ -1,0 +1,29 @@
+(** Pluggable span sinks.
+
+    A sink receives every span the moment it closes.  The library ships an
+    in-memory sink (tests, ad-hoc inspection) and a line-oriented JSONL
+    sink parameterized over a writer; {!Eval.Export} builds file-backed
+    variants on top. *)
+
+type t
+
+val make : ?flush:(unit -> unit) -> (Span.t -> unit) -> t
+val emit : t -> Span.t -> unit
+val flush : t -> unit
+
+(** {2 In-memory sink} *)
+
+type memory
+
+val memory : unit -> memory
+val memory_sink : memory -> t
+val memory_spans : memory -> Span.t list
+(** Spans in close order. *)
+
+val memory_count : memory -> int
+
+(** {2 JSONL} *)
+
+val jsonl : (string -> unit) -> t
+(** [jsonl write] renders each closed span with {!Span.to_json} and hands
+    [write] the line including its trailing newline. *)

@@ -1,0 +1,99 @@
+type phase_kind = Query | Prepare | Commit | Lock
+
+let phase_kind_name = function
+  | Query -> "query"
+  | Prepare -> "prepare"
+  | Commit -> "commit"
+  | Lock -> "lock"
+
+type phase = {
+  kind : phase_kind;
+  p_started : float;
+  mutable p_ended : float option;
+  mutable quorum : int list;
+  mutable timed_out : bool;
+}
+
+type outcome = Ok | Failed of string
+
+type t = {
+  id : int;
+  op : string;
+  site : int;
+  key : int option;
+  started : float;
+  mutable attempts : int;
+  mutable backoff_total : float;
+  mutable rev_phases : phase list;
+  mutable ended : float option;
+  mutable outcome : outcome option;
+}
+
+let phases t = List.rev t.rev_phases
+let closed t = t.ended <> None
+let retries t = max 0 (t.attempts - 1)
+
+let duration t =
+  match t.ended with None -> None | Some e -> Some (e -. t.started)
+
+let phase_duration p =
+  match p.p_ended with None -> None | Some e -> Some (e -. p.p_started)
+
+(* --- JSON rendering ------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let phase_json p =
+  Printf.sprintf
+    "{\"phase\":\"%s\",\"started\":%s,\"ended\":%s,\"timed_out\":%b,\"quorum\":[%s]}"
+    (phase_kind_name p.kind) (num p.p_started)
+    (match p.p_ended with None -> "null" | Some e -> num e)
+    p.timed_out
+    (String.concat "," (List.map string_of_int p.quorum))
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "{\"id\":%d,\"op\":\"%s\"" t.id (escape t.op));
+  Buffer.add_string b (Printf.sprintf ",\"site\":%d" t.site);
+  (match t.key with
+  | Some k -> Buffer.add_string b (Printf.sprintf ",\"key\":%d" k)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"started\":%s" (num t.started));
+  Buffer.add_string b
+    (Printf.sprintf ",\"ended\":%s"
+       (match t.ended with None -> "null" | Some e -> num e));
+  (match t.outcome with
+  | Some Ok -> Buffer.add_string b ",\"outcome\":\"ok\""
+  | Some (Failed reason) ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"outcome\":\"failed\",\"reason\":\"%s\"" (escape reason))
+  | None -> Buffer.add_string b ",\"outcome\":null");
+  Buffer.add_string b
+    (Printf.sprintf ",\"attempts\":%d,\"retries\":%d,\"backoff_total\":%s"
+       t.attempts (retries t) (num t.backoff_total));
+  Buffer.add_string b ",\"phases\":[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (phase_json p))
+    (phases t);
+  Buffer.add_string b "]}";
+  Buffer.contents b

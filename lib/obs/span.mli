@@ -1,0 +1,60 @@
+(** Per-operation spans.
+
+    A span covers one logical operation (a coordinator read/write, an RPC
+    phase primitive, a transaction) from issue to completion, across every
+    retry.  It records the phases the operation went through — which
+    quorum each phase contacted, whether it timed out, and its latency —
+    plus the retry count and the total time spent in backoff pauses.
+
+    The record types are transparent so sinks and tests can inspect spans
+    freely; mutation goes through {!Obs} (the lifecycle owner), which
+    stamps times from its clock. *)
+
+type phase_kind = Query | Prepare | Commit | Lock
+
+val phase_kind_name : phase_kind -> string
+(** ["query"], ["prepare"], ["commit"], ["lock"]. *)
+
+type phase = {
+  kind : phase_kind;
+  p_started : float;
+  mutable p_ended : float option;
+  mutable quorum : int list;
+      (** the members this phase contacted (site ids; write keys for a
+          transaction's lock phase) *)
+  mutable timed_out : bool;
+}
+
+type outcome = Ok | Failed of string
+
+type t = {
+  id : int;  (** unique within the owning {!Obs.t} *)
+  op : string;  (** e.g. ["read"], ["write"], ["txn"], ["rpc.query"] *)
+  site : int;  (** issuing site *)
+  key : int option;
+  started : float;
+  mutable attempts : int;  (** 1 + retries *)
+  mutable backoff_total : float;  (** total virtual time spent in backoff *)
+  mutable rev_phases : phase list;  (** newest first; use {!phases} *)
+  mutable ended : float option;
+  mutable outcome : outcome option;
+}
+
+val phases : t -> phase list
+(** Chronological. *)
+
+val closed : t -> bool
+val retries : t -> int
+val duration : t -> float option
+(** [ended - started] once closed. *)
+
+val phase_duration : phase -> float option
+
+val to_json : t -> string
+(** One-line JSON object (the JSONL export format):
+    [{"id":..,"op":"read","site":..,"key":..,"started":..,"ended":..,
+      "outcome":"ok"|"failed","reason":..?,"attempts":..,"retries":..,
+      "backoff_total":..,
+      "phases":[{"phase":"query","started":..,"ended":..,"timed_out":..,
+                 "quorum":[..]},..]}].
+    [key] is omitted when absent; [ended] is [null] on an open span. *)

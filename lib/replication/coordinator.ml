@@ -58,6 +58,7 @@ type op_state = {
   kind : kind;
   attempts : int;
   started : float;
+  span : Obs.Span.t option;  (** one span per logical op, across attempts *)
   mutable phase : phase;
   mutable phase_started : float;  (** when this phase's requests went out *)
   mutable waiting : int list;  (** members yet to reply in this phase *)
@@ -75,6 +76,7 @@ type t = {
   mutable proto : Protocol.t;
   locks : Lock_manager.t option;
   config : config;
+  obs : Obs.t option;
   mutable view : Detect.View.t;
   rto : Detect.Rto.t;
   rng : Rng.t;
@@ -141,6 +143,38 @@ let observed_timeout t = phase_timeout t
 
 let send t ~dst msg = Network.send t.net ~src:t.site ~dst msg
 
+(* --- observability hooks (single match, no work, when [obs = None]) ----- *)
+
+let ospan t ~op ~key =
+  match t.obs with
+  | None -> None
+  | Some obs -> Some (Obs.span obs ~op ~site:t.site ~key ())
+
+let ophase t st ~kind ~quorum =
+  match (t.obs, st.span) with
+  | Some obs, Some sp -> Obs.phase obs sp ~kind ~quorum ()
+  | _ -> ()
+
+let oend_phase t st ~timed_out =
+  match (t.obs, st.span) with
+  | Some obs, Some sp -> Obs.end_phase obs sp ~timed_out ()
+  | _ -> ()
+
+let oretry t st ~backoff =
+  match (t.obs, st.span) with
+  | Some obs, Some sp -> Obs.retry obs sp ~backoff ()
+  | _ -> ()
+
+let ofinish t st outcome =
+  match (t.obs, st.span) with
+  | Some obs, Some sp -> Obs.finish obs sp ~outcome
+  | _ -> ()
+
+let ocount t name =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
+
 let with_lock t ~key ~mode body =
   match t.locks with
   | None -> body (fun k -> k ())
@@ -155,6 +189,9 @@ let with_lock t ~key ~mode body =
 let finish t st outcome =
   Hashtbl.remove t.pending st.op;
   let elapsed = Engine.now (engine t) -. st.started in
+  (match outcome with
+  | `Read_ok _ | `Write_ok _ -> ofinish t st Obs.Span.Ok
+  | `Failed -> ofinish t st (Obs.Span.Failed "gave_up"));
   match (st.kind, outcome) with
   | Read_op k, `Read_ok result ->
     t.reads_ok <- t.reads_ok + 1;
@@ -172,7 +209,7 @@ let finish t st outcome =
     k None
   | Read_op _, `Write_ok _ | Write_op _, `Read_ok _ -> assert false
 
-let rec start_attempt t ~key ~kind ~attempts ~started =
+let rec start_attempt t ~key ~kind ~attempts ~started ~span =
   let op = fresh_op t in
   let st =
     {
@@ -181,6 +218,7 @@ let rec start_attempt t ~key ~kind ~attempts ~started =
       kind;
       attempts;
       started;
+      span;
       phase = Querying;
       phase_started = Engine.now (engine t);
       waiting = [];
@@ -198,14 +236,16 @@ let rec start_attempt t ~key ~kind ~attempts ~started =
   | Some quorum ->
     let members = Bitset.elements quorum in
     st.waiting <- members;
+    ophase t st ~kind:Obs.Span.Query ~quorum:members;
     arm_timeout t st;
     List.iter (fun m -> send t ~dst:m (Message.Read_request { op; key })) members
 
-and retry t st =
+and retry ?(timed_out = false) t st =
   Hashtbl.remove t.pending st.op;
   (* Roll back any prepared members of this attempt. *)
   if st.phase = Preparing then
     List.iter (fun m -> send t ~dst:m (Message.Abort { op = st.op })) st.write_quorum;
+  oend_phase t st ~timed_out;
   (* The members that never answered are negative evidence for the
      detector (the oracle view ignores it). *)
   List.iter t.view.Detect.View.suspect st.waiting;
@@ -220,13 +260,15 @@ and retry t st =
     in
     if Engine.now (engine t) +. delay >= st.started +. t.config.deadline then begin
       t.deadline_exceeded <- t.deadline_exceeded + 1;
+      ocount t "coord.deadline_exceeded";
       finish t st `Failed
     end
     else begin
       t.retries <- t.retries + 1;
+      oretry t st ~backoff:delay;
       Engine.schedule (engine t) ~delay (fun () ->
           start_attempt t ~key:st.key ~kind:st.kind ~attempts:(st.attempts + 1)
-            ~started:st.started)
+            ~started:st.started ~span:st.span)
     end
   end
 
@@ -235,7 +277,8 @@ and arm_timeout t st =
   Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
       match Hashtbl.find_opt t.pending op with
       | Some st' when st'.phase = phase && st'.waiting <> [] ->
-        if phase = Committing then commit_timeout t st' else retry t st'
+        if phase = Committing then commit_timeout t st'
+        else retry ~timed_out:true t st'
       | _ -> ())
 
 and commit_timeout t st =
@@ -245,15 +288,18 @@ and commit_timeout t st =
   List.iter t.view.Detect.View.suspect st.waiting;
   if st.attempts >= t.config.max_retries then begin
     Hashtbl.remove t.pending st.op;
+    oend_phase t st ~timed_out:true;
     finish t st `Failed
   end
   else begin
     t.retries <- t.retries + 1;
+    oretry t st ~backoff:0.0;
     let st =
       (* [attempts] is immutable; track resends by re-registering. *)
       { st with attempts = st.attempts + 1 }
     in
     Hashtbl.replace t.pending st.op st;
+    ophase t st ~kind:Obs.Span.Commit ~quorum:st.waiting;
     arm_timeout t st;
     List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.waiting
   end
@@ -275,6 +321,7 @@ let send_repairs t st =
       (fun (site, ts) ->
         if Timestamp.newer_than st.max_ts ts then begin
           t.repairs_sent <- t.repairs_sent + 1;
+          ocount t "coord.repairs_sent";
           send t ~dst:site
             (Message.Repair
                { op = st.op; key = st.key; ts = st.max_ts; value = st.max_value })
@@ -282,6 +329,7 @@ let send_repairs t st =
       st.replies
 
 let query_complete t st =
+  oend_phase t st ~timed_out:false;
   send_repairs t st;
   match st.kind with
   | Read_op _ ->
@@ -302,6 +350,7 @@ let query_complete t st =
       st.waiting <- members;
       st.write_quorum <- members;
       st.write_ts <- ts;
+      ophase t st ~kind:Obs.Span.Prepare ~quorum:members;
       arm_timeout t st;
       List.iter
         (fun m ->
@@ -313,6 +362,7 @@ let prepare_complete t st =
   st.phase <- Committing;
   st.phase_started <- Engine.now (engine t);
   st.waiting <- st.write_quorum;
+  ophase t st ~kind:Obs.Span.Commit ~quorum:st.write_quorum;
   arm_timeout t st;
   List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.write_quorum
 
@@ -346,7 +396,7 @@ let handle t ~src msg =
       ()  (* out-of-phase or replica-bound: ignore *)
   end
 
-let create ~site ~net ~proto ?locks ?view ?(config = default_config) () =
+let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
   let n_replicas = Protocol.universe_size proto in
   let t =
     {
@@ -355,6 +405,7 @@ let create ~site ~net ~proto ?locks ?view ?(config = default_config) () =
       proto;
       locks;
       config;
+      obs;
       view = Detect.View.always_up ~n:1;  (* placeholder, set below *)
       rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
@@ -383,19 +434,34 @@ let create ~site ~net ~proto ?locks ?view ?(config = default_config) () =
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
   t
 
+(* A span opens at operation entry — before any local lock wait — so its
+   duration covers what the caller experiences.  With locks in play the
+   wait shows up as an explicit [Lock] phase, auto-closed when the first
+   quorum phase opens. *)
+let open_span t ~op ~key =
+  let span = ospan t ~op ~key in
+  (match (t.obs, span, t.locks) with
+  | Some obs, Some sp, Some _ -> Obs.phase obs sp ~kind:Obs.Span.Lock ()
+  | _ -> ());
+  span
+
 let read t ~key k =
+  let span = open_span t ~op:"read" ~key in
   with_lock t ~key ~mode:Lock_manager.Shared (fun unlock ->
       start_attempt t ~key
         ~kind:(Read_op (fun r -> unlock (fun () -> k r)))
         ~attempts:0
-        ~started:(Engine.now (engine t)))
+        ~started:(Engine.now (engine t))
+        ~span)
 
 let write t ~key ~value k =
+  let span = open_span t ~op:"write" ~key in
   with_lock t ~key ~mode:Lock_manager.Exclusive (fun unlock ->
       start_attempt t ~key
         ~kind:(Write_op (value, fun r -> unlock (fun () -> k r)))
         ~attempts:0
-        ~started:(Engine.now (engine t)))
+        ~started:(Engine.now (engine t))
+        ~span)
 
 let set_protocol t proto =
   if Protocol.universe_size proto <> t.n_replicas then

@@ -53,13 +53,18 @@ val create :
   proto:Quorum.Protocol.t ->
   ?locks:Lock_manager.t ->
   ?view:Detect.View.t ->
+  ?obs:Obs.t ->
   ?config:config ->
   unit ->
   t
 (** [site] is the coordinator's own network address (distinct from every
     replica's).  When [locks] is given, reads take shared and writes
     exclusive per-key locks around the quorum protocol.  [view] overrides
-    the config-selected failure detector. *)
+    the config-selected failure detector.  With [obs], every operation is
+    traced as a span ([ops.read.*] / [ops.write.*], phases query/prepare/
+    commit, plus a lock phase when [locks] is in force) and the counters
+    [coord.deadline_exceeded] and [coord.repairs_sent] are maintained;
+    without it no instrumentation work is done. *)
 
 type read_result = { value : string; ts : Timestamp.t; attempts : int }
 

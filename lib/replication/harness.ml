@@ -71,7 +71,7 @@ type report = {
    check. *)
 type checker = { latest : (int, Timestamp.t) Hashtbl.t; mutable violations : int }
 
-let run scenario =
+let run ?obs scenario =
   let n = Protocol.universe_size scenario.proto in
   if scenario.n_clients < 1 then invalid_arg "Harness.run: need a client";
   let engine = Engine.create ~seed:scenario.seed () in
@@ -79,6 +79,11 @@ let run scenario =
     Network.create ~engine ~n:(n + scenario.n_clients)
       ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
   in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Obs.set_clock o (fun () -> Engine.now engine);
+    Network.attach_obs net o);
   let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
   let locks =
     if scenario.use_locks then Some (Lock_manager.create ~engine) else None
@@ -111,7 +116,7 @@ let run scenario =
         Some (Detect.Heartbeat.view hb)
     in
     let coord =
-      Coordinator.create ~site ~net ~proto:scenario.proto ?locks ?view
+      Coordinator.create ~site ~net ~proto:scenario.proto ?locks ?view ?obs
         ~config:scenario.coordinator ()
     in
     let gen =
@@ -187,7 +192,8 @@ let run scenario =
     messages_delivered = counters.Network.delivered;
     messages_dropped =
       counters.Network.dropped_loss + counters.Network.dropped_crash
-      + counters.Network.dropped_partition;
+      + counters.Network.dropped_partition
+      + counters.Network.dropped_no_handler;
     heartbeat_pings =
       List.fold_left (fun acc hb -> acc + Detect.Heartbeat.pings_sent hb) 0
         !monitors;

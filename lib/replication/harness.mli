@@ -65,7 +65,12 @@ type report = {
   replica_writes_applied : int array;
 }
 
-val run : scenario -> report
+val run : ?obs:Obs.t -> scenario -> report
+(** With [obs], the harness points its clock at the engine's virtual time,
+    mirrors the network counters into its registry, and hands it to every
+    client coordinator, so spans and phase-latency histograms cover the
+    whole run.  Attaching [obs] never perturbs the simulation: it draws no
+    randomness and schedules no events. *)
 
 val messages_per_op : report -> float
 (** Delivered messages divided by completed operations — the measured

@@ -39,6 +39,7 @@ type t = {
   net : Message.t Network.t;
   mutable proto : Protocol.t;
   config : config;
+  obs : Obs.t option;
   view : Detect.View.t;
   rto : Detect.Rto.t;
   rng : Rng.t;
@@ -70,6 +71,50 @@ let phase_timeout t =
   else t.config.timeout
 
 let observed_timeout t = phase_timeout t
+
+(* --- observability hooks (single match, no work, when [obs = None]).
+   Spans are threaded explicitly: [write] owns one span whose phases cover
+   its version query, prepare and commit; the public phase primitives run
+   span-less unless a caller supplies one. *)
+
+let obs_kind = function
+  | Query -> Obs.Span.Query
+  | Prepare_phase -> Obs.Span.Prepare
+  | Commit_phase -> Obs.Span.Commit
+
+let ospan t ~op ~key =
+  match t.obs with
+  | None -> None
+  | Some obs -> Some (Obs.span obs ~op ~site:t.site ~key ())
+
+let ophase t span ~kind ~quorum =
+  match (t.obs, span) with
+  | Some obs, Some sp -> Obs.phase obs sp ~kind ~quorum ()
+  | _ -> ()
+
+let oend t span ~timed_out =
+  match (t.obs, span) with
+  | Some obs, Some sp -> Obs.end_phase obs sp ~timed_out ()
+  | _ -> ()
+
+let oretry t span ~backoff =
+  match (t.obs, span) with
+  | Some obs, Some sp -> Obs.retry obs sp ~backoff ()
+  | _ -> ()
+
+let ofinish t span result =
+  match (t.obs, span) with
+  | Some obs, Some sp ->
+    let outcome =
+      if result then Obs.Span.Ok else Obs.Span.Failed "gave_up"
+    in
+    Obs.finish obs sp ~outcome
+  | _ -> ()
+
+let ocount t name =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
 
 let handle t ~src msg =
   (* Any message is proof of life for its sender (replicas only: detector
@@ -106,7 +151,7 @@ let handle t ~src msg =
       end
     end
 
-let create ~site ~net ~proto ?view ?(config = default_config) () =
+let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
   let view =
     match view with
     | Some v -> v
@@ -119,6 +164,7 @@ let create ~site ~net ~proto ?view ?(config = default_config) () =
       net;
       proto;
       config;
+      obs;
       view;
       rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
@@ -132,7 +178,7 @@ let create ~site ~net ~proto ?view ?(config = default_config) () =
 (* One gather phase over [members]: send [mk_msg op] to each, then either
    [on_success op gather] once every member answered or [on_timeout] after
    the deadline. *)
-let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
+let run_phase t ~span ~phase ~members ~mk_msg ~on_success ~on_timeout =
   let op = fresh_op t in
   let rec g =
     {
@@ -144,6 +190,7 @@ let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
       complete = (fun () -> on_success op g);
     }
   in
+  ophase t span ~kind:(obs_kind phase) ~quorum:members;
   Hashtbl.replace t.pending op g;
   Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
       (* Only kill our own gather: a successful prepare hands its op id on
@@ -160,56 +207,77 @@ let run_phase t ~phase ~members ~mk_msg ~on_success ~on_timeout =
 (* Retry scheduling: exponential backoff with jitter, bounded by the
    per-operation deadline budget — once a retry could not even be issued
    before the deadline, fail fast instead of hammering a dead quorum. *)
-let backoff t ~op_started ~attempt retry give_up =
+let backoff t ~op_started ~attempt ?(on_retry = fun _ -> ()) retry give_up =
   let delay = Detect.Backoff.delay t.config.backoff ~rng:t.rng ~attempt in
-  if Engine.now (engine t) +. delay >= op_started +. t.config.deadline then
+  if Engine.now (engine t) +. delay >= op_started +. t.config.deadline then begin
+    ocount t "rpc.deadline_exceeded";
     give_up ()
-  else Engine.schedule (engine t) ~delay retry
+  end
+  else begin
+    on_retry delay;
+    Engine.schedule (engine t) ~delay retry
+  end
 
-let query t ~key k =
+let query_sp t ~span ~key k =
   let op_started = Engine.now (engine t) in
   let rec attempt tries =
     let attempt_no = t.config.max_retries - tries in
-    let again () =
+    let again ~timed_out () =
+      oend t span ~timed_out;
       if tries > 0 then
         backoff t ~op_started ~attempt:attempt_no
+          ~on_retry:(fun d -> oretry t span ~backoff:d)
           (fun () -> attempt (tries - 1))
           (fun () -> k None)
       else k None
     in
     match Protocol.read_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
-    | None -> again ()
+    | None -> again ~timed_out:false ()
     | Some quorum ->
-      run_phase t ~phase:Query ~members:(Bitset.elements quorum)
+      run_phase t ~span ~phase:Query ~members:(Bitset.elements quorum)
         ~mk_msg:(fun op -> Message.Read_request { op; key })
-        ~on_success:(fun _op g -> k (Some (g.max_ts, g.max_value)))
-        ~on_timeout:again
+        ~on_success:(fun _op g ->
+          oend t span ~timed_out:false;
+          k (Some (g.max_ts, g.max_value)))
+        ~on_timeout:(again ~timed_out:true)
   in
   attempt t.config.max_retries
 
-let prepare t ~key ~ts ~value k =
+let query t ~key k =
+  let span = ospan t ~op:"rpc.read" ~key in
+  query_sp t ~span ~key (fun r ->
+      ofinish t span (r <> None);
+      k r)
+
+let prepare_sp t ~span ~key ~ts ~value k =
   let op_started = Engine.now (engine t) in
   let rec attempt tries =
     let attempt_no = t.config.max_retries - tries in
-    let again () =
+    let again ~timed_out () =
+      oend t span ~timed_out;
       if tries > 0 then
         backoff t ~op_started ~attempt:attempt_no
+          ~on_retry:(fun d -> oretry t span ~backoff:d)
           (fun () -> attempt (tries - 1))
           (fun () -> k None)
       else k None
     in
     match Protocol.write_quorum t.proto ~alive:(current_view t) ~rng:t.rng with
-    | None -> again ()
+    | None -> again ~timed_out:false ()
     | Some quorum ->
       let members = Bitset.elements quorum in
-      run_phase t ~phase:Prepare_phase ~members
+      run_phase t ~span ~phase:Prepare_phase ~members
         ~mk_msg:(fun op -> Message.Prepare { op; key; ts; value })
-        ~on_success:(fun op _g -> k (Some (op, members)))
-        ~on_timeout:again
+        ~on_success:(fun op _g ->
+          oend t span ~timed_out:false;
+          k (Some (op, members)))
+        ~on_timeout:(again ~timed_out:true)
   in
   attempt t.config.max_retries
 
-let commit_staged t ~op ~members k =
+let prepare t ~key ~ts ~value k = prepare_sp t ~span:None ~key ~ts ~value k
+
+let commit_staged_sp t ~span ~op ~members k =
   let rec send tries ms =
     let g =
       {
@@ -218,16 +286,27 @@ let commit_staged t ~op ~members k =
         waiting = ms;
         max_ts = Timestamp.zero;
         max_value = "";
-        complete = (fun () -> k true);
+        complete =
+          (fun () ->
+            oend t span ~timed_out:false;
+            k true);
       }
     in
+    ophase t span ~kind:Obs.Span.Commit ~quorum:ms;
     Hashtbl.replace t.pending op g;
     Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
         match Hashtbl.find_opt t.pending op with
         | Some g' when g' == g ->
           Hashtbl.remove t.pending op;
           List.iter t.view.Detect.View.suspect g.waiting;
-          if tries > 0 then send (tries - 1) g.waiting else k false
+          if tries > 0 then begin
+            oretry t span ~backoff:0.0;
+            send (tries - 1) g.waiting
+          end
+          else begin
+            oend t span ~timed_out:true;
+            k false
+          end
         | _ -> ());
     List.iter
       (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Commit { op }))
@@ -235,24 +314,31 @@ let commit_staged t ~op ~members k =
   in
   send t.config.max_retries members
 
+let commit_staged t ~op ~members k = commit_staged_sp t ~span:None ~op ~members k
+
 let abort_staged t ~op ~members =
   List.iter
     (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Abort { op }))
     members
 
 let write t ~key ?ts ~value k =
+  let span = ospan t ~op:"rpc.write" ~key in
+  let finishk r =
+    ofinish t span (r <> None);
+    k r
+  in
   let do_write ts =
-    prepare t ~key ~ts ~value (function
-      | None -> k None
+    prepare_sp t ~span ~key ~ts ~value (function
+      | None -> finishk None
       | Some (op, members) ->
-        commit_staged t ~op ~members (fun ok ->
-            if ok then k (Some ts) else k None))
+        commit_staged_sp t ~span ~op ~members (fun ok ->
+            if ok then finishk (Some ts) else finishk None))
   in
   match ts with
   | Some ts -> do_write ts
   | None ->
-    query t ~key (function
-      | None -> k None
+    query_sp t ~span ~key (function
+      | None -> finishk None
       | Some (current, _) ->
         do_write
           (Timestamp.make ~version:(current.Timestamp.version + 1) ~sid:t.site))

@@ -36,13 +36,18 @@ val create :
   net:Message.t Dsim.Network.t ->
   proto:Quorum.Protocol.t ->
   ?view:Detect.View.t ->
+  ?obs:Obs.t ->
   ?config:config ->
   unit ->
   t
 (** [view] defaults to the ground-truth oracle over the replica universe.
     The endpoint reports evidence into the view: every received message
     [observe]s its sender, every phase timeout [suspect]s the members
-    still waiting. *)
+    still waiting.  With [obs], {!query} and {!write} are traced as
+    [rpc.read] / [rpc.write] spans (one span per operation, covering a
+    write's version query, prepare and commit phases) and the counter
+    [rpc.deadline_exceeded] is maintained; without it the endpoint does no
+    instrumentation work. *)
 
 val site : t -> int
 val protocol : t -> Quorum.Protocol.t

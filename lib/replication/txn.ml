@@ -10,17 +10,22 @@ type manager = {
   locks : Lock_manager.t;
   lock_timeout : float;
   engine : Engine.t;
+  obs : Obs.t option;
   mutable committed : int;
   mutable aborted : int;
 }
 
-let create_manager ~site ~net ~proto ~locks ?view ?(config = default_config) () =
-  let rpc = Quorum_rpc.create ~site ~net ~proto ?view ~config:config.rpc () in
+let create_manager ~site ~net ~proto ~locks ?view ?obs
+    ?(config = default_config) () =
+  let rpc =
+    Quorum_rpc.create ~site ~net ~proto ?view ?obs ~config:config.rpc ()
+  in
   {
     rpc;
     locks;
     lock_timeout = config.lock_timeout;
     engine = Network.engine net;
+    obs;
     committed = 0;
     aborted = 0;
   }
@@ -37,6 +42,7 @@ type state = Active | Committing | Done of outcome
 type t = {
   mgr : manager;
   owner : int;
+  span : Obs.Span.t option;
   mutable state : state;
   read_cache : (int, string) Hashtbl.t;
   write_buf : (int, string) Hashtbl.t;
@@ -50,11 +56,23 @@ let begin_txn mgr =
   {
     mgr;
     owner = (!txn_counter * 1_000_003) + Quorum_rpc.site mgr.rpc;
+    span =
+      (match mgr.obs with
+      | None -> None
+      | Some obs ->
+        Some (Obs.span obs ~op:"txn" ~site:(Quorum_rpc.site mgr.rpc) ()));
     state = Active;
     read_cache = Hashtbl.create 8;
     write_buf = Hashtbl.create 8;
     held = [];
   }
+
+(* Phase markers on the transaction's own span: the quorum list carries the
+   write-key set (commit is a cross-key barrier, not a single quorum). *)
+let ophase t ~kind ~quorum =
+  match (t.mgr.obs, t.span) with
+  | Some obs, Some sp -> Obs.phase obs sp ~kind ~quorum ()
+  | _ -> ()
 
 let is_finished t = match t.state with Done _ -> true | _ -> false
 
@@ -69,6 +87,14 @@ let release_all t =
 let finish t outcome =
   release_all t;
   t.state <- Done outcome;
+  (match (t.mgr.obs, t.span) with
+  | Some obs, Some sp ->
+    Obs.finish obs sp
+      ~outcome:
+        (match outcome with
+        | Committed -> Obs.Span.Ok
+        | Aborted reason -> Obs.Span.Failed reason)
+  | _ -> ());
   match outcome with
   | Committed -> t.mgr.committed <- t.mgr.committed + 1
   | Aborted _ -> t.mgr.aborted <- t.mgr.aborted + 1
@@ -241,21 +267,25 @@ let commit t k =
     end
     else begin
       t.state <- Committing;
+      ophase t ~kind:Obs.Span.Lock ~quorum:keys;
       acquire_write_locks t keys (function
         | Error reason ->
           finish t (Aborted reason);
           k (Aborted reason)
         | Ok () ->
+          ophase t ~kind:Obs.Span.Query ~quorum:keys;
           version_all t keys (function
             | None ->
               finish t (Aborted "version phase failed");
               k (Aborted "version phase failed")
             | Some versions ->
+              ophase t ~kind:Obs.Span.Prepare ~quorum:keys;
               prepare_all t keys versions (function
                 | None ->
                   finish t (Aborted "prepare phase failed");
                   k (Aborted "prepare phase failed")
                 | Some staged ->
+                  ophase t ~kind:Obs.Span.Commit ~quorum:keys;
                   commit_all t staged (fun ok ->
                       if ok then begin
                         finish t Committed;

@@ -33,13 +33,17 @@ val create_manager :
   proto:Quorum.Protocol.t ->
   locks:Lock_manager.t ->
   ?view:Detect.View.t ->
+  ?obs:Obs.t ->
   ?config:config ->
   unit ->
   manager
 (** One manager per client site; it installs the site's message handler
     (do not combine with a {!Coordinator} on the same site).  [view] is
     the failure-detector view quorums are assembled from; the ground-truth
-    oracle when omitted. *)
+    oracle when omitted.  With [obs], every transaction is traced as a
+    [txn] span whose lock/query/prepare/commit phases mark the commit
+    barriers (their quorum lists carry the write-key set), and the
+    underlying RPC endpoint is instrumented too. *)
 
 type t
 (** An open transaction. *)

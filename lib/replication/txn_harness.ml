@@ -66,7 +66,7 @@ let increment_txn mgr ~rng ~key_space ~count k =
   in
   step chosen
 
-let run scenario =
+let run ?obs scenario =
   if scenario.keys_per_txn > scenario.key_space then
     invalid_arg "Txn_harness.run: keys_per_txn exceeds key_space";
   let n = Protocol.universe_size scenario.proto in
@@ -75,13 +75,18 @@ let run scenario =
     Network.create ~engine ~n:(n + scenario.n_clients + 1)
       ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
   in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Obs.set_clock o (fun () -> Engine.now engine);
+    Network.attach_obs net o);
   let _replicas = Array.init n (fun site -> Replica.create ~site ~net) in
   let locks = Lock_manager.create ~engine in
   let committed = ref 0 and aborted = ref 0 and uncertain = ref 0 in
   let committed_increments = ref 0 and uncertain_increments = ref 0 in
   let run_client idx =
     let mgr =
-      Txn.create_manager ~site:(n + idx) ~net ~proto:scenario.proto ~locks
+      Txn.create_manager ~site:(n + idx) ~net ~proto:scenario.proto ~locks ?obs
         ~config:scenario.config ()
     in
     let rng = Rng.split (Engine.rng engine) in

@@ -43,5 +43,11 @@ type report = {
   duration : float;
 }
 
-val run : scenario -> report
+val run : ?obs:Obs.t -> scenario -> report
+(** With [obs], the harness points its clock at the engine, mirrors the
+    network counters, and traces every transaction ([txn] spans) and the
+    RPC operations underneath ([rpc.read] / [rpc.write]).  The final
+    tallying quorum reads run on an uninstrumented endpoint so span
+    accounting covers exactly the workload's operations. *)
+
 val pp_report : Format.formatter -> report -> unit

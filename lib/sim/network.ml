@@ -7,6 +7,20 @@ type counters = {
   mutable dropped_loss : int;
   mutable dropped_crash : int;
   mutable dropped_partition : int;
+  mutable dropped_no_handler : int;
+}
+
+(* Pre-resolved metric handles: looked up once in [attach_obs] so the send
+   path never hashes a metric name. *)
+type obs_counters = {
+  o_sent : Obs.Metrics.counter;
+  o_delivered : Obs.Metrics.counter;
+  o_drop_loss : Obs.Metrics.counter;
+  o_drop_crash : Obs.Metrics.counter;
+  o_drop_partition : Obs.Metrics.counter;
+  o_drop_no_handler : Obs.Metrics.counter;
+  o_site_sent : Obs.Metrics.counter array;
+  o_site_delivered : Obs.Metrics.counter array;
 }
 
 type 'msg t = {
@@ -23,6 +37,7 @@ type 'msg t = {
   counters : counters;
   delivered_to : int array;
   mutable trace : 'msg tracer option;
+  mutable obs : obs_counters option;
 }
 
 and 'msg tracer = { sink : Trace.t; describe : 'msg -> string }
@@ -49,9 +64,11 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
         dropped_loss = 0;
         dropped_crash = 0;
         dropped_partition = 0;
+        dropped_no_handler = 0;
       };
     delivered_to = Array.make n 0;
     trace = None;
+    obs = None;
   }
 
 let engine t = t.engine
@@ -59,6 +76,28 @@ let size t = t.n
 
 let attach_trace t ?(describe = fun _ -> "") sink =
   t.trace <- Some { sink; describe }
+
+let attach_obs t obs =
+  let m = Obs.metrics obs in
+  let c = Obs.Metrics.counter m in
+  t.obs <-
+    Some
+      {
+        o_sent = c "net.sent";
+        o_delivered = c "net.delivered";
+        o_drop_loss = c "net.dropped.loss";
+        o_drop_crash = c "net.dropped.crash";
+        o_drop_partition = c "net.dropped.partition";
+        o_drop_no_handler = c "net.dropped.no_handler";
+        o_site_sent =
+          Array.init t.n (fun i -> c (Printf.sprintf "net.site.%d.sent" i));
+        o_site_delivered =
+          Array.init t.n (fun i ->
+              c (Printf.sprintf "net.site.%d.delivered" i));
+      }
+
+let obs_incr t f =
+  match t.obs with None -> () | Some o -> Obs.Metrics.incr (f o)
 
 let emit t event =
   match t.trace with
@@ -87,13 +126,20 @@ let send t ~src ~dst msg =
   check_site t src;
   check_site t dst;
   t.counters.sent <- t.counters.sent + 1;
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+    Obs.Metrics.incr o.o_sent;
+    Obs.Metrics.incr o.o_site_sent.(src));
   emit_msg t (fun info -> Trace.Send { src; dst; info }) msg;
   if not t.up.(src) then begin
     t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+    obs_incr t (fun o -> o.o_drop_crash);
     emit t (Trace.Drop { src; dst; reason = "sender down" })
   end
   else if t.loss_rate > 0.0 && Rng.bernoulli t.rng t.loss_rate then begin
     t.counters.dropped_loss <- t.counters.dropped_loss + 1;
+    obs_incr t (fun o -> o.o_drop_loss);
     emit t (Trace.Drop { src; dst; reason = "loss" })
   end
   else begin
@@ -114,20 +160,30 @@ let send t ~src ~dst msg =
     Engine.schedule t.engine ~delay (fun () ->
         if not t.up.(dst) then begin
           t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+          obs_incr t (fun o -> o.o_drop_crash);
           emit t (Trace.Drop { src; dst; reason = "destination down" })
         end
         else if t.group.(src) <> t.group.(dst) then begin
           t.counters.dropped_partition <- t.counters.dropped_partition + 1;
+          obs_incr t (fun o -> o.o_drop_partition);
           emit t (Trace.Drop { src; dst; reason = "partition" })
         end
         else begin
           match t.handlers.(dst) with
           | None ->
-            t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+            (* A missing handler is a wiring problem, not a crash: count it
+               separately so crash statistics stay truthful. *)
+            t.counters.dropped_no_handler <- t.counters.dropped_no_handler + 1;
+            obs_incr t (fun o -> o.o_drop_no_handler);
             emit t (Trace.Drop { src; dst; reason = "no handler" })
           | Some h ->
             t.counters.delivered <- t.counters.delivered + 1;
             t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+            (match t.obs with
+            | None -> ()
+            | Some o ->
+              Obs.Metrics.incr o.o_delivered;
+              Obs.Metrics.incr o.o_site_delivered.(dst));
             emit_msg t (fun info -> Trace.Deliver { src; dst; info }) msg;
             h ~src msg
         end)

@@ -29,6 +29,14 @@ val attach_trace :
     changes into the trace; [describe] renders message payloads (defaults
     to the empty string). *)
 
+val attach_obs : 'msg t -> Obs.t -> unit
+(** Mirror the counters into [obs]'s metrics registry: [net.sent],
+    [net.delivered], [net.dropped.loss] / [.crash] / [.partition] /
+    [.no_handler], plus per-site [net.site.<i>.sent] and
+    [net.site.<i>.delivered].  Metric handles are resolved once here, so
+    the send path does no name lookups; without this call the send path
+    is untouched. *)
+
 val set_handler : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
 (** Installs the message handler for a site.  A site without a handler
     drops messages. *)
@@ -68,6 +76,9 @@ type counters = {
   mutable dropped_loss : int;
   mutable dropped_crash : int;
   mutable dropped_partition : int;
+  mutable dropped_no_handler : int;
+      (** delivered to an up, reachable site that never installed a
+          handler — a wiring bug, counted apart from crash drops *)
 }
 
 val counters : 'msg t -> counters

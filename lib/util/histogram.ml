@@ -13,6 +13,16 @@ let bucket_of t x =
   if x < 1.0 then 0
   else begin
     let i = int_of_float (log x /. log t.base) in
+    (* Float log rounding can misplace values sitting exactly on a bucket
+       boundary (log 1000 / log 10 = 2.999…); nudge into the bucket whose
+       [base^i <= x < base^(i+1)] actually holds, so boundary assignment
+       is deterministic: x = base^k always lands in bucket k. *)
+    let i =
+      if t.base ** float_of_int (i + 1) <= x then i + 1
+      else if t.base ** float_of_int i > x then i - 1
+      else i
+    in
+    let i = max 0 i in
     min i (Array.length t.counts - 1)
   end
 
@@ -27,7 +37,9 @@ let bucket_counts t =
   let out = ref [] in
   for i = Array.length t.counts - 1 downto 0 do
     if t.counts.(i) > 0 then begin
-      let lo = if i = 0 then 0.0 else t.base ** float_of_int i in
+      (* Bucket 0 is the catch-all for every input below 1.0 (including
+         negatives) as well as [1, base); its true lower bound is -inf. *)
+      let lo = if i = 0 then neg_infinity else t.base ** float_of_int i in
       let hi = t.base ** float_of_int (i + 1) in
       out := (lo, hi, t.counts.(i)) :: !out
     end
@@ -41,7 +53,11 @@ let render t ~width =
   List.iter
     (fun (lo, hi, c) ->
       let bar = c * width / max_count in
+      let label =
+        if lo = neg_infinity then Printf.sprintf "(      -inf, %10.1f)" hi
+        else Printf.sprintf "[%10.1f, %10.1f)" lo hi
+      in
       Buffer.add_string buf
-        (Printf.sprintf "[%10.1f, %10.1f) %6d %s\n" lo hi c (String.make bar '#')))
+        (Printf.sprintf "%s %6d %s\n" label c (String.make bar '#')))
     rows;
   Buffer.contents buf

@@ -4,13 +4,18 @@ type t
 
 val create : ?base:float -> ?buckets:int -> unit -> t
 (** [create ~base ~buckets ()] — bucket [i] covers values in
-    [\[base^i, base^(i+1))]; values below 1.0 land in bucket 0.
+    [\[base^i, base^(i+1))]; bucket 0 is the catch-all for everything
+    below [base], including inputs below 1.0 and negatives.  Boundary
+    assignment is deterministic: a value exactly at [base^k] always lands
+    in bucket [k], independent of float log rounding.
     Defaults: base = 2.0, buckets = 64. *)
 
 val add : t -> float -> unit
 val count : t -> int
 val bucket_counts : t -> (float * float * int) list
-(** [(lo, hi, count)] for every non-empty bucket, ascending. *)
+(** [(lo, hi, count)] for every non-empty bucket, ascending.  Bucket 0
+    reports [lo = neg_infinity] — it holds every input below 1.0 as well
+    as [\[1, base)]. *)
 
 val render : t -> width:int -> string
 (** ASCII bar rendering, for quick terminal inspection. *)

@@ -34,8 +34,13 @@ let mean t = if t.n = 0 then 0.0 else t.mean
 let total t = t.mean *. float_of_int t.n
 let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
-let min_value t = t.min_v
-let max_value t = t.max_v
+let min_value t =
+  if t.n = 0 then invalid_arg "Stats.min_value: empty";
+  t.min_v
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Stats.max_value: empty";
+  t.max_v
 
 let sorted_samples t =
   match t.sorted with
@@ -50,8 +55,12 @@ let percentile t q =
   if t.n = 0 then invalid_arg "Stats.percentile: empty";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
   let a = sorted_samples t in
-  let idx = int_of_float (ceil (q *. float_of_int t.n)) - 1 in
-  a.(max 0 (min (t.n - 1) idx))
+  (* Nearest-rank; q = 0.0 maps straight to the minimum instead of
+     computing the out-of-range rank -1 first. *)
+  let idx =
+    if q = 0.0 then 0 else int_of_float (ceil (q *. float_of_int t.n)) - 1
+  in
+  a.(min (t.n - 1) idx)
 
 let ci95 t =
   if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)

@@ -13,12 +13,19 @@ val variance : t -> float
 (** Unbiased sample variance; 0 for fewer than two samples. *)
 
 val stddev : t -> float
+
 val min_value : t -> float
+(** Smallest sample seen.  Raises [Invalid_argument] on an empty
+    accumulator (it would otherwise report [infinity]). *)
+
 val max_value : t -> float
+(** Largest sample seen.  Raises [Invalid_argument] on an empty
+    accumulator (it would otherwise report [neg_infinity]). *)
 
 val percentile : t -> float -> float
 (** [percentile t q] with [q] in [\[0,1\]]; nearest-rank on the retained
-    samples.  Raises [Invalid_argument] on an empty accumulator. *)
+    samples ([q = 0.0] is the minimum, [q = 1.0] the maximum).  Raises
+    [Invalid_argument] on an empty accumulator. *)
 
 val ci95 : t -> float
 (** Half-width of the normal-approximation 95% confidence interval of the

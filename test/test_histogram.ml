@@ -43,6 +43,57 @@ let test_overflow_bucket () =
   (* Clamped into the last bucket rather than raising. *)
   Alcotest.(check int) "clamped" 1 (Histogram.count h)
 
+(* Regression: log-float rounding used to misplace values sitting exactly
+   on a bucket boundary (log10 1000 computes as 2.999…), so x = base^k
+   could land in bucket k-1.  Boundary assignment must be deterministic:
+   base^k belongs to [base^k, base^(k+1)). *)
+let test_boundary_determinism () =
+  let h = Histogram.create ~base:10.0 () in
+  List.iter (Histogram.add h) [ 1.0; 10.0; 100.0; 1000.0; 10000.0 ];
+  let buckets = Histogram.bucket_counts h in
+  Alcotest.(check int) "one bucket per power" 5 (List.length buckets);
+  List.iter
+    (fun (lo, hi, c) ->
+      Alcotest.(check int) "exactly one value" 1 c;
+      if lo > 0.0 then begin
+        (* Each power of ten is the *lower* edge of its own bucket. *)
+        Alcotest.(check (float 1e-6)) "lands on its lower edge" lo
+          (Float.of_int (int_of_float lo));
+        Alcotest.(check bool) "hi = base * lo" true
+          (Float.abs (hi -. (10.0 *. lo)) < 1e-6)
+      end)
+    buckets;
+  (* Same property for base 2 at a power large enough to tickle rounding. *)
+  let h2 = Histogram.create ~base:2.0 () in
+  Histogram.add h2 1024.0;
+  (match Histogram.bucket_counts h2 with
+  | [ (lo, hi, 1) ] ->
+    Alcotest.(check (float 1e-9)) "2^10 lower edge" 1024.0 lo;
+    Alcotest.(check (float 1e-9)) "2^11 upper edge" 2048.0 hi
+  | _ -> Alcotest.fail "expected exactly one bucket")
+
+(* Regression: bucket 0 is the catch-all for everything below 1.0 —
+   including zero and negatives — and must advertise -inf as its lower
+   bound instead of pretending to start at 1. *)
+let test_catch_all_bucket () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ -5.0; 0.0; 0.25; 1.5 ];
+  (match Histogram.bucket_counts h with
+  | [ (lo0, hi0, c0) ] ->
+    Alcotest.(check bool) "lo is -inf" true (lo0 = neg_infinity);
+    Alcotest.(check (float 1e-9)) "hi is base" 2.0 hi0;
+    Alcotest.(check int) "all four collapse into bucket 0" 4 c0
+  | bs -> Alcotest.failf "expected 1 bucket, got %d" (List.length bs));
+  let rendered = Histogram.render h ~width:10 in
+  Alcotest.(check bool) "render labels -inf" true
+    (String.length rendered > 0
+    &&
+    let rec has i =
+      i + 4 <= String.length rendered
+      && (String.sub rendered i 4 = "-inf" || has (i + 1))
+    in
+    has 0)
+
 let suite =
   [
     Alcotest.test_case "bucketing" `Quick test_bucketing;
@@ -50,4 +101,6 @@ let suite =
     Alcotest.test_case "invalid args" `Quick test_invalid_args;
     Alcotest.test_case "render" `Quick test_render;
     Alcotest.test_case "overflow clamps" `Quick test_overflow_bucket;
+    Alcotest.test_case "boundary determinism" `Quick test_boundary_determinism;
+    Alcotest.test_case "catch-all bucket 0" `Quick test_catch_all_bucket;
   ]

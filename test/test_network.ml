@@ -153,6 +153,44 @@ let test_crash_fraction () =
   in
   Alcotest.(check int) "distinct sites" 3 (List.length (List.sort_uniq compare sites))
 
+(* Regression: a message reaching an up, reachable site that never
+   installed a handler used to be booked as [dropped_crash], polluting
+   failure statistics.  It is a wiring bug and gets its own counter. *)
+let test_no_handler_counter () =
+  let engine, net = make () in
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  let c = Network.counters net in
+  Alcotest.(check int) "no_handler" 1 c.Network.dropped_no_handler;
+  Alcotest.(check int) "not a crash" 0 c.Network.dropped_crash;
+  (* A genuinely crashed destination still books as a crash drop. *)
+  Network.crash net 2;
+  Network.send net ~src:0 ~dst:2 ();
+  Engine.run engine;
+  let c = Network.counters net in
+  Alcotest.(check int) "crash unchanged by wiring bugs" 1 c.Network.dropped_crash;
+  Alcotest.(check int) "no_handler stays" 1 c.Network.dropped_no_handler
+
+let test_obs_mirrors_counters () =
+  let engine, net = make () in
+  let obs = Obs.create () in
+  Network.attach_obs net obs;
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ();
+  Network.send net ~src:0 ~dst:3 ();
+  (* no handler at 3 *)
+  Engine.run engine;
+  let m = Obs.metrics obs in
+  Alcotest.(check int) "net.sent" 2 (Obs.Metrics.counter_of m "net.sent");
+  Alcotest.(check int) "net.delivered" 1
+    (Obs.Metrics.counter_of m "net.delivered");
+  Alcotest.(check int) "net.dropped.no_handler" 1
+    (Obs.Metrics.counter_of m "net.dropped.no_handler");
+  Alcotest.(check int) "per-site sent" 2
+    (Obs.Metrics.counter_of m "net.site.0.sent");
+  Alcotest.(check int) "per-site delivered" 1
+    (Obs.Metrics.counter_of m "net.site.1.delivered")
+
 let suite =
   [
     Alcotest.test_case "delivery" `Quick test_delivery;
@@ -169,4 +207,7 @@ let suite =
     Alcotest.test_case "random crash/recovery schedule" `Quick
       test_random_crash_recovery_stats;
     Alcotest.test_case "crash fraction" `Quick test_crash_fraction;
+    Alcotest.test_case "no-handler drop counter" `Quick test_no_handler_counter;
+    Alcotest.test_case "obs mirrors net counters" `Quick
+      test_obs_mirrors_counters;
   ]

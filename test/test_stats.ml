@@ -19,7 +19,27 @@ let test_empty () =
   Alcotest.(check bool) "variance 0" true (feq (Stats.variance s) 0.0);
   Alcotest.check_raises "percentile raises"
     (Invalid_argument "Stats.percentile: empty") (fun () ->
-      ignore (Stats.percentile s 0.5))
+      ignore (Stats.percentile s 0.5));
+  (* Regression: these used to leak the ±infinity init sentinels. *)
+  Alcotest.check_raises "min_value raises"
+    (Invalid_argument "Stats.min_value: empty") (fun () ->
+      ignore (Stats.min_value s));
+  Alcotest.check_raises "max_value raises"
+    (Invalid_argument "Stats.max_value: empty") (fun () ->
+      ignore (Stats.max_value s))
+
+(* Regression: q = 0.0 used to compute nearest-rank index -1 and rely on
+   clamping; it must map straight to the minimum, even with one sample. *)
+let test_percentile_zero () =
+  let s = Stats.create () in
+  Stats.add s 42.0;
+  Alcotest.(check bool) "singleton p0" true (feq (Stats.percentile s 0.0) 42.0);
+  Stats.add s 7.0;
+  Alcotest.(check bool) "p0 = min" true
+    (feq (Stats.percentile s 0.0) (Stats.min_value s));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.percentile: q out of range") (fun () ->
+      ignore (Stats.percentile s (-0.1)))
 
 let test_percentiles () =
   let s = Stats.create () in
@@ -73,6 +93,7 @@ let suite =
   [
     Alcotest.test_case "basic moments" `Quick test_basic;
     Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "percentile q=0" `Quick test_percentile_zero;
     Alcotest.test_case "percentiles" `Quick test_percentiles;
     Alcotest.test_case "percentile cache invalidation" `Quick
       test_percentile_after_add;
