@@ -4,8 +4,9 @@
    produces the instrumented baseline (BENCH_baseline.json), and finishes
    with bechamel micro-benchmarks of the hot paths.
 
-   Run with: dune exec bench/main.exe            # everything
-             dune exec bench/main.exe -- --smoke # baseline only (CI gate)
+   Run with: dune exec bench/main.exe              # everything
+             dune exec bench/main.exe -- --smoke   # baseline only (CI gate)
+             dune exec bench/main.exe -- --hotpath # hot paths only (CI perf gate)
 
    The baseline section is a gate, not just a report: it exits non-zero
    when the measured per-site loads drift more than 10% from Equation 3.2,
@@ -196,6 +197,192 @@ let baseline_section () =
     exit 1
   end
 
+(* --- hot-path benchmark (BENCH_hotpath.json) ----------------------------- *)
+
+let hotpath_path = "BENCH_hotpath.json"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ops_per_sec ~iters f =
+  for _ = 1 to iters / 10 do
+    ignore (f ())
+  done;
+  let (), dt = wall (fun () -> for _ = 1 to iters do ignore (f ()) done) in
+  if dt <= 0.0 then 0.0 else float_of_int iters /. dt
+
+let pair_json ~cached ~uncached =
+  Printf.sprintf
+    "{\"cached_ops_s\":%.1f,\"uncached_ops_s\":%.1f,\"speedup\":%.3f}" cached
+    uncached
+    (if uncached <= 0.0 then 0.0 else cached /. uncached)
+
+(* Cached (Plan_cache) vs reference quorum assembly on the §4 ARBITRARY
+   tree at n=65, on the failure-free fast path (alive = universe) and a
+   degraded slow path (one replica of the deepest level down — both
+   quorum kinds still exist, but every per-level scan must filter). *)
+let quorum_hotpath () =
+  let name k (cached, uncached) =
+    Printf.printf "  %-28s cached %12.0f ops/s   uncached %12.0f ops/s   (%.1fx)\n"
+      k cached uncached
+      (if uncached <= 0.0 then 0.0 else cached /. uncached);
+    (cached, uncached)
+  in
+  let tree = Arbitrary.Config.build Arbitrary.Config.Arbitrary ~n:65 in
+  let n = Arbitrary.Tree.n tree in
+  let plan = Arbitrary.Plan_cache.create tree in
+  let full = Quorum.Protocol.all_alive (Arbitrary.Quorums.protocol tree) in
+  let degraded = Dsutil.Bitset.copy full in
+  let levels = Arbitrary.Tree.physical_levels tree in
+  let deepest = List.nth levels (List.length levels - 1) in
+  Dsutil.Bitset.remove degraded (Arbitrary.Tree.replicas_at tree deepest).(0);
+  let rng = Dsutil.Rng.create 11 in
+  let iters = 200_000 in
+  let run cached reference =
+    (ops_per_sec ~iters cached, ops_per_sec ~iters reference)
+  in
+  let rd =
+    name "read (failure-free)"
+      (run
+         (fun () -> Arbitrary.Plan_cache.read_quorum plan ~alive:full ~rng)
+         (fun () -> Arbitrary.Quorums.read_quorum tree ~alive:full ~rng))
+  in
+  let wr =
+    name "write (failure-free)"
+      (run
+         (fun () -> Arbitrary.Plan_cache.write_quorum plan ~alive:full ~rng)
+         (fun () -> Arbitrary.Quorums.write_quorum tree ~alive:full ~rng))
+  in
+  let rd_d =
+    name "read (degraded)"
+      (run
+         (fun () -> Arbitrary.Plan_cache.read_quorum plan ~alive:degraded ~rng)
+         (fun () -> Arbitrary.Quorums.read_quorum tree ~alive:degraded ~rng))
+  in
+  let wr_d =
+    name "write (degraded)"
+      (run
+         (fun () -> Arbitrary.Plan_cache.write_quorum plan ~alive:degraded ~rng)
+         (fun () -> Arbitrary.Quorums.write_quorum tree ~alive:degraded ~rng))
+  in
+  let json (c, u) = pair_json ~cached:c ~uncached:u in
+  ( Printf.sprintf
+      "{\"n\":%d,\"iters\":%d,\"read\":%s,\"write\":%s,\"read_degraded\":%s,\"write_degraded\":%s}"
+      n iters (json rd) (json wr) (json rd_d) (json wr_d),
+    fst rd >= snd rd && fst wr >= snd wr )
+
+(* End-to-end simulated operations per wall-clock second for each §4
+   workload configuration (mixed 50/50, single client). *)
+let e2e_hotpath () =
+  let cases =
+    List.map
+      (fun name ->
+        let n = Eval.Config_metrics.feasible_n name 33 in
+        let proto = Eval.Config_metrics.protocol_of name ~n in
+        let s = Replication.Harness.default_scenario ~proto in
+        let scenario =
+          {
+            s with
+            Replication.Harness.n_clients = 1;
+            ops_per_client = 2000;
+            read_fraction = 0.5;
+            think_time = 0.1;
+            seed = 42;
+          }
+        in
+        let r, dt = wall (fun () -> Replication.Harness.run scenario) in
+        let ops =
+          r.Replication.Harness.reads_ok + r.Replication.Harness.reads_failed
+          + r.Replication.Harness.writes_ok + r.Replication.Harness.writes_failed
+        in
+        let rate = if dt <= 0.0 then 0.0 else float_of_int ops /. dt in
+        Printf.printf "  %-12s n=%-3d %10.0f simulated ops/s\n"
+          (Arbitrary.Config.name_to_string name)
+          n rate;
+        Printf.sprintf "{\"config\":\"%s\",\"n\":%d,\"ops\":%d,\"ops_s\":%.1f}"
+          (Arbitrary.Config.name_to_string name)
+          n ops rate)
+      [
+        Arbitrary.Config.Unmodified; Arbitrary.Config.Mostly_read;
+        Arbitrary.Config.Mostly_write; Arbitrary.Config.Arbitrary;
+      ]
+  in
+  Printf.sprintf "[%s]" (String.concat "," cases)
+
+(* Chaos campaign wall-clock at 1 vs N domains, plus the determinism
+   claim the driver makes: rendered output must be byte-identical. *)
+let campaign_hotpath () =
+  let campaign domains =
+    wall (fun () ->
+        Eval.Chaos.run ~n:15 ~clients:2 ~ops:8 ~horizon:800.0
+          ~schedules:[ Eval.Chaos.crashes_schedule; Eval.Chaos.loss_schedule ]
+          ~domains ())
+  in
+  let c1, w1 = campaign 1 in
+  let nd = max 2 (Eval.Parallel.default_domains ()) in
+  let cn, wn = campaign nd in
+  let identical =
+    Eval.Chaos.table c1 = Eval.Chaos.table cn
+    && Eval.Chaos.parity_table c1 = Eval.Chaos.parity_table cn
+  in
+  let cells = List.length c1.Eval.Chaos.cells in
+  Printf.printf
+    "  campaign (%d cells): %.2fs at 1 domain, %.2fs at %d domains (%.2fx), output %s\n"
+    cells w1 wn nd
+    (if wn <= 0.0 then 0.0 else w1 /. wn)
+    (if identical then "byte-identical" else "DIVERGED");
+  ( Printf.sprintf
+      "{\"cells\":%d,\"wall_s_1_domain\":%.4f,\"domains\":%d,\"wall_s_n_domains\":%.4f,\"speedup\":%.3f,\"identical\":%b}"
+      cells w1 nd wn
+      (if wn <= 0.0 then 0.0 else w1 /. wn)
+      identical,
+    identical )
+
+let hotpath_json_valid json =
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  String.length json > 2
+  && String.sub json 0 1 = "{"
+  && json.[String.length json - 1] = '}'
+  && contains "\"schema\":\"bench-hotpath/1\""
+  && contains "\"quorum\""
+  && contains "\"e2e\""
+  && contains "\"campaign\""
+
+let hotpath_section () =
+  hr "B1 | Hot paths: plan cache, simulator throughput, multicore campaign";
+  let quorum_json, cache_floor_ok = quorum_hotpath () in
+  let e2e_json = e2e_hotpath () in
+  let campaign_json, identical = campaign_hotpath () in
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"bench-hotpath/1\",\"cores\":%d,\"quorum\":%s,\"e2e\":%s,\"campaign\":%s}"
+      (Domain.recommended_domain_count ())
+      quorum_json e2e_json campaign_json
+  in
+  let oc = open_out hotpath_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  let valid = hotpath_json_valid json in
+  Printf.printf "wrote %s (%d bytes, structural check %s)\n" hotpath_path
+    (String.length json + 1)
+    (if valid then "OK" else "FAILED");
+  (* Gates limited to claims that hold on any machine: the cached path
+     must not be slower than the reference it replaced, parallel output
+     must match sequential output, and the payload must be well-formed.
+     Wall-clock speedup is recorded but not gated — it depends on the
+     core count of the box running the benchmark. *)
+  if not (valid && cache_floor_ok && identical) then begin
+    print_endline "HOTPATH GATE FAILED";
+    exit 1
+  end
+
 (* --- bechamel micro-benchmarks ------------------------------------------ *)
 
 let bench_tests () =
@@ -279,7 +466,9 @@ let run_benchmarks () =
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let hotpath_only = Array.exists (( = ) "--hotpath") Sys.argv in
   if smoke then baseline_section ()
+  else if hotpath_only then hotpath_section ()
   else begin
     analytic_sections ();
     planner_section ();
@@ -288,6 +477,7 @@ let () =
     placement_section ();
     generalized_section ();
     baseline_section ();
+    hotpath_section ();
     run_benchmarks ();
     print_newline ()
   end

@@ -1,0 +1,115 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+type policy = Uniform | First_alive
+
+type t = {
+  tree : Tree.t;
+  n : int;
+  replicas : int array array;  (* per physical level, ascending level order *)
+  write_masks : Bitset.t array;  (* full level as a bitset, same order *)
+  full : Bitset.t;  (* the whole universe *)
+  scratch : int array;  (* candidate buffer, max level size *)
+  level_scratch : int array;  (* fully-alive level indexes, |K_phy| *)
+}
+
+let create tree =
+  let levels = Array.of_list (Tree.physical_levels tree) in
+  let replicas = Array.map (Tree.replicas_at tree) levels in
+  let n = Tree.n tree in
+  let write_masks =
+    Array.map
+      (fun reps ->
+        let m = Bitset.create n in
+        Array.iter (Bitset.add m) reps;
+        m)
+      replicas
+  in
+  let full = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.add full i
+  done;
+  let widest = Array.fold_left (fun acc r -> max acc (Array.length r)) 1 replicas in
+  {
+    tree;
+    n;
+    replicas;
+    write_masks;
+    full;
+    scratch = Array.make widest 0;
+    level_scratch = Array.make (max 1 (Array.length replicas)) 0;
+  }
+
+let tree t = t.tree
+let fork t = create t.tree
+
+(* Both selectors draw exactly like the reference implementation: the
+   reference runs [Rng.pick rng candidates], a single bounded [Rng.int]
+   with bound = |candidates|, and skips the draw entirely for levels after
+   the first empty one (reads) or when no level is fully alive (writes). *)
+
+let read_quorum ?(policy = Uniform) t ~alive ~rng =
+  let q = Bitset.create t.n in
+  let fast = Bitset.equal alive t.full in
+  let n_levels = Array.length t.replicas in
+  let rec go i =
+    if i = n_levels then Some q
+    else begin
+      let reps = t.replicas.(i) in
+      let site =
+        if fast then begin
+          match policy with
+          | First_alive -> reps.(0)
+          | Uniform -> reps.(Rng.int rng (Array.length reps))
+        end
+        else begin
+          let c = ref 0 in
+          for j = 0 to Array.length reps - 1 do
+            let s = Array.unsafe_get reps j in
+            if Bitset.mem alive s then begin
+              Array.unsafe_set t.scratch !c s;
+              incr c
+            end
+          done;
+          if !c = 0 then -1
+          else
+            match policy with
+            | First_alive -> t.scratch.(0)
+            | Uniform -> t.scratch.(Rng.int rng !c)
+        end
+      in
+      if site < 0 then None
+      else begin
+        Bitset.add q site;
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let write_quorum ?(policy = Uniform) t ~alive ~rng =
+  let n_levels = Array.length t.replicas in
+  if Bitset.equal alive t.full then begin
+    let i =
+      match policy with First_alive -> 0 | Uniform -> Rng.int rng n_levels
+    in
+    Some (Bitset.copy t.write_masks.(i))
+  end
+  else begin
+    let c = ref 0 in
+    for i = 0 to n_levels - 1 do
+      if Bitset.subset t.write_masks.(i) alive then begin
+        t.level_scratch.(!c) <- i;
+        incr c
+      end
+    done;
+    if !c = 0 then None
+    else begin
+      let i =
+        match policy with
+        | First_alive -> t.level_scratch.(0)
+        | Uniform -> t.level_scratch.(Rng.int rng !c)
+      in
+      Some (Bitset.copy t.write_masks.(i))
+    end
+  end

@@ -1,0 +1,65 @@
+(** Precomputed quorum plans for the arbitrary protocol (hot path).
+
+    The per-operation quorum shapes of §3.2 are structural properties of the
+    tree: the candidate replicas of every physical level and the write
+    quorum of every level never change between operations.  The reference
+    implementation in {!Quorums} nevertheless rebuilds them on every call
+    (array → list → filter → array round trips); this module computes them
+    once at tree-build time and assembles quorums against the cached plan.
+
+    {b RNG compatibility.}  Quorum selection consumes the random stream in
+    exactly the same way as the reference implementation: one bounded
+    [Rng.int] draw per physical level for reads (bound = number of alive
+    candidates) and one draw for writes (bound = number of fully-alive
+    levels), with the same early-exit order.  A seeded run therefore
+    produces {e byte-identical} simulation results whether quorums come
+    from the cache or from {!Quorums.read_quorum} — property-tested in
+    [test/test_plan_cache.ml] over random trees and alive masks.
+
+    {b Fast path.}  When the alive view equals the full universe (the
+    failure-free common case), candidate filtering is skipped entirely and
+    selection indexes the precomputed per-level replica arrays.  When sites
+    are down, candidates are gathered into reusable scratch buffers — no
+    list or array allocation either way; only the returned quorum bitset
+    is fresh.
+
+    {b Invalidation.}  A plan is immutable and tied to the tree it was
+    built from.  Reconfiguration installs a new protocol value (see
+    {!Quorums.protocol} / [Reconfig.migrate]), which carries a freshly
+    built plan — there is no in-place mutation to invalidate.
+
+    {b Concurrency.}  The scratch buffers make a plan unsafe to share
+    across domains; use {!fork} to obtain a private instance (cheap: the
+    plan is rebuilt from the tree). *)
+
+type t
+
+type policy = Uniform | First_alive
+(** Mirrors {!Quorums.policy} (defined here to avoid a dependency cycle;
+    [Quorums.policy] is a re-export). *)
+
+val create : Tree.t -> t
+(** Precomputes per-level replica arrays, per-level write-quorum bitsets
+    and the full-universe alive view.  O(n) time and space. *)
+
+val tree : t -> Tree.t
+
+val fork : t -> t
+(** A fresh plan over the same tree with private scratch buffers, safe to
+    use from another domain. *)
+
+val read_quorum :
+  ?policy:policy ->
+  t ->
+  alive:Dsutil.Bitset.t ->
+  rng:Dsutil.Rng.t ->
+  Dsutil.Bitset.t option
+(** Same contract (and same RNG draws) as {!Quorums.read_quorum}. *)
+
+val write_quorum :
+  ?policy:policy ->
+  t ->
+  alive:Dsutil.Bitset.t ->
+  rng:Dsutil.Rng.t ->
+  Dsutil.Bitset.t option
+(** Same contract (and same RNG draws) as {!Quorums.write_quorum}. *)

@@ -1,7 +1,7 @@
 module Bitset = Dsutil.Bitset
 module Rng = Dsutil.Rng
 
-type policy = Uniform | First_alive
+type policy = Plan_cache.policy = Uniform | First_alive
 
 let alive_at_level tree ~alive k =
   Array.to_list (Tree.replicas_at tree k)
@@ -69,7 +69,27 @@ let enumerate_write_quorums tree =
   List.to_seq (Tree.physical_levels tree)
   |> Seq.map (fun k -> write_quorum_of_level tree ~level:k)
 
+(* The packaged protocol routes through the precomputed quorum plan; the
+   functions above remain the executable reference (same results, same RNG
+   draws — see test/test_plan_cache.ml). *)
 let protocol tree =
+  Quorum.Protocol.pack
+    (module struct
+      type t = Plan_cache.t
+
+      let name p = Printf.sprintf "Arbitrary(%s)" (Tree.to_spec (Plan_cache.tree p))
+      let universe_size p = Tree.n (Plan_cache.tree p)
+      let read_quorum p ~alive ~rng = Plan_cache.read_quorum p ~alive ~rng
+      let write_quorum p ~alive ~rng = Plan_cache.write_quorum p ~alive ~rng
+      let enumerate_read_quorums p = enumerate_read_quorums (Plan_cache.tree p)
+      let enumerate_write_quorums p = enumerate_write_quorums (Plan_cache.tree p)
+      let fork = Plan_cache.fork
+    end)
+    (Plan_cache.create tree)
+
+(* The uncached per-operation assembly, packaged for ablation benchmarks
+   (bench/main.exe --hotpath measures the cached path against this). *)
+let reference_protocol tree =
   Quorum.Protocol.pack
     (module struct
       type t = Tree.t
@@ -80,5 +100,6 @@ let protocol tree =
       let write_quorum t ~alive ~rng = write_quorum t ~alive ~rng
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     tree

@@ -6,7 +6,7 @@
     The pair forms a bicoterie (proved by induction in §3.2.3 and verified
     by property tests here). *)
 
-type policy =
+type policy = Plan_cache.policy =
   | Uniform  (** the paper's strategy: quorums drawn uniformly *)
   | First_alive
       (** deterministic: lowest-numbered alive replica per level / shallowest
@@ -41,4 +41,12 @@ val enumerate_write_quorums : Tree.t -> Dsutil.Bitset.t Seq.t
 (** The m(W) = |K_phy| write quorums. *)
 
 val protocol : Tree.t -> Quorum.Protocol.t
-(** Packages a tree as a generic protocol instance (uniform policy). *)
+(** Packages a tree as a generic protocol instance (uniform policy).
+    Quorum assembly goes through a precomputed {!Plan_cache} — same quorums
+    and same RNG draw sequence as the reference functions above, without
+    the per-operation list round trips.  Reconfiguration swaps in a new
+    protocol value, which carries a freshly built plan. *)
+
+val reference_protocol : Tree.t -> Quorum.Protocol.t
+(** The uncached reference assembly ({!read_quorum}/{!write_quorum} as-is),
+    packaged for equivalence tests and the hot-path ablation benchmark. *)

@@ -121,8 +121,11 @@ let measure ?(seed = default_seed) ?(n = default_n) name ~reads ~writes =
   }
 
 let measure_all ?(seed = default_seed) ?(n = default_n)
-    ?(cases = default_cases) () =
-  List.map
+    ?(cases = default_cases) ?domains () =
+  (* Each case builds its own protocol, engine and observability handle,
+     so the four §4 configurations can run on separate domains; results
+     come back in case order regardless of scheduling. *)
+  Parallel.map ?domains
     (fun (name, reads, writes) -> measure ~seed ~n name ~reads ~writes)
     cases
 

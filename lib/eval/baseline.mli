@@ -43,7 +43,16 @@ val default_cases : (Arbitrary.Config.name * int * int) list
 val measure :
   ?seed:int -> ?n:int -> Arbitrary.Config.name -> reads:int -> writes:int -> row
 
-val measure_all : ?seed:int -> ?n:int -> ?cases:(Arbitrary.Config.name * int * int) list -> unit -> row list
+val measure_all :
+  ?seed:int ->
+  ?n:int ->
+  ?cases:(Arbitrary.Config.name * int * int) list ->
+  ?domains:int ->
+  unit ->
+  row list
+(** Measures every case, fanning cases across [domains] cores
+    ({!Parallel}); rows come back in case order, so the report is
+    byte-identical for any domain count. *)
 
 val load_error : side -> float
 (** Relative deviation |measured − analytic| / analytic. *)

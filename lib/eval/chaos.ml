@@ -116,61 +116,65 @@ let rate ok failed =
 
 let run ?(n = 45) ?(clients = 3) ?(ops = 25) ?(seed = 42) ?(horizon = 3000.0)
     ?(configs = default_configs) ?(schedules = default_schedules)
-    ?(detectors = [ Oracle; Heartbeat ]) () =
-  let cells = ref [] in
-  List.iteri
-    (fun ci name ->
-      let n = Config_metrics.feasible_n name n in
-      let proto = Config_metrics.protocol_of name ~n in
-      List.iteri
-        (fun si sched ->
-          (* One failure trace and one workload seed per (config,
-             schedule): detector modes face identical adversity. *)
-          let cell_seed = seed + (1000 * ci) + (100 * si) in
-          let entries =
-            sched.entries ~rng:(Rng.create cell_seed) ~n ~horizon
-          in
-          List.iter
-            (fun detector ->
-              let s = Harness.default_scenario ~proto in
-              let scenario =
-                {
-                  s with
-                  Harness.n_clients = clients;
-                  ops_per_client = ops;
-                  read_fraction = 0.5;
-                  key_space = 8;
-                  think_time = 3.0;
-                  loss_rate = sched.loss_rate;
-                  failures = entries;
-                  seed = cell_seed;
-                  coordinator = chaos_coordinator;
-                  detector =
-                    (match detector with
-                    | Oracle -> Harness.Oracle
-                    | Heartbeat -> Harness.Heartbeat chaos_heartbeat);
-                  horizon;
-                  warmup = 1.0;
-                }
-              in
-              let report = Harness.run scenario in
-              cells :=
-                {
-                  config = name;
-                  schedule = sched.label;
-                  detector;
-                  n;
-                  report;
-                  read_rate =
-                    rate report.Harness.reads_ok report.Harness.reads_failed;
-                  write_rate =
-                    rate report.Harness.writes_ok report.Harness.writes_failed;
-                }
-                :: !cells)
-            detectors)
-        schedules)
-    configs;
-  let cells = List.rev !cells in
+    ?(detectors = [ Oracle; Heartbeat ]) ?domains () =
+  (* Flatten the config × schedule × detector sweep into self-contained
+     cell specs so the domain pool can fan them out; submission order is
+     the sequential iteration order, so [Parallel.map] returns cells in
+     exactly the order the old nested loops produced them. *)
+  let specs =
+    List.concat
+      (List.mapi
+         (fun ci name ->
+           List.concat
+             (List.mapi
+                (fun si sched ->
+                  List.map (fun detector -> (ci, name, si, sched, detector)) detectors)
+                schedules))
+         configs)
+  in
+  let run_cell (ci, name, si, sched, detector) =
+    let n = Config_metrics.feasible_n name n in
+    (* Per-cell protocol instance: cells may run on different domains. *)
+    let proto = Config_metrics.protocol_of name ~n in
+    (* One failure trace and one workload seed per (config, schedule):
+       detector modes face identical adversity.  [entries] is a pure
+       function of the seeded rng, so recomputing it per detector cell
+       yields the same trace the shared computation used to. *)
+    let cell_seed = seed + (1000 * ci) + (100 * si) in
+    let entries = sched.entries ~rng:(Rng.create cell_seed) ~n ~horizon in
+    let s = Harness.default_scenario ~proto in
+    let scenario =
+      {
+        s with
+        Harness.n_clients = clients;
+        ops_per_client = ops;
+        read_fraction = 0.5;
+        key_space = 8;
+        think_time = 3.0;
+        loss_rate = sched.loss_rate;
+        failures = entries;
+        seed = cell_seed;
+        coordinator = chaos_coordinator;
+        detector =
+          (match detector with
+          | Oracle -> Harness.Oracle
+          | Heartbeat -> Harness.Heartbeat chaos_heartbeat);
+        horizon;
+        warmup = 1.0;
+      }
+    in
+    let report = Harness.run scenario in
+    {
+      config = name;
+      schedule = sched.label;
+      detector;
+      n;
+      report;
+      read_rate = rate report.Harness.reads_ok report.Harness.reads_failed;
+      write_rate = rate report.Harness.writes_ok report.Harness.writes_failed;
+    }
+  in
+  let cells = Parallel.map ?domains run_cell specs in
   {
     cells;
     safety_violations =

@@ -66,13 +66,16 @@ val run :
   ?configs:Arbitrary.Config.name list ->
   ?schedules:schedule list ->
   ?detectors:detector list ->
+  ?domains:int ->
   unit ->
   campaign
 (** Defaults: n = 45 (snapped per configuration), 3 clients × 25 ops,
     seed 42, horizon 3000, the four paper tree configurations
     (MOSTLY-READ, MOSTLY-WRITE, ARBITRARY, UNMODIFIED), all four
     schedules, both detectors — 32 cells.  Deterministic for a fixed
-    argument set. *)
+    argument set.  Cells are independent seeded simulations and fan out
+    across [domains] cores ({!Parallel}); the campaign (cell order
+    included) is byte-identical for any domain count. *)
 
 val table : campaign -> string
 (** One row per cell: success rates, p99 latencies, retries, messages,

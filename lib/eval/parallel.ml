@@ -1,0 +1,43 @@
+let default_domains () =
+  match Sys.getenv_opt "REPRO_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | _ -> invalid_arg "Parallel: REPRO_DOMAINS must be a positive integer")
+  | None -> min 4 (Domain.recommended_domain_count ())
+
+(* Work-stealing-free pool: a shared atomic cursor hands out task indexes;
+   every result lands in its submission slot, so assembly order (and hence
+   campaign output) is independent of scheduling. *)
+let map_array ?domains f tasks =
+  let m = Array.length tasks in
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let domains = min domains m in
+  if domains <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make m None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < m && Atomic.get failure = None then begin
+          (match f tasks.(i) with
+          | r -> results.(i) <- Some r
+          | exception e ->
+            (* First failure wins; siblings drain quickly via the flag. *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))

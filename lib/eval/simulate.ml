@@ -149,24 +149,56 @@ let latency_table ?(n = 65) ?(ops = 300) ?(seed = 42) () =
        ~rows)
 
 let availability_table ?(n = 65) ?(p = Figures.default_p) ?(trials = 4000)
-    ?(seed = 42) () =
-  let rng = Rng.create seed in
+    ?(seed = 42) ?domains () =
+  if trials <= 0 then invalid_arg "Simulate.availability_table: trials";
+  (* Trials split into a fixed number of independently seeded chunks —
+     one task per (config, direction, chunk) — so the estimate is the
+     same for any domain count; hit counts (integers) sum exactly. *)
+  let chunks = min 16 trials in
+  let chunk_trials c =
+    (trials / chunks) + if c < trials mod chunks then 1 else 0
+  in
+  let configs = List.mapi (fun ki name -> (ki, name)) Config.all_names in
+  let tasks =
+    List.concat_map
+      (fun (ki, name) ->
+        List.concat_map
+          (fun dir -> List.init chunks (fun c -> (ki, name, dir, c)))
+          [ `Read; `Write ])
+      configs
+  in
+  let run_chunk (ki, name, dir, c) =
+    (* Per-task protocol instance: tasks share nothing. *)
+    let proto = Config_metrics.protocol_of name ~n in
+    let dir_tag = match dir with `Read -> 0 | `Write -> 1 in
+    let rng = Rng.create (seed + (10_000 * ki) + (1_000 * dir_tag) + c) in
+    let trials = chunk_trials c in
+    let hits =
+      match dir with
+      | `Read -> Availability.read_availability_hits ~trials ~rng ~p proto
+      | `Write -> Availability.write_availability_hits ~trials ~rng ~p proto
+    in
+    (ki, dir_tag, hits)
+  in
+  let totals = Array.make_matrix (List.length configs) 2 0 in
+  List.iter
+    (fun (ki, d, h) -> totals.(ki).(d) <- totals.(ki).(d) + h)
+    (Parallel.map ?domains run_chunk tasks);
+  let mc ki d = float_of_int totals.(ki).(d) /. float_of_int trials in
   let rows =
     List.map
-      (fun name ->
+      (fun (ki, name) ->
         let metrics = Config_metrics.compute name ~n ~p in
         let proto = Config_metrics.protocol_of name ~n in
-        let rd_mc = Availability.read_availability_mc ~trials ~rng ~p proto in
-        let wr_mc = Availability.write_availability_mc ~trials ~rng ~p proto in
         [
           Config.name_to_string name;
           string_of_int (Protocol.universe_size proto);
           Tablefmt.f4 metrics.Config_metrics.rd_avail;
-          Tablefmt.f4 rd_mc;
+          Tablefmt.f4 (mc ki 0);
           Tablefmt.f4 metrics.Config_metrics.wr_avail;
-          Tablefmt.f4 wr_mc;
+          Tablefmt.f4 (mc ki 1);
         ])
-      Config.all_names
+      configs
   in
   Printf.sprintf
     "== Availability: closed form vs Monte-Carlo quorum assembly (n=%d, p=%.2f, %d trials) ==\n%s\n"
@@ -200,7 +232,24 @@ let failure_injection_run name ~n ~p ~ops ~seed =
     }
 
 let failure_availability_table ?(n = 33) ?(p = Figures.default_p)
-    ?(patterns = 60) ?(seed = 42) () =
+    ?(patterns = 60) ?(seed = 42) ?domains () =
+  (* Every crash pattern is a self-contained seeded simulation; fan them
+     all out at once and fold counters back per configuration in task
+     order, so the table is identical for any domain count. *)
+  let tasks =
+    List.concat_map
+      (fun name -> List.init patterns (fun i -> (name, i)))
+      Config.all_names
+  in
+  let run_pattern (name, i) =
+    let r = failure_injection_run name ~n ~p ~ops:10 ~seed:(seed + i) in
+    ( name,
+      r.Harness.reads_ok,
+      r.Harness.reads_ok + r.Harness.reads_failed,
+      r.Harness.writes_ok,
+      r.Harness.writes_ok + r.Harness.writes_failed )
+  in
+  let results = Parallel.map ?domains run_pattern tasks in
   let rows =
     List.map
       (fun name ->
@@ -220,13 +269,15 @@ let failure_availability_table ?(n = 33) ?(p = Figures.default_p)
         in
         let reads_ok = ref 0 and reads_all = ref 0 in
         let writes_ok = ref 0 and writes_all = ref 0 in
-        for i = 0 to patterns - 1 do
-          let r = failure_injection_run name ~n ~p ~ops:10 ~seed:(seed + i) in
-          reads_ok := !reads_ok + r.Harness.reads_ok;
-          reads_all := !reads_all + r.Harness.reads_ok + r.Harness.reads_failed;
-          writes_ok := !writes_ok + r.Harness.writes_ok;
-          writes_all := !writes_all + r.Harness.writes_ok + r.Harness.writes_failed
-        done;
+        List.iter
+          (fun (name', rok, rall, wok, wall) ->
+            if name' = name then begin
+              reads_ok := !reads_ok + rok;
+              reads_all := !reads_all + rall;
+              writes_ok := !writes_ok + wok;
+              writes_all := !writes_all + wall
+            end)
+          results;
         let rate ok all = if all = 0 then 0.0 else float_of_int ok /. float_of_int all in
         [
           Config.name_to_string name;

@@ -39,8 +39,11 @@ val latency_table : ?n:int -> ?ops:int -> ?seed:int -> unit -> string
     of sequential phases, not just the contact count. *)
 
 val availability_table :
-  ?n:int -> ?p:float -> ?trials:int -> ?seed:int -> unit -> string
-(** Closed-form availability vs Monte-Carlo assembly success rate. *)
+  ?n:int -> ?p:float -> ?trials:int -> ?seed:int -> ?domains:int -> unit -> string
+(** Closed-form availability vs Monte-Carlo assembly success rate.
+    Trials are split into independently seeded chunks fanned across
+    [domains] cores ({!Parallel}); hit counts are summed as integers, so
+    the table is byte-identical for any domain count. *)
 
 val failure_injection_run :
   Arbitrary.Config.name ->
@@ -54,6 +57,8 @@ val failure_injection_run :
     success rate estimates operation availability end-to-end. *)
 
 val failure_availability_table :
-  ?n:int -> ?p:float -> ?patterns:int -> ?seed:int -> unit -> string
+  ?n:int -> ?p:float -> ?patterns:int -> ?seed:int -> ?domains:int -> unit -> string
 (** End-to-end availability from [failure_injection_run] repeated over
-    many random crash patterns. *)
+    many random crash patterns.  Patterns are per-seed independent and
+    fan across [domains] cores; output is byte-identical for any domain
+    count. *)

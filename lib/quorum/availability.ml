@@ -32,13 +32,17 @@ let exact_hetero ~n ~p pred =
   done;
   !total
 
-let monte_carlo ~trials ~rng ~n ~p pred =
-  if trials <= 0 then invalid_arg "Availability.monte_carlo: trials";
+let monte_carlo_hits ~trials ~rng ~n ~p pred =
+  if trials <= 0 then invalid_arg "Availability.monte_carlo_hits: trials";
   let hits = ref 0 in
   for _ = 1 to trials do
     if pred ~alive:(random_alive rng ~n ~p) then incr hits
   done;
-  float_of_int !hits /. float_of_int trials
+  !hits
+
+let monte_carlo ~trials ~rng ~n ~p pred =
+  float_of_int (monte_carlo_hits ~trials ~rng ~n ~p pred)
+  /. float_of_int trials
 
 let exact ~n ~p pred =
   if n > 22 then invalid_arg "Availability.exact: n too large";
@@ -65,4 +69,14 @@ let read_availability_mc ~trials ~rng ~p proto =
 let write_availability_mc ~trials ~rng ~p proto =
   let n = Protocol.universe_size proto in
   monte_carlo ~trials ~rng ~n ~p (fun ~alive ->
+      Protocol.write_quorum proto ~alive ~rng <> None)
+
+let read_availability_hits ~trials ~rng ~p proto =
+  let n = Protocol.universe_size proto in
+  monte_carlo_hits ~trials ~rng ~n ~p (fun ~alive ->
+      Protocol.read_quorum proto ~alive ~rng <> None)
+
+let write_availability_hits ~trials ~rng ~p proto =
+  let n = Protocol.universe_size proto in
+  monte_carlo_hits ~trials ~rng ~n ~p (fun ~alive ->
       Protocol.write_quorum proto ~alive ~rng <> None)

@@ -25,6 +25,18 @@ val monte_carlo :
   float
 (** Fraction of sampled alive patterns in which the predicate holds. *)
 
+val monte_carlo_hits :
+  trials:int ->
+  rng:Dsutil.Rng.t ->
+  n:int ->
+  p:float ->
+  (alive:Dsutil.Bitset.t -> bool) ->
+  int
+(** Number of sampled alive patterns in which the predicate holds —
+    the integer counterpart of {!monte_carlo}, so trial batches can be
+    split into independently seeded chunks and their hit counts summed
+    without floating-point accumulation order mattering. *)
+
 val exact :
   n:int -> p:float -> (alive:Dsutil.Bitset.t -> bool) -> float
 (** Sum of pattern probabilities over all 2^n patterns satisfying the
@@ -37,3 +49,11 @@ val read_availability_mc :
 
 val write_availability_mc :
   trials:int -> rng:Dsutil.Rng.t -> p:float -> Protocol.t -> float
+
+val read_availability_hits :
+  trials:int -> rng:Dsutil.Rng.t -> p:float -> Protocol.t -> int
+(** Hit-count variants of the two estimators above, for chunked
+    (possibly parallel) trial batches. *)
+
+val write_availability_hits :
+  trials:int -> rng:Dsutil.Rng.t -> p:float -> Protocol.t -> int

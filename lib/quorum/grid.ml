@@ -101,6 +101,8 @@ let write_load t =
   let c = float_of_int t.cols and r = float_of_int t.rows in
   (1.0 /. c) +. ((c -. 1.0) /. c /. r)
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -112,5 +114,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

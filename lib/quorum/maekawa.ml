@@ -47,6 +47,8 @@ let quorum_size t = (2 * t.k) - 1
 let load t =
   float_of_int (quorum_size t) /. float_of_int (universe_size t)
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -58,5 +60,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

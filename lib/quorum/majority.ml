@@ -81,6 +81,8 @@ let availability t ~p =
   done;
   !acc
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -92,5 +94,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

@@ -14,6 +14,8 @@ module type S = sig
 
   val enumerate_read_quorums : t -> Bitset.t Seq.t
   val enumerate_write_quorums : t -> Bitset.t Seq.t
+
+  val fork : t -> t
 end
 
 type t = Dyn : (module S with type t = 'a) * 'a -> t
@@ -24,6 +26,8 @@ let name (Dyn ((module P), p)) = P.name p
 let universe_size (Dyn ((module P), p)) = P.universe_size p
 let read_quorum (Dyn ((module P), p)) ~alive ~rng = P.read_quorum p ~alive ~rng
 let write_quorum (Dyn ((module P), p)) ~alive ~rng = P.write_quorum p ~alive ~rng
+
+let fork (Dyn ((module P), p)) = Dyn ((module P), P.fork p)
 
 let read_quorum_set (Dyn ((module P), p)) =
   Quorum_set.create ~universe:(P.universe_size p)

@@ -27,6 +27,15 @@ module type S = sig
       can be exponential. *)
 
   val enumerate_write_quorums : t -> Dsutil.Bitset.t Seq.t
+
+  val fork : t -> t
+  (** A functionally identical instance that shares no mutable state with
+      the original.  Protocol instances may carry internal caches and
+      scratch buffers for the quorum-assembly hot path (e.g. the arbitrary
+      protocol's precomputed quorum plans); those make an instance unsafe
+      to share across domains.  Stateless protocols return [t] itself.
+      [fork] must not consume randomness and must not change the quorum
+      distribution. *)
 end
 
 type t = Dyn : (module S with type t = 'a) * 'a -> t
@@ -43,6 +52,11 @@ val read_quorum :
 
 val write_quorum :
   t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+val fork : t -> t
+(** A private copy for use in another domain; see {!S.fork}.  The parallel
+    evaluation driver forks the protocol once per work item so concurrent
+    simulation cells never share quorum-plan scratch state. *)
 
 val read_quorum_set : t -> Quorum_set.t
 (** Materializes [enumerate_read_quorums] into an explicit system. *)

@@ -40,6 +40,8 @@ let write_load _ = 1.0
 let read_availability t ~p = 1.0 -. ((1.0 -. p) ** float_of_int t.n)
 let write_availability t ~p = p ** float_of_int t.n
 
+let fork t = t
+
 let protocol t = Protocol.Dyn ((module struct
   type nonrec t = t
 
@@ -49,4 +51,5 @@ let protocol t = Protocol.Dyn ((module struct
   let write_quorum = write_quorum
   let enumerate_read_quorums = enumerate_read_quorums
   let enumerate_write_quorums = enumerate_write_quorums
+  let fork t = t
 end), t)

@@ -143,6 +143,8 @@ let write_availability t ~p =
 
 let write_load _ = 1.0
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -154,5 +156,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

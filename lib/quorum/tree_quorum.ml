@@ -142,6 +142,8 @@ let quorum_count t =
   end in
   go t.height
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -153,5 +155,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

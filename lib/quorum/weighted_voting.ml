@@ -97,6 +97,8 @@ let min_quorum_size t threshold =
 let min_read_quorum_size t = min_quorum_size t t.r
 let min_write_quorum_size t = min_quorum_size t t.w
 
+let fork t = t
+
 let protocol t =
   Protocol.pack
     (module struct
@@ -108,5 +110,6 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let fork t = t
     end)
     t

@@ -72,7 +72,11 @@ type report = {
 type checker = { latest : (int, Timestamp.t) Hashtbl.t; mutable violations : int }
 
 let run ?obs scenario =
-  let n = Protocol.universe_size scenario.proto in
+  (* Private protocol instance: quorum plans carry scratch buffers, and the
+     parallel evaluation driver may run many harnesses over one scenario
+     template concurrently. *)
+  let proto = Protocol.fork scenario.proto in
+  let n = Protocol.universe_size proto in
   if scenario.n_clients < 1 then invalid_arg "Harness.run: need a client";
   let engine = Engine.create ~seed:scenario.seed () in
   let net =
@@ -116,7 +120,7 @@ let run ?obs scenario =
         Some (Detect.Heartbeat.view hb)
     in
     let coord =
-      Coordinator.create ~site ~net ~proto:scenario.proto ?locks ?view ?obs
+      Coordinator.create ~site ~net ~proto ?locks ?view ?obs
         ~config:scenario.coordinator ()
     in
     let gen =

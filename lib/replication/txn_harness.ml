@@ -69,7 +69,10 @@ let increment_txn mgr ~rng ~key_space ~count k =
 let run ?obs scenario =
   if scenario.keys_per_txn > scenario.key_space then
     invalid_arg "Txn_harness.run: keys_per_txn exceeds key_space";
-  let n = Protocol.universe_size scenario.proto in
+  (* Same reasoning as Harness.run: fork so concurrent runs over one
+     scenario template never share quorum-plan scratch state. *)
+  let proto = Protocol.fork scenario.proto in
+  let n = Protocol.universe_size proto in
   let engine = Engine.create ~seed:scenario.seed () in
   let net =
     Network.create ~engine ~n:(n + scenario.n_clients + 1)
@@ -86,7 +89,7 @@ let run ?obs scenario =
   let committed_increments = ref 0 and uncertain_increments = ref 0 in
   let run_client idx =
     let mgr =
-      Txn.create_manager ~site:(n + idx) ~net ~proto:scenario.proto ~locks ?obs
+      Txn.create_manager ~site:(n + idx) ~net ~proto ~locks ?obs
         ~config:scenario.config ()
     in
     let rng = Rng.split (Engine.rng engine) in
@@ -124,7 +127,7 @@ let run ?obs scenario =
   done;
   Network.heal net;
   let rpc =
-    Quorum_rpc.create ~site:(n + scenario.n_clients) ~net ~proto:scenario.proto ()
+    Quorum_rpc.create ~site:(n + scenario.n_clients) ~net ~proto ()
   in
   let observed = ref 0 in
   let pending = ref scenario.key_space in

@@ -33,6 +33,8 @@ type 'msg t = {
   rng : Rng.t;
   handlers : (src:int -> 'msg -> unit) option array;
   up : bool array;
+  alive : Bitset.t;  (* mirrors [up], maintained by crash/recover, so
+                        alive_view is a word blit, not an n-site loop *)
   group : int array;  (* partition group per site; all 0 when healed *)
   counters : counters;
   delivered_to : int array;
@@ -56,6 +58,12 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
     rng = Rng.split (Engine.rng engine);
     handlers = Array.make n None;
     up = Array.make n true;
+    alive =
+      (let s = Bitset.create n in
+       for i = 0 to n - 1 do
+         Bitset.add s i
+       done;
+       s);
     group = Array.make n 0;
     counters =
       {
@@ -194,23 +202,22 @@ let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
 let crash t i =
   check_site t i;
   if t.up.(i) then emit t (Trace.Crash i);
-  t.up.(i) <- false
+  t.up.(i) <- false;
+  Bitset.remove t.alive i
 
 let recover t i =
   check_site t i;
   if not t.up.(i) then emit t (Trace.Recover i);
-  t.up.(i) <- true
+  t.up.(i) <- true;
+  Bitset.add t.alive i
 
 let is_up t i =
   check_site t i;
   t.up.(i)
 
-let alive_view t =
-  let s = Bitset.create t.n in
-  for i = 0 to t.n - 1 do
-    if t.up.(i) then Bitset.add s i
-  done;
-  s
+(* Copy rather than expose [t.alive]: callers (oracle detectors) may hold
+   the snapshot across failure events or mutate it while planning. *)
+let alive_view t = Bitset.copy t.alive
 
 let partition t groups =
   emit t

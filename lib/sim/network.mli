@@ -56,7 +56,9 @@ val recover : 'msg t -> int -> unit
 val is_up : 'msg t -> int -> bool
 val alive_view : 'msg t -> Dsutil.Bitset.t
 (** Ground-truth up/down snapshot (the oracle view used to seed failure
-    detectors). *)
+    detectors).  The set is maintained incrementally by {!crash} /
+    {!recover}; each call returns a fresh copy the caller may keep or
+    mutate freely. *)
 
 val partition : 'msg t -> int list list -> unit
 (** Splits the sites into the given groups; unlisted sites form one extra

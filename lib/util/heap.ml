@@ -16,12 +16,21 @@ let entry_lt t a b =
   let c = t.compare a.key b.key in
   c < 0 || (c = 0 && a.seq < b.seq)
 
+(* Slots at or beyond [size] are semantically empty, but a stale pointer
+   left there keeps the popped entry — key, value, any closure the value
+   captures — reachable until the slot happens to be overwritten, which
+   for a queue that has drained may be never.  Released and spare slots
+   therefore hold an immediate-int sentinel instead of a live entry.
+   Every read is guarded by [size], so the sentinel is never
+   dereferenced; being an immediate it is also invisible to the GC.
+   Entries are boxed records, so the array is never a flat float array
+   and the mixed immediate/pointer contents are representable. *)
+let sentinel : unit -> ('k, 'v) entry = fun () -> Obj.magic 0
+
 let grow t =
   let cap = Array.length t.data in
   let ncap = if cap = 0 then 16 else cap * 2 in
-  (* Dummy slot reuse: every live slot will be overwritten before read. *)
-  let dummy = t.data.(0) in
-  let ndata = Array.make ncap dummy in
+  let ndata = Array.make ncap (sentinel ()) in
   Array.blit t.data 0 ndata 0 t.size;
   t.data <- ndata
 
@@ -52,8 +61,7 @@ let rec sift_down t i =
 let push t key value =
   let e = { key; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.data = 0 then t.data <- Array.make 16 e
-  else if t.size = Array.length t.data then grow t;
+  if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- e;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -63,16 +71,21 @@ let pop t =
   else begin
     let e = t.data.(0) in
     t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
+    if t.size > 0 then t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- sentinel ();
+    if t.size > 0 then sift_down t 0;
     Some (e.key, e.value)
   end
 
 let peek t = if t.size = 0 then None else Some (t.data.(0).key, t.data.(0).value)
 
-let clear t = t.size <- 0
+let min_key t =
+  if t.size = 0 then invalid_arg "Heap.min_key: empty heap"
+  else t.data.(0).key
+
+let clear t =
+  Array.fill t.data 0 t.size (sentinel ());
+  t.size <- 0
 
 let to_sorted_list t =
   if t.size = 0 then []

@@ -18,7 +18,15 @@ val pop : ('k, 'v) t -> ('k * 'v) option
 
 val peek : ('k, 'v) t -> ('k * 'v) option
 
+val min_key : ('k, 'v) t -> 'k
+(** Key of the minimum entry, without allocating an option or a pair —
+    meant for hot loops that only need to compare the head key (the
+    simulator's bounded run loop).  @raise Invalid_argument on an empty
+    heap. *)
+
 val clear : ('k, 'v) t -> unit
+(** Empties the heap.  Released slots are cleared, so popped or cleared
+    entries are not retained by the backing array ({!pop} likewise). *)
 
 val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
 (** Non-destructive: returns all entries in pop order. *)

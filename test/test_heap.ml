@@ -56,6 +56,79 @@ let test_clear () =
   Heap.clear h;
   Alcotest.(check bool) "cleared" true (Heap.is_empty h)
 
+let test_min_key () =
+  let h = Heap.create ~compare:Int.compare in
+  Alcotest.check_raises "empty heap"
+    (Invalid_argument "Heap.min_key: empty heap") (fun () ->
+      ignore (Heap.min_key h));
+  Heap.push h 7 "g";
+  Heap.push h 2 "b";
+  Heap.push h 5 "e";
+  Alcotest.(check int) "min without pop" 2 (Heap.min_key h);
+  Alcotest.(check int) "length untouched" 3 (Heap.length h)
+
+(* --- space-leak regressions: released slots must not pin entries ---
+
+   The helpers are [@inline never] so the tested values live only in
+   their (discarded) stack frames, not the caller's, by the time the
+   caller forces a major collection. *)
+
+let[@inline never] push_and_pop_tracked h =
+  let v = ref 42 in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some v);
+  Heap.push h 0 v;
+  (* Key 0 is the minimum: this pop removes exactly [v]. *)
+  ignore (Heap.pop h);
+  w
+
+let test_pop_releases_value () =
+  let h = Heap.create ~compare:Int.compare in
+  (* Keep the heap non-empty so the backing array itself stays live; the
+     leak under test is a stale pointer in a released slot. *)
+  Heap.push h 5 (ref 0);
+  let w = push_and_pop_tracked h in
+  Gc.full_major ();
+  Alcotest.(check bool) "popped value collected" false (Weak.check w 0);
+  Alcotest.(check int) "heap intact" 1 (Heap.length h)
+
+let[@inline never] fill_tracked h count =
+  let w = Weak.create count in
+  for i = 0 to count - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Heap.push h i v
+  done;
+  w
+
+let test_drain_releases_everything () =
+  let h = Heap.create ~compare:Int.compare in
+  (* 40 entries cross the 16 → 32 → 64 growth path: spare slots created
+     by [grow] must not retain entries either. *)
+  let w = fill_tracked h 40 in
+  for _ = 1 to 40 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to 39 do
+    Alcotest.(check bool)
+      (Printf.sprintf "entry %d collected" i)
+      false (Weak.check w i)
+  done;
+  Heap.push h 1 (ref 1);
+  Alcotest.(check bool) "heap reusable" true (Heap.pop h <> None)
+
+let test_clear_releases_everything () =
+  let h = Heap.create ~compare:Int.compare in
+  let w = fill_tracked h 10 in
+  Heap.clear h;
+  Gc.full_major ();
+  for i = 0 to 9 do
+    Alcotest.(check bool)
+      (Printf.sprintf "entry %d collected" i)
+      false (Weak.check w i)
+  done
+
 let test_large_random () =
   let rng = Dsutil.Rng.create 31 in
   let h = Heap.create ~compare:Int.compare in
@@ -78,5 +151,12 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "min_key" `Quick test_min_key;
+    Alcotest.test_case "pop releases value (no leak)" `Quick
+      test_pop_releases_value;
+    Alcotest.test_case "drain releases everything (grow path)" `Quick
+      test_drain_releases_everything;
+    Alcotest.test_case "clear releases everything" `Quick
+      test_clear_releases_everything;
     Alcotest.test_case "large random drain" `Quick test_large_random;
   ]

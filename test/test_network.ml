@@ -99,6 +99,32 @@ let test_alive_view () =
   Alcotest.(check (list int)) "view" [ 0; 2 ]
     (Dsutil.Bitset.elements (Network.alive_view net))
 
+(* The alive set is maintained incrementally by crash/recover; check it
+   against the ground-truth [is_up] after every mutation, including
+   redundant crashes/recoveries, and that returned views are snapshots. *)
+let test_alive_view_incremental () =
+  let n = 16 in
+  let _, net = make ~n () in
+  let rng = Dsutil.Rng.create 77 in
+  for _ = 1 to 500 do
+    let site = Dsutil.Rng.int rng n in
+    if Dsutil.Rng.bool rng then Network.crash net site
+    else Network.recover net site;
+    let expect =
+      List.filter (fun i -> Network.is_up net i) (List.init n Fun.id)
+    in
+    Alcotest.(check (list int))
+      "view matches is_up" expect
+      (Dsutil.Bitset.elements (Network.alive_view net))
+  done;
+  let snap = Network.alive_view net in
+  let before = Dsutil.Bitset.elements snap in
+  Network.crash net 3;
+  Network.recover net 3;
+  Alcotest.(check (list int))
+    "held view is a snapshot" before
+    (Dsutil.Bitset.elements snap)
+
 let test_broadcast_and_per_site () =
   let engine, net = make ~n:4 () in
   for i = 0 to 3 do
@@ -201,6 +227,8 @@ let suite =
     Alcotest.test_case "partition" `Quick test_partition;
     Alcotest.test_case "loss rate" `Quick test_loss_rate;
     Alcotest.test_case "alive view" `Quick test_alive_view;
+    Alcotest.test_case "alive view incremental consistency" `Quick
+      test_alive_view_incremental;
     Alcotest.test_case "broadcast / per-site counts" `Quick
       test_broadcast_and_per_site;
     Alcotest.test_case "failure schedule" `Quick test_failure_schedule;
