@@ -1,13 +1,17 @@
 (* Chaos-campaign runner: crash/partition/loss schedules × the four paper
-   tree configurations × oracle vs heartbeat failure detection.
+   tree configurations × oracle vs heartbeat failure detection, plus the
+   amnesia crash-recovery campaign (WAL + rejoin catch-up) with its
+   negative control.
 
      dune exec bench/chaos.exe            # full campaign (32 cells)
      dune exec bench/chaos.exe -- --smoke # CI budget (8 cells, seeded)
 
-   Exit status is non-zero when any cell records a safety violation or
-   when the heartbeat detector's success rate falls more than 10 points
-   behind the oracle's on the crash-only schedule — the campaign is a
-   gate, not just a report. *)
+   Exit status is non-zero when any cell records a safety violation, when
+   the heartbeat detector's success rate falls more than 10 points behind
+   the oracle's on the crash-only schedule, when the amnesia campaign
+   (durable WAL + catch-up) shows any consistency violation, or when the
+   negative control (async WAL, no catch-up, total blackout) fails to
+   produce one — the campaign is a gate, not just a report. *)
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
@@ -29,6 +33,18 @@ let () =
     "\ntotal safety violations: %d\nmax crash-schedule success-rate gap \
      (oracle vs heartbeat): %.4f\n"
     campaign.Eval.Chaos.safety_violations gap;
+  Printf.printf "\n== Amnesia crash-recovery campaign ==\n\n";
+  let amnesia = Eval.Chaos.run_amnesia () in
+  print_string (Eval.Chaos.amnesia_table amnesia);
+  let amnesia_violations = Eval.Chaos.amnesia_violations amnesia in
+  Printf.printf "\namnesia (durable WAL + catch-up) violations: %d\n"
+    amnesia_violations;
+  Printf.printf "\n== Negative control (async WAL, no catch-up) ==\n\n";
+  let negative = Eval.Chaos.run_amnesia_negative () in
+  print_string (Eval.Chaos.amnesia_table negative);
+  let negative_violations = Eval.Chaos.amnesia_violations negative in
+  Printf.printf "\nnegative-control violations: %d (must be >= 1)\n"
+    negative_violations;
   if campaign.Eval.Chaos.safety_violations > 0 then begin
     prerr_endline "FAIL: safety violated under chaos";
     exit 1
@@ -37,6 +53,18 @@ let () =
     prerr_endline
       "FAIL: heartbeat detection degrades availability by more than 10 \
        points on crash-only schedules";
+    exit 1
+  end;
+  if amnesia_violations > 0 then begin
+    prerr_endline
+      "FAIL: consistency violated under amnesia crashes despite durable \
+       WAL and quorum catch-up";
+    exit 1
+  end;
+  if negative_violations = 0 then begin
+    prerr_endline
+      "FAIL: negative control detected no violations — the consistency \
+       checker is not catching lost writes";
     exit 1
   end;
   print_endline "chaos campaign OK"

@@ -7,6 +7,7 @@
      replica-ctl plan -n 100 -p 0.8 --read-fraction 0.7
      replica-ctl figures --section fig2
      replica-ctl simulate --config arbitrary -n 65 --ops 200 --mtbf 200
+     replica-ctl chaos --crash-mode amnesia --wal commit --check-consistency
 *)
 
 open Cmdliner
@@ -340,7 +341,7 @@ let trace_cmd =
       ~describe:(Format.asprintf "%a" Replication.Message.pp)
       trace;
     let _replicas =
-      Array.init n_replicas (fun site -> Replication.Replica.create ~site ~net)
+      Array.init n_replicas (fun site -> Replication.Replica.create ~site ~net ())
     in
     let coord = Replication.Coordinator.create ~site:n_replicas ~net ~proto () in
     let rec go i =
@@ -451,6 +452,206 @@ let simulate_cmd =
       $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg
       $ metrics_json_arg $ spans_jsonl_arg)
 
+(* --- chaos ---------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let clients_arg =
+    Arg.(value & opt int 3 & info [ "clients" ] ~docv:"C" ~doc:"Client count.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 3000.0
+      & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon (virtual time).")
+  in
+  let all_schedules =
+    [
+      Eval.Chaos.crashes_schedule; Eval.Chaos.partitions_schedule;
+      Eval.Chaos.loss_schedule; Eval.Chaos.combined_schedule;
+      Eval.Chaos.blackout_schedule;
+    ]
+  in
+  let schedule_conv =
+    let parse s =
+      match
+        List.find_opt
+          (fun sc -> sc.Eval.Chaos.label = String.lowercase_ascii s)
+          all_schedules
+      with
+      | Some sc -> Ok sc
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown schedule %S (crashes|partitions|loss|combined|blackout)"
+               s))
+    in
+    let print ppf sc = Format.pp_print_string ppf sc.Eval.Chaos.label in
+    Arg.conv (parse, print)
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt schedule_conv Eval.Chaos.crashes_schedule
+      & info [ "schedule" ] ~docv:"NAME"
+          ~doc:
+            "Failure schedule: $(b,crashes), $(b,partitions), $(b,loss), \
+             $(b,combined) or $(b,blackout) (all replicas down at once).")
+  in
+  let crash_mode_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "failstop" -> Ok Dsim.Network.Fail_stop
+      | "amnesia" -> Ok Dsim.Network.Amnesia
+      | _ ->
+        Error (`Msg (Printf.sprintf "unknown crash mode %S (failstop|amnesia)" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with
+        | Dsim.Network.Fail_stop -> "failstop"
+        | Dsim.Network.Amnesia -> "amnesia")
+    in
+    Arg.conv (parse, print)
+  in
+  let crash_mode_arg =
+    Arg.(
+      value
+      & opt crash_mode_conv Dsim.Network.Fail_stop
+      & info [ "crash-mode" ] ~docv:"MODE"
+          ~doc:
+            "What a crash destroys: $(b,failstop) (memory survives, the \
+             paper's model) or $(b,amnesia) (volatile state lost; replicas \
+             recover via WAL replay and quorum catch-up).")
+  in
+  let wal_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "commit" -> Ok `Commit
+      | "prepare" -> Ok `Prepare
+      | "async" -> Ok `Async
+      | _ ->
+        Error (`Msg (Printf.sprintf "unknown WAL policy %S (commit|prepare|async)" s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf
+        (match p with `Commit -> "commit" | `Prepare -> "prepare" | `Async -> "async")
+    in
+    Arg.conv (parse, print)
+  in
+  let wal_arg =
+    Arg.(
+      value & opt wal_conv `Commit
+      & info [ "wal" ] ~docv:"POLICY"
+          ~doc:
+            "Stable-storage policy under amnesia: $(b,commit) (fsync on \
+             commit), $(b,prepare) (fsync on prepare too) or $(b,async) \
+             (background flush; a crash loses the un-flushed suffix).")
+  in
+  let wal_lag_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "wal-lag" ] ~docv:"T"
+          ~doc:"Flush lag of the $(b,async) WAL policy (virtual time).")
+  in
+  let no_catch_up_arg =
+    Arg.(
+      value & flag
+      & info [ "no-catch-up" ]
+          ~doc:
+            "Serve immediately after WAL replay without quorum catch-up \
+             (the unsafe negative-control configuration).")
+  in
+  let check_consistency_arg =
+    Arg.(
+      value & flag
+      & info [ "check-consistency" ]
+          ~doc:
+            "Collect every operation span and verify per-key regularity \
+             offline; exit non-zero on any violation.")
+  in
+  let run config n clients ops seed horizon schedule crash_mode wal wal_lag
+      no_catch_up check_consistency =
+    or_fail @@ fun () ->
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    let n = Eval.Config_metrics.feasible_n name n in
+    let proto = Eval.Config_metrics.protocol_of name ~n in
+    let entries =
+      schedule.Eval.Chaos.entries ~rng:(Dsutil.Rng.create seed) ~n ~horizon
+    in
+    let wal_policy =
+      match wal with
+      | `Commit -> Replication.Wal.Sync_on_commit
+      | `Prepare -> Replication.Wal.Sync_on_prepare
+      | `Async -> Replication.Wal.Async wal_lag
+    in
+    let catch_up = not no_catch_up in
+    let s = Replication.Harness.default_scenario ~proto in
+    let report =
+      Replication.Harness.run
+        {
+          s with
+          Replication.Harness.n_clients = clients;
+          ops_per_client = ops;
+          read_fraction = 0.5;
+          key_space = 8;
+          think_time = 3.0;
+          loss_rate = schedule.Eval.Chaos.loss_rate;
+          failures = entries;
+          seed;
+          coordinator = Eval.Chaos.chaos_coordinator;
+          horizon;
+          warmup = 1.0;
+          crash_mode;
+          wal = wal_policy;
+          catch_up;
+          check_consistency;
+        }
+    in
+    Format.printf "%s over %d replicas: schedule=%s crash-mode=%a wal=%a \
+                   catch-up=%s@."
+      (Arbitrary.Config.name_to_string name)
+      n schedule.Eval.Chaos.label
+      (Arg.conv_printer crash_mode_conv)
+      crash_mode Replication.Wal.pp_policy wal_policy
+      (if catch_up then "on" else "off");
+    Format.printf "%a@." Replication.Harness.pp_report report;
+    if crash_mode = Dsim.Network.Amnesia then
+      Format.printf
+        "recovery: rejoins=%d keys-caught-up=%d abandoned=%d wal-replayed=%d \
+         wal-lost=%d stale-rejected=%d stale-nacked=%d still-recovering=%d@."
+        report.Replication.Harness.catchup_runs
+        report.Replication.Harness.catchup_keys_installed
+        report.Replication.Harness.catchup_abandoned
+        report.Replication.Harness.wal_records_replayed
+        report.Replication.Harness.wal_records_lost
+        report.Replication.Harness.stale_incarnation_rejections
+        report.Replication.Harness.stale_commits_nacked
+        report.Replication.Harness.replicas_recovering;
+    if check_consistency then begin
+      let c = Eval.Consistency.check report.Replication.Harness.spans in
+      Format.printf "consistency: %a@." Eval.Consistency.pp c;
+      if not (Eval.Consistency.ok c) then begin
+        Format.eprintf "replica-ctl: consistency violated@.";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run one chaos cell: a failure schedule against the replication \
+          stack, optionally with amnesia crash-recovery and offline \
+          consistency checking.")
+    Term.(
+      const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ seed_arg
+      $ horizon_arg $ schedule_arg $ crash_mode_arg $ wal_arg $ wal_lag_arg
+      $ no_catch_up_arg $ check_consistency_arg)
+
 let () =
   let info =
     Cmd.info "replica-ctl" ~version:"1.0.0"
@@ -464,5 +665,5 @@ let () =
        (Cmd.group info
           [
             tree_cmd; analyze_cmd; quorums_cmd; plan_cmd; figures_cmd;
-            simulate_cmd; txn_cmd; trace_cmd;
+            simulate_cmd; txn_cmd; trace_cmd; chaos_cmd;
           ]))

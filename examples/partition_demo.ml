@@ -21,7 +21,7 @@ let () =
   let engine = Engine.create ~seed:5 () in
   (* Replicas 0..7, two client coordinators at sites 8 and 9. *)
   let net = Network.create ~engine ~n:10 () in
-  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net ()) in
   let c1 = Coordinator.create ~site:8 ~net ~proto () in
   let c2 = Coordinator.create ~site:9 ~net ~proto () in
 

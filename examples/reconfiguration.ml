@@ -43,7 +43,7 @@ let () =
 
   let engine = Engine.create ~seed:9 () in
   let net = Network.create ~engine ~n:(n + 2) () in
-  let _replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
   let locks = Replication.Lock_manager.create ~engine in
   let coord =
     Coordinator.create ~site:n ~net

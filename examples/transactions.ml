@@ -42,7 +42,7 @@ let () =
   let proto = Arbitrary.Quorums.protocol tree in
   let engine = Engine.create ~seed:21 () in
   let net = Network.create ~engine ~n:10 () in
-  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net ()) in
   let locks = Replication.Lock_manager.create ~engine in
   let m1 = Txn.create_manager ~site:8 ~net ~proto ~locks () in
   let m2 = Txn.create_manager ~site:9 ~net ~proto ~locks () in

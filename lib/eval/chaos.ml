@@ -67,6 +67,26 @@ let combined_schedule =
           (crashes @ parts));
   }
 
+(* Total blackout: every replica crashes at once mid-workload and comes
+   back shortly after.  Under amnesia with an async WAL this destroys each
+   replica's un-flushed log suffix on {e all} copies simultaneously, so
+   with catch-up disabled post-recovery reads are provably stale — the
+   negative control the consistency checker must flag. *)
+let blackout ~crash_at ~outage ~rng:_ ~n ~horizon:_ =
+  List.concat
+    (List.init n (fun i ->
+         [
+           { Failure.time = crash_at; event = Failure.Crash i };
+           { Failure.time = crash_at +. outage; event = Failure.Recover i };
+         ]))
+
+let blackout_schedule =
+  {
+    label = "blackout";
+    loss_rate = 0.0;
+    entries = blackout ~crash_at:100.0 ~outage:40.0;
+  }
+
 let default_schedules =
   [ crashes_schedule; partitions_schedule; loss_schedule; combined_schedule ]
 
@@ -182,6 +202,109 @@ let run ?(n = 45) ?(clients = 3) ?(ops = 25) ?(seed = 42) ?(horizon = 3000.0)
         (fun acc c -> acc + c.report.Harness.safety_violations)
         0 cells;
   }
+
+(* --- amnesia crash-recovery campaign ------------------------------------ *)
+
+type amnesia_cell = {
+  a_config : Config.name;
+  a_n : int;
+  a_wal : Replication.Wal.policy;
+  a_catch_up : bool;
+  a_schedule : string;
+  a_report : Harness.report;
+  a_consistency : Consistency.report;
+}
+
+let run_amnesia ?(n = 45) ?(clients = 3) ?(ops = 25) ?(seed = 42)
+    ?(horizon = 3000.0) ?(configs = default_configs)
+    ?(wal = Replication.Wal.Sync_on_commit) ?(catch_up = true)
+    ?(schedule = crashes_schedule) ?domains () =
+  let run_cell (ci, name) =
+    let n = Config_metrics.feasible_n name n in
+    let proto = Config_metrics.protocol_of name ~n in
+    let cell_seed = seed + (1000 * ci) in
+    let entries = schedule.entries ~rng:(Rng.create cell_seed) ~n ~horizon in
+    let s = Harness.default_scenario ~proto in
+    let scenario =
+      {
+        s with
+        Harness.n_clients = clients;
+        ops_per_client = ops;
+        read_fraction = 0.5;
+        key_space = 8;
+        think_time = 3.0;
+        loss_rate = schedule.loss_rate;
+        failures = entries;
+        seed = cell_seed;
+        coordinator = chaos_coordinator;
+        detector = Harness.Oracle;
+        horizon;
+        warmup = 1.0;
+        crash_mode = Dsim.Network.Amnesia;
+        wal;
+        catch_up;
+        check_consistency = true;
+      }
+    in
+    let report = Harness.run scenario in
+    {
+      a_config = name;
+      a_n = n;
+      a_wal = wal;
+      a_catch_up = catch_up;
+      a_schedule = schedule.label;
+      a_report = report;
+      a_consistency = Consistency.check report.Harness.spans;
+    }
+  in
+  Parallel.map ?domains run_cell (List.mapi (fun ci name -> (ci, name)) configs)
+
+(* The unsafe configuration that must fail: volatile-suffix WAL, no
+   catch-up, and a simultaneous blackout of every replica. *)
+let run_amnesia_negative ?n ?(clients = 3) ?(ops = 25) ?seed ?horizon ?configs
+    ?domains () =
+  run_amnesia ?n ~clients ~ops ?seed ?horizon ?configs
+    ~wal:(Replication.Wal.Async 60.0) ~catch_up:false
+    ~schedule:blackout_schedule ?domains ()
+
+let amnesia_violations cells =
+  List.fold_left
+    (fun acc c ->
+      acc
+      + List.length c.a_consistency.Consistency.violations
+      + c.a_report.Harness.safety_violations)
+    0 cells
+
+let amnesia_table cells =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Config.name_to_string c.a_config;
+          string_of_int c.a_n;
+          c.a_schedule;
+          Replication.Wal.policy_to_string c.a_wal;
+          (if c.a_catch_up then "on" else "off");
+          Tablefmt.f4
+            (rate c.a_report.Harness.reads_ok c.a_report.Harness.reads_failed);
+          Tablefmt.f4
+            (rate c.a_report.Harness.writes_ok c.a_report.Harness.writes_failed);
+          string_of_int c.a_report.Harness.catchup_runs;
+          string_of_int c.a_report.Harness.catchup_keys_installed;
+          string_of_int c.a_report.Harness.wal_records_lost;
+          string_of_int c.a_report.Harness.stale_incarnation_rejections;
+          string_of_int c.a_report.Harness.stale_commits_nacked;
+          string_of_int (List.length c.a_consistency.Consistency.violations);
+        ])
+      cells
+  in
+  Tablefmt.render
+    ~header:
+      [
+        "config"; "n"; "schedule"; "wal"; "catchup"; "rd rate"; "wr rate";
+        "rejoins"; "keys"; "wal lost"; "stale rej"; "stale nack"; "viol";
+      ]
+    ~rows
 
 let p99 stats =
   if Stats.count stats = 0 then "-"

@@ -35,12 +35,21 @@ val loss_schedule : schedule
 val combined_schedule : schedule
 (** Crash churn + recurring partitions + 3% loss together. *)
 
+val blackout_schedule : schedule
+(** Every replica crashes at t=100 and recovers at t=140 — under amnesia
+    with an async WAL this loses the un-flushed suffix on {e all} copies
+    at once (the negative-control schedule). *)
+
 val default_schedules : schedule list
-(** The four above. *)
+(** The four original schedules (the blackout is amnesia-only). *)
 
 type detector = Oracle | Heartbeat
 
 val detector_to_string : detector -> string
+
+val chaos_coordinator : Replication.Coordinator.config
+(** The degradation-tolerant coordinator every campaign cell uses: 8
+    retries, adaptive timeouts, 600-unit operation deadline. *)
 
 type cell = {
   config : Arbitrary.Config.name;
@@ -93,3 +102,60 @@ val crash_parity_gap : ?floor:float -> campaign -> float
     assemble a quorum either (e.g. write-all under churn), the gap
     between two near-zero rates measures sampling luck, not the
     detector. *)
+
+(** {2 Amnesia crash-recovery campaign}
+
+    Same harness, but crashes destroy volatile state
+    ({!Dsim.Network.crash_mode} [Amnesia]): replicas keep a {!Replication.Wal}
+    and rejoin through replay + quorum catch-up.  Every cell runs with
+    [check_consistency] on and is verified offline by the trace-driven
+    {!Consistency} checker on top of the online safety counter. *)
+
+type amnesia_cell = {
+  a_config : Arbitrary.Config.name;
+  a_n : int;
+  a_wal : Replication.Wal.policy;
+  a_catch_up : bool;
+  a_schedule : string;
+  a_report : Replication.Harness.report;
+  a_consistency : Consistency.report;
+}
+
+val run_amnesia :
+  ?n:int ->
+  ?clients:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?configs:Arbitrary.Config.name list ->
+  ?wal:Replication.Wal.policy ->
+  ?catch_up:bool ->
+  ?schedule:schedule ->
+  ?domains:int ->
+  unit ->
+  amnesia_cell list
+(** One cell per configuration (defaults mirror {!run}; oracle detector).
+    Default [wal] is [Sync_on_commit] and [catch_up] is on, under the
+    churn schedule — the configuration whose acceptance gate is
+    {e zero} consistency violations on every tree configuration. *)
+
+val run_amnesia_negative :
+  ?n:int ->
+  ?clients:int ->
+  ?ops:int ->
+  ?seed:int ->
+  ?horizon:float ->
+  ?configs:Arbitrary.Config.name list ->
+  ?domains:int ->
+  unit ->
+  amnesia_cell list
+(** Negative control: [Async 60.0] WAL, catch-up disabled, blackout
+    schedule — the checker {e must} report at least one violation, proving
+    the detection machinery actually detects. *)
+
+val amnesia_violations : amnesia_cell list -> int
+(** Offline (checker) plus online (harness counter) violations, summed. *)
+
+val amnesia_table : amnesia_cell list -> string
+(** One row per cell: success rates, rejoin/catch-up counters, WAL losses,
+    stale-incarnation rejections, violations. *)

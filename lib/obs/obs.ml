@@ -45,7 +45,11 @@ let span t ~op ~site ?key () =
     rev_phases = [];
     ended = None;
     outcome = None;
+    result_ts = None;
   }
+
+let set_result_ts _t (sp : Span.t) ~version ~sid =
+  sp.Span.result_ts <- Some (version, sid)
 
 let open_phase (sp : Span.t) =
   match sp.rev_phases with

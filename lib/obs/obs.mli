@@ -56,6 +56,11 @@ val phase : t -> Span.t -> kind:Span.phase_kind -> ?quorum:int list -> unit -> u
 (** Begin a phase.  A still-open previous phase is closed first (not
     timed out) so a span never has two open phases. *)
 
+val set_result_ts : t -> Span.t -> version:int -> sid:int -> unit
+(** Record the timestamp the operation returned (read: newest observed;
+    write: committed).  The consistency checker matches reads against
+    writes through this field. *)
+
 val set_quorum : t -> Span.t -> int list -> unit
 (** Record the quorum membership on the current open phase (no-op when no
     phase is open).  Useful when membership is only known after the phase

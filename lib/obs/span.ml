@@ -27,6 +27,7 @@ type t = {
   mutable rev_phases : phase list;
   mutable ended : float option;
   mutable outcome : outcome option;
+  mutable result_ts : (int * int) option;
 }
 
 let phases t = List.rev t.rev_phases
@@ -86,6 +87,11 @@ let to_json t =
     Buffer.add_string b
       (Printf.sprintf ",\"outcome\":\"failed\",\"reason\":\"%s\"" (escape reason))
   | None -> Buffer.add_string b ",\"outcome\":null");
+  (match t.result_ts with
+  | Some (version, sid) ->
+    Buffer.add_string b
+      (Printf.sprintf ",\"result_ts\":{\"version\":%d,\"sid\":%d}" version sid)
+  | None -> ());
   Buffer.add_string b
     (Printf.sprintf ",\"attempts\":%d,\"retries\":%d,\"backoff_total\":%s"
        t.attempts (retries t) (num t.backoff_total));

@@ -38,6 +38,11 @@ type t = {
   mutable rev_phases : phase list;  (** newest first; use {!phases} *)
   mutable ended : float option;
   mutable outcome : outcome option;
+  mutable result_ts : (int * int) option;
+      (** (version, sid) of the timestamp the operation returned (a read's
+          observed version, a write's committed version) — set via
+          {!Obs.set_result_ts}; consumed by the trace-driven consistency
+          checker *)
 }
 
 val phases : t -> phase list
@@ -53,8 +58,10 @@ val phase_duration : phase -> float option
 val to_json : t -> string
 (** One-line JSON object (the JSONL export format):
     [{"id":..,"op":"read","site":..,"key":..,"started":..,"ended":..,
-      "outcome":"ok"|"failed","reason":..?,"attempts":..,"retries":..,
+      "outcome":"ok"|"failed","reason":..?,
+      "result_ts":{"version":..,"sid":..}?,"attempts":..,"retries":..,
       "backoff_total":..,
       "phases":[{"phase":"query","started":..,"ended":..,"timed_out":..,
                  "quorum":[..]},..]}].
-    [key] is omitted when absent; [ended] is [null] on an open span. *)
+    [key] and [result_ts] are omitted when absent; [ended] is [null] on an
+    open span. *)

@@ -38,6 +38,7 @@ type metrics = {
   retries : int;
   repairs_sent : int;
   deadline_exceeded : int;
+  stale_incarnation_rejections : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -68,6 +69,9 @@ type op_state = {
   mutable write_ts : Timestamp.t;
   mutable replies : (int * Timestamp.t) list;
       (** per-member timestamps gathered while querying (read repair) *)
+  mutable member_inc : (int * int) list;
+      (** incarnation each member acked the prepare under; echoed back in
+          that member's [Commit] *)
 }
 
 type t = {
@@ -85,6 +89,8 @@ type t = {
   pending : (int, op_state) Hashtbl.t;
   suspects : (int, float) Hashtbl.t;  (** site -> suspicion expiry time
                                           (timeout-suspicion ablation) *)
+  incs : (int, int) Hashtbl.t;  (** site -> newest incarnation seen *)
+  mutable stale_inc_rejections : int;
   mutable reads_ok : int;
   mutable reads_failed : int;
   mutable writes_ok : int;
@@ -175,6 +181,12 @@ let ocount t name =
   | None -> ()
   | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
 
+let oresult_ts t st (ts : Timestamp.t) =
+  match (t.obs, st.span) with
+  | Some obs, Some sp ->
+    Obs.set_result_ts obs sp ~version:ts.Timestamp.version ~sid:ts.Timestamp.sid
+  | _ -> ()
+
 let with_lock t ~key ~mode body =
   match t.locks with
   | None -> body (fun k -> k ())
@@ -186,9 +198,18 @@ let with_lock t ~key ~mode body =
 
 (* --- operation lifecycle ------------------------------------------------ *)
 
+(* Incarnation this member acked the prepare under (0 when it has never
+   crashed with amnesia — i.e. always, under fail-stop). *)
+let member_inc st m =
+  match List.assoc_opt m st.member_inc with Some i -> i | None -> 0
+
 let finish t st outcome =
   Hashtbl.remove t.pending st.op;
   let elapsed = Engine.now (engine t) -. st.started in
+  (match outcome with
+  | `Read_ok r -> oresult_ts t st r.ts
+  | `Write_ok ts -> oresult_ts t st ts
+  | `Failed -> ());
   (match outcome with
   | `Read_ok _ | `Write_ok _ -> ofinish t st Obs.Span.Ok
   | `Failed -> ofinish t st (Obs.Span.Failed "gave_up"));
@@ -227,6 +248,7 @@ let rec start_attempt t ~key ~kind ~attempts ~started ~span =
       write_quorum = [];
       write_ts = Timestamp.zero;
       replies = [];
+      member_inc = [];
     }
   in
   Hashtbl.replace t.pending op st;
@@ -301,7 +323,10 @@ and commit_timeout t st =
     Hashtbl.replace t.pending st.op st;
     ophase t st ~kind:Obs.Span.Commit ~quorum:st.waiting;
     arm_timeout t st;
-    List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.waiting
+    List.iter
+      (fun m ->
+        send t ~dst:m (Message.Commit { op = st.op; inc = member_inc st m }))
+      st.waiting
   end
 
 let reply_received t st ~src =
@@ -364,36 +389,71 @@ let prepare_complete t st =
   st.waiting <- st.write_quorum;
   ophase t st ~kind:Obs.Span.Commit ~quorum:st.write_quorum;
   arm_timeout t st;
-  List.iter (fun m -> send t ~dst:m (Message.Commit { op = st.op })) st.write_quorum
+  List.iter
+    (fun m ->
+      send t ~dst:m (Message.Commit { op = st.op; inc = member_inc st m }))
+    st.write_quorum
+
+(* A reply stamped with an incarnation older than the newest one seen from
+   its sender is evidence from a pre-crash life: the state it vouches for
+   was (possibly) lost, so it must not complete a quorum.  Returns whether
+   the message should be dropped. *)
+let stale_incarnation t ~src msg =
+  match Message.incarnation msg with
+  | None -> false
+  | Some inc ->
+    let newest =
+      match Hashtbl.find_opt t.incs src with Some i -> i | None -> 0
+    in
+    if inc > newest then Hashtbl.replace t.incs src inc;
+    if inc < newest then begin
+      t.stale_inc_rejections <- t.stale_inc_rejections + 1;
+      ocount t "coord.stale_inc.rejected";
+      true
+    end
+    else false
 
 let handle t ~src msg =
   (* Any message is proof of life: rehabilitate its sender (clears both
      the ablation suspect list and any pluggable detector's suspicion). *)
   if src >= 0 && src < t.n_replicas then t.view.Detect.View.observe src;
-  let op = Message.op_id msg in
-  match Hashtbl.find_opt t.pending op with
-  | None -> ()  (* stale: an earlier attempt or a finished operation *)
-  | Some st -> begin
-    match (msg : Message.t) with
-    | Read_reply { ts; value; _ } when st.phase = Querying ->
-      reply_received t st ~src;
-      if t.config.read_repair then st.replies <- (src, ts) :: st.replies;
-      if Timestamp.newer_than ts st.max_ts then begin
-        st.max_ts <- ts;
-        st.max_value <- value
-      end;
-      if st.waiting = [] then query_complete t st
-    | Prepare_ack _ when st.phase = Preparing ->
-      reply_received t st ~src;
-      if st.waiting = [] then prepare_complete t st
-    | Prepare_nack _ when st.phase = Preparing -> retry t st
-    | Commit_ack _ when st.phase = Committing ->
-      reply_received t st ~src;
-      if st.waiting = [] then finish t st (`Write_ok st.write_ts)
-    | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
-    | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ | Ping _
-    | Pong _ ->
-      ()  (* out-of-phase or replica-bound: ignore *)
+  if not (stale_incarnation t ~src msg) then begin
+    let op = Message.op_id msg in
+    match Hashtbl.find_opt t.pending op with
+    | None -> ()  (* stale: an earlier attempt or a finished operation *)
+    | Some st -> begin
+      match (msg : Message.t) with
+      | Read_reply { ts; value; _ } when st.phase = Querying ->
+        reply_received t st ~src;
+        if t.config.read_repair then st.replies <- (src, ts) :: st.replies;
+        if Timestamp.newer_than ts st.max_ts then begin
+          st.max_ts <- ts;
+          st.max_value <- value
+        end;
+        if st.waiting = [] then query_complete t st
+      | Prepare_ack { inc; _ } when st.phase = Preparing ->
+        reply_received t st ~src;
+        st.member_inc <- (src, inc) :: st.member_inc;
+        if st.waiting = [] then prepare_complete t st
+      | Prepare_nack _ when st.phase = Querying || st.phase = Preparing ->
+        (* Refusal: a queried or prepared member cannot take part (it is
+           recovering, or our commit raced its crash).  Re-assemble. *)
+        retry t st
+      | Prepare_nack _ when st.phase = Committing ->
+        (* The decision was commit but this member lost its stage to a
+           crash; the outcome is uncertain (other members did commit), so
+           count the operation failed rather than resend forever. *)
+        oend_phase t st ~timed_out:false;
+        finish t st `Failed
+      | Commit_ack { inc; _ }
+        when st.phase = Committing && inc = member_inc st src ->
+        reply_received t st ~src;
+        if st.waiting = [] then finish t st (`Write_ok st.write_ts)
+      | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
+      | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ | Ping _
+      | Pong _ ->
+        ()  (* out-of-phase or replica-bound: ignore *)
+    end
   end
 
 let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
@@ -413,6 +473,8 @@ let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
       next_seq = 0;
       pending = Hashtbl.create 16;
       suspects = Hashtbl.create 16;
+      incs = Hashtbl.create 16;
+      stale_inc_rejections = 0;
       reads_ok = 0;
       reads_failed = 0;
       writes_ok = 0;
@@ -477,6 +539,7 @@ let metrics t =
     retries = t.retries;
     repairs_sent = t.repairs_sent;
     deadline_exceeded = t.deadline_exceeded;
+    stale_incarnation_rejections = t.stale_inc_rejections;
     read_latency = t.read_latency;
     write_latency = t.write_latency;
   }

@@ -20,7 +20,16 @@
     {e and} is cleared the moment the site is heard from again), and a
     caller-supplied [view] — e.g. a {!Detect.Heartbeat} monitor — replaces
     both.  Every received message rehabilitates its sender in the view;
-    every missed deadline reports the laggards as suspects. *)
+    every missed deadline reports the laggards as suspects.
+
+    Under amnesia crash-recovery ({!Dsim.Network.crash_mode}) the
+    coordinator additionally tracks each replica's newest incarnation
+    number and drops replies stamped with an older one (a pre-crash
+    life's evidence must not complete a post-crash quorum); each member's
+    [Commit] echoes the incarnation from that member's [Prepare_ack], so
+    a replica that lost its staged write to a crash refuses the commit
+    and the write retries instead of being silently lost.  Under pure
+    fail-stop all incarnations stay 0 and behavior is unchanged. *)
 
 type config = {
   timeout : float;  (** fixed per-phase response deadline *)
@@ -102,6 +111,10 @@ type metrics = {
   deadline_exceeded : int;
       (** operations failed because the deadline budget ran out before the
           retry budget *)
+  stale_incarnation_rejections : int;
+      (** replica replies dropped because they carried an incarnation older
+          than the newest one seen from that site — evidence from a
+          pre-crash life (always 0 under fail-stop) *)
   read_latency : Dsutil.Stats.t;
   write_latency : Dsutil.Stats.t;
 }

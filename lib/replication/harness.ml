@@ -25,6 +25,10 @@ type scenario = {
   detector : detector_mode;
   horizon : float;
   warmup : float;
+  crash_mode : Network.crash_mode;
+  wal : Wal.policy;
+  catch_up : bool;
+  check_consistency : bool;
 }
 
 let default_scenario ~proto =
@@ -45,6 +49,10 @@ let default_scenario ~proto =
     detector = Oracle;
     horizon = 100_000.0;
     warmup = 0.0;
+    crash_mode = Network.Fail_stop;
+    wal = Wal.Sync_on_commit;
+    catch_up = true;
+    check_consistency = false;
   }
 
 type report = {
@@ -65,6 +73,16 @@ type report = {
   replica_reads_served : int array;
   replica_prepares_seen : int array;
   replica_writes_applied : int array;
+  stale_incarnation_rejections : int;
+  replica_incarnations : int array;
+  catchup_runs : int;
+  catchup_keys_installed : int;
+  catchup_abandoned : int;
+  stale_commits_nacked : int;
+  wal_records_replayed : int;
+  wal_records_lost : int;
+  replicas_recovering : int;
+  spans : Obs.Span.t list;
 }
 
 (* Per-key newest successfully committed timestamp, for the freshness
@@ -83,12 +101,45 @@ let run ?obs scenario =
     Network.create ~engine ~n:(n + scenario.n_clients)
       ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
   in
+  Network.set_crash_mode net scenario.crash_mode;
+  (* When consistency checking is requested, spans must be collected even
+     if the caller brought no [obs] of their own: attach a memory sink to
+     theirs, or to a private handle.  Attaching obs never perturbs the
+     simulation (no randomness, no events), so checked and unchecked runs
+     see the same schedule. *)
+  let span_store =
+    if scenario.check_consistency then Some (Obs.Sink.memory ()) else None
+  in
+  let obs =
+    match (obs, span_store) with
+    | _, None -> obs
+    | Some o, Some m ->
+      Obs.add_sink o (Obs.Sink.memory_sink m);
+      Some o
+    | None, Some m ->
+      let o = Obs.create () in
+      Obs.add_sink o (Obs.Sink.memory_sink m);
+      Some o
+  in
   (match obs with
   | None -> ()
   | Some o ->
     Obs.set_clock o (fun () -> Engine.now engine);
     Network.attach_obs net o);
-  let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let recovery =
+    match scenario.crash_mode with
+    | Network.Fail_stop -> None
+    | Network.Amnesia ->
+      (* Catch up over the whole key space: WAL replay alone cannot know
+         about keys whose records were lost. *)
+      Some
+        (Replica.recovery ~wal_policy:scenario.wal ~catch_up:scenario.catch_up
+           ~keys:(fun () -> List.init scenario.key_space Fun.id)
+           ~proto ())
+  in
+  let replicas =
+    Array.init n (fun site -> Replica.create ~site ~net ?recovery ?obs ())
+  in
   let locks =
     if scenario.use_locks then Some (Lock_manager.create ~engine) else None
   in
@@ -174,6 +225,7 @@ let run ?obs scenario =
   Engine.run ~until:scenario.horizon engine;
   let metrics = List.map Coordinator.metrics coords in
   let sum f = List.fold_left (fun acc m -> acc + f m) 0 metrics in
+  let sum_replicas f = Array.fold_left (fun acc r -> acc + f r) 0 replicas in
   let counters = Network.counters net in
   {
     duration = Engine.now engine;
@@ -204,6 +256,21 @@ let run ?obs scenario =
     replica_reads_served = Array.map Replica.reads_served replicas;
     replica_prepares_seen = Array.map Replica.prepares_seen replicas;
     replica_writes_applied = Array.map Replica.writes_applied replicas;
+    stale_incarnation_rejections =
+      sum (fun m -> m.Coordinator.stale_incarnation_rejections);
+    replica_incarnations = Array.map Replica.incarnation replicas;
+    catchup_runs = sum_replicas Replica.catchup_runs;
+    catchup_keys_installed = sum_replicas Replica.catchup_keys_installed;
+    catchup_abandoned = sum_replicas Replica.catchup_abandoned;
+    stale_commits_nacked = sum_replicas Replica.stale_commits_nacked;
+    wal_records_replayed = sum_replicas Replica.wal_records_replayed;
+    wal_records_lost = sum_replicas Replica.wal_records_lost;
+    replicas_recovering =
+      sum_replicas (fun r -> if Replica.is_serving r then 0 else 1);
+    spans =
+      (match span_store with
+      | None -> []
+      | Some m -> Obs.Sink.memory_spans m);
   }
 
 let completed r = r.reads_ok + r.writes_ok

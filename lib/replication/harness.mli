@@ -37,6 +37,20 @@ type scenario = {
   warmup : float;
       (** virtual time before clients issue their first operation — lets
           failure schedules at t=0 settle first *)
+  crash_mode : Dsim.Network.crash_mode;
+      (** what a site crash destroys: [Fail_stop] (default, the paper's
+          model — memory survives) or [Amnesia] (volatile state is lost;
+          replicas get a {!Wal} and a rejoin state machine) *)
+  wal : Wal.policy;
+      (** stable-storage policy for amnesia replicas (default
+          [Sync_on_commit]); ignored under [Fail_stop] *)
+  catch_up : bool;
+      (** run quorum catch-up after WAL replay before serving again
+          (default [true]); disabling it is the negative control that
+          makes amnesia observably unsafe *)
+  check_consistency : bool;
+      (** collect every operation span in memory and report them for the
+          trace-driven consistency checker (default [false]) *)
 }
 
 val default_scenario : proto:Quorum.Protocol.t -> scenario
@@ -63,6 +77,21 @@ type report = {
   replica_reads_served : int array;
   replica_prepares_seen : int array;
   replica_writes_applied : int array;
+  stale_incarnation_rejections : int;
+      (** replies coordinators dropped for carrying a pre-crash
+          incarnation *)
+  replica_incarnations : int array;  (** amnesia recoveries per replica *)
+  catchup_runs : int;  (** completed rejoin catch-ups, summed *)
+  catchup_keys_installed : int;  (** keys freshened by catch-up reads *)
+  catchup_abandoned : int;  (** catch-ups that ran out of retries *)
+  stale_commits_nacked : int;  (** commits replicas refused as stale *)
+  wal_records_replayed : int;
+  wal_records_lost : int;  (** records destroyed by amnesia crashes *)
+  replicas_recovering : int;  (** replicas still not serving at the end *)
+  spans : Obs.Span.t list;
+      (** every operation span, in close order — only collected when
+          [check_consistency] is set (else empty); feed to
+          [Eval.Consistency.check] *)
 }
 
 val run : ?obs:Obs.t -> scenario -> report

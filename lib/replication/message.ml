@@ -1,11 +1,11 @@
 type t =
   | Read_request of { op : int; key : int }
-  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string; inc : int }
   | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
-  | Prepare_ack of { op : int }
+  | Prepare_ack of { op : int; inc : int }
   | Prepare_nack of { op : int; reason : string }
-  | Commit of { op : int }
-  | Commit_ack of { op : int }
+  | Commit of { op : int; inc : int }
+  | Commit_ack of { op : int; inc : int }
   | Abort of { op : int }
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
@@ -17,14 +17,21 @@ let op_id = function
   | Read_request { op; _ }
   | Read_reply { op; _ }
   | Prepare { op; _ }
-  | Prepare_ack { op }
+  | Prepare_ack { op; _ }
   | Prepare_nack { op; _ }
-  | Commit { op }
-  | Commit_ack { op }
+  | Commit { op; _ }
+  | Commit_ack { op; _ }
   | Abort { op }
   | Repair { op; _ } ->
     op
   | Ping _ | Pong _ -> -1  (* never matches a pending operation *)
+
+let incarnation = function
+  | Read_reply { inc; _ } | Prepare_ack { inc; _ } | Commit_ack { inc; _ } ->
+    Some inc
+  | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
+  | Repair _ | Ping _ | Pong _ ->
+    None
 
 let pp ppf = function
   | Read_request { op; key } -> Format.fprintf ppf "read-req(op=%d key=%d)" op key
@@ -32,11 +39,11 @@ let pp ppf = function
     Format.fprintf ppf "read-reply(op=%d key=%d ts=%a)" op key Timestamp.pp ts
   | Prepare { op; key; ts; _ } ->
     Format.fprintf ppf "prepare(op=%d key=%d ts=%a)" op key Timestamp.pp ts
-  | Prepare_ack { op } -> Format.fprintf ppf "prepare-ack(op=%d)" op
+  | Prepare_ack { op; _ } -> Format.fprintf ppf "prepare-ack(op=%d)" op
   | Prepare_nack { op; reason } ->
     Format.fprintf ppf "prepare-nack(op=%d %s)" op reason
-  | Commit { op } -> Format.fprintf ppf "commit(op=%d)" op
-  | Commit_ack { op } -> Format.fprintf ppf "commit-ack(op=%d)" op
+  | Commit { op; _ } -> Format.fprintf ppf "commit(op=%d)" op
+  | Commit_ack { op; _ } -> Format.fprintf ppf "commit-ack(op=%d)" op
   | Abort { op } -> Format.fprintf ppf "abort(op=%d)" op
   | Repair { op; key; ts; _ } ->
     Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts

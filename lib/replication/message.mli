@@ -5,16 +5,29 @@
     newest-timestamped reply.  A write first queries a read quorum for the
     highest version (piggybacked on the same read machinery), increments
     it, then runs a two-phase commit over a write quorum (§2.2: writes end
-    with 2PC among participants). *)
+    with 2PC among participants).
+
+    {b Incarnations.}  Replica replies carry the replica's incarnation
+    number — the count of amnesia recoveries it has been through (always 0
+    under the paper's fail-stop model, where nothing is ever lost).  A
+    [Commit] echoes the incarnation observed in that member's
+    [Prepare_ack]: the replica nacks a commit from a previous incarnation,
+    because its staged write — if it ever had one — belonged to a life
+    whose volatile state is gone.  Coordinators likewise drop replies from
+    pre-crash incarnations.  See docs/PROTOCOL.md §10. *)
 
 type t =
   | Read_request of { op : int; key : int }
-  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string; inc : int }
   | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
-  | Prepare_ack of { op : int }
+  | Prepare_ack of { op : int; inc : int }
   | Prepare_nack of { op : int; reason : string }
-  | Commit of { op : int }
-  | Commit_ack of { op : int }
+      (** refusal: the replica cannot take part right now (e.g. it is
+          recovering, or the commit's incarnation is stale); the
+          coordinator retries the whole attempt *)
+  | Commit of { op : int; inc : int }
+      (** [inc] is the incarnation this member acked the prepare under *)
+  | Commit_ack of { op : int; inc : int }
   | Abort of { op : int }
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
@@ -26,5 +39,9 @@ type t =
 val op_id : t -> int
 (** Operation id the message belongs to; −1 for [Ping]/[Pong], which
     belong to no operation. *)
+
+val incarnation : t -> int option
+(** The sender incarnation stamped on replica replies ([Read_reply],
+    [Prepare_ack], [Commit_ack]); [None] on every other message. *)
 
 val pp : Format.formatter -> t -> unit

@@ -32,6 +32,9 @@ type gather = {
   mutable max_ts : Timestamp.t;
   mutable max_value : string;
   complete : unit -> unit;
+  failed : unit -> unit;
+      (** a member refused ([Prepare_nack]): fail the phase now instead of
+          waiting out the timeout *)
 }
 
 type t = {
@@ -45,6 +48,10 @@ type t = {
   rng : Rng.t;
   mutable next_seq : int;
   pending : (int, gather) Hashtbl.t;
+  incs : (int, int) Hashtbl.t;  (** site -> newest incarnation seen *)
+  prep_incs : (int, (int * int) list) Hashtbl.t;
+      (** op -> (member, incarnation it acked the prepare under) *)
+  mutable stale_inc_rejections : int;
 }
 
 let engine t = Network.engine t.net
@@ -71,6 +78,7 @@ let phase_timeout t =
   else t.config.timeout
 
 let observed_timeout t = phase_timeout t
+let stale_incarnation_rejections t = t.stale_inc_rejections
 
 (* --- observability hooks (single match, no work, when [obs = None]).
    Spans are threaded explicitly: [write] owns one span whose phases cover
@@ -116,40 +124,84 @@ let ocount t name =
   | None -> ()
   | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
 
+let member_inc t ~op m =
+  match Hashtbl.find_opt t.prep_incs op with
+  | None -> 0
+  | Some l -> ( match List.assoc_opt m l with Some i -> i | None -> 0)
+
+(* Drop replies stamped with an incarnation older than the newest seen from
+   their sender: pre-crash evidence must not complete a post-crash quorum. *)
+let stale_incarnation t ~src msg =
+  match Message.incarnation msg with
+  | None -> false
+  | Some inc ->
+    let newest =
+      match Hashtbl.find_opt t.incs src with Some i -> i | None -> 0
+    in
+    if inc > newest then Hashtbl.replace t.incs src inc;
+    if inc < newest then begin
+      t.stale_inc_rejections <- t.stale_inc_rejections + 1;
+      ocount t "rpc.stale_inc.rejected";
+      true
+    end
+    else false
+
 let handle t ~src msg =
   (* Any message is proof of life for its sender (replicas only: detector
      views cover the replica universe, not client sites). *)
   if src >= 0 && src < Protocol.universe_size t.proto then
     t.view.Detect.View.observe src;
-  match Hashtbl.find_opt t.pending (Message.op_id msg) with
-  | None -> ()
-  | Some g ->
-    let expected =
+  if not (stale_incarnation t ~src msg) then begin
+    let op = Message.op_id msg in
+    match Hashtbl.find_opt t.pending op with
+    | None -> ()
+    | Some g -> begin
       match (msg : Message.t) with
-      | Read_reply { ts; value; _ } ->
-        if g.phase = Query then begin
-          if Timestamp.newer_than ts g.max_ts then begin
-            g.max_ts <- ts;
-            g.max_value <- value
-          end;
-          true
+      | Prepare_nack _ ->
+        (* A member refuses (recovering, or the commit's incarnation went
+           stale): the phase cannot complete — fail it immediately. *)
+        Hashtbl.remove t.pending op;
+        g.failed ()
+      | _ ->
+        let expected =
+          match (msg : Message.t) with
+          | Read_reply { ts; value; _ } ->
+            if g.phase = Query then begin
+              if Timestamp.newer_than ts g.max_ts then begin
+                g.max_ts <- ts;
+                g.max_value <- value
+              end;
+              true
+            end
+            else false
+          | Prepare_ack { inc; _ } ->
+            if g.phase = Prepare_phase then begin
+              let l =
+                match Hashtbl.find_opt t.prep_incs op with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace t.prep_incs op ((src, inc) :: l);
+              true
+            end
+            else false
+          | Commit_ack { inc; _ } ->
+            g.phase = Commit_phase && inc = member_inc t ~op src
+          | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
+          | Repair _ | Ping _ | Pong _ ->
+            false
+        in
+        if expected then begin
+          if List.mem src g.waiting then
+            Detect.Rto.observe t.rto (Engine.now (engine t) -. g.started);
+          g.waiting <- List.filter (fun m -> m <> src) g.waiting;
+          if g.waiting = [] then begin
+            Hashtbl.remove t.pending op;
+            g.complete ()
+          end
         end
-        else false
-      | Prepare_ack _ -> g.phase = Prepare_phase
-      | Commit_ack _ -> g.phase = Commit_phase
-      | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-      | Repair _ | Ping _ | Pong _ ->
-        false
-    in
-    if expected then begin
-      if List.mem src g.waiting then
-        Detect.Rto.observe t.rto (Engine.now (engine t) -. g.started);
-      g.waiting <- List.filter (fun m -> m <> src) g.waiting;
-      if g.waiting = [] then begin
-        Hashtbl.remove t.pending (Message.op_id msg);
-        g.complete ()
-      end
     end
+  end
 
 let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
   let view =
@@ -170,6 +222,9 @@ let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
       rng = Rng.split (Engine.rng (Network.engine net));
       next_seq = 0;
       pending = Hashtbl.create 16;
+      incs = Hashtbl.create 16;
+      prep_incs = Hashtbl.create 16;
+      stale_inc_rejections = 0;
     }
   in
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
@@ -188,6 +243,7 @@ let run_phase t ~span ~phase ~members ~mk_msg ~on_success ~on_timeout =
       max_ts = Timestamp.zero;
       max_value = "";
       complete = (fun () -> on_success op g);
+      failed = (fun () -> on_timeout ());
     }
   in
   ophase t span ~kind:(obs_kind phase) ~quorum:members;
@@ -243,9 +299,16 @@ let query_sp t ~span ~key k =
   in
   attempt t.config.max_retries
 
+let oresult_ts t span (ts : Timestamp.t) =
+  match (t.obs, span) with
+  | Some obs, Some sp ->
+    Obs.set_result_ts obs sp ~version:ts.Timestamp.version ~sid:ts.Timestamp.sid
+  | _ -> ()
+
 let query t ~key k =
   let span = ospan t ~op:"rpc.read" ~key in
   query_sp t ~span ~key (fun r ->
+      (match r with Some (ts, _) -> oresult_ts t span ts | None -> ());
       ofinish t span (r <> None);
       k r)
 
@@ -278,6 +341,11 @@ let prepare_sp t ~span ~key ~ts ~value k =
 let prepare t ~key ~ts ~value k = prepare_sp t ~span:None ~key ~ts ~value k
 
 let commit_staged_sp t ~span ~op ~members k =
+  let done_ ok =
+    Hashtbl.remove t.prep_incs op;
+    oend t span ~timed_out:(not ok);
+    k ok
+  in
   let rec send tries ms =
     let g =
       {
@@ -286,10 +354,14 @@ let commit_staged_sp t ~span ~op ~members k =
         waiting = ms;
         max_ts = Timestamp.zero;
         max_value = "";
-        complete =
+        complete = (fun () -> done_ true);
+        failed =
           (fun () ->
+            (* A member lost its stage to a crash: the outcome is uncertain
+               (other members did commit) — report failure. *)
+            Hashtbl.remove t.prep_incs op;
             oend t span ~timed_out:false;
-            k true);
+            k false);
       }
     in
     ophase t span ~kind:Obs.Span.Commit ~quorum:ms;
@@ -303,13 +375,12 @@ let commit_staged_sp t ~span ~op ~members k =
             oretry t span ~backoff:0.0;
             send (tries - 1) g.waiting
           end
-          else begin
-            oend t span ~timed_out:true;
-            k false
-          end
+          else done_ false
         | _ -> ());
     List.iter
-      (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Commit { op }))
+      (fun m ->
+        Network.send t.net ~src:t.site ~dst:m
+          (Message.Commit { op; inc = member_inc t ~op m }))
       ms
   in
   send t.config.max_retries members
@@ -317,6 +388,7 @@ let commit_staged_sp t ~span ~op ~members k =
 let commit_staged t ~op ~members k = commit_staged_sp t ~span:None ~op ~members k
 
 let abort_staged t ~op ~members =
+  Hashtbl.remove t.prep_incs op;
   List.iter
     (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Abort { op }))
     members
@@ -324,6 +396,7 @@ let abort_staged t ~op ~members =
 let write t ~key ?ts ~value k =
   let span = ospan t ~op:"rpc.write" ~key in
   let finishk r =
+    (match r with Some ts -> oresult_ts t span ts | None -> ());
     ofinish t span (r <> None);
     k r
   in

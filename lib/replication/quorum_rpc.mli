@@ -61,6 +61,10 @@ val current_view : t -> Dsutil.Bitset.t
 val observed_timeout : t -> float
 (** The per-phase deadline currently in force (adaptive or fixed). *)
 
+val stale_incarnation_rejections : t -> int
+(** Replica replies dropped for carrying a pre-crash incarnation (always 0
+    under fail-stop; see {!Coordinator}). *)
+
 val set_protocol : t -> Quorum.Protocol.t -> unit
 (** Swap the quorum geometry (used by reconfiguration).  The replica
     universe must keep the same size. *)

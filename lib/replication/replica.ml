@@ -1,52 +1,389 @@
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+module Engine = Dsim.Engine
 module Network = Dsim.Network
+module Protocol = Quorum.Protocol
+
+type recovery = {
+  wal_policy : Wal.policy;
+  catch_up : bool;
+  keys : (unit -> int list) option;
+  proto : Protocol.t option;
+  catchup_timeout : float;
+  catchup_max_attempts : int;
+  backoff : Detect.Backoff.policy;
+}
+
+let recovery ?(wal_policy = Wal.Sync_on_commit) ?(catch_up = true) ?keys ?proto
+    ?(catchup_timeout = 25.0) ?(catchup_max_attempts = 20)
+    ?(backoff = Detect.Backoff.default) () =
+  if catch_up && proto = None then
+    invalid_arg "Replica.recovery: catch_up requires a protocol";
+  { wal_policy; catch_up; keys; proto; catchup_timeout; catchup_max_attempts;
+    backoff }
+
+type status = Serving | Recovering
+
+(* One outstanding catch-up read-quorum gather: the replica reads the
+   newest (timestamp, value) of one key through a read quorum of the
+   current tree, installs it, then moves to the next key. *)
+type gather = {
+  g_op : int;
+  g_key : int;
+  g_rest : int list;  (** keys still to catch up after this one *)
+  g_attempt : int;
+  g_t0 : float;  (** when this catch-up (all keys) began *)
+  mutable g_waiting : int list;
+  mutable g_max_ts : Timestamp.t;
+  mutable g_max_value : string;
+}
 
 type t = {
   site : int;
   net : Message.t Network.t;
-  store : Store.t;
+  mutable store : Store.t;
+  recovery : recovery option;
+  wal : Wal.t option;
+  universe : int option;  (* replica count, to tell peers from clients *)
+  proto : Protocol.t option;  (* private fork, for catch-up quorums *)
+  rng : Rng.t option;  (* split from the engine only when catch-up is on *)
+  obs : Obs.t option;
+  mutable status : status;
+  mutable incarnation : int;
+  mutable lost_state : bool;  (* amnesia crash happened; recovery pending *)
+  mutable gather : gather option;
+  mutable next_seq : int;
   mutable reads_served : int;
   mutable writes_applied : int;
   mutable prepares_seen : int;
   mutable repairs_applied : int;
+  mutable catchup_runs : int;
+  mutable catchup_keys_installed : int;
+  mutable catchup_abandoned : int;
+  mutable stale_commits_nacked : int;
+  mutable wal_records_replayed : int;
 }
 
-let handle t ~src msg =
+let engine t = Network.engine t.net
+let now t = Engine.now (engine t)
+
+let ocount t name =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
+
+let ohist t name v =
+  match t.obs with
+  | None -> ()
+  | Some obs -> Obs.Metrics.observe (Obs.Metrics.histogram (Obs.metrics obs) name) v
+
+let wal_append t record =
+  match t.wal with None -> () | Some wal -> Wal.append wal record
+
+let send t ~dst msg = Network.send t.net ~src:t.site ~dst msg
+
+let fresh_op t =
+  let id = (t.next_seq * Network.size t.net) + t.site in
+  t.next_seq <- t.next_seq + 1;
+  id
+
+(* Believed-alive peers for catch-up quorum assembly: the ground-truth
+   oracle minus ourselves (our own copy is exactly what we distrust). *)
+let catchup_view t proto =
+  let n = Protocol.universe_size proto in
+  let view = Bitset.create n in
+  for i = 0 to n - 1 do
+    if i <> t.site && Network.is_up t.net i && Network.reachable t.net t.site i
+    then Bitset.add view i
+  done;
+  view
+
+(* --- rejoin state machine ----------------------------------------------- *)
+
+let finish_catchup t ~t0 =
+  t.status <- Serving;
+  t.catchup_runs <- t.catchup_runs + 1;
+  ocount t "replica.catchup.runs";
+  ohist t "replica.catchup.duration" (now t -. t0)
+
+let rec catchup_key t ~inc ~keys ~attempt ~t0 =
+  if t.incarnation = inc && t.status = Recovering then begin
+    match keys with
+    | [] -> finish_catchup t ~t0
+    | key :: rest -> (
+      let proto = Option.get t.proto and rng = Option.get t.rng in
+      match Protocol.read_quorum proto ~alive:(catchup_view t proto) ~rng with
+      | None ->
+        (* No quorum among the peers right now; this consumes an attempt
+           too, so a long outage drains the budget instead of looping. *)
+        catchup_retry t ~inc ~keys ~attempt:(attempt + 1) ~t0
+      | Some quorum ->
+        let members = Bitset.elements quorum in
+        let g =
+          {
+            g_op = fresh_op t;
+            g_key = key;
+            g_rest = rest;
+            g_attempt = attempt;
+            g_t0 = t0;
+            g_waiting = members;
+            g_max_ts = Timestamp.zero;
+            g_max_value = "";
+          }
+        in
+        t.gather <- Some g;
+        let r = Option.get t.recovery in
+        Engine.schedule (engine t) ~delay:r.catchup_timeout (fun () ->
+            match t.gather with
+            | Some g' when g' == g ->
+              t.gather <- None;
+              catchup_retry t ~inc ~keys ~attempt:(attempt + 1) ~t0
+            | _ -> ());
+        List.iter
+          (fun m -> send t ~dst:m (Message.Read_request { op = g.g_op; key }))
+          members)
+  end
+
+and catchup_retry t ~inc ~keys ~attempt ~t0 =
+  let r = Option.get t.recovery in
+  if attempt >= r.catchup_max_attempts then begin
+    (* Peers never assembled into a willing quorum (e.g. everyone else is
+       recovering too).  Stay in Recovering — serving would risk stale
+       reads — until the next crash/recover cycle tries again. *)
+    t.catchup_abandoned <- t.catchup_abandoned + 1;
+    ocount t "replica.catchup.abandoned"
+  end
+  else begin
+    let delay =
+      match t.rng with
+      | Some rng -> Detect.Backoff.delay r.backoff ~rng ~attempt
+      | None -> 1.0
+    in
+    Engine.schedule (engine t) ~delay (fun () ->
+        if t.gather = None then catchup_key t ~inc ~keys ~attempt ~t0)
+  end
+
+let catchup_gather_reply t g ~src ~ts ~value =
+  if List.mem src g.g_waiting then begin
+    if Timestamp.newer_than ts g.g_max_ts then begin
+      g.g_max_ts <- ts;
+      g.g_max_value <- value
+    end;
+    g.g_waiting <- List.filter (fun m -> m <> src) g.g_waiting;
+    if g.g_waiting = [] then begin
+      t.gather <- None;
+      if
+        not (Timestamp.equal g.g_max_ts Timestamp.zero)
+        && Store.install t.store ~key:g.g_key ~ts:g.g_max_ts ~value:g.g_max_value
+      then begin
+        wal_append t (Wal.Install { key = g.g_key; ts = g.g_max_ts; value = g.g_max_value });
+        t.catchup_keys_installed <- t.catchup_keys_installed + 1;
+        ocount t "replica.catchup.keys_installed"
+      end;
+      catchup_key t ~inc:t.incarnation ~keys:g.g_rest ~attempt:0 ~t0:g.g_t0
+    end
+  end
+
+(* A peer refused our catch-up read (it is recovering itself, most
+   likely): drop the whole gather and retry with a freshly assembled
+   quorum after a backoff pause. *)
+let catchup_gather_failed t g =
+  t.gather <- None;
+  catchup_retry t ~inc:t.incarnation ~keys:(g.g_key :: g.g_rest)
+    ~attempt:(g.g_attempt + 1) ~t0:g.g_t0
+
+let on_crash t mode =
+  match (mode : Network.crash_mode) with
+  | Network.Fail_stop -> ()
+  | Network.Amnesia ->
+    (* Volatile memory is gone the instant the site dies; the WAL drops
+       whatever the policy had not yet made durable. *)
+    t.lost_state <- true;
+    t.store <- Store.create ();
+    t.gather <- None;
+    (match t.wal with Some wal -> Wal.crash wal | None -> ())
+
+let on_recover t =
+  if t.lost_state then begin
+    t.lost_state <- false;
+    t.incarnation <- t.incarnation + 1;
+    ocount t "replica.recoveries";
+    (match t.wal with
+    | Some wal ->
+      let n = Wal.replay wal t.store in
+      t.wal_records_replayed <- t.wal_records_replayed + n
+    | None -> ());
+    let r = Option.get t.recovery in
+    if r.catch_up then begin
+      t.status <- Recovering;
+      let keys =
+        match r.keys with Some f -> f () | None -> Store.keys t.store
+      in
+      catchup_key t ~inc:t.incarnation ~keys ~attempt:0 ~t0:(now t)
+    end
+    else t.status <- Serving
+  end
+
+(* --- message handling ----------------------------------------------------- *)
+
+let nack t ~dst ~op reason =
+  send t ~dst (Message.Prepare_nack { op; reason })
+
+let handle_serving t ~src msg =
   match (msg : Message.t) with
   | Read_request { op; key } ->
     t.reads_served <- t.reads_served + 1;
     let ts, value = Store.read t.store ~key in
-    Network.send t.net ~src:t.site ~dst:src (Message.Read_reply { op; key; ts; value })
+    send t ~dst:src
+      (Message.Read_reply { op; key; ts; value; inc = t.incarnation })
   | Prepare { op; key; ts; value } ->
     t.prepares_seen <- t.prepares_seen + 1;
     Store.stage t.store ~op ~key ~ts ~value;
-    Network.send t.net ~src:t.site ~dst:src (Message.Prepare_ack { op })
-  | Commit { op } ->
-    if Store.commit_staged t.store ~op then
-      t.writes_applied <- t.writes_applied + 1;
-    Network.send t.net ~src:t.site ~dst:src (Message.Commit_ack { op })
-  | Abort { op } -> Store.abort_staged t.store ~op
+    wal_append t (Wal.Stage { op; key; ts; value });
+    send t ~dst:src (Message.Prepare_ack { op; inc = t.incarnation })
+  | Commit { op; inc } ->
+    if inc <> t.incarnation then begin
+      (* The stage this commit refers to belonged to a previous life; its
+         volatile state is gone.  Refuse so the coordinator retries the
+         whole write instead of counting a lost write as applied. *)
+      t.stale_commits_nacked <- t.stale_commits_nacked + 1;
+      ocount t "replica.stale_inc.nacked";
+      nack t ~dst:src ~op "stale-incarnation"
+    end
+    else begin
+      (match Store.staged t.store ~op with
+      | Some (key, ts, value) -> wal_append t (Wal.Commit { op; key; ts; value })
+      | None -> ());
+      if Store.commit_staged t.store ~op then
+        t.writes_applied <- t.writes_applied + 1;
+      (* Ack even when nothing was staged: a same-incarnation resend means
+         the first commit already applied (nothing can have been lost
+         within one incarnation). *)
+      send t ~dst:src (Message.Commit_ack { op; inc = t.incarnation })
+    end
+  | Abort { op } ->
+    if Store.staged t.store ~op <> None then wal_append t (Wal.Abort { op });
+    Store.abort_staged t.store ~op
   | Repair { key; ts; value; _ } ->
-    if Store.install t.store ~key ~ts ~value then
+    if Store.install t.store ~key ~ts ~value then begin
+      wal_append t (Wal.Install { key; ts; value });
       t.repairs_applied <- t.repairs_applied + 1
-  | Ping { seq } ->
-    Network.send t.net ~src:t.site ~dst:src (Message.Pong { seq })
+    end
+  | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
   | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Pong _ ->
-    (* Coordinator-bound messages; a replica ignores strays. *)
+    (* Coordinator-bound messages; a serving replica ignores strays. *)
     ()
 
-let create ~site ~net =
+(* While recovering the replica is alive but must not serve reads or take
+   part in write quorums: it answers with explicit refusals (prompting the
+   coordinator to re-assemble elsewhere) and only its own catch-up reads
+   and incoming repairs touch the store. *)
+let handle_recovering t ~src msg =
+  match (msg : Message.t) with
+  | Read_request { op; key } ->
+    let peer_catchup =
+      match t.universe with Some n -> src < n | None -> false
+    in
+    if peer_catchup then begin
+      (* A peer's catch-up read: answer from replayed durable state.  Under
+         a commit-durable WAL that state holds every commit this replica
+         ever applied, so quorum intersection still guarantees the
+         requester sees the newest committed timestamp — and refusing
+         would let recovering replicas nack each other's catch-ups into a
+         permanent mutual standoff once all have crashed at least once. *)
+      let ts, value = Store.read t.store ~key in
+      send t ~dst:src
+        (Message.Read_reply { op; key; ts; value; inc = t.incarnation })
+    end
+    else nack t ~dst:src ~op "recovering"
+  | Prepare { op; _ } -> nack t ~dst:src ~op "recovering"
+  | Commit { op; _ } ->
+    t.stale_commits_nacked <- t.stale_commits_nacked + 1;
+    ocount t "replica.stale_inc.nacked";
+    nack t ~dst:src ~op "stale-incarnation"
+  | Abort { op } -> Store.abort_staged t.store ~op
+  | Repair { key; ts; value; _ } ->
+    if Store.install t.store ~key ~ts ~value then begin
+      wal_append t (Wal.Install { key; ts; value });
+      t.repairs_applied <- t.repairs_applied + 1
+    end
+  | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
+  | Read_reply { ts; value; _ } -> (
+    match t.gather with
+    | Some g when g.g_op = Message.op_id msg ->
+      catchup_gather_reply t g ~src ~ts ~value
+    | _ -> ())
+  | Prepare_nack _ -> (
+    match t.gather with
+    | Some g when g.g_op = Message.op_id msg -> catchup_gather_failed t g
+    | _ -> ())
+  | Prepare_ack _ | Commit_ack _ | Pong _ -> ()
+
+let handle t ~src msg =
+  match t.status with
+  | Serving -> handle_serving t ~src msg
+  | Recovering -> handle_recovering t ~src msg
+
+let create ~site ~net ?recovery ?obs () =
+  let proto, rng =
+    match recovery with
+    | Some r when r.catch_up ->
+      (* Fork so catch-up quorum sampling never shares scratch state with
+         the coordinators' instance; split an own RNG stream so enabling
+         recovery reshapes no other component's draws. *)
+      ( Option.map Protocol.fork r.proto,
+        Some (Rng.split (Engine.rng (Network.engine net))) )
+    | _ -> (None, None)
+  in
+  let wal =
+    match recovery with
+    | None -> None
+    | Some r ->
+      Some
+        (Wal.create ~policy:r.wal_policy
+           ~now:(fun () -> Engine.now (Network.engine net))
+           ())
+  in
+  let universe =
+    match recovery with
+    | Some { proto = Some p; _ } -> Some (Protocol.universe_size p)
+    | _ -> None
+  in
   let t =
     {
       site;
       net;
       store = Store.create ();
+      recovery;
+      wal;
+      universe;
+      proto;
+      rng;
+      obs;
+      status = Serving;
+      incarnation = 0;
+      lost_state = false;
+      gather = None;
+      next_seq = 0;
       reads_served = 0;
       writes_applied = 0;
       prepares_seen = 0;
       repairs_applied = 0;
+      catchup_runs = 0;
+      catchup_keys_installed = 0;
+      catchup_abandoned = 0;
+      stale_commits_nacked = 0;
+      wal_records_replayed = 0;
     }
   in
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
+  (* Only recovery-enabled replicas care about their own failures; legacy
+     fail-stop replicas keep the hook-free network behavior. *)
+  if recovery <> None then
+    Network.set_crash_hooks net ~site
+      ~on_crash:(fun mode -> on_crash t mode)
+      ~on_recover:(fun () -> on_recover t)
+      ();
   t
 
 let site t = t.site
@@ -55,3 +392,11 @@ let reads_served t = t.reads_served
 let writes_applied t = t.writes_applied
 let prepares_seen t = t.prepares_seen
 let repairs_applied t = t.repairs_applied
+let incarnation t = t.incarnation
+let is_serving t = t.status = Serving
+let catchup_runs t = t.catchup_runs
+let catchup_keys_installed t = t.catchup_keys_installed
+let catchup_abandoned t = t.catchup_abandoned
+let stale_commits_nacked t = t.stale_commits_nacked
+let wal_records_replayed t = t.wal_records_replayed
+let wal_records_lost t = match t.wal with None -> 0 | Some w -> Wal.lost_total w

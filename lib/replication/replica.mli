@@ -1,12 +1,64 @@
 (** Replica server: the per-site message handler.
 
-    Stateless beyond its {!Store.t}; all protocol decisions live in the
-    coordinator.  Install one per replica site with {!attach}. *)
+    In the paper's fail-stop model the replica is stateless beyond its
+    {!Store.t} and all protocol decisions live in the coordinator.  With a
+    {!recovery} config attached it additionally survives {e amnesia}
+    crashes ({!Dsim.Network.crash_mode}): every store mutation is mirrored
+    into a {!Wal}, and on recovery the replica runs a rejoin state
+    machine — replay the surviving WAL suffix, then (optionally) catch up
+    by reading every key's newest timestamp through a read quorum of its
+    peers — before it serves reads or counts toward write quorums again.
+    While recovering it answers [Prepare_nack {reason = "recovering"}] to
+    reads and prepares, so coordinators re-assemble their quorums around
+    it.
+
+    Each amnesia recovery bumps the replica's {e incarnation} number,
+    which is stamped on every reply; coordinators use it to reject replies
+    and acks that straddle a crash (see {!Message}).  Under pure fail-stop
+    the incarnation stays 0 and none of this machinery runs: a replica
+    created without [?recovery] is byte-identical in behavior to the
+    legacy one (no RNG split, no WAL, no crash hooks). *)
 
 type t
 
-val create : site:int -> net:Message.t Dsim.Network.t -> t
-(** Creates the replica and installs its handler on the network. *)
+type recovery
+(** Crash-recovery configuration. *)
+
+val recovery :
+  ?wal_policy:Wal.policy ->
+  ?catch_up:bool ->
+  ?keys:(unit -> int list) ->
+  ?proto:Quorum.Protocol.t ->
+  ?catchup_timeout:float ->
+  ?catchup_max_attempts:int ->
+  ?backoff:Detect.Backoff.policy ->
+  unit ->
+  recovery
+(** [wal_policy] defaults to {!Wal.Sync_on_commit}.  [catch_up] (default
+    [true]) runs quorum catch-up after WAL replay and requires [proto];
+    the instance is {!Quorum.Protocol.fork}ed so the replica never shares
+    protocol scratch state with coordinators.  [keys] enumerates the keys
+    to catch up on (default: the keys present in the store after replay —
+    pass the full key space to also recover keys whose WAL records were
+    lost).  Each per-key quorum gather times out after [catchup_timeout]
+    (default 25.0) and is retried with [backoff] jitter up to
+    [catchup_max_attempts] (default 20) times; on exhaustion the replica
+    stays in the recovering state (safe but unavailable).
+
+    @raise Invalid_argument if [catch_up] is set without [proto]. *)
+
+val create :
+  site:int ->
+  net:Message.t Dsim.Network.t ->
+  ?recovery:recovery ->
+  ?obs:Obs.t ->
+  unit ->
+  t
+(** Creates the replica and installs its handler on the network.  When
+    [recovery] is given, also registers crash hooks
+    ({!Dsim.Network.set_crash_hooks}) so the replica learns about its own
+    amnesia crashes, and splits a private RNG stream for catch-up quorum
+    sampling (so enabling recovery perturbs no other component's draws). *)
 
 val site : t -> int
 val store : t -> Store.t
@@ -17,3 +69,27 @@ val prepares_seen : t -> int
 
 val repairs_applied : t -> int
 (** Read-repair installs that actually changed this replica's state. *)
+
+(** {2 Recovery observables} *)
+
+val incarnation : t -> int
+(** Number of amnesia recoveries completed; 0 under fail-stop. *)
+
+val is_serving : t -> bool
+(** [false] while the rejoin state machine is still catching up. *)
+
+val catchup_runs : t -> int
+(** Completed catch-ups (back to serving). *)
+
+val catchup_keys_installed : t -> int
+(** Keys whose quorum-read value actually changed local state. *)
+
+val catchup_abandoned : t -> int
+(** Catch-ups that exhausted their retry budget (replica stays
+    recovering: safe, not live). *)
+
+val stale_commits_nacked : t -> int
+(** Commits refused because they carried a pre-crash incarnation. *)
+
+val wal_records_replayed : t -> int
+val wal_records_lost : t -> int

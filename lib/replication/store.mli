@@ -3,7 +3,17 @@
     Committed state maps keys to the newest (timestamp, value) pair seen;
     installs are monotone in timestamp order, so re-delivered or re-ordered
     commits are harmless.  Prepared-but-undecided writes are staged per
-    operation id, surviving crashes (fail-stop with stable storage). *)
+    operation id.
+
+    The store itself is plain volatile memory.  What survives a crash is
+    decided one layer up: under the paper's fail-stop model (§2.2) the
+    whole store persists untouched, while under amnesia crashes the replica
+    rebuilds it by replaying its {!Wal} — so staged writes survive exactly
+    when the WAL policy in force persists them ([Sync_on_prepare]; see
+    {!Wal.policy}).  A key whose committed write was lost to amnesia (and
+    not recovered by WAL replay or catch-up) reads as a never-written key
+    again: [Timestamp.zero] and the empty string — which is precisely the
+    stale state the consistency checker hunts for. *)
 
 type t
 

@@ -83,7 +83,7 @@ let run ?obs scenario =
   | Some o ->
     Obs.set_clock o (fun () -> Engine.now engine);
     Network.attach_obs net o);
-  let _replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
   let locks = Lock_manager.create ~engine in
   let committed = ref 0 and aborted = ref 0 and uncertain = ref 0 in
   let committed_increments = ref 0 and uncertain_increments = ref 0 in

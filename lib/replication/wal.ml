@@ -1,0 +1,74 @@
+type policy = Sync_on_commit | Sync_on_prepare | Async of float
+
+let policy_to_string = function
+  | Sync_on_commit -> "commit"
+  | Sync_on_prepare -> "prepare"
+  | Async lag -> Printf.sprintf "async(%g)" lag
+
+type record =
+  | Stage of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Commit of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Install of { key : int; ts : Timestamp.t; value : string }
+  | Abort of { op : int }
+
+(* [durable_at]: virtual time from which the record survives a crash.
+   [infinity] marks a record the policy never persists (a volatile stage
+   under Sync_on_commit). *)
+type entry = { record : record; durable_at : float }
+
+type t = {
+  policy : policy;
+  now : unit -> float;
+  mutable rev_log : entry list;  (* newest first *)
+  mutable n : int;
+  mutable lost : int;
+}
+
+let create ?(policy = Sync_on_commit) ~now () =
+  (match policy with
+  | Async lag when lag <= 0.0 ->
+    invalid_arg "Wal.create: Async flush lag must be positive"
+  | _ -> ());
+  { policy; now; rev_log = []; n = 0; lost = 0 }
+
+let policy t = t.policy
+
+let durable_at t record =
+  let now = t.now () in
+  match (t.policy, record) with
+  | Sync_on_commit, (Commit _ | Install _) -> now
+  | Sync_on_commit, (Stage _ | Abort _) -> Float.infinity
+  | Sync_on_prepare, _ -> now
+  | Async lag, _ -> now +. lag
+
+let append t record =
+  t.rev_log <- { record; durable_at = durable_at t record } :: t.rev_log;
+  t.n <- t.n + 1
+
+let crash t =
+  let now = t.now () in
+  (* Append times are monotone, so the non-durable records form a prefix of
+     the newest-first list; still filter the whole log so the volatile
+     (never-durable) stages of Sync_on_commit go too. *)
+  let survivors = List.filter (fun e -> e.durable_at <= now) t.rev_log in
+  let kept = List.length survivors in
+  t.lost <- t.lost + (t.n - kept);
+  t.rev_log <- survivors;
+  t.n <- kept
+
+let replay t store =
+  let apply = function
+    | Stage { op; key; ts; value } -> Store.stage store ~op ~key ~ts ~value
+    | Commit { op; key; ts; value } ->
+      Store.abort_staged store ~op;
+      ignore (Store.install store ~key ~ts ~value)
+    | Install { key; ts; value } -> ignore (Store.install store ~key ~ts ~value)
+    | Abort { op } -> Store.abort_staged store ~op
+  in
+  List.iter (fun e -> apply e.record) (List.rev t.rev_log);
+  t.n
+
+let length t = t.n
+let lost_total t = t.lost
+
+let pp_policy ppf p = Format.pp_print_string ppf (policy_to_string p)

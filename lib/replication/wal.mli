@@ -1,0 +1,71 @@
+(** Simulated write-ahead log: the replica's stable storage.
+
+    The paper assumes fail-stop replicas whose memory survives crashes
+    (§2.2); this module makes the durability assumption explicit and
+    tunable so crash-{e recovery} with amnesia can be simulated honestly.
+    A replica appends staged writes, committed installs and aborts; on an
+    amnesia crash the log is truncated according to the persistence policy
+    in force, and on recovery {!replay} rebuilds the store from whatever
+    survived.
+
+    Policies:
+    - {!Sync_on_commit}: committed installs are durable the moment they
+      are logged; staged (prepared-but-undecided) writes are volatile and
+      lost on a crash.  A recovered replica answers a 2PC [Commit] for a
+      lost stage with a nack, which the coordinator turns into a retry.
+    - {!Sync_on_prepare}: staged writes are durable too — the classic 2PC
+      participant contract.  Replay restores both committed state and the
+      undecided stage set.
+    - {!Async lag}: every record becomes durable only [lag] units of
+      virtual time after it was appended (a background flusher with that
+      much dirty data in flight).  A crash loses the un-flushed suffix —
+      {e including writes the replica already acknowledged}.  This policy
+      deliberately violates the stable-storage contract; the consistency
+      checker exists to catch exactly the anomalies it introduces. *)
+
+type policy =
+  | Sync_on_commit
+  | Sync_on_prepare
+  | Async of float  (** flush lag in virtual time; must be positive *)
+
+val policy_to_string : policy -> string
+(** ["commit"], ["prepare"], ["async(<lag>)"]. *)
+
+type record =
+  | Stage of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Commit of { op : int; key : int; ts : Timestamp.t; value : string }
+      (** a 2PC commit: clears the stage of [op] and installs the write.
+          Carries the full write so it is self-contained even when the
+          matching {!Stage} record was volatile (Sync_on_commit) *)
+  | Install of { key : int; ts : Timestamp.t; value : string }
+      (** a committed write learned outside 2PC (read repair, catch-up) *)
+  | Abort of { op : int }
+
+type t
+
+val create : ?policy:policy -> now:(unit -> float) -> unit -> t
+(** [now] is the virtual clock (the engine's) used to stamp appends and
+    decide durability at crash time.  Default policy {!Sync_on_commit}.
+    Raises [Invalid_argument] on [Async lag] with [lag <= 0]. *)
+
+val policy : t -> policy
+val append : t -> record -> unit
+
+val crash : t -> unit
+(** An amnesia crash at the current time: truncates every record that was
+    not yet durable under the policy.  Fail-stop crashes never call this —
+    the replica's memory survives, so the log is irrelevant. *)
+
+val replay : t -> Store.t -> int
+(** Rebuild [store] from the log in append order: installs are applied
+    monotonically, stages re-staged, aborts clear their stage.  Returns the
+    number of records applied. *)
+
+val length : t -> int
+(** Records currently in the log (durable or not). *)
+
+val lost_total : t -> int
+(** Records discarded across all {!crash} calls so far — the measurable
+    gap between the stable-storage claim and this policy's reality. *)
+
+val pp_policy : Format.formatter -> policy -> unit

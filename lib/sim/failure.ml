@@ -10,6 +10,24 @@ type entry = { time : float; event : event }
 
 let apply net entries =
   let engine = Network.engine net in
+  (* Validate the whole schedule before touching the engine: a stale entry
+     must not leave a half-applied schedule behind (the engine would raise
+     mid-iteration otherwise, after earlier entries were already queued). *)
+  let now = Engine.now engine in
+  List.iter
+    (fun { time; _ } ->
+      if time < now then
+        invalid_arg
+          (Printf.sprintf
+             "Failure.apply: entry at t=%g is in the engine's past (now %g)"
+             time now))
+    entries;
+  (* Schedule in time order so equal-timestamp events fire in schedule
+     order regardless of how the caller assembled the list (the engine is
+     FIFO among equal timestamps). *)
+  let entries =
+    List.stable_sort (fun a b -> Float.compare a.time b.time) entries
+  in
   List.iter
     (fun { time; event } ->
       Engine.schedule_at engine ~time (fun () ->

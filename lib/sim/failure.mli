@@ -10,8 +10,10 @@ type event =
 type entry = { time : float; event : event }
 
 val apply : 'msg Network.t -> entry list -> unit
-(** Schedules every entry on the network's engine.  Times must be in the
-    engine's future. *)
+(** Schedules every entry on the network's engine, in sorted time order
+    (stable for equal timestamps, so schedule order breaks ties).  Raises
+    [Invalid_argument] — before anything is scheduled — if any entry's time
+    is in the engine's past. *)
 
 val random_crash_recovery :
   rng:Dsutil.Rng.t ->

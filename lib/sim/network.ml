@@ -1,6 +1,13 @@
 module Bitset = Dsutil.Bitset
 module Rng = Dsutil.Rng
 
+type crash_mode = Fail_stop | Amnesia
+
+type crash_hooks = {
+  on_crash : crash_mode -> unit;
+  on_recover : unit -> unit;
+}
+
 type counters = {
   mutable sent : int;
   mutable delivered : int;
@@ -36,6 +43,8 @@ type 'msg t = {
   alive : Bitset.t;  (* mirrors [up], maintained by crash/recover, so
                         alive_view is a word blit, not an n-site loop *)
   group : int array;  (* partition group per site; all 0 when healed *)
+  mutable mode : crash_mode;
+  hooks : crash_hooks option array;
   counters : counters;
   delivered_to : int array;
   mutable trace : 'msg tracer option;
@@ -65,6 +74,8 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
        done;
        s);
     group = Array.make n 0;
+    mode = Fail_stop;
+    hooks = Array.make n None;
     counters =
       {
         sent = 0;
@@ -199,17 +210,35 @@ let send t ~src ~dst msg =
 
 let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
 
+let set_crash_mode t mode = t.mode <- mode
+let crash_mode t = t.mode
+
+let set_crash_hooks t ~site ?(on_crash = fun _ -> ()) ?(on_recover = fun () -> ())
+    () =
+  check_site t site;
+  t.hooks.(site) <- Some { on_crash; on_recover }
+
+(* Crash/recover are transition-guarded: a redundant call is a no-op — no
+   duplicate trace event, no hook invocation, and the alive bitset stays in
+   lockstep with [up].  Hooks fire after the state change, so an [on_crash]
+   callback already sees its site as down. *)
 let crash t i =
   check_site t i;
-  if t.up.(i) then emit t (Trace.Crash i);
-  t.up.(i) <- false;
-  Bitset.remove t.alive i
+  if t.up.(i) then begin
+    emit t (Trace.Crash i);
+    t.up.(i) <- false;
+    Bitset.remove t.alive i;
+    match t.hooks.(i) with Some h -> h.on_crash t.mode | None -> ()
+  end
 
 let recover t i =
   check_site t i;
-  if not t.up.(i) then emit t (Trace.Recover i);
-  t.up.(i) <- true;
-  Bitset.add t.alive i
+  if not t.up.(i) then begin
+    emit t (Trace.Recover i);
+    t.up.(i) <- true;
+    Bitset.add t.alive i;
+    match t.hooks.(i) with Some h -> h.on_recover () | None -> ()
+  end
 
 let is_up t i =
   check_site t i;

@@ -1,11 +1,20 @@
 (** Simulated message-passing network over a set of sites.
 
-    Sites are numbered 0 .. n−1 and fail-stop (§2.2 of the paper): a
-    crashed site silently drops incoming messages and does not emit any.
+    Sites are numbered 0 .. n−1.  A crashed site silently drops incoming
+    messages and does not emit any.  What happens to a site's {e state}
+    across a crash is governed by the network's {!crash_mode}: [Fail_stop]
+    (§2.2 of the paper — memory survives intact) or [Amnesia] (volatile
+    state is lost; only what the site persisted survives).  The network
+    itself only reports the mode through per-site {!set_crash_hooks};
+    attached processes implement the semantics.
     Links may lose messages and the network can be split into partitions;
     only sites in the same partition communicate. *)
 
 type 'msg t
+
+type crash_mode =
+  | Fail_stop  (** a crashed site keeps its full in-memory state (default) *)
+  | Amnesia  (** a crash wipes volatile state; only stable storage survives *)
 
 val create :
   engine:Engine.t ->
@@ -51,8 +60,35 @@ val broadcast : 'msg t -> src:int -> dst:int list -> 'msg -> unit
 
 (** {2 Failure injection} *)
 
+val set_crash_mode : 'msg t -> crash_mode -> unit
+(** Selects what {!crash} means for every site's state.  Default
+    [Fail_stop].  The mode is passed to each site's [on_crash] hook so the
+    attached process can discard (or keep) its volatile state. *)
+
+val crash_mode : 'msg t -> crash_mode
+
+val set_crash_hooks :
+  'msg t ->
+  site:int ->
+  ?on_crash:(crash_mode -> unit) ->
+  ?on_recover:(unit -> unit) ->
+  unit ->
+  unit
+(** Installs failure-lifecycle callbacks for a site, invoked synchronously
+    by {!crash} / {!recover} — only on an actual up→down / down→up
+    transition, never on redundant calls.  [on_crash] runs after the site
+    is marked down (it can no longer send); [on_recover] runs after the
+    site is marked up again. *)
+
 val crash : 'msg t -> int -> unit
+(** Marks the site down and fires its [on_crash] hook.  Idempotent: calling
+    it on an already-down site changes nothing — no trace event, no hook,
+    and the alive set is untouched. *)
+
 val recover : 'msg t -> int -> unit
+(** Marks the site up and fires its [on_recover] hook.  Idempotent on an
+    already-up site (no trace event, no hook). *)
+
 val is_up : 'msg t -> int -> bool
 val alive_view : 'msg t -> Dsutil.Bitset.t
 (** Ground-truth up/down snapshot (the oracle view used to seed failure

@@ -89,6 +89,52 @@ End-to-end simulation from the CLI is deterministic under a fixed seed:
   read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
   messages: sent=480 delivered=480 dropped=0 (12.0 per op)
 
+Chaos with amnesia crashes, a commit-durable WAL, and quorum catch-up keeps
+every read regular (the consistency checker replays the span trace):
+
+  $ replica-ctl chaos -n 9 --clients 2 --ops 8 --seed 7 --crash-mode amnesia --wal commit --check-consistency
+  ARBITRARY over 9 replicas: schedule=crashes crash-mode=amnesia wal=commit catch-up=on
+  duration=3000.0
+  reads: ok=8 failed=0  writes: ok=8 failed=0  retries=1
+  safety violations=0
+  read latency: mean=3.62 p99=6.45   write latency: mean=12.95 p99=27.53
+  messages: sent=2594 delivered=2589 dropped=5 (161.8 per op)
+  recovery: rejoins=48 keys-caught-up=30 abandoned=0 wal-replayed=262 wal-lost=28 stale-rejected=0 stale-nacked=0 still-recovering=0
+  consistency: reads=8 writes=8 unstamped=0 violations=0
+
+The negative control — async WAL, catch-up off, total blackout — loses the
+un-flushed suffix on every copy at once, and the checker names the stale
+reads (non-zero exit makes it a gate):
+
+  $ replica-ctl chaos -n 9 --clients 2 --ops 25 --seed 7 --crash-mode amnesia --wal async --wal-lag 80 --no-catch-up --schedule blackout --check-consistency
+  ARBITRARY over 9 replicas: schedule=blackout crash-mode=amnesia wal=async(80) catch-up=off
+  duration=3000.0
+  reads: ok=28 failed=0  writes: ok=22 failed=0  retries=5
+  safety violations=7
+  read latency: mean=6.99 p99=80.92   write latency: mean=11.77 p99=47.45
+  messages: sent=564 delivered=564 dropped=0 (11.3 per op)
+  recovery: rejoins=0 keys-caught-up=0 abandoned=0 wal-replayed=9 wal-lost=45 stale-rejected=0 stale-nacked=0 still-recovering=0
+  consistency: reads=28 writes=22 unstamped=0 violations=7
+                 read #22 (key 5, started 172.8) returned v0@0 but write #10 (ended 63.4) committed v1@10
+                 read #19 (key 5, started 100.8) returned v0@0 but write #10 (ended 63.4) committed v1@10
+                 read #28 (key 7, started 221.8) returned v1@10 but write #15 (ended 93.5) committed v2@9
+                 read #31 (key 7, started 244.7) returned v2@10 but write #15 (ended 93.5) committed v2@9
+                 read #36 (key 7, started 262.6) returned v2@10 but write #15 (ended 93.5) committed v2@9
+                 read #37 (key 6, started 266.1) returned v0@0 but write #9 (ended 56.7) committed v2@9
+                 read #41 (key 6, started 278.9) returned v1@9 but write #9 (ended 56.7) committed v2@9
+  replica-ctl: consistency violated
+  [1]
+
+Fail-stop chaos (the legacy mode) needs no WAL and reports no recovery line:
+
+  $ replica-ctl chaos -n 9 --clients 2 --ops 8 --seed 7 --crash-mode failstop
+  ARBITRARY over 9 replicas: schedule=crashes crash-mode=failstop wal=commit catch-up=on
+  duration=3000.0
+  reads: ok=7 failed=0  writes: ok=9 failed=0  retries=0
+  safety violations=0
+  read latency: mean=4.59 p99=8.57   write latency: mean=9.37 p99=13.07
+  messages: sent=204 delivered=204 dropped=0 (12.8 per op)
+
 CSV export writes one file per figure plus a gnuplot script:
 
   $ replica-ctl figures --section table1 --export out >/dev/null && ls out

@@ -82,6 +82,40 @@ let test_deterministic () =
   let a = summary (small ()) and b = summary (small ()) in
   Alcotest.(check bool) "same seed, same campaign" true (a = b)
 
+(* The amnesia acceptance gates at test size: durable WAL + catch-up keeps
+   every configuration consistent; the negative control (async WAL, no
+   catch-up, total blackout) must be caught by the checker on every
+   configuration — a gate that cannot fail proves nothing. *)
+let test_amnesia_gate_all_configs () =
+  let cells =
+    Chaos.run_amnesia ~n:21 ~clients:2 ~ops:10 ~seed:42 ~horizon:2000.0 ()
+  in
+  Alcotest.(check int) "four cells" 4 (List.length cells);
+  List.iter
+    (fun c ->
+      let label = Arbitrary.Config.name_to_string c.Chaos.a_config in
+      Alcotest.(check int)
+        (label ^ ": online safety") 0
+        c.Chaos.a_report.Harness.safety_violations;
+      Alcotest.(check int)
+        (label ^ ": offline consistency") 0
+        (List.length c.Chaos.a_consistency.Eval.Consistency.violations))
+    cells;
+  Alcotest.(check int) "campaign total" 0 (Chaos.amnesia_violations cells)
+
+let test_amnesia_negative_control () =
+  (* Campaign size: smaller trees leave too few overlapping ops for every
+     configuration to witness a lost write. *)
+  let cells = Chaos.run_amnesia_negative ~seed:42 () in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Arbitrary.Config.name_to_string c.Chaos.a_config
+        ^ ": checker catches lost writes")
+        true
+        (c.Chaos.a_consistency.Eval.Consistency.violations <> []))
+    cells
+
 let suite =
   [
     Alcotest.test_case "combined chaos keeps safety" `Quick
@@ -92,4 +126,8 @@ let suite =
       test_crash_parity;
     Alcotest.test_case "detector bookkeeping" `Quick test_detector_bookkeeping;
     Alcotest.test_case "campaign is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "amnesia gate holds on every configuration" `Quick
+      test_amnesia_gate_all_configs;
+    Alcotest.test_case "amnesia negative control fires" `Quick
+      test_amnesia_negative_control;
   ]

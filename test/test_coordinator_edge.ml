@@ -14,7 +14,7 @@ let build ?(spec = "1-3-5") ?(seed = 42) ?(loss_rate = 0.0) ?config () =
   let n = Arbitrary.Tree.n tree in
   let engine = Engine.create ~seed () in
   let net = Network.create ~engine ~n:(n + 2) ~loss_rate () in
-  let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
   let coord = Coordinator.create ~site:n ~net ~proto ?config () in
   let rpc = Quorum_rpc.create ~site:(n + 1) ~net ~proto () in
   (engine, net, replicas, coord, rpc)

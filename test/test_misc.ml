@@ -37,15 +37,15 @@ let test_message_pp_and_op_id () =
   let cases =
     [
       (Replication.Message.Read_request { op = 1; key = 2 }, 1, "read-req");
-      ( Replication.Message.Read_reply { op = 2; key = 0; ts; value = "v" },
+      ( Replication.Message.Read_reply { op = 2; key = 0; ts; value = "v"; inc = 0 },
         2, "read-reply" );
       ( Replication.Message.Prepare { op = 3; key = 0; ts; value = "v" },
         3, "prepare" );
-      (Replication.Message.Prepare_ack { op = 4 }, 4, "prepare-ack");
+      (Replication.Message.Prepare_ack { op = 4; inc = 0 }, 4, "prepare-ack");
       ( Replication.Message.Prepare_nack { op = 5; reason = "r" },
         5, "prepare-nack" );
-      (Replication.Message.Commit { op = 6 }, 6, "commit");
-      (Replication.Message.Commit_ack { op = 7 }, 7, "commit-ack");
+      (Replication.Message.Commit { op = 6; inc = 0 }, 6, "commit");
+      (Replication.Message.Commit_ack { op = 7; inc = 0 }, 7, "commit-ack");
       (Replication.Message.Abort { op = 8 }, 8, "abort");
       ( Replication.Message.Repair { op = 9; key = 1; ts; value = "v" },
         9, "repair" );

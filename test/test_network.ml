@@ -179,6 +179,112 @@ let test_crash_fraction () =
   in
   Alcotest.(check int) "distinct sites" 3 (List.length (List.sort_uniq compare sites))
 
+(* Crash/recover are transitions, not commands: redundant calls must not
+   re-fire hooks (a replica would otherwise wipe its store twice, or
+   re-enter catch-up while already serving). *)
+let test_crash_hooks_idempotent () =
+  let _, net = make ~n:3 () in
+  Network.set_crash_mode net Network.Amnesia;
+  Alcotest.(check bool) "mode readable" true
+    (Network.crash_mode net = Network.Amnesia);
+  let crashes = ref [] in
+  let recoveries = ref 0 in
+  Network.set_crash_hooks net ~site:1
+    ~on_crash:(fun mode -> crashes := mode :: !crashes)
+    ~on_recover:(fun () -> incr recoveries)
+    ();
+  Network.crash net 1;
+  Network.crash net 1;
+  (* already down: no hook, no trace event *)
+  Alcotest.(check int) "on_crash fired once" 1 (List.length !crashes);
+  Alcotest.(check bool) "hook sees the mode" true
+    (!crashes = [ Network.Amnesia ]);
+  Alcotest.(check bool) "down after double crash" false (Network.is_up net 1);
+  Network.recover net 1;
+  Network.recover net 1;
+  Alcotest.(check int) "on_recover fired once" 1 !recoveries;
+  Alcotest.(check bool) "up after double recover" true (Network.is_up net 1);
+  (* Recovering a site that never crashed is equally inert. *)
+  Network.recover net 2;
+  Alcotest.(check int) "no spurious recovery hook" 1 !recoveries
+
+let test_failure_apply_rejects_past () =
+  let engine, net = make ~n:2 () in
+  let raised = ref false in
+  Engine.schedule engine ~delay:5.0 (fun () ->
+      (try
+         Failure.apply net
+           [
+             { Failure.time = 10.0; event = Failure.Crash 0 };
+             { Failure.time = 1.0; event = Failure.Crash 1 };
+           ]
+       with Invalid_argument _ -> raised := true));
+  Engine.run engine;
+  Alcotest.(check bool) "past entry raises" true !raised;
+  (* Validation happens before anything is scheduled: the valid t=10
+     entry must not have crashed site 0. *)
+  Alcotest.(check bool) "nothing scheduled" true (Network.is_up net 0)
+
+let test_failure_apply_sorts () =
+  let engine, net = make ~n:2 () in
+  (* Entries arrive out of order; apply sorts them, so the site is down
+     in [1, 2) and up again afterwards. *)
+  Failure.apply net
+    [
+      { Failure.time = 2.0; event = Failure.Recover 0 };
+      { Failure.time = 1.0; event = Failure.Crash 0 };
+    ];
+  let up_at = ref [] in
+  List.iter
+    (fun t ->
+      Engine.schedule engine ~delay:t (fun () ->
+          up_at := (t, Network.is_up net 0) :: !up_at))
+    [ 1.5; 2.5 ];
+  Engine.run engine;
+  Alcotest.(check bool) "sorted before scheduling" true
+    (List.sort compare !up_at = [ (1.5, false); (2.5, true) ])
+
+let test_crash_fraction_edges () =
+  let rng = Dsutil.Rng.create 11 in
+  Alcotest.(check int) "fraction 0 crashes nobody" 0
+    (List.length (Failure.crash_fraction ~rng ~n:10 ~at:1.0 ~fraction:0.0));
+  let all = Failure.crash_fraction ~rng ~n:10 ~at:1.0 ~fraction:1.0 in
+  let sites =
+    List.map
+      (fun e -> match e.Failure.event with Failure.Crash i -> i | _ -> -1)
+      all
+  in
+  Alcotest.(check int) "fraction 1 crashes everybody" 10
+    (List.length (List.sort_uniq compare sites));
+  Alcotest.(check bool) "single site" true
+    (match Failure.crash_fraction ~rng ~n:1 ~at:1.0 ~fraction:1.0 with
+    | [ { Failure.time = 1.0; event = Failure.Crash 0 } ] -> true
+    | _ -> false)
+
+(* Each site's renewal process must strictly alternate crash → recover in
+   time order — two consecutive crashes would make a schedule that
+   [Failure.apply]'s idempotent transitions silently swallow. *)
+let test_random_crash_recovery_alternates () =
+  let rng = Dsutil.Rng.create 29 in
+  let entries =
+    Failure.random_crash_recovery ~rng ~n:10 ~horizon:500.0 ~mtbf:50.0
+      ~mttr:10.0
+  in
+  let down = Hashtbl.create 10 in
+  List.iter
+    (fun e ->
+      match e.Failure.event with
+      | Failure.Crash i ->
+        Alcotest.(check bool) "crash only from up" false
+          (Hashtbl.mem down i);
+        Hashtbl.replace down i ()
+      | Failure.Recover i ->
+        Alcotest.(check bool) "recover only from down" true
+          (Hashtbl.mem down i);
+        Hashtbl.remove down i
+      | _ -> ())
+    entries
+
 (* Regression: a message reaching an up, reachable site that never
    installed a handler used to be booked as [dropped_crash], polluting
    failure statistics.  It is a wiring bug and gets its own counter. *)
@@ -235,6 +341,16 @@ let suite =
     Alcotest.test_case "random crash/recovery schedule" `Quick
       test_random_crash_recovery_stats;
     Alcotest.test_case "crash fraction" `Quick test_crash_fraction;
+    Alcotest.test_case "crash hooks fire once per transition" `Quick
+      test_crash_hooks_idempotent;
+    Alcotest.test_case "failure apply rejects past entries" `Quick
+      test_failure_apply_rejects_past;
+    Alcotest.test_case "failure apply sorts entries" `Quick
+      test_failure_apply_sorts;
+    Alcotest.test_case "crash fraction edge cases" `Quick
+      test_crash_fraction_edges;
+    Alcotest.test_case "random crash/recovery alternates per site" `Quick
+      test_random_crash_recovery_alternates;
     Alcotest.test_case "no-handler drop counter" `Quick test_no_handler_counter;
     Alcotest.test_case "obs mirrors net counters" `Quick
       test_obs_mirrors_counters;

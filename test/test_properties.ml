@@ -108,7 +108,7 @@ let prop_end_to_end_write_read =
       let engine = Dsim.Engine.create ~seed () in
       let net = Dsim.Network.create ~engine ~n:(n + 1) () in
       let _replicas =
-        Array.init n (fun site -> Replication.Replica.create ~site ~net)
+        Array.init n (fun site -> Replication.Replica.create ~site ~net ())
       in
       let coord = Replication.Coordinator.create ~site:n ~net ~proto () in
       let result = ref None in
@@ -129,7 +129,7 @@ let prop_reconfig_preserves_values =
       let engine = Dsim.Engine.create ~seed () in
       let net = Dsim.Network.create ~engine ~n:(n + 2) () in
       let _replicas =
-        Array.init n (fun site -> Replication.Replica.create ~site ~net)
+        Array.init n (fun site -> Replication.Replica.create ~site ~net ())
       in
       let locks = Replication.Lock_manager.create ~engine in
       let coord =

@@ -24,7 +24,7 @@ type ctx = {
 let setup ?(seed = 42) () =
   let engine = Engine.create ~seed () in
   let net = Network.create ~engine ~n:10 () in
-  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net ()) in
   let locks = Lock_manager.create ~engine in
   let coord =
     Coordinator.create ~site:8 ~net

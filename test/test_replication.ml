@@ -22,7 +22,7 @@ let setup ?(proto = fig1_proto ()) ?(seed = 42) ?config () =
   let n = Protocol.universe_size proto in
   let engine = Engine.create ~seed () in
   let net = Network.create ~engine ~n:(n + 1) () in
-  let replicas = Array.init n (fun site -> Replica.create ~site ~net) in
+  let replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
   let coord = Coordinator.create ~site:n ~net ~proto ?config () in
   { engine; net; replicas; coord }
 

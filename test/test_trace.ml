@@ -125,7 +125,7 @@ let test_end_to_end_protocol_trace () =
   Network.attach_trace net
     ~describe:(Format.asprintf "%a" Replication.Message.pp)
     trace;
-  let _replicas = Array.init 8 (fun site -> Replication.Replica.create ~site ~net) in
+  let _replicas = Array.init 8 (fun site -> Replication.Replica.create ~site ~net ()) in
   let coord = Replication.Coordinator.create ~site:8 ~net ~proto () in
   let done_ = ref false in
   Replication.Coordinator.write coord ~key:1 ~value:"x" (fun _ -> done_ := true);

@@ -17,7 +17,7 @@ let setup ?(seed = 42) () =
   let proto = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ()) in
   let engine = Engine.create ~seed () in
   let net = Network.create ~engine ~n:10 () in
-  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net) in
+  let _replicas = Array.init 8 (fun site -> Replica.create ~site ~net ()) in
   let locks = Lock_manager.create ~engine in
   let m1 = Txn.create_manager ~site:8 ~net ~proto ~locks () in
   let m2 = Txn.create_manager ~site:9 ~net ~proto ~locks () in

@@ -1,0 +1,145 @@
+module Wal = Replication.Wal
+module Store = Replication.Store
+module Timestamp = Replication.Timestamp
+
+(* A hand-cranked virtual clock: the WAL only ever samples [now ()]. *)
+let clock () =
+  let t = ref 0.0 in
+  ((fun () -> !t), fun v -> t := v)
+
+let ts v = Timestamp.make ~version:v ~sid:0
+
+let stage ~op ~key ~v value = Wal.Stage { op; key; ts = ts v; value }
+let commit ~op ~key ~v value = Wal.Commit { op; key; ts = ts v; value }
+let install ~key ~v value = Wal.Install { key; ts = ts v; value }
+
+let test_policy_strings () =
+  Alcotest.(check string) "commit" "commit" (Wal.policy_to_string Wal.Sync_on_commit);
+  Alcotest.(check string) "prepare" "prepare" (Wal.policy_to_string Wal.Sync_on_prepare);
+  Alcotest.(check string) "async" "async(60)" (Wal.policy_to_string (Wal.Async 60.0))
+
+let test_invalid_lag () =
+  let now, _ = clock () in
+  Alcotest.check_raises "zero lag"
+    (Invalid_argument "Wal.create: Async flush lag must be positive")
+    (fun () -> ignore (Wal.create ~policy:(Wal.Async 0.0) ~now ()))
+
+(* Sync_on_commit: commits and installs survive any crash, stages never do.
+   A replica that loses a stage nacks the eventual 2PC Commit, so nothing
+   is silently dropped — the write just fails visibly at the coordinator. *)
+let test_sync_on_commit_crash () =
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (stage ~op:1 ~key:0 ~v:1 "a");
+  Wal.append wal (commit ~op:1 ~key:0 ~v:1 "a");
+  Wal.append wal (stage ~op:2 ~key:1 ~v:1 "b");
+  Alcotest.(check int) "three records" 3 (Wal.length wal);
+  Wal.crash wal;
+  Alcotest.(check int) "stages dropped" 1 (Wal.length wal);
+  Alcotest.(check int) "two lost" 2 (Wal.lost_total wal);
+  let store = Store.create () in
+  Alcotest.(check int) "replayed" 1 (Wal.replay wal store);
+  Alcotest.(check bool) "commit restored" true
+    (Store.read store ~key:0 = (ts 1, "a"));
+  Alcotest.(check bool) "stage gone" true (Store.staged store ~op:2 = None);
+  Alcotest.(check bool) "staged key unwritten" true
+    (Store.read store ~key:1 = (Timestamp.zero, ""))
+
+(* Sync_on_prepare: the classic 2PC participant contract — the undecided
+   stage set survives too, so replay rebuilds it for the coordinator's
+   eventual decision. *)
+let test_sync_on_prepare_crash () =
+  let now, _ = clock () in
+  let wal = Wal.create ~policy:Wal.Sync_on_prepare ~now () in
+  Wal.append wal (stage ~op:1 ~key:0 ~v:1 "a");
+  Wal.append wal (commit ~op:1 ~key:0 ~v:1 "a");
+  Wal.append wal (stage ~op:2 ~key:1 ~v:1 "b");
+  Wal.crash wal;
+  Alcotest.(check int) "nothing lost" 0 (Wal.lost_total wal);
+  let store = Store.create () in
+  Alcotest.(check int) "all replayed" 3 (Wal.replay wal store);
+  Alcotest.(check bool) "stage restored" true
+    (Store.staged store ~op:2 = Some (1, ts 1, "b"));
+  Alcotest.(check bool) "commit restored" true
+    (Store.read store ~key:0 = (ts 1, "a"))
+
+(* Async lag: a record is durable only once [lag] time has passed since the
+   append — a crash inside the window loses acknowledged writes, which is
+   exactly the anomaly the negative-control campaign manufactures. *)
+let test_async_lag () =
+  let now, set = clock () in
+  let wal = Wal.create ~policy:(Wal.Async 10.0) ~now () in
+  Wal.append wal (commit ~op:1 ~key:0 ~v:1 "a");
+  set 5.0;
+  Wal.append wal (commit ~op:2 ~key:0 ~v:2 "b");
+  (* At t=12 the first append (durable from t=10) survives, the second
+     (durable from t=15) does not. *)
+  set 12.0;
+  Wal.crash wal;
+  Alcotest.(check int) "suffix lost" 1 (Wal.lost_total wal);
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "only the flushed prefix" true
+    (Store.read store ~key:0 = (ts 1, "a"));
+  (* The durability horizon is measured from each append. *)
+  Wal.append wal (commit ~op:3 ~key:0 ~v:3 "c");
+  set 30.0;
+  Wal.crash wal;
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "flushed after the lag" true
+    (Store.read store ~key:0 = (ts 3, "c"))
+
+(* Replay preserves install monotonicity and abort semantics. *)
+let test_replay_order () =
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (install ~key:0 ~v:3 "new");
+  Wal.append wal (install ~key:0 ~v:1 "old");
+  (* re-delivered, must not regress *)
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "monotone installs" true
+    (Store.read store ~key:0 = (ts 3, "new"))
+
+let test_replay_abort_clears_stage () =
+  let now, _ = clock () in
+  let wal = Wal.create ~policy:Wal.Sync_on_prepare ~now () in
+  Wal.append wal (stage ~op:7 ~key:2 ~v:4 "x");
+  Wal.append wal (Wal.Abort { op = 7 });
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "aborted stage not rebuilt" true
+    (Store.staged store ~op:7 = None);
+  Alcotest.(check int) "no staged writes" 0 (Store.staged_count store)
+
+(* A Commit record is self-contained: it installs even when the matching
+   Stage was volatile (the Sync_on_commit steady state). *)
+let test_commit_record_self_contained () =
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (stage ~op:1 ~key:0 ~v:2 "v");
+  Wal.crash wal;
+  (* stage lost *)
+  Wal.append wal (commit ~op:1 ~key:0 ~v:2 "v");
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "installed from the commit alone" true
+    (Store.read store ~key:0 = (ts 2, "v"))
+
+let suite =
+  [
+    Alcotest.test_case "policy strings" `Quick test_policy_strings;
+    Alcotest.test_case "invalid async lag" `Quick test_invalid_lag;
+    Alcotest.test_case "sync-on-commit crash semantics" `Quick
+      test_sync_on_commit_crash;
+    Alcotest.test_case "sync-on-prepare crash semantics" `Quick
+      test_sync_on_prepare_crash;
+    Alcotest.test_case "async flush lag" `Quick test_async_lag;
+    Alcotest.test_case "replay keeps installs monotone" `Quick
+      test_replay_order;
+    Alcotest.test_case "replay honors aborts" `Quick
+      test_replay_abort_clears_stage;
+    Alcotest.test_case "commit records are self-contained" `Quick
+      test_commit_record_self_contained;
+  ]
