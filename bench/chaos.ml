@@ -1,20 +1,88 @@
 (* Chaos-campaign runner: crash/partition/loss schedules × the four paper
    tree configurations × oracle vs heartbeat failure detection, plus the
    amnesia crash-recovery campaign (WAL + rejoin catch-up) with its
-   negative control.
+   negative control, plus the overload / metastable-failure campaign
+   (bounded queues, load shedding, retry budget, circuit breaker).
 
-     dune exec bench/chaos.exe            # full campaign (32 cells)
-     dune exec bench/chaos.exe -- --smoke # CI budget (8 cells, seeded)
+     dune exec bench/chaos.exe               # full campaign (32 cells)
+     dune exec bench/chaos.exe -- --smoke    # CI budget (8 cells, seeded)
+     dune exec bench/chaos.exe -- --overload # overload campaign only
 
    Exit status is non-zero when any cell records a safety violation, when
    the heartbeat detector's success rate falls more than 10 points behind
    the oracle's on the crash-only schedule, when the amnesia campaign
-   (durable WAL + catch-up) shows any consistency violation, or when the
+   (durable WAL + catch-up) shows any consistency violation, when the
    negative control (async WAL, no catch-up, total blackout) fails to
-   produce one — the campaign is a gate, not just a report. *)
+   produce one, or when the overload gate fails (naive retry storm must
+   collapse, budget+breaker+shedding must recover ≥90%, zero consistency
+   violations) — the campaign is a gate, not just a report. *)
+
+let overload_path = "BENCH_overload.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let overload_cell_json (c : Eval.Overload.cell) =
+  let r = c.Eval.Overload.report in
+  Printf.sprintf
+    "{\"scenario\":\"%s\",\"mode\":\"%s\",\"pre_goodput\":%.6f,\"post_goodput\":%.6f,\"recovery\":%.4f,\"ops_ok\":%d,\"sheds\":%d,\"overload_drops\":%d,\"retries_suppressed\":%d,\"breaker_trips\":%d,\"queue_peak\":%d,\"consistency_violations\":%d}"
+    (Eval.Overload.kind_to_string c.Eval.Overload.kind)
+    (Eval.Overload.mode_to_string c.Eval.Overload.mode)
+    c.Eval.Overload.pre_goodput c.Eval.Overload.post_goodput
+    c.Eval.Overload.recovery
+    (r.Replication.Harness.reads_ok + r.Replication.Harness.writes_ok)
+    r.Replication.Harness.replica_sheds r.Replication.Harness.overload_drops
+    r.Replication.Harness.retries_suppressed
+    r.Replication.Harness.breaker_trips r.Replication.Harness.queue_peak
+    c.Eval.Overload.consistency_violations
+
+let run_overload () =
+  Printf.printf "\n== Overload / metastable-failure campaign ==\n\n";
+  let campaign = Eval.Overload.run () in
+  print_string (Eval.Overload.table campaign);
+  let verdict = Eval.Overload.gate campaign in
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"bench-overload/1\",\"cells\":[%s],\"gate\":{\"pass\":%b,\"failures\":[%s]}}"
+      (String.concat ","
+         (List.map overload_cell_json campaign.Eval.Overload.cells))
+      verdict.Eval.Overload.pass
+      (String.concat ","
+         (List.map
+            (fun f -> Printf.sprintf "\"%s\"" (json_escape f))
+            verdict.Eval.Overload.failures))
+  in
+  let oc = open_out overload_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" overload_path;
+  if not verdict.Eval.Overload.pass then begin
+    List.iter
+      (fun f -> Printf.eprintf "overload gate: %s\n" f)
+      verdict.Eval.Overload.failures;
+    prerr_endline "FAIL: overload gate";
+    exit 1
+  end;
+  Printf.printf "overload gate OK\n"
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if Array.exists (( = ) "--overload") Sys.argv then begin
+    run_overload ();
+    exit 0
+  end;
   let campaign =
     if smoke then
       Eval.Chaos.run ~n:45 ~clients:3 ~ops:20 ~horizon:3000.0
@@ -67,4 +135,5 @@ let () =
        checker is not catching lost writes";
     exit 1
   end;
+  run_overload ();
   print_endline "chaos campaign OK"

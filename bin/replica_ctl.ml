@@ -652,6 +652,174 @@ let chaos_cmd =
       $ horizon_arg $ schedule_arg $ crash_mode_arg $ wal_arg $ wal_lag_arg
       $ no_catch_up_arg $ check_consistency_arg)
 
+(* --- overload ------------------------------------------------------------- *)
+
+let overload_cmd =
+  let clients_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "clients" ] ~docv:"C" ~doc:"Steady client count.")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per steady client.")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 4000.0
+      & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon (virtual time).")
+  in
+  let queue_capacity_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Bound on every replica's ingress queue (0 = unbounded).")
+  in
+  let service_time_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "service-time" ] ~docv:"S"
+          ~doc:"Per-message replica service cost (what makes overload possible).")
+  in
+  let shed_watermark_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shed-watermark" ] ~docv:"N"
+          ~doc:
+            "Queue depth above which replicas shed client work with a Busy \
+             nack (0 = no shedding).")
+  in
+  let retry_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "retry-budget" ] ~docv:"RATIO"
+          ~doc:
+            "Enable the global retry budget: tokens deposited per first \
+             attempt (e.g. 0.1 caps retries at 10% of attempts).")
+  in
+  let breaker_arg =
+    Arg.(
+      value & flag
+      & info [ "breaker" ]
+          ~doc:
+            "Enable the shared per-site circuit breaker that steers quorum \
+             assembly away from overloaded replicas.")
+  in
+  let burst_clients_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "burst-clients" ] ~docv:"C"
+          ~doc:"Flash-crowd size joining at a quarter of the horizon (0 = none).")
+  in
+  let burst_ops_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "burst-ops" ] ~docv:"OPS" ~doc:"Operations per burst client.")
+  in
+  let max_retries_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "max-retries" ] ~docv:"K" ~doc:"Client retry budget per operation.")
+  in
+  let run config n clients ops seed horizon queue_capacity service_time
+      shed_watermark retry_budget breaker burst_clients burst_ops max_retries =
+    or_fail @@ fun () ->
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    let n = Eval.Config_metrics.feasible_n name n in
+    let proto = Eval.Config_metrics.protocol_of name ~n in
+    let burst_at = horizon /. 4.0 in
+    let overload =
+      {
+        Replication.Harness.queue_capacity;
+        service_time;
+        slow_sites = [];
+        shed_watermark;
+        retry_budget =
+          Option.map
+            (fun ratio -> { Detect.Budget.ratio; burst = 5.0 })
+            retry_budget;
+        breaker = (if breaker then Some Detect.Breaker.default_config else None);
+        burst =
+          (if burst_clients = 0 then None
+           else
+             Some
+               {
+                 Replication.Harness.burst_at;
+                 burst_clients;
+                 burst_ops;
+                 burst_think = 1.0;
+               });
+      }
+    in
+    let s = Replication.Harness.default_scenario ~proto in
+    let report =
+      Replication.Harness.run
+        {
+          s with
+          Replication.Harness.n_clients = clients;
+          ops_per_client = ops;
+          read_fraction = 0.8;
+          key_space = 64;
+          think_time = 50.0;
+          seed;
+          coordinator =
+            {
+              Replication.Coordinator.default_config with
+              Replication.Coordinator.timeout = 30.0;
+              max_retries;
+              deadline = Float.infinity;
+            };
+          horizon;
+          warmup = 1.0;
+          overload = Some overload;
+        }
+    in
+    Format.printf "%s over %d replicas: capacity=%d service=%.1f watermark=%d \
+                   budget=%s breaker=%s burst=%d@."
+      (Arbitrary.Config.name_to_string name)
+      n queue_capacity service_time shed_watermark
+      (match retry_budget with
+      | None -> "off"
+      | Some r -> Printf.sprintf "%.2f" r)
+      (if breaker then "on" else "off")
+      burst_clients;
+    Format.printf "%a@." Replication.Harness.pp_report report;
+    let goodput (t0, t1) =
+      let hits =
+        Array.fold_left
+          (fun acc t -> if t >= t0 && t < t1 then acc + 1 else acc)
+          0 report.Replication.Harness.completions
+      in
+      float_of_int hits /. (t1 -. t0)
+    in
+    let pre = goodput (horizon *. 0.05, burst_at)
+    and post = goodput (horizon *. 0.65, horizon *. 0.95) in
+    Format.printf
+      "overload: sheds=%d busy=%d suppressed=%d drops=%d trips=%d peak-queue=%d@."
+      report.Replication.Harness.replica_sheds
+      report.Replication.Harness.busy_received
+      report.Replication.Harness.retries_suppressed
+      report.Replication.Harness.overload_drops
+      report.Replication.Harness.breaker_trips
+      report.Replication.Harness.queue_peak;
+    Format.printf "goodput: pre-burst=%.3f post-burst=%.3f recovery=%.2f@." pre
+      post
+      (if pre > 0.0 then post /. pre else 0.0)
+  in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Drive a flash crowd into the replication stack with a configurable \
+          overload model: bounded replica queues, load shedding, a global \
+          retry budget and a per-site circuit breaker.")
+    Term.(
+      const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ seed_arg
+      $ horizon_arg $ queue_capacity_arg $ service_time_arg
+      $ shed_watermark_arg $ retry_budget_arg $ breaker_arg
+      $ burst_clients_arg $ burst_ops_arg $ max_retries_arg)
+
 let () =
   let info =
     Cmd.info "replica-ctl" ~version:"1.0.0"
@@ -665,5 +833,5 @@ let () =
        (Cmd.group info
           [
             tree_cmd; analyze_cmd; quorums_cmd; plan_cmd; figures_cmd;
-            simulate_cmd; txn_cmd; trace_cmd; chaos_cmd;
+            simulate_cmd; txn_cmd; trace_cmd; chaos_cmd; overload_cmd;
           ]))

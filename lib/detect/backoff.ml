@@ -11,6 +11,8 @@ let default = { base = 12.5; factor = 2.0; max_delay = 200.0; jitter = 0.2 }
 
 let delay p ~rng ~attempt =
   if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  (* [factor ** attempt] overflows to [infinity] for absurd attempt
+     counts; [Float.min] still caps it, so the cap holds for any attempt. *)
   let raw = p.base *. (p.factor ** float_of_int attempt) in
   let capped = Float.min p.max_delay raw in
   let scale =

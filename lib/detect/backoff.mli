@@ -5,7 +5,17 @@
     and burns the whole retry budget inside one failure window.  Delays
     here grow geometrically per attempt and are jittered from the caller's
     seeded {!Dsutil.Rng} stream, so runs stay reproducible while retries
-    from concurrent clients decorrelate. *)
+    from concurrent clients decorrelate.
+
+    {b Backoff state resets on success.}  The policy is stateless: the
+    caller owns the [attempt] counter, and the contract is that it counts
+    {e consecutive} failures of the current piece of work only — every
+    success (a completed phase, an installed catch-up key) must restart
+    the count at 0.  A site that has recovered is charged fresh-failure
+    prices, never the penalty accumulated before it recovered.  All
+    in-tree callers follow this: coordinator and RPC attempts are
+    per-operation, and the replica rejoin state machine passes
+    [~attempt:0] after each successfully installed key. *)
 
 type policy = {
   base : float;  (** delay before the first retry (attempt 0) *)

@@ -1,0 +1,38 @@
+type config = { ratio : float; burst : float }
+
+let default_config = { ratio = 0.2; burst = 10.0 }
+
+type t = {
+  config : config;
+  mutable tokens : float;
+  mutable attempts : int;
+  mutable granted : int;
+  mutable suppressed : int;
+}
+
+let create ?(config = default_config) () =
+  if config.ratio < 0.0 then invalid_arg "Budget.create: negative ratio";
+  if config.burst < 1.0 then invalid_arg "Budget.create: burst < 1";
+  (* Start full: early retries (before any load signal) behave exactly like
+     an un-budgeted client; only a sustained storm drains the bucket. *)
+  { config; tokens = config.burst; attempts = 0; granted = 0; suppressed = 0 }
+
+let on_attempt t =
+  t.attempts <- t.attempts + 1;
+  t.tokens <- Float.min t.config.burst (t.tokens +. t.config.ratio)
+
+let try_retry t =
+  if t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    t.granted <- t.granted + 1;
+    true
+  end
+  else begin
+    t.suppressed <- t.suppressed + 1;
+    false
+  end
+
+let tokens t = t.tokens
+let attempts t = t.attempts
+let granted t = t.granted
+let suppressed t = t.suppressed

@@ -39,6 +39,8 @@ type metrics = {
   repairs_sent : int;
   deadline_exceeded : int;
   stale_incarnation_rejections : int;
+  busy_received : int;
+  retries_suppressed : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -82,6 +84,8 @@ type t = {
   config : config;
   obs : Obs.t option;
   mutable view : Detect.View.t;
+  budget : Detect.Budget.t option;  (* shared across a process's coordinators *)
+  breaker : Detect.Breaker.t option;  (* likewise shared *)
   rto : Detect.Rto.t;
   rng : Rng.t;
   n_replicas : int;
@@ -98,6 +102,8 @@ type t = {
   mutable retries : int;
   mutable repairs_sent : int;
   mutable deadline_exceeded : int;
+  mutable busy_received : int;
+  mutable retries_suppressed : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -112,8 +118,14 @@ let fresh_op t =
 (* The believed-alive replica view comes from the pluggable detector:
    ground truth by default (the paper assumes detectable failures), a
    timeout-suspicion ablation with [oracle_view = false], or any
-   caller-supplied view (e.g. Detect.Heartbeat). *)
-let current_view t = t.view.Detect.View.alive ()
+   caller-supplied view (e.g. Detect.Heartbeat).  The circuit breaker
+   filters it: an Open site is alive but drowning, and quorum assembly
+   must route around it. *)
+let current_view t =
+  let view = t.view.Detect.View.alive () in
+  match t.breaker with
+  | None -> view
+  | Some b -> Detect.Breaker.filter b view
 
 let view t = t.view
 
@@ -180,6 +192,18 @@ let ocount t name =
   match t.obs with
   | None -> ()
   | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
+
+(* Overload evidence is charged to the breaker separately from the
+   liveness view: a Busy nack rehabilitates the site in the detector
+   (it answered — it is alive) while still counting against it here. *)
+let breaker_failure t site =
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+    if Detect.Breaker.record_failure b site then ocount t "coord.breaker.trips"
+
+let breaker_ok t site =
+  match t.breaker with None -> () | Some b -> Detect.Breaker.record_ok b site
 
 let oresult_ts t st (ts : Timestamp.t) =
   match (t.obs, st.span) with
@@ -271,6 +295,9 @@ and retry ?(timed_out = false) t st =
   (* The members that never answered are negative evidence for the
      detector (the oracle view ignores it). *)
   List.iter t.view.Detect.View.suspect st.waiting;
+  (* A timeout is also overload evidence: every still-waiting member sat
+     on the request past the deadline. *)
+  if timed_out then List.iter (breaker_failure t) st.waiting;
   if st.attempts >= t.config.max_retries then finish t st `Failed
   else begin
     (* Exponential backoff with jitter before re-assembling: an instant
@@ -283,6 +310,18 @@ and retry ?(timed_out = false) t st =
     if Engine.now (engine t) +. delay >= st.started +. t.config.deadline then begin
       t.deadline_exceeded <- t.deadline_exceeded + 1;
       ocount t "coord.deadline_exceeded";
+      finish t st `Failed
+    end
+    else if
+      not
+        (match t.budget with
+        | None -> true
+        | Some b -> Detect.Budget.try_retry b)
+    then begin
+      (* The global retry budget is drained: retrying now would feed the
+         storm that drained it.  Fail fast. *)
+      t.retries_suppressed <- t.retries_suppressed + 1;
+      ocount t "coord.retries_suppressed";
       finish t st `Failed
     end
     else begin
@@ -306,8 +345,11 @@ and arm_timeout t st =
 and commit_timeout t st =
   (* The decision is already commit; resend to the laggards instead of
      aborting.  Give up (uncertain outcome, counted failed) after the retry
-     budget. *)
+     budget.  Commit resends are exempt from the global retry budget: they
+     are narrow (laggards only), bounded by [max_retries], and giving up
+     early here turns overload into stuck prepared writes. *)
   List.iter t.view.Detect.View.suspect st.waiting;
+  List.iter (breaker_failure t) st.waiting;
   if st.attempts >= t.config.max_retries then begin
     Hashtbl.remove t.pending st.op;
     oend_phase t st ~timed_out:true;
@@ -330,8 +372,10 @@ and commit_timeout t st =
   end
 
 let reply_received t st ~src =
-  if List.mem src st.waiting then
+  if List.mem src st.waiting then begin
     Detect.Rto.observe t.rto (Engine.now (engine t) -. st.phase_started);
+    breaker_ok t src
+  end;
   st.waiting <- List.filter (fun m -> m <> src) st.waiting
 
 (* Push the newest value back to quorum members that replied with an older
@@ -439,6 +483,14 @@ let handle t ~src msg =
         (* Refusal: a queried or prepared member cannot take part (it is
            recovering, or our commit raced its crash).  Re-assemble. *)
         retry t st
+      | Busy _ when st.phase = Querying || st.phase = Preparing ->
+        (* The replica shed us: alive (the nack itself rehabilitated it in
+           the detector) but drowning.  Charge the breaker and re-assemble
+           elsewhere — the retry path's backoff and budget apply. *)
+        t.busy_received <- t.busy_received + 1;
+        ocount t "coord.busy_received";
+        breaker_failure t src;
+        retry t st
       | Prepare_nack _ when st.phase = Committing ->
         (* The decision was commit but this member lost its stage to a
            crash; the outcome is uncertain (other members did commit), so
@@ -449,14 +501,18 @@ let handle t ~src msg =
         when st.phase = Committing && inc = member_inc st src ->
         reply_received t st ~src;
         if st.waiting = [] then finish t st (`Write_ok st.write_ts)
-      | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
+      | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _
       | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ | Ping _
       | Pong _ ->
-        ()  (* out-of-phase or replica-bound: ignore *)
+        (* Out-of-phase or replica-bound: ignore.  A committing op ignores
+           [Busy] in particular — commits ride the priority lane, so a
+           stray Busy must not fail a decided transaction. *)
+        ()
     end
   end
 
-let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
+let create ~site ~net ~proto ?locks ?view ?budget ?breaker ?obs
+    ?(config = default_config) () =
   let n_replicas = Protocol.universe_size proto in
   let t =
     {
@@ -467,6 +523,8 @@ let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
       config;
       obs;
       view = Detect.View.always_up ~n:1;  (* placeholder, set below *)
+      budget;
+      breaker;
       rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
       n_replicas;
@@ -482,6 +540,8 @@ let create ~site ~net ~proto ?locks ?view ?obs ?(config = default_config) () =
       retries = 0;
       repairs_sent = 0;
       deadline_exceeded = 0;
+      busy_received = 0;
+      retries_suppressed = 0;
       read_latency = Stats.create ();
       write_latency = Stats.create ();
     }
@@ -507,7 +567,13 @@ let open_span t ~op ~key =
   | _ -> ());
   span
 
+(* Every operation entry deposits into the shared retry budget: the more
+   first-attempt traffic flows, the more retries the budget affords. *)
+let budget_attempt t =
+  match t.budget with None -> () | Some b -> Detect.Budget.on_attempt b
+
 let read t ~key k =
+  budget_attempt t;
   let span = open_span t ~op:"read" ~key in
   with_lock t ~key ~mode:Lock_manager.Shared (fun unlock ->
       start_attempt t ~key
@@ -517,6 +583,7 @@ let read t ~key k =
         ~span)
 
 let write t ~key ~value k =
+  budget_attempt t;
   let span = open_span t ~op:"write" ~key in
   with_lock t ~key ~mode:Lock_manager.Exclusive (fun unlock ->
       start_attempt t ~key
@@ -540,6 +607,8 @@ let metrics t =
     repairs_sent = t.repairs_sent;
     deadline_exceeded = t.deadline_exceeded;
     stale_incarnation_rejections = t.stale_inc_rejections;
+    busy_received = t.busy_received;
+    retries_suppressed = t.retries_suppressed;
     read_latency = t.read_latency;
     write_latency = t.write_latency;
   }

@@ -29,7 +29,17 @@
     [Commit] echoes the incarnation from that member's [Prepare_ack], so
     a replica that lost its staged write to a crash refuses the commit
     and the write retries instead of being silently lost.  Under pure
-    fail-stop all incarnations stay 0 and behavior is unchanged. *)
+    fail-stop all incarnations stay 0 and behavior is unchanged.
+
+    {b Overload defenses} (both optional, both usually shared across
+    every coordinator of a process): a {!Detect.Budget} caps the global
+    retry/first-attempt ratio — each operation entry deposits, each retry
+    withdraws, and a drained bucket fails the operation fast instead of
+    feeding a retry storm (commit-phase resends are exempt: they are
+    narrow and abandoning them wedges prepared writes).  A
+    {!Detect.Breaker} accumulates per-site [Busy] nacks and phase
+    timeouts, and quorum assembly skips sites whose breaker is open.
+    Without these arguments behavior is byte-identical to before. *)
 
 type config = {
   timeout : float;  (** fixed per-phase response deadline *)
@@ -62,6 +72,8 @@ val create :
   proto:Quorum.Protocol.t ->
   ?locks:Lock_manager.t ->
   ?view:Detect.View.t ->
+  ?budget:Detect.Budget.t ->
+  ?breaker:Detect.Breaker.t ->
   ?obs:Obs.t ->
   ?config:config ->
   unit ->
@@ -115,6 +127,11 @@ type metrics = {
       (** replica replies dropped because they carried an incarnation older
           than the newest one seen from that site — evidence from a
           pre-crash life (always 0 under fail-stop) *)
+  busy_received : int;
+      (** [Busy] sheds received from admission-controlled replicas *)
+  retries_suppressed : int;
+      (** retries refused by the shared {!Detect.Budget} (operation failed
+          fast instead) *)
   read_latency : Dsutil.Stats.t;
   write_latency : Dsutil.Stats.t;
 }

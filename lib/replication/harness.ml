@@ -8,6 +8,24 @@ module Protocol = Quorum.Protocol
 
 type detector_mode = Oracle | Heartbeat of Detect.Heartbeat.config
 
+(* A flash crowd: extra short-lived clients that pile in at [burst_at]. *)
+type burst = {
+  burst_at : float;
+  burst_clients : int;
+  burst_ops : int;
+  burst_think : float;
+}
+
+type overload = {
+  queue_capacity : int;  (** per-replica ingress bound; 0 = unbounded *)
+  service_time : float;  (** per-message processing cost at each replica *)
+  slow_sites : (int * float) list;  (** per-site service-time overrides *)
+  shed_watermark : int;  (** replica admission watermark; 0 = off *)
+  retry_budget : Detect.Budget.config option;
+  breaker : Detect.Breaker.config option;
+  burst : burst option;
+}
+
 type scenario = {
   proto : Protocol.t;
   n_clients : int;
@@ -29,7 +47,19 @@ type scenario = {
   wal : Wal.policy;
   catch_up : bool;
   check_consistency : bool;
+  overload : overload option;
 }
+
+let overload_defaults =
+  {
+    queue_capacity = 0;
+    service_time = 0.0;
+    slow_sites = [];
+    shed_watermark = 0;
+    retry_budget = None;
+    breaker = None;
+    burst = None;
+  }
 
 let default_scenario ~proto =
   {
@@ -53,6 +83,7 @@ let default_scenario ~proto =
     wal = Wal.Sync_on_commit;
     catch_up = true;
     check_consistency = false;
+    overload = None;
   }
 
 type report = {
@@ -83,6 +114,16 @@ type report = {
   wal_records_lost : int;
   replicas_recovering : int;
   spans : Obs.Span.t list;
+  replica_sheds : int;
+  busy_received : int;
+  retries_suppressed : int;
+  overload_drops : int;
+  breaker_trips : int;
+  queue_peak : int;
+  completions : float array;
+      (** virtual completion time of every successful operation, in
+          completion order — the raw material for goodput-over-time
+          windows *)
 }
 
 (* Per-key newest successfully committed timestamp, for the freshness
@@ -97,11 +138,52 @@ let run ?obs scenario =
   let n = Protocol.universe_size proto in
   if scenario.n_clients < 1 then invalid_arg "Harness.run: need a client";
   let engine = Engine.create ~seed:scenario.seed () in
+  let n_burst =
+    match scenario.overload with
+    | Some { burst = Some b; _ } -> b.burst_clients
+    | _ -> 0
+  in
   let net =
-    Network.create ~engine ~n:(n + scenario.n_clients)
+    Network.create ~engine ~n:(n + scenario.n_clients + n_burst)
       ~latency:scenario.latency ~loss_rate:scenario.loss_rate ()
   in
   Network.set_crash_mode net scenario.crash_mode;
+  (* Overload model: per-replica bounded service queues, a shared retry
+     budget and a shared circuit breaker.  All absent (and the network
+     untouched) unless the scenario opts in. *)
+  (match scenario.overload with
+  | None -> ()
+  | Some o ->
+    for site = 0 to n - 1 do
+      let service_time =
+        match List.assoc_opt site o.slow_sites with
+        | Some s -> s
+        | None -> o.service_time
+      in
+      Network.set_service net ~site ~capacity:o.queue_capacity ~service_time
+        ()
+    done);
+  let budget =
+    match scenario.overload with
+    | Some { retry_budget = Some c; _ } ->
+      Some (Detect.Budget.create ~config:c ())
+    | _ -> None
+  in
+  let breaker =
+    match scenario.overload with
+    | Some { breaker = Some c; _ } ->
+      Some
+        (Detect.Breaker.create ~config:c ~n
+           ~now:(fun () -> Engine.now engine)
+           ())
+    | _ -> None
+  in
+  let admission =
+    match scenario.overload with
+    | None -> None
+    | Some o ->
+      Some (Replica.admission ~shed_watermark:o.shed_watermark ~universe:n ())
+  in
   (* When consistency checking is requested, spans must be collected even
      if the caller brought no [obs] of their own: attach a memory sink to
      theirs, or to a private handle.  Attaching obs never perturbs the
@@ -138,7 +220,8 @@ let run ?obs scenario =
            ~proto ())
   in
   let replicas =
-    Array.init n (fun site -> Replica.create ~site ~net ?recovery ?obs ())
+    Array.init n (fun site ->
+        Replica.create ~site ~net ?recovery ?admission ?obs ())
   in
   let locks =
     if scenario.use_locks then Some (Lock_manager.create ~engine) else None
@@ -146,15 +229,16 @@ let run ?obs scenario =
   let checker = { latest = Hashtbl.create 16; violations = 0 } in
   let clients_done = ref 0 in
   let monitors = ref [] in
+  let completions = ref [] in
   (* All clients finished: stop the heartbeat loops so the engine drains
      instead of pinging until the horizon. *)
+  let total_clients = scenario.n_clients + n_burst in
   let client_finished () =
     incr clients_done;
-    if !clients_done = scenario.n_clients then
+    if !clients_done = total_clients then
       List.iter Detect.Heartbeat.stop !monitors
   in
-  let run_client idx =
-    let site = n + idx in
+  let run_client ~site ~ops ~think ~start_delay =
     let view =
       match scenario.detector with
       | Oracle -> None
@@ -171,7 +255,7 @@ let run ?obs scenario =
         Some (Detect.Heartbeat.view hb)
     in
     let coord =
-      Coordinator.create ~site ~net ~proto ?locks ?view ?obs
+      Coordinator.create ~site ~net ~proto ?locks ?view ?budget ?breaker ?obs
         ~config:scenario.coordinator ()
     in
     let gen =
@@ -185,7 +269,7 @@ let run ?obs scenario =
       else begin
         let continue () =
           Engine.schedule engine
-            ~delay:(Workload.Generator.think_time gen ~mean:scenario.think_time)
+            ~delay:(Workload.Generator.think_time gen ~mean:think)
             (fun () -> step (remaining - 1))
         in
         match Workload.Generator.next gen with
@@ -197,6 +281,7 @@ let run ?obs scenario =
           Coordinator.read coord ~key (fun result ->
               (match result with
               | Some { Coordinator.ts; _ } ->
+                completions := Engine.now engine :: !completions;
                 if Timestamp.newer_than expected ts then
                   checker.violations <- checker.violations + 1
               | None -> ());
@@ -205,6 +290,7 @@ let run ?obs scenario =
           Coordinator.write coord ~key ~value (fun result ->
               (match result with
               | Some ts ->
+                completions := Engine.now engine :: !completions;
                 let prev =
                   Option.value ~default:Timestamp.zero
                     (Hashtbl.find_opt checker.latest key)
@@ -214,13 +300,29 @@ let run ?obs scenario =
               continue ())
       end
     in
-    if scenario.warmup > 0.0 then
-      Engine.schedule engine ~delay:scenario.warmup (fun () ->
-          step scenario.ops_per_client)
-    else step scenario.ops_per_client;
+    if start_delay > 0.0 then
+      Engine.schedule engine ~delay:start_delay (fun () -> step ops)
+    else step ops;
     coord
   in
-  let coords = List.init scenario.n_clients run_client in
+  let coords =
+    List.init scenario.n_clients (fun idx ->
+        run_client ~site:(n + idx) ~ops:scenario.ops_per_client
+          ~think:scenario.think_time ~start_delay:scenario.warmup)
+  in
+  (* The flash crowd joins at [burst_at] on its own network addresses, so
+     steady-state clients keep theirs (and their RNG streams). *)
+  let burst_coords =
+    match scenario.overload with
+    | Some { burst = Some b; _ } ->
+      List.init b.burst_clients (fun idx ->
+          run_client
+            ~site:(n + scenario.n_clients + idx)
+            ~ops:b.burst_ops ~think:b.burst_think
+            ~start_delay:(scenario.warmup +. b.burst_at))
+    | _ -> []
+  in
+  let coords = coords @ burst_coords in
   Failure.apply net scenario.failures;
   Engine.run ~until:scenario.horizon engine;
   let metrics = List.map Coordinator.metrics coords in
@@ -249,7 +351,8 @@ let run ?obs scenario =
     messages_dropped =
       counters.Network.dropped_loss + counters.Network.dropped_crash
       + counters.Network.dropped_partition
-      + counters.Network.dropped_no_handler;
+      + counters.Network.dropped_no_handler
+      + counters.Network.dropped_overload;
     heartbeat_pings =
       List.fold_left (fun acc hb -> acc + Detect.Heartbeat.pings_sent hb) 0
         !monitors;
@@ -271,6 +374,19 @@ let run ?obs scenario =
       (match span_store with
       | None -> []
       | Some m -> Obs.Sink.memory_spans m);
+    replica_sheds = sum_replicas Replica.sheds;
+    busy_received = sum (fun m -> m.Coordinator.busy_received);
+    retries_suppressed = sum (fun m -> m.Coordinator.retries_suppressed);
+    overload_drops = counters.Network.dropped_overload;
+    breaker_trips =
+      (match breaker with None -> 0 | Some b -> Detect.Breaker.trips b);
+    queue_peak =
+      (let peak = ref 0 in
+       for site = 0 to n - 1 do
+         peak := max !peak (Network.queue_peak net site)
+       done;
+       !peak);
+    completions = Array.of_list (List.rev !completions);
   }
 
 let completed r = r.reads_ok + r.writes_ok

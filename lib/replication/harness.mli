@@ -18,6 +18,39 @@ type detector_mode =
           replica; quorums are assembled from its believed-alive view and
           the oracle is never consulted *)
 
+type burst = {
+  burst_at : float;  (** when the flash crowd arrives (after warmup) *)
+  burst_clients : int;
+  burst_ops : int;
+  burst_think : float;  (** mean think time of burst clients (small =
+                            aggressive) *)
+}
+(** A flash crowd: [burst_clients] extra clients, each issuing
+    [burst_ops] operations, joining at [burst_at]. *)
+
+type overload = {
+  queue_capacity : int;
+      (** bound on every replica's ingress queue (0 = unbounded) *)
+  service_time : float;
+      (** per-message processing cost at every replica — what makes
+          saturation possible *)
+  slow_sites : (int * float) list;
+      (** per-site service-time overrides (the one-slow-replica cell) *)
+  shed_watermark : int;
+      (** replica admission watermark ({!Replica.admission}); 0 = off *)
+  retry_budget : Detect.Budget.config option;
+      (** when set, one shared budget gates every coordinator's retries *)
+  breaker : Detect.Breaker.config option;
+      (** when set, one shared per-site breaker steers quorum assembly *)
+  burst : burst option;
+}
+(** Overload model for a scenario.  [None] in {!scenario.overload} keeps
+    every run byte-identical to the pre-overload harness. *)
+
+val overload_defaults : overload
+(** All defenses off, no service cost, no burst — override fields from
+    here. *)
+
 type scenario = {
   proto : Quorum.Protocol.t;
   n_clients : int;
@@ -51,6 +84,9 @@ type scenario = {
   check_consistency : bool;
       (** collect every operation span in memory and report them for the
           trace-driven consistency checker (default [false]) *)
+  overload : overload option;
+      (** bounded replica queues, load shedding, retry budget, breaker and
+          flash-crowd injection (default [None]: none of it exists) *)
 }
 
 val default_scenario : proto:Quorum.Protocol.t -> scenario
@@ -92,6 +128,16 @@ type report = {
       (** every operation span, in close order — only collected when
           [check_consistency] is set (else empty); feed to
           [Eval.Consistency.check] *)
+  replica_sheds : int;  (** client requests answered [Busy], summed *)
+  busy_received : int;  (** [Busy] nacks coordinators acted on *)
+  retries_suppressed : int;  (** retries refused by the shared budget *)
+  overload_drops : int;  (** messages turned away by full replica queues *)
+  breaker_trips : int;  (** shared circuit-breaker trips (0 without one) *)
+  queue_peak : int;  (** deepest replica ingress queue seen in the run *)
+  completions : float array;
+      (** virtual completion time of every successful operation, in
+          completion order — the raw material for goodput-over-time
+          windows *)
 }
 
 val run : ?obs:Obs.t -> scenario -> report

@@ -10,6 +10,9 @@ type t =
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
+  | Busy of { op : int }
+      (** overload nack: the replica shed the request instead of queueing
+          it; the coordinator should back off, not wait for a timeout *)
   | Ping of { seq : int }
   | Pong of { seq : int }
 
@@ -22,7 +25,8 @@ let op_id = function
   | Commit { op; _ }
   | Commit_ack { op; _ }
   | Abort { op }
-  | Repair { op; _ } ->
+  | Repair { op; _ }
+  | Busy { op } ->
     op
   | Ping _ | Pong _ -> -1  (* never matches a pending operation *)
 
@@ -30,7 +34,7 @@ let incarnation = function
   | Read_reply { inc; _ } | Prepare_ack { inc; _ } | Commit_ack { inc; _ } ->
     Some inc
   | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-  | Repair _ | Ping _ | Pong _ ->
+  | Repair _ | Busy _ | Ping _ | Pong _ ->
     None
 
 let pp ppf = function
@@ -47,5 +51,6 @@ let pp ppf = function
   | Abort { op } -> Format.fprintf ppf "abort(op=%d)" op
   | Repair { op; key; ts; _ } ->
     Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Busy { op } -> Format.fprintf ppf "busy(op=%d)" op
   | Ping { seq } -> Format.fprintf ppf "ping(seq=%d)" seq
   | Pong { seq } -> Format.fprintf ppf "pong(seq=%d)" seq

@@ -32,6 +32,12 @@ type t =
   | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
+  | Busy of { op : int }
+      (** overload nack: an admission-controlled replica shed the request
+          rather than letting it rot in a saturated queue.  Distinct from
+          [Prepare_nack]: the replica is healthy, just loaded — useful
+          both to the retry logic (fail fast, back off) and to the circuit
+          breaker (count as pushback, do not count as death) *)
   | Ping of { seq : int }
       (** heartbeat probe from a failure-detecting coordinator *)
   | Pong of { seq : int }  (** heartbeat answer *)

@@ -44,6 +44,8 @@ type t = {
   config : config;
   obs : Obs.t option;
   view : Detect.View.t;
+  budget : Detect.Budget.t option;
+  breaker : Detect.Breaker.t option;
   rto : Detect.Rto.t;
   rng : Rng.t;
   mutable next_seq : int;
@@ -52,6 +54,8 @@ type t = {
   prep_incs : (int, (int * int) list) Hashtbl.t;
       (** op -> (member, incarnation it acked the prepare under) *)
   mutable stale_inc_rejections : int;
+  mutable busy_received : int;
+  mutable retries_suppressed : int;
 }
 
 let engine t = Network.engine t.net
@@ -69,7 +73,12 @@ let fresh_op t =
   t.next_seq <- t.next_seq + 1;
   id
 
-let current_view t = t.view.Detect.View.alive ()
+(* The breaker removes overloaded-but-alive sites from quorum assembly. *)
+let current_view t =
+  let view = t.view.Detect.View.alive () in
+  match t.breaker with
+  | None -> view
+  | Some b -> Detect.Breaker.filter b view
 
 (* Per-phase response deadline: fixed, or derived from the observed RTT
    quantile once enough samples exist. *)
@@ -79,6 +88,8 @@ let phase_timeout t =
 
 let observed_timeout t = phase_timeout t
 let stale_incarnation_rejections t = t.stale_inc_rejections
+let busy_received t = t.busy_received
+let retries_suppressed t = t.retries_suppressed
 
 (* --- observability hooks (single match, no work, when [obs = None]).
    Spans are threaded explicitly: [write] owns one span whose phases cover
@@ -124,6 +135,18 @@ let ocount t name =
   | None -> ()
   | Some obs -> Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) name)
 
+let breaker_failure t site =
+  match t.breaker with
+  | None -> ()
+  | Some b ->
+    if Detect.Breaker.record_failure b site then ocount t "rpc.breaker.trips"
+
+let breaker_ok t site =
+  match t.breaker with None -> () | Some b -> Detect.Breaker.record_ok b site
+
+let budget_attempt t =
+  match t.budget with None -> () | Some b -> Detect.Budget.on_attempt b
+
 let member_inc t ~op m =
   match Hashtbl.find_opt t.prep_incs op with
   | None -> 0
@@ -162,6 +185,15 @@ let handle t ~src msg =
            stale): the phase cannot complete — fail it immediately. *)
         Hashtbl.remove t.pending op;
         g.failed ()
+      | Busy _ when g.phase <> Commit_phase ->
+        (* An overloaded member shed us: same fast failure as a refusal,
+           plus breaker evidence.  Commit gathers ignore Busy — commits
+           ride the replica's priority lane. *)
+        t.busy_received <- t.busy_received + 1;
+        ocount t "rpc.busy_received";
+        breaker_failure t src;
+        Hashtbl.remove t.pending op;
+        g.failed ()
       | _ ->
         let expected =
           match (msg : Message.t) with
@@ -187,13 +219,15 @@ let handle t ~src msg =
             else false
           | Commit_ack { inc; _ } ->
             g.phase = Commit_phase && inc = member_inc t ~op src
-          | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-          | Repair _ | Ping _ | Pong _ ->
+          | Read_request _ | Prepare _ | Prepare_nack _ | Busy _ | Commit _
+          | Abort _ | Repair _ | Ping _ | Pong _ ->
             false
         in
         if expected then begin
-          if List.mem src g.waiting then
+          if List.mem src g.waiting then begin
             Detect.Rto.observe t.rto (Engine.now (engine t) -. g.started);
+            breaker_ok t src
+          end;
           g.waiting <- List.filter (fun m -> m <> src) g.waiting;
           if g.waiting = [] then begin
             Hashtbl.remove t.pending op;
@@ -203,7 +237,8 @@ let handle t ~src msg =
     end
   end
 
-let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
+let create ~site ~net ~proto ?view ?budget ?breaker ?obs
+    ?(config = default_config) () =
   let view =
     match view with
     | Some v -> v
@@ -218,6 +253,8 @@ let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
       config;
       obs;
       view;
+      budget;
+      breaker;
       rto = Detect.Rto.create ~config:config.rto ();
       rng = Rng.split (Engine.rng (Network.engine net));
       next_seq = 0;
@@ -225,6 +262,8 @@ let create ~site ~net ~proto ?view ?obs ?(config = default_config) () =
       incs = Hashtbl.create 16;
       prep_incs = Hashtbl.create 16;
       stale_inc_rejections = 0;
+      busy_received = 0;
+      retries_suppressed = 0;
     }
   in
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
@@ -254,8 +293,10 @@ let run_phase t ~span ~phase ~members ~mk_msg ~on_success ~on_timeout =
       match Hashtbl.find_opt t.pending op with
       | Some g' when g' == g ->
         Hashtbl.remove t.pending op;
-        (* The laggards missed the deadline: negative evidence. *)
+        (* The laggards missed the deadline: negative evidence for both
+           the liveness view and the overload breaker. *)
         List.iter t.view.Detect.View.suspect g.waiting;
+        List.iter (breaker_failure t) g.waiting;
         on_timeout ()
       | _ -> ());
   List.iter (fun m -> Network.send t.net ~src:t.site ~dst:m (mk_msg op)) members
@@ -267,6 +308,14 @@ let backoff t ~op_started ~attempt ?(on_retry = fun _ -> ()) retry give_up =
   let delay = Detect.Backoff.delay t.config.backoff ~rng:t.rng ~attempt in
   if Engine.now (engine t) +. delay >= op_started +. t.config.deadline then begin
     ocount t "rpc.deadline_exceeded";
+    give_up ()
+  end
+  else if
+    not (match t.budget with None -> true | Some b -> Detect.Budget.try_retry b)
+  then begin
+    (* Global retry budget drained: this retry would feed the storm. *)
+    t.retries_suppressed <- t.retries_suppressed + 1;
+    ocount t "rpc.retries_suppressed";
     give_up ()
   end
   else begin
@@ -306,6 +355,7 @@ let oresult_ts t span (ts : Timestamp.t) =
   | _ -> ()
 
 let query t ~key k =
+  budget_attempt t;
   let span = ospan t ~op:"rpc.read" ~key in
   query_sp t ~span ~key (fun r ->
       (match r with Some (ts, _) -> oresult_ts t span ts | None -> ());
@@ -371,6 +421,7 @@ let commit_staged_sp t ~span ~op ~members k =
         | Some g' when g' == g ->
           Hashtbl.remove t.pending op;
           List.iter t.view.Detect.View.suspect g.waiting;
+          List.iter (breaker_failure t) g.waiting;
           if tries > 0 then begin
             oretry t span ~backoff:0.0;
             send (tries - 1) g.waiting
@@ -394,6 +445,7 @@ let abort_staged t ~op ~members =
     members
 
 let write t ~key ?ts ~value k =
+  budget_attempt t;
   let span = ospan t ~op:"rpc.write" ~key in
   let finishk r =
     (match r with Some ts -> oresult_ts t span ts | None -> ());

@@ -36,6 +36,8 @@ val create :
   net:Message.t Dsim.Network.t ->
   proto:Quorum.Protocol.t ->
   ?view:Detect.View.t ->
+  ?budget:Detect.Budget.t ->
+  ?breaker:Detect.Breaker.t ->
   ?obs:Obs.t ->
   ?config:config ->
   unit ->
@@ -47,7 +49,13 @@ val create :
     [rpc.read] / [rpc.write] spans (one span per operation, covering a
     write's version query, prepare and commit phases) and the counter
     [rpc.deadline_exceeded] is maintained; without it the endpoint does no
-    instrumentation work. *)
+    instrumentation work.
+
+    [budget] (a shared {!Detect.Budget}) gates every backoff retry —
+    commit-phase resends excepted — failing the operation fast when the
+    global retry budget is drained.  [breaker] (a shared {!Detect.Breaker})
+    collects per-site [Busy]/timeout evidence and removes tripped sites
+    from quorum assembly.  Omitting both leaves behavior byte-identical. *)
 
 val site : t -> int
 val protocol : t -> Quorum.Protocol.t
@@ -64,6 +72,12 @@ val observed_timeout : t -> float
 val stale_incarnation_rejections : t -> int
 (** Replica replies dropped for carrying a pre-crash incarnation (always 0
     under fail-stop; see {!Coordinator}). *)
+
+val busy_received : t -> int
+(** [Busy] sheds received from admission-controlled replicas. *)
+
+val retries_suppressed : t -> int
+(** Retries refused by the shared {!Detect.Budget}. *)
 
 val set_protocol : t -> Quorum.Protocol.t -> unit
 (** Swap the quorum geometry (used by reconfiguration).  The replica

@@ -22,6 +22,17 @@ let recovery ?(wal_policy = Wal.Sync_on_commit) ?(catch_up = true) ?keys ?proto
   { wal_policy; catch_up; keys; proto; catchup_timeout; catchup_max_attempts;
     backoff }
 
+(* Overload admission policy.  [shed_watermark] is in queue-depth units of
+   the site's network service queue: above it, client work is answered
+   with [Busy] instead of being served.  0 disables watermark shedding
+   (the hard capacity bound of the network queue still applies). *)
+type admission = { shed_watermark : int; a_universe : int option }
+
+let admission ?(shed_watermark = 0) ?universe () =
+  if shed_watermark < 0 then
+    invalid_arg "Replica.admission: negative shed watermark";
+  { shed_watermark; a_universe = universe }
+
 type status = Serving | Recovering
 
 (* One outstanding catch-up read-quorum gather: the replica reads the
@@ -45,6 +56,7 @@ type t = {
   recovery : recovery option;
   wal : Wal.t option;
   universe : int option;  (* replica count, to tell peers from clients *)
+  admission : admission option;
   proto : Protocol.t option;  (* private fork, for catch-up quorums *)
   rng : Rng.t option;  (* split from the engine only when catch-up is on *)
   obs : Obs.t option;
@@ -54,6 +66,7 @@ type t = {
   mutable gather : gather option;
   mutable next_seq : int;
   mutable reads_served : int;
+  mutable sheds : int;
   mutable writes_applied : int;
   mutable prepares_seen : int;
   mutable repairs_applied : int;
@@ -229,6 +242,32 @@ let on_recover t =
 let nack t ~dst ~op reason =
   send t ~dst (Message.Prepare_nack { op; reason })
 
+let is_peer t src = match t.universe with Some n -> src < n | None -> false
+
+let shed t ~dst ~op =
+  t.sheds <- t.sheds + 1;
+  ocount t "replica.shed";
+  send t ~dst (Message.Busy { op })
+
+(* Watermark admission: once the ingress queue is deeper than the
+   watermark, client work gets a fast [Busy] instead of service — the
+   queue keeps draining protocol traffic instead of stacking doomed
+   requests.  Peer catch-up reads and everything 2PC are exempt: shedding
+   those converts overload into unavailability or stuck transactions. *)
+let shed_client_work t ~src msg =
+  match t.admission with
+  | None -> None
+  | Some a ->
+    if
+      a.shed_watermark > 0
+      && Network.queue_depth t.net t.site > a.shed_watermark
+    then
+      match (msg : Message.t) with
+      | Read_request { op; _ } when not (is_peer t src) -> Some op
+      | Prepare { op; _ } -> Some op
+      | _ -> None
+    else None
+
 let handle_serving t ~src msg =
   match (msg : Message.t) with
   | Read_request { op; key } ->
@@ -270,7 +309,8 @@ let handle_serving t ~src msg =
       t.repairs_applied <- t.repairs_applied + 1
     end
   | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
-  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Pong _ ->
+  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _
+  | Pong _ ->
     (* Coordinator-bound messages; a serving replica ignores strays. *)
     ()
 
@@ -317,14 +357,38 @@ let handle_recovering t ~src msg =
     match t.gather with
     | Some g when g.g_op = Message.op_id msg -> catchup_gather_failed t g
     | _ -> ())
-  | Prepare_ack _ | Commit_ack _ | Pong _ -> ()
+  | Prepare_ack _ | Commit_ack _ | Busy _ | Pong _ -> ()
 
 let handle t ~src msg =
-  match t.status with
-  | Serving -> handle_serving t ~src msg
-  | Recovering -> handle_recovering t ~src msg
+  match shed_client_work t ~src msg with
+  | Some op -> shed t ~dst:src ~op
+  | None -> (
+    match t.status with
+    | Serving -> handle_serving t ~src msg
+    | Recovering -> handle_recovering t ~src msg)
 
-let create ~site ~net ?recovery ?obs () =
+(* Which arrivals may bypass the bounded ingress queue's capacity check.
+   Replies and heartbeats are tiny and keep the control plane honest; 2PC
+   completion traffic (Commit/Abort) must land or prepared writes wedge;
+   Repair and peer catch-up reads are the recovery lane — shedding them
+   would let overload block the very mechanism that drains it. *)
+let priority_lane t ~src msg =
+  match (msg : Message.t) with
+  | Commit _ | Abort _ | Repair _ | Ping _ | Pong _ | Read_reply _
+  | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _ ->
+    true
+  | Read_request _ -> is_peer t src
+  | Prepare _ -> false
+
+(* A message the bounded queue turned away: answer with an explicit
+   [Busy] so the coordinator learns about the pushback now instead of at
+   its timeout. *)
+let on_overflow t ~src msg =
+  match (msg : Message.t) with
+  | Read_request { op; _ } | Prepare { op; _ } -> shed t ~dst:src ~op
+  | _ -> ()
+
+let create ~site ~net ?recovery ?admission ?obs () =
   let proto, rng =
     match recovery with
     | Some r when r.catch_up ->
@@ -345,9 +409,12 @@ let create ~site ~net ?recovery ?obs () =
            ())
   in
   let universe =
-    match recovery with
-    | Some { proto = Some p; _ } -> Some (Protocol.universe_size p)
-    | _ -> None
+    match admission with
+    | Some { a_universe = Some n; _ } -> Some n
+    | _ -> (
+      match recovery with
+      | Some { proto = Some p; _ } -> Some (Protocol.universe_size p)
+      | _ -> None)
   in
   let t =
     {
@@ -357,6 +424,7 @@ let create ~site ~net ?recovery ?obs () =
       recovery;
       wal;
       universe;
+      admission;
       proto;
       rng;
       obs;
@@ -366,6 +434,7 @@ let create ~site ~net ?recovery ?obs () =
       gather = None;
       next_seq = 0;
       reads_served = 0;
+      sheds = 0;
       writes_applied = 0;
       prepares_seen = 0;
       repairs_applied = 0;
@@ -377,6 +446,16 @@ let create ~site ~net ?recovery ?obs () =
     }
   in
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
+  (* Admission control plugs into the network's service model: the
+     priority lane exempts protocol traffic from the capacity bound, and
+     the overflow hook turns silent queue-full drops into Busy nacks.
+     Without [admission] neither is installed and the site keeps the
+     instant-delivery path. *)
+  (match admission with
+  | None -> ()
+  | Some _ ->
+    Network.set_priority net ~site (fun ~src msg -> priority_lane t ~src msg);
+    Network.set_overflow net ~site (fun ~src msg -> on_overflow t ~src msg));
   (* Only recovery-enabled replicas care about their own failures; legacy
      fail-stop replicas keep the hook-free network behavior. *)
   if recovery <> None then
@@ -389,6 +468,7 @@ let create ~site ~net ?recovery ?obs () =
 let site t = t.site
 let store t = t.store
 let reads_served t = t.reads_served
+let sheds t = t.sheds
 let writes_applied t = t.writes_applied
 let prepares_seen t = t.prepares_seen
 let repairs_applied t = t.repairs_applied

@@ -24,6 +24,27 @@ type t
 type recovery
 (** Crash-recovery configuration. *)
 
+type admission
+(** Overload admission-control configuration. *)
+
+val admission : ?shed_watermark:int -> ?universe:int -> unit -> admission
+(** [shed_watermark] (default 0 = disabled) is a depth threshold on the
+    site's bounded ingress queue ({!Dsim.Network.set_service}): while the
+    queue is deeper, client reads and prepares are answered with
+    {!Message.t.Busy} instead of being served, so the replica spends its
+    scarce service time on traffic that can still finish in time.
+    [universe] is the replica count — sources below it are peers whose
+    catch-up reads are never shed; it defaults to the recovery protocol's
+    universe when available, else every source counts as a client.
+
+    Attaching an admission config also installs a priority lane and an
+    overflow hook on the network queue: 2PC commit/abort traffic, read
+    repair, heartbeats and peer catch-up reads bypass the queue's
+    capacity bound entirely, and requests the full queue turns away get
+    an immediate [Busy] instead of a silent drop.
+
+    @raise Invalid_argument on a negative watermark. *)
+
 val recovery :
   ?wal_policy:Wal.policy ->
   ?catch_up:bool ->
@@ -51,6 +72,7 @@ val create :
   site:int ->
   net:Message.t Dsim.Network.t ->
   ?recovery:recovery ->
+  ?admission:admission ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -69,6 +91,10 @@ val prepares_seen : t -> int
 
 val repairs_applied : t -> int
 (** Read-repair installs that actually changed this replica's state. *)
+
+val sheds : t -> int
+(** Client requests answered with [Busy] — watermark sheds plus
+    queue-full overflows.  Mirrored as the [replica.shed] metric. *)
 
 (** {2 Recovery observables} *)
 

@@ -15,6 +15,7 @@ type counters = {
   mutable dropped_crash : int;
   mutable dropped_partition : int;
   mutable dropped_no_handler : int;
+  mutable dropped_overload : int;
 }
 
 (* Pre-resolved metric handles: looked up once in [attach_obs] so the send
@@ -26,8 +27,24 @@ type obs_counters = {
   o_drop_crash : Obs.Metrics.counter;
   o_drop_partition : Obs.Metrics.counter;
   o_drop_no_handler : Obs.Metrics.counter;
+  o_drop_overload : Obs.Metrics.counter;
+  o_queue_depth : Obs.Metrics.histogram;
   o_site_sent : Obs.Metrics.counter array;
   o_site_delivered : Obs.Metrics.counter array;
+}
+
+(* Per-site ingress queue and service model, allocated only for sites that
+   opted in through [set_service]/[set_priority]/[set_overflow]; every
+   other site keeps the instant-delivery path untouched. *)
+type 'msg service = {
+  mutable capacity : int;  (* 0 = unbounded *)
+  mutable service_time : float;
+  squeue : (int * 'msg) Queue.t;  (* (src, msg); head is in service *)
+  mutable busy : bool;  (* a service-completion event is scheduled *)
+  mutable epoch : int;  (* bumped by crash so stale completions die *)
+  mutable peak : int;
+  mutable priority : (src:int -> 'msg -> bool) option;
+  mutable overflow : (src:int -> 'msg -> unit) option;
 }
 
 type 'msg t = {
@@ -45,6 +62,7 @@ type 'msg t = {
   group : int array;  (* partition group per site; all 0 when healed *)
   mutable mode : crash_mode;
   hooks : crash_hooks option array;
+  services : 'msg service option array;
   counters : counters;
   delivered_to : int array;
   mutable trace : 'msg tracer option;
@@ -76,6 +94,7 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
     group = Array.make n 0;
     mode = Fail_stop;
     hooks = Array.make n None;
+    services = Array.make n None;
     counters =
       {
         sent = 0;
@@ -84,6 +103,7 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
         dropped_crash = 0;
         dropped_partition = 0;
         dropped_no_handler = 0;
+        dropped_overload = 0;
       };
     delivered_to = Array.make n 0;
     trace = None;
@@ -108,6 +128,8 @@ let attach_obs t obs =
         o_drop_crash = c "net.dropped.crash";
         o_drop_partition = c "net.dropped.partition";
         o_drop_no_handler = c "net.dropped.no_handler";
+        o_drop_overload = c "net.dropped.overload";
+        o_queue_depth = Obs.Metrics.histogram m "net.queue.depth";
         o_site_sent =
           Array.init t.n (fun i -> c (Printf.sprintf "net.site.%d.sent" i));
         o_site_delivered =
@@ -140,6 +162,65 @@ let reachable t a b =
   check_site t a;
   check_site t b;
   t.group.(a) = t.group.(b)
+
+(* Hand the message to the destination's handler: the tail of both the
+   instant-delivery path and the service-queue path. *)
+let deliver t ~src ~dst msg =
+  match t.handlers.(dst) with
+  | None ->
+    (* A missing handler is a wiring problem, not a crash: count it
+       separately so crash statistics stay truthful. *)
+    t.counters.dropped_no_handler <- t.counters.dropped_no_handler + 1;
+    obs_incr t (fun o -> o.o_drop_no_handler);
+    emit t (Trace.Drop { src; dst; reason = "no handler" })
+  | Some h ->
+    t.counters.delivered <- t.counters.delivered + 1;
+    t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+      Obs.Metrics.incr o.o_delivered;
+      Obs.Metrics.incr o.o_site_delivered.(dst));
+    emit_msg t (fun info -> Trace.Deliver { src; dst; info }) msg;
+    h ~src msg
+
+(* One server per site: the queue head is in service; its completion event
+   pops it, hands it to the handler, and re-arms for the next message.
+   [epoch] guards against completions scheduled before a crash wiped the
+   queue. *)
+let rec serve t ~dst s =
+  s.busy <- true;
+  let epoch = s.epoch in
+  Engine.schedule t.engine ~delay:s.service_time (fun () ->
+      if s.epoch = epoch then begin
+        (match Queue.take_opt s.squeue with
+        | None -> ()
+        | Some (src, msg) -> deliver t ~src ~dst msg);
+        if Queue.is_empty s.squeue then s.busy <- false else serve t ~dst s
+      end)
+
+(* Arrival at a site with a service model: bounded admission (priority
+   traffic always admitted), then FIFO service. *)
+let enqueue t ~src ~dst s msg =
+  let priority =
+    match s.priority with None -> false | Some p -> p ~src msg
+  in
+  if (not priority) && s.capacity > 0 && Queue.length s.squeue >= s.capacity
+  then begin
+    t.counters.dropped_overload <- t.counters.dropped_overload + 1;
+    obs_incr t (fun o -> o.o_drop_overload);
+    emit t (Trace.Drop { src; dst; reason = "overload" });
+    match s.overflow with None -> () | Some f -> f ~src msg
+  end
+  else begin
+    Queue.add (src, msg) s.squeue;
+    let depth = Queue.length s.squeue in
+    if depth > s.peak then s.peak <- depth;
+    (match t.obs with
+    | None -> ()
+    | Some o -> Obs.Metrics.observe o.o_queue_depth (float_of_int depth));
+    if not s.busy then serve t ~dst s
+  end
 
 let send t ~src ~dst msg =
   check_site t src;
@@ -188,27 +269,54 @@ let send t ~src ~dst msg =
           emit t (Trace.Drop { src; dst; reason = "partition" })
         end
         else begin
-          match t.handlers.(dst) with
-          | None ->
-            (* A missing handler is a wiring problem, not a crash: count it
-               separately so crash statistics stay truthful. *)
-            t.counters.dropped_no_handler <- t.counters.dropped_no_handler + 1;
-            obs_incr t (fun o -> o.o_drop_no_handler);
-            emit t (Trace.Drop { src; dst; reason = "no handler" })
-          | Some h ->
-            t.counters.delivered <- t.counters.delivered + 1;
-            t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
-            (match t.obs with
-            | None -> ()
-            | Some o ->
-              Obs.Metrics.incr o.o_delivered;
-              Obs.Metrics.incr o.o_site_delivered.(dst));
-            emit_msg t (fun info -> Trace.Deliver { src; dst; info }) msg;
-            h ~src msg
+          match t.services.(dst) with
+          | None -> deliver t ~src ~dst msg
+          | Some s -> enqueue t ~src ~dst s msg
         end)
   end
 
 let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst
+
+(* --- per-site overload model -------------------------------------------- *)
+
+let service t site =
+  check_site t site;
+  match t.services.(site) with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        capacity = 0;
+        service_time = 0.0;
+        squeue = Queue.create ();
+        busy = false;
+        epoch = 0;
+        peak = 0;
+        priority = None;
+        overflow = None;
+      }
+    in
+    t.services.(site) <- Some s;
+    s
+
+let set_service t ~site ?(capacity = 0) ?(service_time = 0.0) () =
+  if capacity < 0 then invalid_arg "Network.set_service: negative capacity";
+  if service_time < 0.0 then
+    invalid_arg "Network.set_service: negative service time";
+  let s = service t site in
+  s.capacity <- capacity;
+  s.service_time <- service_time
+
+let set_priority t ~site p = (service t site).priority <- Some p
+let set_overflow t ~site f = (service t site).overflow <- Some f
+
+let queue_depth t site =
+  check_site t site;
+  match t.services.(site) with None -> 0 | Some s -> Queue.length s.squeue
+
+let queue_peak t site =
+  check_site t site;
+  match t.services.(site) with None -> 0 | Some s -> s.peak
 
 let set_crash_mode t mode = t.mode <- mode
 let crash_mode t = t.mode
@@ -228,6 +336,21 @@ let crash t i =
     emit t (Trace.Crash i);
     t.up.(i) <- false;
     Bitset.remove t.alive i;
+    (* Queued-but-unserved messages die with the site; the epoch bump
+       invalidates any in-flight service-completion event. *)
+    (match t.services.(i) with
+    | None -> ()
+    | Some s ->
+      let pending = Queue.length s.squeue in
+      if pending > 0 then begin
+        t.counters.dropped_crash <- t.counters.dropped_crash + pending;
+        (match t.obs with
+        | None -> ()
+        | Some o -> Obs.Metrics.add o.o_drop_crash pending);
+        Queue.clear s.squeue
+      end;
+      s.epoch <- s.epoch + 1;
+      s.busy <- false);
     match t.hooks.(i) with Some h -> h.on_crash t.mode | None -> ()
   end
 

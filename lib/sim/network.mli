@@ -41,10 +41,10 @@ val attach_trace :
 val attach_obs : 'msg t -> Obs.t -> unit
 (** Mirror the counters into [obs]'s metrics registry: [net.sent],
     [net.delivered], [net.dropped.loss] / [.crash] / [.partition] /
-    [.no_handler], plus per-site [net.site.<i>.sent] and
-    [net.site.<i>.delivered].  Metric handles are resolved once here, so
-    the send path does no name lookups; without this call the send path
-    is untouched. *)
+    [.no_handler] / [.overload], the [net.queue.depth] histogram, plus
+    per-site [net.site.<i>.sent] and [net.site.<i>.delivered].  Metric
+    handles are resolved once here, so the send path does no name lookups;
+    without this call the send path is untouched. *)
 
 val set_handler : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
 (** Installs the message handler for a site.  A site without a handler
@@ -57,6 +57,48 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     link loses it. *)
 
 val broadcast : 'msg t -> src:int -> dst:int list -> 'msg -> unit
+
+(** {2 Overload model}
+
+    By default a site processes arrivals instantly and admits any load —
+    the pre-overload behaviour, bit-for-bit.  [set_service] opts a site
+    into a single-server bounded FIFO ingress queue: each arrival waits
+    for the messages ahead of it, each costs [service_time] simulated
+    time to process, and arrivals beyond [capacity] are dropped at the
+    door (counted in [dropped_overload], traced as reason ["overload"]).
+    This is what makes overload {e possible} in the simulation: without a
+    service cost, no burst can outrun a replica.
+
+    [set_priority] exempts a class of messages from the capacity bound —
+    the lane for recovery and commit-phase traffic that must never be
+    shed.  [set_overflow] observes each overload drop so the attached
+    process can answer with an explicit busy-nack instead of a silent
+    drop-and-timeout.  A crash wipes the site's queue (the wiped messages
+    count as crash drops, not overload drops). *)
+
+val set_service :
+  'msg t -> site:int -> ?capacity:int -> ?service_time:float -> unit -> unit
+(** Configures the site's ingress queue.  [capacity = 0] (default) means
+    unbounded; [service_time = 0.0] (default) processes instantly but
+    still serializes through the queue.
+    @raise Invalid_argument on a negative capacity or service time. *)
+
+val set_priority : 'msg t -> site:int -> (src:int -> 'msg -> bool) -> unit
+(** Messages matching the predicate bypass the capacity bound (they are
+    still served in FIFO order).  Installing a priority lane implies a
+    service model for the site. *)
+
+val set_overflow : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
+(** Called for every message turned away by a full queue, after the drop
+    is counted.  Runs at delivery time on behalf of the destination, so
+    replying through {!send} originates from an up site. *)
+
+val queue_depth : 'msg t -> int -> int
+(** Messages currently queued at the site (head included); 0 for sites
+    without a service model. *)
+
+val queue_peak : 'msg t -> int -> int
+(** High-water mark of the site's queue depth over the whole run. *)
 
 (** {2 Failure injection} *)
 
@@ -117,6 +159,9 @@ type counters = {
   mutable dropped_no_handler : int;
       (** delivered to an up, reachable site that never installed a
           handler — a wiring bug, counted apart from crash drops *)
+  mutable dropped_overload : int;
+      (** turned away by a full ingress queue ({!set_service}) — load
+          shedding, not loss, so it gets its own bucket *)
 }
 
 val counters : 'msg t -> counters

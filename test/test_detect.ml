@@ -4,6 +4,8 @@
 module Accrual = Detect.Accrual
 module Rto = Detect.Rto
 module Backoff = Detect.Backoff
+module Breaker = Detect.Breaker
+module Budget = Detect.Budget
 module Heartbeat = Detect.Heartbeat
 module View = Detect.View
 module Engine = Dsim.Engine
@@ -160,6 +162,25 @@ let test_backoff_jitter_bounds () =
     done
   done
 
+let test_backoff_huge_attempt_capped () =
+  (* The geometric growth overflows a float well before attempt 2000; the
+     cap must still hold and the jittered delay must stay finite and
+     within the jitter band of the cap. *)
+  let policy = Backoff.default in
+  let rng = Rng.create 5 in
+  List.iter
+    (fun attempt ->
+      let d = Backoff.delay policy ~rng ~attempt in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d finite" attempt)
+        true (Float.is_finite d);
+      let hi = policy.Backoff.max_delay *. (1.0 +. policy.Backoff.jitter) in
+      let lo = policy.Backoff.max_delay *. (1.0 -. policy.Backoff.jitter) in
+      if d < lo -. 1e-9 || d > hi +. 1e-9 then
+        Alcotest.failf "attempt %d: delay %.3f outside capped band [%.3f, %.3f]"
+          attempt d lo hi)
+    [ 64; 1000; 100_000; max_int ]
+
 let test_backoff_deterministic () =
   let gen seed =
     let rng = Rng.create seed in
@@ -168,6 +189,176 @@ let test_backoff_deterministic () =
   Alcotest.(check (list (float 1e-12))) "same seed, same delays"
     (gen 3) (gen 3);
   Alcotest.(check bool) "different seeds decorrelate" true (gen 3 <> gen 4)
+
+(* -- Circuit breaker ----------------------------------------------------- *)
+
+let breaker ?config ?(n = 3) ?(at = ref 0.0) () =
+  let t = Breaker.create ?config ~n ~now:(fun () -> !at) () in
+  (t, at)
+
+let trip b site threshold =
+  let tripped = ref false in
+  for _ = 1 to threshold do
+    if Breaker.record_failure b site then tripped := true
+  done;
+  !tripped
+
+let test_breaker_trips_on_threshold () =
+  let config = { Breaker.default_config with Breaker.threshold = 3 } in
+  let b, _ = breaker ~config () in
+  Alcotest.(check bool) "no trip below threshold" false
+    (Breaker.record_failure b 0);
+  Alcotest.(check bool) "still below" false (Breaker.record_failure b 0);
+  Alcotest.(check bool) "closed" true (Breaker.state b 0 = Breaker.Closed);
+  Alcotest.(check bool) "third consecutive failure trips" true
+    (Breaker.record_failure b 0);
+  Alcotest.(check bool) "open" true (Breaker.state b 0 = Breaker.Open);
+  Alcotest.(check bool) "not allowed" false (Breaker.allowed b 0);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  Alcotest.(check bool) "other sites unaffected" true (Breaker.allowed b 1)
+
+let test_breaker_ok_resets_streak () =
+  let config = { Breaker.default_config with Breaker.threshold = 3 } in
+  let b, _ = breaker ~config () in
+  ignore (Breaker.record_failure b 0);
+  ignore (Breaker.record_failure b 0);
+  Breaker.record_ok b 0;
+  (* The streak restarted: two more failures must not trip. *)
+  ignore (Breaker.record_failure b 0);
+  Alcotest.(check bool) "streak was reset" false (Breaker.record_failure b 0);
+  Alcotest.(check bool) "closed" true (Breaker.state b 0 = Breaker.Closed)
+
+let test_breaker_half_open_and_close () =
+  let config =
+    { Breaker.default_config with Breaker.threshold = 2; cooldown = 100.0 }
+  in
+  let b, at = breaker ~config () in
+  Alcotest.(check bool) "trips" true (trip b 0 2);
+  at := 99.0;
+  Alcotest.(check bool) "still open inside cooldown" true
+    (Breaker.state b 0 = Breaker.Open);
+  at := 100.0;
+  Alcotest.(check bool) "half-open after cooldown" true
+    (Breaker.state b 0 = Breaker.Half_open);
+  Alcotest.(check bool) "half-open admits probe traffic" true
+    (Breaker.allowed b 0);
+  Alcotest.(check int) "probe counted" 1 (Breaker.probes b);
+  Breaker.record_ok b 0;
+  Alcotest.(check bool) "probe success closes" true
+    (Breaker.state b 0 = Breaker.Closed)
+
+let test_breaker_failed_probe_grows_cooldown () =
+  let config =
+    {
+      Breaker.threshold = 2;
+      cooldown = 100.0;
+      cooldown_factor = 2.0;
+      max_cooldown = 300.0;
+    }
+  in
+  let b, at = breaker ~config () in
+  ignore (trip b 0 2);
+  at := 100.0;
+  Alcotest.(check bool) "half-open" true (Breaker.state b 0 = Breaker.Half_open);
+  (* A single failure re-opens a half-open breaker (no threshold). *)
+  Alcotest.(check bool) "failed probe re-trips" true
+    (Breaker.record_failure b 0);
+  at := 100.0 +. 199.0;
+  Alcotest.(check bool) "cooldown doubled: still open" true
+    (Breaker.state b 0 = Breaker.Open);
+  at := 100.0 +. 200.0;
+  Alcotest.(check bool) "half-open again" true
+    (Breaker.state b 0 = Breaker.Half_open);
+  ignore (Breaker.record_failure b 0);
+  (* 400 would exceed the cap: the third cooldown is clamped to 300. *)
+  at := 300.0 +. 299.0;
+  Alcotest.(check bool) "capped cooldown still open" true
+    (Breaker.state b 0 = Breaker.Open);
+  at := 300.0 +. 300.0;
+  Alcotest.(check bool) "capped cooldown elapses" true
+    (Breaker.state b 0 = Breaker.Half_open)
+
+let test_breaker_late_ok_ignored_while_open () =
+  let config = { Breaker.default_config with Breaker.threshold = 2 } in
+  let b, _ = breaker ~config () in
+  ignore (trip b 0 2);
+  (* A reply from before the trip arrives late: must not un-trip. *)
+  Breaker.record_ok b 0;
+  Alcotest.(check bool) "still open" true (Breaker.state b 0 = Breaker.Open)
+
+let test_breaker_filter () =
+  let config = { Breaker.default_config with Breaker.threshold = 2 } in
+  let b, at = breaker ~config ~n:4 () in
+  ignore (trip b 1 2);
+  ignore (trip b 3 2);
+  Alcotest.(check (list int)) "open sites" [ 1; 3 ] (Breaker.open_sites b);
+  let view = Bitset.create 4 in
+  for i = 0 to 3 do
+    Bitset.add view i
+  done;
+  let filtered = Breaker.filter b view in
+  Alcotest.(check (list int)) "open sites removed" [ 0; 2 ]
+    (Bitset.elements filtered);
+  (* After cooldown the half-open sites re-enter the view as probes. *)
+  at := 1e9;
+  let view2 = Bitset.create 4 in
+  for i = 0 to 3 do
+    Bitset.add view2 i
+  done;
+  Alcotest.(check int) "half-open sites restored" 4
+    (Bitset.cardinal (Breaker.filter b view2))
+
+let test_breaker_rejects_bad_config () =
+  Alcotest.check_raises "zero threshold"
+    (Invalid_argument "Breaker.create: threshold < 1")
+    (fun () ->
+      ignore
+        (Breaker.create
+           ~config:{ Breaker.default_config with Breaker.threshold = 0 }
+           ~n:1
+           ~now:(fun () -> 0.0)
+           ()))
+
+(* -- Retry budget -------------------------------------------------------- *)
+
+let test_budget_starts_full () =
+  let b = Budget.create ~config:{ Budget.ratio = 0.2; burst = 3.0 } () in
+  Alcotest.(check (float 1e-9)) "full bucket" 3.0 (Budget.tokens b);
+  Alcotest.(check bool) "retry 1" true (Budget.try_retry b);
+  Alcotest.(check bool) "retry 2" true (Budget.try_retry b);
+  Alcotest.(check bool) "retry 3" true (Budget.try_retry b);
+  Alcotest.(check bool) "bucket empty" false (Budget.try_retry b);
+  Alcotest.(check int) "granted" 3 (Budget.granted b);
+  Alcotest.(check int) "suppressed" 1 (Budget.suppressed b)
+
+let test_budget_deposits_per_attempt () =
+  let b = Budget.create ~config:{ Budget.ratio = 0.5; burst = 10.0 } () in
+  for _ = 1 to 10 do
+    ignore (Budget.try_retry b)
+  done;
+  Alcotest.(check (float 1e-9)) "drained" 0.0 (Budget.tokens b);
+  Budget.on_attempt b;
+  Alcotest.(check (float 1e-9)) "one deposit" 0.5 (Budget.tokens b);
+  Alcotest.(check bool) "half a token is not enough" false
+    (Budget.try_retry b);
+  Budget.on_attempt b;
+  Alcotest.(check bool) "two deposits buy one retry" true (Budget.try_retry b);
+  Alcotest.(check int) "attempts counted" 2 (Budget.attempts b)
+
+let test_budget_burst_cap () =
+  let b = Budget.create ~config:{ Budget.ratio = 1.0; burst = 2.0 } () in
+  for _ = 1 to 100 do
+    Budget.on_attempt b
+  done;
+  Alcotest.(check (float 1e-9)) "capped at burst" 2.0 (Budget.tokens b)
+
+let test_budget_rejects_bad_config () =
+  Alcotest.check_raises "negative ratio"
+    (Invalid_argument "Budget.create: negative ratio") (fun () ->
+      ignore (Budget.create ~config:{ Budget.ratio = -0.1; burst = 5.0 } ()));
+  Alcotest.check_raises "burst below one"
+    (Invalid_argument "Budget.create: burst < 1") (fun () ->
+      ignore (Budget.create ~config:{ Budget.ratio = 0.2; burst = 0.5 } ()))
 
 (* -- Heartbeat monitor -------------------------------------------------- *)
 
@@ -302,6 +493,30 @@ let suite =
       test_backoff_jitter_bounds;
     Alcotest.test_case "backoff: deterministic per seed" `Quick
       test_backoff_deterministic;
+    Alcotest.test_case "backoff: absurd attempt counts stay capped" `Quick
+      test_backoff_huge_attempt_capped;
+    Alcotest.test_case "breaker: trips on threshold" `Quick
+      test_breaker_trips_on_threshold;
+    Alcotest.test_case "breaker: success resets streak" `Quick
+      test_breaker_ok_resets_streak;
+    Alcotest.test_case "breaker: half-opens and closes" `Quick
+      test_breaker_half_open_and_close;
+    Alcotest.test_case "breaker: failed probe grows cooldown" `Quick
+      test_breaker_failed_probe_grows_cooldown;
+    Alcotest.test_case "breaker: late ok ignored while open" `Quick
+      test_breaker_late_ok_ignored_while_open;
+    Alcotest.test_case "breaker: filter removes open sites" `Quick
+      test_breaker_filter;
+    Alcotest.test_case "breaker: rejects bad config" `Quick
+      test_breaker_rejects_bad_config;
+    Alcotest.test_case "budget: starts full, drains, suppresses" `Quick
+      test_budget_starts_full;
+    Alcotest.test_case "budget: attempts deposit fractions" `Quick
+      test_budget_deposits_per_attempt;
+    Alcotest.test_case "budget: deposits capped at burst" `Quick
+      test_budget_burst_cap;
+    Alcotest.test_case "budget: rejects bad config" `Quick
+      test_budget_rejects_bad_config;
     Alcotest.test_case "heartbeat: pings on period" `Quick
       test_heartbeat_pings_on_period;
     Alcotest.test_case "heartbeat: detects silence, rehabilitates" `Quick

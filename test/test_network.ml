@@ -323,6 +323,107 @@ let test_obs_mirrors_counters () =
   Alcotest.(check int) "per-site delivered" 1
     (Obs.Metrics.counter_of m "net.site.1.delivered")
 
+(* -- Overload model ------------------------------------------------------ *)
+
+let test_service_serializes () =
+  (* A 2.0 service time with zero network latency: three messages sent
+     together are delivered at 2, 4, 6 — single server, FIFO. *)
+  let engine, net = make ~latency:(Latency.Constant 0.0) () in
+  Network.set_service net ~site:1 ~service_time:2.0 ();
+  let at = ref [] in
+  Network.set_handler net ~site:1 (fun ~src:_ msg ->
+      at := (msg, Engine.now engine) :: !at);
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:0 ~dst:1 "b";
+  Network.send net ~src:0 ~dst:1 "c";
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "FIFO service completions"
+    [ ("a", 2.0); ("b", 4.0); ("c", 6.0) ]
+    (List.rev !at)
+
+let test_overload_drop_counter () =
+  (* Capacity 2 and a slow server: the bound covers the head in service
+     plus one waiting; the rest are turned away into dropped.overload. *)
+  let engine, net = make ~latency:(Latency.Constant 0.0) () in
+  Network.set_service net ~site:1 ~capacity:2 ~service_time:10.0 ();
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 6 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "peak tracks bound" 2 (Network.queue_peak net 1);
+  let c = Network.counters net in
+  Alcotest.(check int) "two delivered" 2 !got;
+  Alcotest.(check int) "dropped.overload" 4 c.Network.dropped_overload;
+  Alcotest.(check int) "not conflated with loss" 0 c.Network.dropped_loss;
+  Alcotest.(check int) "drained" 0 (Network.queue_depth net 1)
+
+let test_overflow_callback_and_priority () =
+  let engine, net = make ~latency:(Latency.Constant 0.0) () in
+  Network.set_service net ~site:1 ~capacity:1 ~service_time:5.0 ();
+  let overflowed = ref [] in
+  Network.set_overflow net ~site:1 (fun ~src msg ->
+      overflowed := (src, msg) :: !overflowed);
+  (* "vip" messages bypass the capacity bound but still queue FIFO. *)
+  Network.set_priority net ~site:1 (fun ~src:_ msg -> msg = "vip");
+  let got = ref [] in
+  Network.set_handler net ~site:1 (fun ~src:_ msg -> got := msg :: !got);
+  Network.send net ~src:0 ~dst:1 "a";
+  Network.send net ~src:2 ~dst:1 "b";
+  Network.send net ~src:3 ~dst:1 "c";
+  Network.send net ~src:0 ~dst:1 "vip";
+  Engine.run engine;
+  Alcotest.(check (list string)) "vip admitted over full queue"
+    [ "a"; "vip" ] (List.rev !got);
+  Alcotest.(check (list (pair int string)))
+    "overflow callback saw each shed message"
+    [ (2, "b"); (3, "c") ]
+    (List.rev !overflowed);
+  Alcotest.(check int) "counted" 2
+    (Network.counters net).Network.dropped_overload
+
+let test_crash_clears_service_queue () =
+  let engine, net = make ~latency:(Latency.Constant 0.0) () in
+  Network.set_service net ~site:1 ~service_time:10.0 ();
+  let got = ref 0 in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 4 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  (* First delivery at t=10; crash at t=12 wipes the three still queued. *)
+  Engine.schedule engine ~delay:12.0 (fun () -> Network.crash net 1);
+  Engine.run engine;
+  Alcotest.(check int) "only the head was served" 1 !got;
+  Alcotest.(check int) "queued messages die with the crash" 3
+    (Network.counters net).Network.dropped_crash;
+  Alcotest.(check int) "queue empty" 0 (Network.queue_depth net 1);
+  (* Recovery serves fresh traffic; no stale completion fires. *)
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check int) "post-recovery delivery" 2 !got
+
+let test_no_service_unchanged () =
+  (* Sites without a service keep the plain delivery path: a seeded run
+     is bit-identical whether or not some *other* site has a service. *)
+  let run with_service =
+    let engine, net = make ~n:3 () in
+    if with_service then
+      Network.set_service net ~site:2 ~capacity:4 ~service_time:9.0 ();
+    let log = ref [] in
+    Network.set_handler net ~site:1 (fun ~src:_ msg ->
+        log := (msg, Engine.now engine) :: !log);
+    for i = 1 to 20 do
+      Network.send net ~src:0 ~dst:1 i
+    done;
+    Engine.run engine;
+    !log
+  in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "same deliveries" (run false) (run true)
+
 let suite =
   [
     Alcotest.test_case "delivery" `Quick test_delivery;
@@ -354,4 +455,14 @@ let suite =
     Alcotest.test_case "no-handler drop counter" `Quick test_no_handler_counter;
     Alcotest.test_case "obs mirrors net counters" `Quick
       test_obs_mirrors_counters;
+    Alcotest.test_case "service time serializes delivery" `Quick
+      test_service_serializes;
+    Alcotest.test_case "bounded queue drops into dropped.overload" `Quick
+      test_overload_drop_counter;
+    Alcotest.test_case "overflow callback and priority lane" `Quick
+      test_overflow_callback_and_priority;
+    Alcotest.test_case "crash clears the service queue" `Quick
+      test_crash_clears_service_queue;
+    Alcotest.test_case "unserviced sites unchanged" `Quick
+      test_no_service_unchanged;
   ]
