@@ -311,6 +311,78 @@ let e2e_hotpath () =
   in
   Printf.sprintf "[%s]" (String.concat "," cases)
 
+(* Batched vs unbatched end-to-end throughput on the same §4 workloads:
+   batching collapses per-op quorum rounds, 2PC exchanges and think
+   events into per-window ones, so the simulator retires far fewer
+   events per client op.  Gated claims: at least one configuration
+   speeds up >= 5x, no run ever reports a safety violation, and the
+   batch-size-1 control reproduces the unbatched run byte-for-byte. *)
+let batch_hotpath () =
+  let knobs = Eval.Batching.default_knobs in
+  let ops = 2000 in
+  let results =
+    List.map
+      (fun name ->
+        let n = Eval.Config_metrics.feasible_n name 33 in
+        let plain, batched =
+          Eval.Batching.pair ~knobs ~name ~n:33 ~ops ~seed:42 ()
+        in
+        let r_u, dt_u = wall (fun () -> Replication.Harness.run plain) in
+        let r_b, dt_b = wall (fun () -> Replication.Harness.run batched) in
+        let count r =
+          r.Replication.Harness.reads_ok + r.Replication.Harness.reads_failed
+          + r.Replication.Harness.writes_ok
+          + r.Replication.Harness.writes_failed
+        in
+        let rate r dt = if dt <= 0.0 then 0.0 else float_of_int (count r) /. dt in
+        let ru = rate r_u dt_u and rb = rate r_b dt_b in
+        let speedup = if ru <= 0.0 then 0.0 else rb /. ru in
+        let violations =
+          r_u.Replication.Harness.safety_violations
+          + r_b.Replication.Harness.safety_violations
+        in
+        Printf.printf
+          "  %-12s n=%-3d %10.0f ops/s unbatched  %10.0f ops/s batched  (%.1fx)  batches=%d coalesced=%d\n"
+          (Arbitrary.Config.name_to_string name)
+          n ru rb speedup r_b.Replication.Harness.batches
+          r_b.Replication.Harness.coalesced_ops;
+        ( Printf.sprintf
+            "{\"config\":\"%s\",\"n\":%d,\"ops\":%d,\"unbatched_ops_s\":%.1f,\"batched_ops_s\":%.1f,\"speedup\":%.3f,\"batches\":%d,\"coalesced\":%d,\"safety_violations\":%d}"
+            (Arbitrary.Config.name_to_string name)
+            n ops ru rb speedup r_b.Replication.Harness.batches
+            r_b.Replication.Harness.coalesced_ops violations,
+          (speedup, violations) ))
+      [
+        Arbitrary.Config.Unmodified; Arbitrary.Config.Mostly_read;
+        Arbitrary.Config.Mostly_write; Arbitrary.Config.Arbitrary;
+      ]
+  in
+  (* Determinism control on one configuration: a batch-1/pipeline-1 run
+     must fingerprint identically to the unbatched run. *)
+  let plain, batch1 =
+    Eval.Batching.pair ~knobs:Eval.Batching.identity_knobs
+      ~name:Arbitrary.Config.Arbitrary ~n:33 ~ops:200 ~seed:7 ()
+  in
+  let identical =
+    Eval.Batching.fingerprint (Replication.Harness.run plain)
+    = Eval.Batching.fingerprint (Replication.Harness.run batch1)
+  in
+  let best =
+    List.fold_left (fun acc (_, (s, _)) -> Float.max acc s) 0.0 results
+  in
+  let violations = List.fold_left (fun acc (_, (_, v)) -> acc + v) 0 results in
+  Printf.printf
+    "  best speedup %.1fx (gate: >= 5x)   safety violations %d (gate: 0)   batch-1 control %s\n"
+    best violations
+    (if identical then "byte-identical" else "DIVERGED");
+  ( Printf.sprintf
+      "{\"batch_size\":%d,\"pipeline\":%d,\"group_commit\":%b,\"cases\":[%s],\"best_speedup\":%.3f,\"batch1_identical\":%b}"
+      knobs.Eval.Batching.batch_size knobs.Eval.Batching.pipeline
+      knobs.Eval.Batching.group_commit
+      (String.concat "," (List.map fst results))
+      best identical,
+    best >= 5.0 && violations = 0 && identical )
+
 (* Chaos campaign wall-clock at 1 vs N domains, plus the determinism
    claim the driver makes: rendered output must be byte-identical. *)
 let campaign_hotpath () =
@@ -352,18 +424,20 @@ let hotpath_json_valid json =
   && contains "\"schema\":\"bench-hotpath/1\""
   && contains "\"quorum\""
   && contains "\"e2e\""
+  && contains "\"batch\""
   && contains "\"campaign\""
 
 let hotpath_section () =
   hr "B1 | Hot paths: plan cache, simulator throughput, multicore campaign";
   let quorum_json, cache_floor_ok = quorum_hotpath () in
   let e2e_json = e2e_hotpath () in
+  let batch_json, batch_ok = batch_hotpath () in
   let campaign_json, identical = campaign_hotpath () in
   let json =
     Printf.sprintf
-      "{\"schema\":\"bench-hotpath/1\",\"cores\":%d,\"quorum\":%s,\"e2e\":%s,\"campaign\":%s}"
+      "{\"schema\":\"bench-hotpath/1\",\"cores\":%d,\"quorum\":%s,\"e2e\":%s,\"batch\":%s,\"campaign\":%s}"
       (Domain.recommended_domain_count ())
-      quorum_json e2e_json campaign_json
+      quorum_json e2e_json batch_json campaign_json
   in
   let oc = open_out hotpath_path in
   output_string oc json;
@@ -374,11 +448,12 @@ let hotpath_section () =
     (String.length json + 1)
     (if valid then "OK" else "FAILED");
   (* Gates limited to claims that hold on any machine: the cached path
-     must not be slower than the reference it replaced, parallel output
-     must match sequential output, and the payload must be well-formed.
-     Wall-clock speedup is recorded but not gated — it depends on the
-     core count of the box running the benchmark. *)
-  if not (valid && cache_floor_ok && identical) then begin
+     must not be slower than the reference it replaced, batching must
+     deliver its same-box relative speedup without safety violations,
+     parallel output must match sequential output, and the payload must
+     be well-formed.  Absolute wall-clock is recorded but not gated — it
+     depends on the box running the benchmark. *)
+  if not (valid && cache_floor_ok && batch_ok && identical) then begin
     print_endline "HOTPATH GATE FAILED";
     exit 1
   end

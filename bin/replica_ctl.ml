@@ -398,8 +398,30 @@ let simulate_cmd =
             "Workload preset: update-heavy, read-mostly, read-only or \
              write-heavy (overrides --read-fraction).")
   in
-  let run config n clients ops read_fraction loss mtbf mttr seed preset
-      metrics_json spans_jsonl =
+  let batch_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Client ops per batch window (0 = classic one-op loop; 1 is \
+             byte-identical to 0 by construction).")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"P"
+          ~doc:"Outstanding batch windows per client (with --batch).")
+  in
+  let group_commit_arg =
+    Arg.(
+      value & flag
+      & info [ "group-commit" ]
+          ~doc:
+            "One WAL durability point per batch at the replicas (with \
+             --batch).")
+  in
+  let run config n clients ops read_fraction loss mtbf mttr seed preset batch
+      pipeline group_commit metrics_json spans_jsonl =
     let read_fraction, zipf_theta =
       match preset with
       | None -> (read_fraction, 0.0)
@@ -425,6 +447,16 @@ let simulate_cmd =
           ~n:n_replicas ~horizon:10_000.0 ~mtbf ~mttr
     in
     let s = Replication.Harness.default_scenario ~proto in
+    let batching =
+      if batch < 1 then None
+      else
+        Some
+          {
+            Replication.Harness.batch_size = batch;
+            group_commit;
+            pipeline = max 1 pipeline;
+          }
+    in
     let obs, obs_finish = obs_setup ~metrics_json ~spans_jsonl in
     let report =
       Replication.Harness.run ?obs
@@ -437,11 +469,17 @@ let simulate_cmd =
           loss_rate = loss;
           failures;
           seed;
+          batching;
         }
     in
     Format.printf "%s over %d replicas:@.%a@."
       (Arbitrary.Config.name_to_string name)
       n_replicas Replication.Harness.pp_report report;
+    if batch >= 1 then
+      Format.printf "batching: batch=%d pipeline=%d batches=%d coalesced=%d wal syncs=%d@."
+        batch (max 1 pipeline) report.Replication.Harness.batches
+        report.Replication.Harness.coalesced_ops
+        report.Replication.Harness.wal_syncs;
     obs_finish ()
   in
   Cmd.v
@@ -449,8 +487,8 @@ let simulate_cmd =
        ~doc:"Run clients against the protocol on the simulated network.")
     Term.(
       const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ read_fraction_arg
-      $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg
-      $ metrics_json_arg $ spans_jsonl_arg)
+      $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg $ batch_arg
+      $ pipeline_arg $ group_commit_arg $ metrics_json_arg $ spans_jsonl_arg)
 
 (* --- chaos ---------------------------------------------------------------- *)
 

@@ -51,10 +51,25 @@ let size t = Array.length t.sites
 let check_site t i =
   if i < 0 || i >= Array.length t.sites then invalid_arg "Breaker: bad site id"
 
-(* Lazy time transition: an Open site whose cooldown has elapsed becomes
-   Half_open the next time anyone looks at it, letting exactly the normal
-   request flow act as its probe traffic. *)
+(* The effective state folds the cooldown clock in without committing the
+   transition: an Open site whose cooldown has elapsed *reads as*
+   Half_open.  Pure — inspection (metrics scrapes, [replica-ctl] dumps,
+   [open_sites]) must not perturb breaker behavior or the probe count. *)
+let effective t s =
+  match s.state with
+  | Open when t.now () >= s.opened_at +. s.current_cooldown -> Half_open
+  | st -> st
+
 let state t i =
+  check_site t i;
+  effective t t.sites.(i)
+
+(* Lazy time transition, on the traffic path only: an Open site whose
+   cooldown has elapsed becomes Half_open the first time a *request* looks
+   at it, letting exactly the normal request flow act as its probe
+   traffic.  One probe is counted per Open -> Half_open commit, however
+   many inspections preceded it. *)
+let observe t i =
   check_site t i;
   let s = t.sites.(i) in
   (match s.state with
@@ -64,7 +79,7 @@ let state t i =
   | _ -> ());
   s.state
 
-let allowed t i = state t i <> Open
+let allowed t i = observe t i <> Open
 
 let trip t s =
   s.state <- Open;
@@ -75,7 +90,7 @@ let trip t s =
 (* Returns [true] exactly when this piece of evidence tripped the breaker
    (Closed with the threshold reached, or a failed half-open probe). *)
 let record_failure t i =
-  match state t i with
+  match observe t i with
   | Open -> false
   | Half_open ->
     (* The probe failed: back to Open, with a longer sentence. *)
@@ -96,7 +111,7 @@ let record_failure t i =
     else false
 
 let record_ok t i =
-  match state t i with
+  match observe t i with
   | Open ->
     (* A late reply from a tripped site: stale evidence from before the
        trip.  Ignored — the site earns its way back through a probe. *)

@@ -48,12 +48,17 @@ val create : ?config:config -> n:int -> now:(unit -> float) -> unit -> t
 val size : t -> int
 
 val state : t -> int -> state
-(** Current state, evaluating the cooldown clock: an Open site whose
-    cooldown has elapsed is reported (and becomes) Half_open. *)
+(** Current {e effective} state, evaluating the cooldown clock: an Open
+    site whose cooldown has elapsed is reported as Half_open.  Pure —
+    inspection never commits the transition or touches {!probes}, so a
+    metrics scrape or [replica-ctl] dump cannot perturb breaker behavior.
+    The transition is committed (and the probe counted) by the traffic
+    path: {!allowed}, {!record_failure}, {!record_ok}, {!filter}. *)
 
 val allowed : t -> int -> bool
-(** [state t i <> Open]: the site may receive traffic (Half_open counts —
-    that traffic is the probe). *)
+(** The site may receive traffic (Half_open counts — that traffic is the
+    probe).  This is the traffic path: an Open site past its cooldown is
+    committed to Half_open here and one probe is counted. *)
 
 val record_failure : t -> int -> bool
 (** Negative evidence: a [Busy] nack or a phase timeout charged to this
@@ -77,4 +82,6 @@ val probes : t -> int
 (** Total Open → Half_open transitions. *)
 
 val open_sites : t -> int list
-(** Sites currently Open (diagnostics). *)
+(** Sites whose effective state is Open (diagnostics).  Pure, like
+    {!state}: repeated calls never advance breaker state or the probe
+    counter. *)

@@ -37,7 +37,12 @@ val create : ?config:config -> unit -> t
     @raise Invalid_argument on a negative ratio or a burst below 1. *)
 
 val on_attempt : t -> unit
-(** Record a first attempt (not a retry): deposits [ratio] tokens. *)
+(** Record a first attempt: deposits [ratio] tokens.  The deposit happens
+    on {e every} call, so callers must never route retries through it —
+    a retry that deposits refills the very bucket meant to throttle it.
+    [Quorum_rpc] and [Coordinator] expose [?retry:true] on their entry
+    points for caller-level re-issues, which skip this call; their
+    internal retry loops only ever go through {!try_retry}. *)
 
 val try_retry : t -> bool
 (** Ask to retry: [true] withdraws one token; [false] means the budget is

@@ -1,0 +1,73 @@
+module Harness = Replication.Harness
+module Stats = Dsutil.Stats
+
+type knobs = { batch_size : int; group_commit : bool; pipeline : int }
+
+let default_knobs = { batch_size = 32; group_commit = true; pipeline = 8 }
+let identity_knobs = { batch_size = 1; group_commit = true; pipeline = 1 }
+
+let to_batching k =
+  {
+    Harness.batch_size = k.batch_size;
+    group_commit = k.group_commit;
+    pipeline = k.pipeline;
+  }
+
+let scenario ?batching ~name ~n ~ops ~seed () =
+  let n = Config_metrics.feasible_n name n in
+  let proto = Config_metrics.protocol_of name ~n in
+  let s = Harness.default_scenario ~proto in
+  {
+    s with
+    Harness.n_clients = 1;
+    ops_per_client = ops;
+    read_fraction = 0.5;
+    think_time = 0.1;
+    seed;
+    batching;
+  }
+
+let pair ?(knobs = default_knobs) ~name ~n ~ops ~seed () =
+  ( scenario ~name ~n ~ops ~seed (),
+    scenario ~batching:(to_batching knobs) ~name ~n ~ops ~seed () )
+
+(* Floats are rendered with %h (exact hexadecimal representation), so the
+   digest distinguishes runs that differ in the last ulp. *)
+let fingerprint (r : Harness.report) =
+  let b = Buffer.create 4096 in
+  let ints name xs =
+    Buffer.add_string b name;
+    Buffer.add_char b '=';
+    Array.iter (fun x -> Printf.bprintf b "%d," x) xs;
+    Buffer.add_char b ';'
+  in
+  Printf.bprintf b "dur=%h;" r.Harness.duration;
+  Printf.bprintf b "r=%d/%d;w=%d/%d;retries=%d;ddl=%d;sv=%d;"
+    r.Harness.reads_ok r.Harness.reads_failed r.Harness.writes_ok
+    r.Harness.writes_failed r.Harness.retries r.Harness.deadline_exceeded
+    r.Harness.safety_violations;
+  Printf.bprintf b "rl=%d:%h;wl=%d:%h;"
+    (Stats.count r.Harness.read_latency)
+    (Stats.mean r.Harness.read_latency)
+    (Stats.count r.Harness.write_latency)
+    (Stats.mean r.Harness.write_latency);
+  Printf.bprintf b "msg=%d/%d/%d;hb=%d;" r.Harness.messages_sent
+    r.Harness.messages_delivered r.Harness.messages_dropped
+    r.Harness.heartbeat_pings;
+  ints "rs" r.Harness.replica_reads_served;
+  ints "ps" r.Harness.replica_prepares_seen;
+  ints "wa" r.Harness.replica_writes_applied;
+  ints "inc" r.Harness.replica_incarnations;
+  Printf.bprintf b "stale=%d;cu=%d/%d/%d;nack=%d;wal=%d/%d;recovering=%d;"
+    r.Harness.stale_incarnation_rejections r.Harness.catchup_runs
+    r.Harness.catchup_keys_installed r.Harness.catchup_abandoned
+    r.Harness.stale_commits_nacked r.Harness.wal_records_replayed
+    r.Harness.wal_records_lost r.Harness.replicas_recovering;
+  Printf.bprintf b "sheds=%d;busy=%d;supp=%d;odrops=%d;trips=%d;peak=%d;"
+    r.Harness.replica_sheds r.Harness.busy_received r.Harness.retries_suppressed
+    r.Harness.overload_drops r.Harness.breaker_trips r.Harness.queue_peak;
+  Printf.bprintf b "batch=%d;coal=%d;syncs=%d;" r.Harness.batches
+    r.Harness.coalesced_ops r.Harness.wal_syncs;
+  Buffer.add_string b "done=";
+  Array.iter (fun t -> Printf.bprintf b "%h," t) r.Harness.completions;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -1,0 +1,54 @@
+(** Batched-vs-unbatched evaluation cells for the throughput architecture.
+
+    Builds matched scenario pairs — identical workload, seed and protocol,
+    differing only in the {!Replication.Harness.scenario.batching} knob —
+    and fingerprints reports so byte-identity claims (batch size 1 ==
+    unbatched; same seed == same run) are one string comparison. *)
+
+type knobs = {
+  batch_size : int;
+  group_commit : bool;
+  pipeline : int;
+}
+(** Mirror of {!Replication.Harness.batching} so callers can talk about
+    batch shapes without opening the harness. *)
+
+val default_knobs : knobs
+(** The shape the benchmark gate runs: batch 32, group commit on,
+    pipeline 8. *)
+
+val identity_knobs : knobs
+(** The determinism control: batch 1, pipeline 1 — must reproduce the
+    unbatched run byte-for-byte. *)
+
+val to_batching : knobs -> Replication.Harness.batching
+
+val scenario :
+  ?batching:Replication.Harness.batching ->
+  name:Arbitrary.Config.name ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  Replication.Harness.scenario
+(** The benchmark workload on a §4 configuration: one client, [ops]
+    operations, 50/50 read mix, short think time.  [n] is adjusted with
+    {!Config_metrics.feasible_n}. *)
+
+val pair :
+  ?knobs:knobs ->
+  name:Arbitrary.Config.name ->
+  n:int ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  Replication.Harness.scenario * Replication.Harness.scenario
+(** [(unbatched, batched)] over the identical workload. *)
+
+val fingerprint : Replication.Harness.report -> string
+(** Digest (hex) of every deterministic observable in the report: op and
+    failure counts, latency statistics, message counters, per-replica
+    tallies, the full completion-time series, and the batching counters.
+    Two runs with equal fingerprints behaved identically as far as the
+    harness can see — the equality backing the batch-size-1 and
+    same-seed determinism claims. *)

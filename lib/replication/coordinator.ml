@@ -41,6 +41,7 @@ type metrics = {
   stale_incarnation_rejections : int;
   busy_received : int;
   retries_suppressed : int;
+  batches : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -76,6 +77,31 @@ type op_state = {
           that member's [Commit] *)
 }
 
+(* A batched operation: one quorum round (and, for writes, one 2PC
+   exchange) carries many keys.  Parallel to [op_state]; single-key
+   batches never build one — the public entries delegate to the plain
+   operations, keeping unbatched behavior byte-identical. *)
+type batch_kind =
+  | Batch_read of ((int * read_result option) list -> unit)
+  | Batch_write of ((int * Timestamp.t option) list -> unit)
+
+type batch_state = {
+  b_op : int;
+  b_keys : int list;  (** requested keys, in request order *)
+  b_values : (int * string) list;  (** writes only: key -> value *)
+  b_kind : batch_kind;
+  mutable b_attempts : int;
+  b_started : float;
+  b_spans : (int * Obs.Span.t option) list;  (** one span per key *)
+  mutable b_phase : phase;
+  mutable b_phase_started : float;
+  mutable b_waiting : int list;
+  b_max : (int, Timestamp.t * string) Hashtbl.t;  (** per-key newest *)
+  mutable b_quorum : int list;
+  mutable b_writes : (int * Timestamp.t * string) list;
+  mutable b_member_inc : (int * int) list;
+}
+
 type t = {
   site : int;
   net : Message.t Network.t;
@@ -91,6 +117,7 @@ type t = {
   n_replicas : int;
   mutable next_seq : int;
   pending : (int, op_state) Hashtbl.t;
+  pending_batches : (int, batch_state) Hashtbl.t;
   suspects : (int, float) Hashtbl.t;  (** site -> suspicion expiry time
                                           (timeout-suspicion ablation) *)
   incs : (int, int) Hashtbl.t;  (** site -> newest incarnation seen *)
@@ -104,6 +131,7 @@ type t = {
   mutable deadline_exceeded : int;
   mutable busy_received : int;
   mutable retries_suppressed : int;
+  mutable batches : int;
   read_latency : Stats.t;
   write_latency : Stats.t;
 }
@@ -438,6 +466,280 @@ let prepare_complete t st =
       send t ~dst:m (Message.Commit { op = st.op; inc = member_inc st m }))
     st.write_quorum
 
+(* --- batched operations ------------------------------------------------- *)
+
+let b_member_inc bst m =
+  match List.assoc_opt m bst.b_member_inc with Some i -> i | None -> 0
+
+let ofinish_sp t span outcome =
+  match (t.obs, span) with
+  | Some obs, Some sp -> Obs.finish obs sp ~outcome
+  | _ -> ()
+
+let oresult_ts_sp t span (ts : Timestamp.t) =
+  match (t.obs, span) with
+  | Some obs, Some sp ->
+    Obs.set_result_ts obs sp ~version:ts.Timestamp.version ~sid:ts.Timestamp.sid
+  | _ -> ()
+
+let span_of bst key =
+  match List.assoc_opt key bst.b_spans with Some s -> s | None -> None
+
+let finish_batch_failed t bst =
+  Hashtbl.remove t.pending_batches bst.b_op;
+  List.iter
+    (fun (_, sp) -> ofinish_sp t sp (Obs.Span.Failed "gave_up"))
+    bst.b_spans;
+  match bst.b_kind with
+  | Batch_read k ->
+    t.reads_failed <- t.reads_failed + List.length bst.b_keys;
+    k (List.map (fun key -> (key, None)) bst.b_keys)
+  | Batch_write k ->
+    t.writes_failed <- t.writes_failed + List.length bst.b_values;
+    k (List.map (fun (key, _) -> (key, None)) bst.b_values)
+
+let finish_batch_reads t bst =
+  Hashtbl.remove t.pending_batches bst.b_op;
+  let elapsed = Engine.now (engine t) -. bst.b_started in
+  let results =
+    List.map
+      (fun key ->
+        let ts, value =
+          match Hashtbl.find_opt bst.b_max key with
+          | Some (ts, v) -> (ts, v)
+          | None -> (Timestamp.zero, "")
+        in
+        let sp = span_of bst key in
+        oresult_ts_sp t sp ts;
+        ofinish_sp t sp Obs.Span.Ok;
+        t.reads_ok <- t.reads_ok + 1;
+        Stats.add t.read_latency elapsed;
+        (key, Some { value; ts; attempts = bst.b_attempts + 1 }))
+      bst.b_keys
+  in
+  match bst.b_kind with
+  | Batch_read k -> k results
+  | Batch_write _ -> assert false
+
+let finish_batch_writes t bst =
+  Hashtbl.remove t.pending_batches bst.b_op;
+  let elapsed = Engine.now (engine t) -. bst.b_started in
+  let results =
+    List.map
+      (fun (key, ts, _) ->
+        let sp = span_of bst key in
+        oresult_ts_sp t sp ts;
+        ofinish_sp t sp Obs.Span.Ok;
+        t.writes_ok <- t.writes_ok + 1;
+        Stats.add t.write_latency elapsed;
+        (key, Some ts))
+      bst.b_writes
+  in
+  match bst.b_kind with
+  | Batch_write k -> k results
+  | Batch_read _ -> assert false
+
+let batch_reply_received t bst ~src =
+  if List.mem src bst.b_waiting then begin
+    Detect.Rto.observe t.rto (Engine.now (engine t) -. bst.b_phase_started);
+    breaker_ok t src
+  end;
+  bst.b_waiting <- List.filter (fun m -> m <> src) bst.b_waiting
+
+(* The batch lifecycle mirrors the single-op one: assemble a read quorum
+   and fan out ONE multi-key envelope per member (counted as one message,
+   one service slot); writes continue into a 2PC whose prepare is likewise
+   one envelope.  Retries re-run the whole batch — per-key partial retry
+   would need per-key quorum state for no observable gain, since a batch
+   either assembled its quorum or did not. *)
+let rec start_batch t ~keys ~values ~kind ~attempts ~started ~spans =
+  let op = fresh_op t in
+  let bst =
+    {
+      b_op = op;
+      b_keys = keys;
+      b_values = values;
+      b_kind = kind;
+      b_attempts = attempts;
+      b_started = started;
+      b_spans = spans;
+      b_phase = Querying;
+      b_phase_started = Engine.now (engine t);
+      b_waiting = [];
+      b_max = Hashtbl.create (List.length keys);
+      b_quorum = [];
+      b_writes = [];
+      b_member_inc = [];
+    }
+  in
+  Hashtbl.replace t.pending_batches op bst;
+  let view = current_view t in
+  match Protocol.read_quorum t.proto ~alive:view ~rng:t.rng with
+  | None -> batch_retry t bst
+  | Some quorum ->
+    let members = Bitset.elements quorum in
+    bst.b_waiting <- members;
+    arm_batch_timeout t bst;
+    let units = List.length keys in
+    List.iter
+      (fun m ->
+        Network.send t.net ~units ~src:t.site ~dst:m
+          (Message.Read_batch { op; keys }))
+      members
+
+and batch_retry ?(timed_out = false) t bst =
+  Hashtbl.remove t.pending_batches bst.b_op;
+  if bst.b_phase = Preparing then
+    List.iter
+      (fun m -> send t ~dst:m (Message.Abort { op = bst.b_op }))
+      bst.b_quorum;
+  List.iter t.view.Detect.View.suspect bst.b_waiting;
+  if timed_out then List.iter (breaker_failure t) bst.b_waiting;
+  if bst.b_attempts >= t.config.max_retries then finish_batch_failed t bst
+  else begin
+    let delay =
+      Detect.Backoff.delay t.config.backoff ~rng:t.rng ~attempt:bst.b_attempts
+    in
+    if Engine.now (engine t) +. delay >= bst.b_started +. t.config.deadline
+    then begin
+      t.deadline_exceeded <- t.deadline_exceeded + 1;
+      ocount t "coord.deadline_exceeded";
+      finish_batch_failed t bst
+    end
+    else if
+      not
+        (match t.budget with
+        | None -> true
+        | Some b -> Detect.Budget.try_retry b)
+    then begin
+      t.retries_suppressed <- t.retries_suppressed + 1;
+      ocount t "coord.retries_suppressed";
+      finish_batch_failed t bst
+    end
+    else begin
+      t.retries <- t.retries + 1;
+      Engine.schedule (engine t) ~delay (fun () ->
+          start_batch t ~keys:bst.b_keys ~values:bst.b_values ~kind:bst.b_kind
+            ~attempts:(bst.b_attempts + 1) ~started:bst.b_started
+            ~spans:bst.b_spans)
+    end
+  end
+
+and arm_batch_timeout t bst =
+  let op = bst.b_op and phase = bst.b_phase in
+  Engine.schedule (engine t) ~delay:(phase_timeout t) (fun () ->
+      match Hashtbl.find_opt t.pending_batches op with
+      | Some b' when b'.b_phase = phase && b'.b_waiting <> [] ->
+        if phase = Committing then batch_commit_timeout t b'
+        else batch_retry ~timed_out:true t b'
+      | _ -> ())
+
+and batch_commit_timeout t bst =
+  (* The decision is commit: resend to the laggards, as in the single-op
+     path; commit resends stay exempt from the global retry budget. *)
+  List.iter t.view.Detect.View.suspect bst.b_waiting;
+  List.iter (breaker_failure t) bst.b_waiting;
+  if bst.b_attempts >= t.config.max_retries then begin
+    Hashtbl.remove t.pending_batches bst.b_op;
+    finish_batch_failed t bst
+  end
+  else begin
+    t.retries <- t.retries + 1;
+    bst.b_attempts <- bst.b_attempts + 1;
+    arm_batch_timeout t bst;
+    List.iter
+      (fun m ->
+        send t ~dst:m (Message.Commit { op = bst.b_op; inc = b_member_inc bst m }))
+      bst.b_waiting
+  end
+
+and batch_query_complete t bst =
+  match bst.b_kind with
+  | Batch_read _ -> finish_batch_reads t bst
+  | Batch_write _ -> (
+    let view = current_view t in
+    match Protocol.write_quorum t.proto ~alive:view ~rng:t.rng with
+    | None -> batch_retry t bst
+    | Some quorum ->
+      let members = Bitset.elements quorum in
+      (* Per-key version bump from the per-key newest seen in the query
+         round — keys in one batch are at unrelated versions.  A key
+         written twice in one batch gets strictly increasing versions, so
+         the later value wins at install time. *)
+      let writes =
+        let bumped = Hashtbl.create 8 in
+        List.map
+          (fun (key, value) ->
+            let version =
+              match Hashtbl.find_opt bumped key with
+              | Some v -> v
+              | None -> (
+                match Hashtbl.find_opt bst.b_max key with
+                | Some (ts, _) -> ts.Timestamp.version
+                | None -> 0)
+            in
+            Hashtbl.replace bumped key (version + 1);
+            (key, Timestamp.make ~version:(version + 1) ~sid:t.site, value))
+          bst.b_values
+      in
+      bst.b_phase <- Preparing;
+      bst.b_phase_started <- Engine.now (engine t);
+      bst.b_waiting <- members;
+      bst.b_quorum <- members;
+      bst.b_writes <- writes;
+      arm_batch_timeout t bst;
+      let units = List.length writes in
+      List.iter
+        (fun m ->
+          Network.send t.net ~units ~src:t.site ~dst:m
+            (Message.Prepare_batch { op = bst.b_op; writes }))
+        members)
+
+let batch_prepare_complete t bst =
+  bst.b_phase <- Committing;
+  bst.b_phase_started <- Engine.now (engine t);
+  bst.b_waiting <- bst.b_quorum;
+  arm_batch_timeout t bst;
+  List.iter
+    (fun m ->
+      send t ~dst:m (Message.Commit { op = bst.b_op; inc = b_member_inc bst m }))
+    bst.b_quorum
+
+let handle_batch t ~src bst msg =
+  match (msg : Message.t) with
+  | Read_batch_reply { entries; _ } when bst.b_phase = Querying ->
+    batch_reply_received t bst ~src;
+    List.iter
+      (fun (key, ts, value) ->
+        let newer =
+          match Hashtbl.find_opt bst.b_max key with
+          | Some (cur, _) -> Timestamp.newer_than ts cur
+          | None -> Timestamp.newer_than ts Timestamp.zero
+        in
+        if newer then Hashtbl.replace bst.b_max key (ts, value))
+      entries;
+    if bst.b_waiting = [] then batch_query_complete t bst
+  | Prepare_ack { inc; _ } when bst.b_phase = Preparing ->
+    batch_reply_received t bst ~src;
+    bst.b_member_inc <- (src, inc) :: bst.b_member_inc;
+    if bst.b_waiting = [] then batch_prepare_complete t bst
+  | Prepare_nack _ when bst.b_phase = Querying || bst.b_phase = Preparing ->
+    batch_retry t bst
+  | Busy _ when bst.b_phase = Querying || bst.b_phase = Preparing ->
+    t.busy_received <- t.busy_received + 1;
+    ocount t "coord.busy_received";
+    breaker_failure t src;
+    batch_retry t bst
+  | Prepare_nack _ when bst.b_phase = Committing ->
+    (* A member lost its staged batch to a crash mid-commit: uncertain
+       outcome, counted failed — same contract as the single-op path. *)
+    finish_batch_failed t bst
+  | Commit_ack { inc; _ }
+    when bst.b_phase = Committing && inc = b_member_inc bst src ->
+    batch_reply_received t bst ~src;
+    if bst.b_waiting = [] then finish_batch_writes t bst
+  | _ -> ()  (* out-of-phase or replica-bound: ignore *)
+
 (* A reply stamped with an incarnation older than the newest one seen from
    its sender is evidence from a pre-crash life: the state it vouches for
    was (possibly) lost, so it must not complete a quorum.  Returns whether
@@ -464,7 +766,11 @@ let handle t ~src msg =
   if not (stale_incarnation t ~src msg) then begin
     let op = Message.op_id msg in
     match Hashtbl.find_opt t.pending op with
-    | None -> ()  (* stale: an earlier attempt or a finished operation *)
+    | None -> (
+      (* Not a single-key op: maybe a batch (stale otherwise). *)
+      match Hashtbl.find_opt t.pending_batches op with
+      | Some bst -> handle_batch t ~src bst msg
+      | None -> ())
     | Some st -> begin
       match (msg : Message.t) with
       | Read_reply { ts; value; _ } when st.phase = Querying ->
@@ -502,7 +808,8 @@ let handle t ~src msg =
         reply_received t st ~src;
         if st.waiting = [] then finish t st (`Write_ok st.write_ts)
       | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _
-      | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _ | Ping _
+      | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _
+      | Read_batch _ | Read_batch_reply _ | Prepare_batch _ | Ping _
       | Pong _ ->
         (* Out-of-phase or replica-bound: ignore.  A committing op ignores
            [Busy] in particular — commits ride the priority lane, so a
@@ -530,6 +837,7 @@ let create ~site ~net ~proto ?locks ?view ?budget ?breaker ?obs
       n_replicas;
       next_seq = 0;
       pending = Hashtbl.create 16;
+      pending_batches = Hashtbl.create 8;
       suspects = Hashtbl.create 16;
       incs = Hashtbl.create 16;
       stale_inc_rejections = 0;
@@ -542,6 +850,7 @@ let create ~site ~net ~proto ?locks ?view ?budget ?breaker ?obs
       deadline_exceeded = 0;
       busy_received = 0;
       retries_suppressed = 0;
+      batches = 0;
       read_latency = Stats.create ();
       write_latency = Stats.create ();
     }
@@ -567,13 +876,15 @@ let open_span t ~op ~key =
   | _ -> ());
   span
 
-(* Every operation entry deposits into the shared retry budget: the more
-   first-attempt traffic flows, the more retries the budget affords. *)
+(* Every *first-attempt* operation entry deposits into the shared retry
+   budget: the more first-attempt traffic flows, the more retries the
+   budget affords.  Caller-level re-issues pass [~retry:true] and must
+   not deposit — otherwise a retry storm refills its own bucket. *)
 let budget_attempt t =
   match t.budget with None -> () | Some b -> Detect.Budget.on_attempt b
 
-let read t ~key k =
-  budget_attempt t;
+let read t ?(retry = false) ~key k =
+  if not retry then budget_attempt t;
   let span = open_span t ~op:"read" ~key in
   with_lock t ~key ~mode:Lock_manager.Shared (fun unlock ->
       start_attempt t ~key
@@ -582,8 +893,8 @@ let read t ~key k =
         ~started:(Engine.now (engine t))
         ~span)
 
-let write t ~key ~value k =
-  budget_attempt t;
+let write t ?(retry = false) ~key ~value k =
+  if not retry then budget_attempt t;
   let span = open_span t ~op:"write" ~key in
   with_lock t ~key ~mode:Lock_manager.Exclusive (fun unlock ->
       start_attempt t ~key
@@ -591,6 +902,40 @@ let write t ~key ~value k =
         ~attempts:0
         ~started:(Engine.now (engine t))
         ~span)
+
+(* Batched entries.  Size <= 1 delegates to the plain single-key path —
+   locks, spans, RNG draws and all — so a batch size of 1 is byte-identical
+   to unbatched operation.  True batches (>= 2 keys) skip the per-key lock
+   manager: monotone installs plus quorum intersection make concurrent
+   multi-key writes safe without it (timestamps totally order by (version,
+   sid)), and one lock per batch would serialize exactly the parallelism
+   batching exists to create. *)
+let read_batch t ?(retry = false) ~keys k =
+  match keys with
+  | [] -> k []
+  | [ key ] -> read t ~retry ~key (fun r -> k [ (key, r) ])
+  | _ ->
+    if not retry then budget_attempt t;
+    t.batches <- t.batches + 1;
+    ocount t "coord.batches";
+    let spans = List.map (fun key -> (key, ospan t ~op:"read" ~key)) keys in
+    start_batch t ~keys ~values:[] ~kind:(Batch_read k) ~attempts:0
+      ~started:(Engine.now (engine t))
+      ~spans
+
+let write_batch t ?(retry = false) ~writes k =
+  match writes with
+  | [] -> k []
+  | [ (key, value) ] -> write t ~retry ~key ~value (fun r -> k [ (key, r) ])
+  | _ ->
+    if not retry then budget_attempt t;
+    t.batches <- t.batches + 1;
+    ocount t "coord.batches";
+    let keys = List.map fst writes in
+    let spans = List.map (fun key -> (key, ospan t ~op:"write" ~key)) keys in
+    start_batch t ~keys ~values:writes ~kind:(Batch_write k) ~attempts:0
+      ~started:(Engine.now (engine t))
+      ~spans
 
 let set_protocol t proto =
   if Protocol.universe_size proto <> t.n_replicas then
@@ -609,6 +954,7 @@ let metrics t =
     stale_incarnation_rejections = t.stale_inc_rejections;
     busy_received = t.busy_received;
     retries_suppressed = t.retries_suppressed;
+    batches = t.batches;
     read_latency = t.read_latency;
     write_latency = t.write_latency;
   }

@@ -89,12 +89,52 @@ val create :
 
 type read_result = { value : string; ts : Timestamp.t; attempts : int }
 
-val read : t -> key:int -> (read_result option -> unit) -> unit
+val read : t -> ?retry:bool -> key:int -> (read_result option -> unit) -> unit
 (** [None] when no read quorum could be assembled within the retry
-    budget. *)
+    budget.
 
-val write : t -> key:int -> value:string -> (Timestamp.t option -> unit) -> unit
-(** On success, the timestamp under which the value was committed. *)
+    [~retry:true] marks a caller-level re-issue of a failed operation:
+    it skips the retry-budget deposit so a storm of re-issues cannot
+    refill its own token bucket (tokens are only earned by genuine first
+    attempts).  Default [false]. *)
+
+val write :
+  t -> ?retry:bool -> key:int -> value:string -> (Timestamp.t option -> unit) -> unit
+(** On success, the timestamp under which the value was committed.
+    [~retry:true] as in {!read}. *)
+
+val read_batch :
+  t -> ?retry:bool -> keys:int list -> ((int * read_result option) list -> unit) -> unit
+(** Batched read: ONE quorum round answers every key.  Each quorum member
+    receives a single {!Message.t.Read_batch} envelope (one message, one
+    service-queue slot) and answers all keys at once; the callback gets a
+    per-key result in request order — per-key success/failure reporting,
+    though with whole-batch retry a round either answers every key or
+    (after the retry budget) fails every key.
+
+    A batch of one key delegates to {!read} (locks included), so batch
+    size 1 is byte-identical to unbatched operation.  Larger batches skip
+    the per-key lock manager: monotone installs and quorum intersection
+    make them safe without it.  [~retry] as in {!read}; a batch deposits
+    once into the retry budget, whatever its size (it consumes one quorum
+    round of capacity). *)
+
+val write_batch :
+  t ->
+  ?retry:bool ->
+  writes:(int * string) list ->
+  ((int * Timestamp.t option) list -> unit) ->
+  unit
+(** Batched write: one version-query round (a {!Message.t.Read_batch}
+    over a read quorum) obtains every key's newest version, then ONE
+    two-phase-commit exchange carries all keys — a single
+    {!Message.t.Prepare_batch} envelope per write-quorum member, staged
+    and committed atomically under one op id, one [Commit]/[Commit_ack]
+    pair per member.  The callback gets each key's commit timestamp (or
+    [None] for the whole batch on failure), in request order.
+
+    Singleton delegation, locking and budget semantics as in
+    {!read_batch}. *)
 
 val view : t -> Detect.View.t
 (** The failure-detector view in force. *)
@@ -132,6 +172,10 @@ type metrics = {
   retries_suppressed : int;
       (** retries refused by the shared {!Detect.Budget} (operation failed
           fast instead) *)
+  batches : int;
+      (** multi-key batches executed ({!read_batch}/{!write_batch} with
+          >= 2 keys; singleton delegations are not counted).  Mirrored as
+          the [coord.batches] metric. *)
   read_latency : Dsutil.Stats.t;
   write_latency : Dsutil.Stats.t;
 }

@@ -26,6 +26,12 @@ type overload = {
   burst : burst option;
 }
 
+type batching = {
+  batch_size : int;  (** client ops per batch window (>= 1) *)
+  group_commit : bool;  (** one WAL sync per batch at the replicas *)
+  pipeline : int;  (** outstanding windows per client (>= 1) *)
+}
+
 type scenario = {
   proto : Protocol.t;
   n_clients : int;
@@ -48,6 +54,7 @@ type scenario = {
   catch_up : bool;
   check_consistency : bool;
   overload : overload option;
+  batching : batching option;
 }
 
 let overload_defaults =
@@ -84,6 +91,7 @@ let default_scenario ~proto =
     catch_up = true;
     check_consistency = false;
     overload = None;
+    batching = None;
   }
 
 type report = {
@@ -124,6 +132,9 @@ type report = {
       (** virtual completion time of every successful operation, in
           completion order — the raw material for goodput-over-time
           windows *)
+  batches : int;
+  coalesced_ops : int;
+  wal_syncs : int;
 }
 
 (* Per-key newest successfully committed timestamp, for the freshness
@@ -219,9 +230,17 @@ let run ?obs scenario =
            ~keys:(fun () -> List.init scenario.key_space Fun.id)
            ~proto ())
   in
+  let batching = scenario.batching in
+  (match batching with
+  | Some b when b.batch_size < 1 || b.pipeline < 1 ->
+    invalid_arg "Harness.run: batch_size and pipeline must be >= 1"
+  | _ -> ());
+  let group_commit =
+    match batching with Some b -> b.group_commit | None -> false
+  in
   let replicas =
     Array.init n (fun site ->
-        Replica.create ~site ~net ?recovery ?admission ?obs ())
+        Replica.create ~site ~net ?recovery ?admission ~group_commit ?obs ())
   in
   let locks =
     if scenario.use_locks then Some (Lock_manager.create ~engine) else None
@@ -264,6 +283,24 @@ let run ?obs scenario =
         ~read_fraction:scenario.read_fraction ~key_space:scenario.key_space
         ~zipf_theta:scenario.zipf_theta ()
     in
+    let expected_now key =
+      Option.value ~default:Timestamp.zero (Hashtbl.find_opt checker.latest key)
+    in
+    let process_read expected result =
+      match result with
+      | Some { Coordinator.ts; _ } ->
+        completions := Engine.now engine :: !completions;
+        if Timestamp.newer_than expected ts then
+          checker.violations <- checker.violations + 1
+      | None -> ()
+    in
+    let process_write key result =
+      match result with
+      | Some ts ->
+        completions := Engine.now engine :: !completions;
+        Hashtbl.replace checker.latest key (Timestamp.max (expected_now key) ts)
+      | None -> ()
+    in
     let rec step remaining =
       if remaining = 0 then client_finished ()
       else begin
@@ -274,35 +311,87 @@ let run ?obs scenario =
         in
         match Workload.Generator.next gen with
         | Workload.Generator.Read key ->
-          let expected =
-            Option.value ~default:Timestamp.zero
-              (Hashtbl.find_opt checker.latest key)
-          in
+          let expected = expected_now key in
           Coordinator.read coord ~key (fun result ->
-              (match result with
-              | Some { Coordinator.ts; _ } ->
-                completions := Engine.now engine :: !completions;
-                if Timestamp.newer_than expected ts then
-                  checker.violations <- checker.violations + 1
-              | None -> ());
+              process_read expected result;
               continue ())
         | Workload.Generator.Write (key, value) ->
           Coordinator.write coord ~key ~value (fun result ->
-              (match result with
-              | Some ts ->
-                completions := Engine.now engine :: !completions;
-                let prev =
-                  Option.value ~default:Timestamp.zero
-                    (Hashtbl.find_opt checker.latest key)
-                in
-                Hashtbl.replace checker.latest key (Timestamp.max prev ts)
-              | None -> ());
+              process_write key result;
               continue ())
       end
     in
-    if start_delay > 0.0 then
-      Engine.schedule engine ~delay:start_delay (fun () -> step ops)
-    else step ops;
+    (* Batched client: ops are issued in windows of [batch_size] (one
+       read-batch plus one write-batch per window) with up to [pipeline]
+       windows outstanding.  Think time is drawn after a window completes,
+       so [batch_size = 1, pipeline = 1] draws the RNG in exactly the
+       unbatched order and every run is byte-identical to [step]. *)
+    let run_batched b =
+      let remaining = ref ops in
+      let slots = ref b.pipeline in
+      let retire () =
+        decr slots;
+        if !slots = 0 then client_finished ()
+      in
+      let rec slot_step () =
+        if !remaining = 0 then retire ()
+        else begin
+          let wsize = min b.batch_size !remaining in
+          remaining := !remaining - wsize;
+          (* Draw the whole window up front, in issue order. *)
+          let window = ref [] in
+          for _ = 1 to wsize do
+            window := Workload.Generator.next gen :: !window
+          done;
+          let window = List.rev !window in
+          let reads =
+            List.filter_map
+              (function
+                | Workload.Generator.Read key -> Some (key, expected_now key)
+                | Workload.Generator.Write _ -> None)
+              window
+          in
+          let writes =
+            List.filter_map
+              (function
+                | Workload.Generator.Write (key, value) -> Some (key, value)
+                | Workload.Generator.Read _ -> None)
+              window
+          in
+          let parts =
+            ref ((if reads = [] then 0 else 1) + (if writes = [] then 0 else 1))
+          in
+          let part_done () =
+            decr parts;
+            if !parts = 0 then
+              Engine.schedule engine
+                ~delay:(Workload.Generator.think_time gen ~mean:think)
+                slot_step
+          in
+          if reads <> [] then
+            Coordinator.read_batch coord ~keys:(List.map fst reads)
+              (fun results ->
+                List.iter2
+                  (fun (_, expected) (_, result) -> process_read expected result)
+                  reads results;
+                part_done ());
+          if writes <> [] then
+            Coordinator.write_batch coord ~writes (fun results ->
+                List.iter
+                  (fun (key, result) -> process_write key result)
+                  results;
+                part_done ())
+        end
+      in
+      for _ = 1 to b.pipeline do
+        slot_step ()
+      done
+    in
+    let start () =
+      match batching with None -> step ops | Some b -> run_batched b
+    in
+    if start_delay > 0.0 then Engine.schedule engine ~delay:start_delay start
+    else start ();
     coord
   in
   let coords =
@@ -387,6 +476,9 @@ let run ?obs scenario =
        done;
        !peak);
     completions = Array.of_list (List.rev !completions);
+    batches = sum (fun m -> m.Coordinator.batches);
+    coalesced_ops = counters.Network.coalesced;
+    wal_syncs = sum_replicas Replica.wal_syncs;
   }
 
 let completed r = r.reads_ok + r.writes_ok

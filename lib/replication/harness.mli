@@ -51,6 +51,24 @@ val overload_defaults : overload
 (** All defenses off, no service cost, no burst — override fields from
     here. *)
 
+type batching = {
+  batch_size : int;
+      (** client ops per batch window (>= 1); a window becomes one
+          {!Coordinator.read_batch} plus one {!Coordinator.write_batch} *)
+  group_commit : bool;
+      (** replicas WAL one batch under a single durability point
+          ({!Replica.create}'s [group_commit]) *)
+  pipeline : int;
+      (** outstanding windows per client (>= 1) — pipelined tree reads:
+          the next window is issued without waiting for the previous one *)
+}
+(** Client-side batching.  [None] in {!scenario.batching} keeps the
+    one-op-at-a-time client loop, byte-identical to before; and
+    [batch_size = 1, pipeline = 1] draws the client RNG in exactly the
+    unbatched order (think time is drawn after each window completes), so
+    it too is byte-identical — the determinism control for the batching
+    layer. *)
+
 type scenario = {
   proto : Quorum.Protocol.t;
   n_clients : int;
@@ -87,6 +105,9 @@ type scenario = {
   overload : overload option;
       (** bounded replica queues, load shedding, retry budget, breaker and
           flash-crowd injection (default [None]: none of it exists) *)
+  batching : batching option;
+      (** windowed batched clients, WAL group commit and pipelining
+          (default [None]: the classic one-op loop) *)
 }
 
 val default_scenario : proto:Quorum.Protocol.t -> scenario
@@ -138,6 +159,15 @@ type report = {
       (** virtual completion time of every successful operation, in
           completion order — the raw material for goodput-over-time
           windows *)
+  batches : int;
+      (** multi-key batches coordinators executed (0 when batching is off
+          or every window degenerated to one op) *)
+  coalesced_ops : int;
+      (** per-op messages saved by multi-op envelopes
+          ({!Dsim.Network.counters.coalesced}) *)
+  wal_syncs : int;
+      (** synchronous WAL forces across all replicas; under group commit a
+          whole batch counts one *)
 }
 
 val run : ?obs:Obs.t -> scenario -> report

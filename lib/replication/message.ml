@@ -13,6 +13,20 @@ type t =
   | Busy of { op : int }
       (** overload nack: the replica shed the request instead of queueing
           it; the coordinator should back off, not wait for a timeout *)
+  | Read_batch of { op : int; keys : int list }
+      (** coalesced read envelope: one message, one service-queue slot,
+          many keys *)
+  | Read_batch_reply of {
+      op : int;
+      entries : (int * Timestamp.t * string) list;  (* key, ts, value *)
+      inc : int;
+    }
+  | Prepare_batch of {
+      op : int;
+      writes : (int * Timestamp.t * string) list;  (* key, ts, value *)
+    }
+      (** coalesced 2PC stage: the batch is staged (and later committed or
+          aborted) atomically under one op id; acked with [Prepare_ack] *)
   | Ping of { seq : int }
   | Pong of { seq : int }
 
@@ -26,16 +40,28 @@ let op_id = function
   | Commit_ack { op; _ }
   | Abort { op }
   | Repair { op; _ }
-  | Busy { op } ->
+  | Busy { op }
+  | Read_batch { op; _ }
+  | Read_batch_reply { op; _ }
+  | Prepare_batch { op; _ } ->
     op
   | Ping _ | Pong _ -> -1  (* never matches a pending operation *)
 
 let incarnation = function
-  | Read_reply { inc; _ } | Prepare_ack { inc; _ } | Commit_ack { inc; _ } ->
+  | Read_reply { inc; _ }
+  | Prepare_ack { inc; _ }
+  | Commit_ack { inc; _ }
+  | Read_batch_reply { inc; _ } ->
     Some inc
   | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-  | Repair _ | Busy _ | Ping _ | Pong _ ->
+  | Repair _ | Busy _ | Read_batch _ | Prepare_batch _ | Ping _ | Pong _ ->
     None
+
+let batch_size = function
+  | Read_batch { keys; _ } -> List.length keys
+  | Read_batch_reply { entries; _ } -> List.length entries
+  | Prepare_batch { writes; _ } -> List.length writes
+  | _ -> 1
 
 let pp ppf = function
   | Read_request { op; key } -> Format.fprintf ppf "read-req(op=%d key=%d)" op key
@@ -52,5 +78,12 @@ let pp ppf = function
   | Repair { op; key; ts; _ } ->
     Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts
   | Busy { op } -> Format.fprintf ppf "busy(op=%d)" op
+  | Read_batch { op; keys } ->
+    Format.fprintf ppf "read-batch(op=%d |keys|=%d)" op (List.length keys)
+  | Read_batch_reply { op; entries; _ } ->
+    Format.fprintf ppf "read-batch-reply(op=%d |entries|=%d)" op
+      (List.length entries)
+  | Prepare_batch { op; writes } ->
+    Format.fprintf ppf "prepare-batch(op=%d |writes|=%d)" op (List.length writes)
   | Ping { seq } -> Format.fprintf ppf "ping(seq=%d)" seq
   | Pong { seq } -> Format.fprintf ppf "pong(seq=%d)" seq

@@ -38,6 +38,26 @@ type t =
           [Prepare_nack]: the replica is healthy, just loaded — useful
           both to the retry logic (fail fast, back off) and to the circuit
           breaker (count as pushback, do not count as death) *)
+  | Read_batch of { op : int; keys : int list }
+      (** coalesced read envelope: many keys ride one message, which the
+          service-queue model counts as ONE unit of per-site work — the
+          whole point of coalescing.  Answered by [Read_batch_reply] with
+          one (key, ts, value) entry per requested key (in key order), or
+          [Busy]/[Prepare_nack]-style refusal via [Busy] when shed *)
+  | Read_batch_reply of {
+      op : int;
+      entries : (int * Timestamp.t * string) list;
+      inc : int;
+    }
+  | Prepare_batch of {
+      op : int;
+      writes : (int * Timestamp.t * string) list;
+    }
+      (** coalesced 2PC stage: the writes are staged atomically under one
+          op id and later committed or aborted together by the ordinary
+          [Commit]/[Abort] for that op.  Acked with [Prepare_ack], so the
+          rest of the 2PC machinery (incarnation echo included) is
+          unchanged *)
   | Ping of { seq : int }
       (** heartbeat probe from a failure-detecting coordinator *)
   | Pong of { seq : int }  (** heartbeat answer *)
@@ -48,6 +68,12 @@ val op_id : t -> int
 
 val incarnation : t -> int option
 (** The sender incarnation stamped on replica replies ([Read_reply],
-    [Prepare_ack], [Commit_ack]); [None] on every other message. *)
+    [Prepare_ack], [Commit_ack], [Read_batch_reply]); [None] on every
+    other message. *)
+
+val batch_size : t -> int
+(** Logical operations the message carries: the batch length for the
+    coalesced envelopes, 1 for everything else.  Feeds the network's
+    [?units] accounting. *)
 
 val pp : Format.formatter -> t -> unit

@@ -220,7 +220,8 @@ let handle t ~src msg =
           | Commit_ack { inc; _ } ->
             g.phase = Commit_phase && inc = member_inc t ~op src
           | Read_request _ | Prepare _ | Prepare_nack _ | Busy _ | Commit _
-          | Abort _ | Repair _ | Ping _ | Pong _ ->
+          | Abort _ | Repair _ | Read_batch _ | Read_batch_reply _
+          | Prepare_batch _ | Ping _ | Pong _ ->
             false
         in
         if expected then begin
@@ -354,8 +355,8 @@ let oresult_ts t span (ts : Timestamp.t) =
     Obs.set_result_ts obs sp ~version:ts.Timestamp.version ~sid:ts.Timestamp.sid
   | _ -> ()
 
-let query t ~key k =
-  budget_attempt t;
+let query t ?(retry = false) ~key k =
+  if not retry then budget_attempt t;
   let span = ospan t ~op:"rpc.read" ~key in
   query_sp t ~span ~key (fun r ->
       (match r with Some (ts, _) -> oresult_ts t span ts | None -> ());
@@ -444,8 +445,8 @@ let abort_staged t ~op ~members =
     (fun m -> Network.send t.net ~src:t.site ~dst:m (Message.Abort { op }))
     members
 
-let write t ~key ?ts ~value k =
-  budget_attempt t;
+let write t ?(retry = false) ~key ?ts ~value k =
+  if not retry then budget_attempt t;
   let span = ospan t ~op:"rpc.write" ~key in
   let finishk r =
     (match r with Some ts -> oresult_ts t span ts | None -> ());

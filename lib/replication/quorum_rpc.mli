@@ -84,9 +84,14 @@ val set_protocol : t -> Quorum.Protocol.t -> unit
     universe must keep the same size. *)
 
 val query :
-  t -> key:int -> ((Timestamp.t * string) option -> unit) -> unit
+  t -> ?retry:bool -> key:int -> ((Timestamp.t * string) option -> unit) -> unit
 (** Read quorum: newest (timestamp, value) among all members, [None] when
-    no quorum could be assembled within the retry/deadline budget. *)
+    no quorum could be assembled within the retry/deadline budget.
+
+    [~retry:true] marks a caller-level re-issue of an operation that
+    already entered once: it skips the retry-budget deposit, so a storm
+    of re-issues cannot refill its own token bucket (the budget only
+    earns tokens from genuine first attempts).  Default [false]. *)
 
 val prepare :
   t ->
@@ -109,6 +114,7 @@ val abort_staged : t -> op:int -> members:int list -> unit
 
 val write :
   t ->
+  ?retry:bool ->
   key:int ->
   ?ts:Timestamp.t ->
   value:string ->
@@ -117,4 +123,5 @@ val write :
 (** Full write: version-phase read (skipped when [ts] is forced), then
     prepare + commit on a write quorum.  A forced [ts] is used by state
     transfer, which must re-install values {e without} minting new
-    versions. *)
+    versions.  [~retry:true] as in {!query}: a caller-level re-issue
+    that must not deposit into the retry budget. *)

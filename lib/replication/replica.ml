@@ -57,6 +57,7 @@ type t = {
   wal : Wal.t option;
   universe : int option;  (* replica count, to tell peers from clients *)
   admission : admission option;
+  group_commit : bool;  (* one WAL durability point per batch *)
   proto : Protocol.t option;  (* private fork, for catch-up quorums *)
   rng : Rng.t option;  (* split from the engine only when catch-up is on *)
   obs : Obs.t option;
@@ -93,7 +94,17 @@ let ohist t name v =
 let wal_append t record =
   match t.wal with None -> () | Some wal -> Wal.append wal record
 
-let send t ~dst msg = Network.send t.net ~src:t.site ~dst msg
+(* A batch's log records share one durability point under group commit;
+   without it they are appended (and synced) one by one, exactly as if
+   the operations had arrived unbatched. *)
+let wal_append_many t records =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    if t.group_commit then Wal.append_batch wal records
+    else List.iter (Wal.append wal) records
+
+let send t ?units ~dst msg = Network.send t.net ?units ~src:t.site ~dst msg
 
 let fresh_op t =
   let id = (t.next_seq * Network.size t.net) + t.site in
@@ -264,7 +275,8 @@ let shed_client_work t ~src msg =
     then
       match (msg : Message.t) with
       | Read_request { op; _ } when not (is_peer t src) -> Some op
-      | Prepare { op; _ } -> Some op
+      | Read_batch { op; _ } when not (is_peer t src) -> Some op
+      | Prepare { op; _ } | Prepare_batch { op; _ } -> Some op
       | _ -> None
     else None
 
@@ -291,26 +303,59 @@ let handle_serving t ~src msg =
     end
     else begin
       (match Store.staged t.store ~op with
-      | Some (key, ts, value) -> wal_append t (Wal.Commit { op; key; ts; value })
-      | None -> ());
-      if Store.commit_staged t.store ~op then
-        t.writes_applied <- t.writes_applied + 1;
+      | Some (key, ts, value) ->
+        wal_append t (Wal.Commit { op; key; ts; value });
+        if Store.commit_staged t.store ~op then
+          t.writes_applied <- t.writes_applied + 1
+      | None -> (
+        match Store.staged_many t.store ~op with
+        | Some writes ->
+          (* A staged batch commits atomically: every write's Commit
+             record shares the batch's durability point. *)
+          wal_append_many t
+            (List.map
+               (fun (key, ts, value) -> Wal.Commit { op; key; ts; value })
+               writes);
+          if Store.commit_staged t.store ~op then
+            t.writes_applied <- t.writes_applied + List.length writes
+        | None -> ()));
       (* Ack even when nothing was staged: a same-incarnation resend means
          the first commit already applied (nothing can have been lost
          within one incarnation). *)
       send t ~dst:src (Message.Commit_ack { op; inc = t.incarnation })
     end
   | Abort { op } ->
-    if Store.staged t.store ~op <> None then wal_append t (Wal.Abort { op });
+    if Store.staged t.store ~op <> None || Store.staged_many t.store ~op <> None
+    then wal_append t (Wal.Abort { op });
     Store.abort_staged t.store ~op
   | Repair { key; ts; value; _ } ->
     if Store.install t.store ~key ~ts ~value then begin
       wal_append t (Wal.Install { key; ts; value });
       t.repairs_applied <- t.repairs_applied + 1
     end
+  | Read_batch { op; keys } ->
+    (* Coalesced reads: one envelope in, one envelope out, each counted
+       as one message by the network but as |keys| logical reads here. *)
+    t.reads_served <- t.reads_served + List.length keys;
+    let entries =
+      List.map
+        (fun key ->
+          let ts, value = Store.read t.store ~key in
+          (key, ts, value))
+        keys
+    in
+    send t ~dst:src
+      ~units:(List.length entries)
+      (Message.Read_batch_reply { op; entries; inc = t.incarnation })
+  | Prepare_batch { op; writes } ->
+    t.prepares_seen <- t.prepares_seen + List.length writes;
+    Store.stage_many t.store ~op writes;
+    wal_append_many t
+      (List.map (fun (key, ts, value) -> Wal.Stage { op; key; ts; value }) writes);
+    send t ~dst:src (Message.Prepare_ack { op; inc = t.incarnation })
   | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
-  | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _
-  | Pong _ ->
+  | Read_reply _ | Read_batch_reply _ | Prepare_ack _ | Prepare_nack _
+  | Commit_ack _ | Busy _ | Pong _ ->
     (* Coordinator-bound messages; a serving replica ignores strays. *)
     ()
 
@@ -336,7 +381,11 @@ let handle_recovering t ~src msg =
         (Message.Read_reply { op; key; ts; value; inc = t.incarnation })
     end
     else nack t ~dst:src ~op "recovering"
-  | Prepare { op; _ } -> nack t ~dst:src ~op "recovering"
+  | Read_batch { op; _ } ->
+    (* Batches are client traffic (catch-up never batches): refuse. *)
+    nack t ~dst:src ~op "recovering"
+  | Prepare { op; _ } | Prepare_batch { op; _ } ->
+    nack t ~dst:src ~op "recovering"
   | Commit { op; _ } ->
     t.stale_commits_nacked <- t.stale_commits_nacked + 1;
     ocount t "replica.stale_inc.nacked";
@@ -357,7 +406,7 @@ let handle_recovering t ~src msg =
     match t.gather with
     | Some g when g.g_op = Message.op_id msg -> catchup_gather_failed t g
     | _ -> ())
-  | Prepare_ack _ | Commit_ack _ | Busy _ | Pong _ -> ()
+  | Prepare_ack _ | Commit_ack _ | Busy _ | Pong _ | Read_batch_reply _ -> ()
 
 let handle t ~src msg =
   match shed_client_work t ~src msg with
@@ -375,20 +424,26 @@ let handle t ~src msg =
 let priority_lane t ~src msg =
   match (msg : Message.t) with
   | Commit _ | Abort _ | Repair _ | Ping _ | Pong _ | Read_reply _
-  | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _ ->
+  | Read_batch_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
+  | Busy _ ->
     true
   | Read_request _ -> is_peer t src
-  | Prepare _ -> false
+  | Prepare _ | Prepare_batch _ -> false
+  | Read_batch _ -> is_peer t src
 
 (* A message the bounded queue turned away: answer with an explicit
    [Busy] so the coordinator learns about the pushback now instead of at
    its timeout. *)
 let on_overflow t ~src msg =
   match (msg : Message.t) with
-  | Read_request { op; _ } | Prepare { op; _ } -> shed t ~dst:src ~op
+  | Read_request { op; _ }
+  | Prepare { op; _ }
+  | Read_batch { op; _ }
+  | Prepare_batch { op; _ } ->
+    shed t ~dst:src ~op
   | _ -> ()
 
-let create ~site ~net ?recovery ?admission ?obs () =
+let create ~site ~net ?recovery ?admission ?(group_commit = false) ?obs () =
   let proto, rng =
     match recovery with
     | Some r when r.catch_up ->
@@ -425,6 +480,7 @@ let create ~site ~net ?recovery ?admission ?obs () =
       wal;
       universe;
       admission;
+      group_commit;
       proto;
       rng;
       obs;
@@ -480,3 +536,4 @@ let catchup_abandoned t = t.catchup_abandoned
 let stale_commits_nacked t = t.stale_commits_nacked
 let wal_records_replayed t = t.wal_records_replayed
 let wal_records_lost t = match t.wal with None -> 0 | Some w -> Wal.lost_total w
+let wal_syncs t = match t.wal with None -> 0 | Some w -> Wal.syncs w

@@ -73,6 +73,7 @@ val create :
   net:Message.t Dsim.Network.t ->
   ?recovery:recovery ->
   ?admission:admission ->
+  ?group_commit:bool ->
   ?obs:Obs.t ->
   unit ->
   t
@@ -80,7 +81,16 @@ val create :
     [recovery] is given, also registers crash hooks
     ({!Dsim.Network.set_crash_hooks}) so the replica learns about its own
     amnesia crashes, and splits a private RNG stream for catch-up quorum
-    sampling (so enabling recovery perturbs no other component's draws). *)
+    sampling (so enabling recovery perturbs no other component's draws).
+
+    [group_commit] (default [false]) makes the WAL records of one batched
+    prepare or commit share a single durability point
+    ({!Wal.append_batch}): at most one sync is charged per batch instead
+    of one per record.  Per-record durability semantics are unchanged —
+    the records are stamped exactly as individual appends at the same
+    instant would stamp them — so crash truncation and replay behave
+    identically; only the {!wal_syncs} cost model differs.  No effect on
+    unbatched traffic. *)
 
 val site : t -> int
 val store : t -> Store.t
@@ -119,3 +129,8 @@ val stale_commits_nacked : t -> int
 
 val wal_records_replayed : t -> int
 val wal_records_lost : t -> int
+
+val wal_syncs : t -> int
+(** Synchronous WAL forces so far ({!Wal.syncs}); 0 without a WAL.  Under
+    [group_commit] a whole batch counts one — comparing this across
+    batched and unbatched runs measures the group-commit amortization. *)

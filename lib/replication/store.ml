@@ -3,9 +3,16 @@ type entry = { ts : Timestamp.t; value : string }
 type t = {
   committed : (int, entry) Hashtbl.t;
   pending : (int, int * Timestamp.t * string) Hashtbl.t;  (* op -> staged *)
+  pending_batch : (int, (int * Timestamp.t * string) list) Hashtbl.t;
+      (* op -> staged batch, write order *)
 }
 
-let create () = { committed = Hashtbl.create 16; pending = Hashtbl.create 8 }
+let create () =
+  {
+    committed = Hashtbl.create 16;
+    pending = Hashtbl.create 8;
+    pending_batch = Hashtbl.create 4;
+  }
 
 let read t ~key =
   match Hashtbl.find_opt t.committed key with
@@ -20,21 +27,50 @@ let install t ~key ~ts ~value =
   end
   else false
 
-let stage t ~op ~key ~ts ~value = Hashtbl.replace t.pending op (key, ts, value)
+let stage t ~op ~key ~ts ~value =
+  Hashtbl.remove t.pending_batch op;
+  Hashtbl.replace t.pending op (key, ts, value)
 
 let staged t ~op = Hashtbl.find_opt t.pending op
 
+let stage_many t ~op writes =
+  Hashtbl.remove t.pending op;
+  Hashtbl.replace t.pending_batch op writes
+
+let staged_many t ~op = Hashtbl.find_opt t.pending_batch op
+
+(* WAL replay path: successive Stage records of one op accumulate into a
+   batch instead of clobbering each other (plain [stage] keeps last-write-
+   wins semantics for re-prepared single writes). *)
+let stage_accum t ~op ~key ~ts ~value =
+  match Hashtbl.find_opt t.pending_batch op with
+  | Some writes -> Hashtbl.replace t.pending_batch op (writes @ [ (key, ts, value) ])
+  | None -> (
+    match Hashtbl.find_opt t.pending op with
+    | None -> Hashtbl.replace t.pending op (key, ts, value)
+    | Some first ->
+      Hashtbl.remove t.pending op;
+      Hashtbl.replace t.pending_batch op [ first; (key, ts, value) ])
+
 let commit_staged t ~op =
   match Hashtbl.find_opt t.pending op with
-  | None -> false
   | Some (key, ts, value) ->
     Hashtbl.remove t.pending op;
     ignore (install t ~key ~ts ~value);
     true
+  | None -> (
+    match Hashtbl.find_opt t.pending_batch op with
+    | None -> false
+    | Some writes ->
+      Hashtbl.remove t.pending_batch op;
+      List.iter (fun (key, ts, value) -> ignore (install t ~key ~ts ~value)) writes;
+      true)
 
-let abort_staged t ~op = Hashtbl.remove t.pending op
+let abort_staged t ~op =
+  Hashtbl.remove t.pending op;
+  Hashtbl.remove t.pending_batch op
 
-let staged_count t = Hashtbl.length t.pending
+let staged_count t = Hashtbl.length t.pending + Hashtbl.length t.pending_batch
 
 let keys t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.committed []

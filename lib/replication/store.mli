@@ -27,11 +27,35 @@ val install : t -> key:int -> ts:Timestamp.t -> value:string -> bool
     returns whether the state changed. *)
 
 val stage : t -> op:int -> key:int -> ts:Timestamp.t -> value:string -> unit
+(** Stages a single write under [op] (last-write-wins per op id); clears
+    any staged batch under the same id. *)
+
 val staged : t -> op:int -> (int * Timestamp.t * string) option
+
+val stage_many :
+  t -> op:int -> (int * Timestamp.t * string) list -> unit
+(** Stages a whole batch of writes under one op id (a batched prepare);
+    clears any single stage under the same id.  Committed or aborted
+    atomically by {!commit_staged} / {!abort_staged}. *)
+
+val staged_many : t -> op:int -> (int * Timestamp.t * string) list option
+
+val stage_accum :
+  t -> op:int -> key:int -> ts:Timestamp.t -> value:string -> unit
+(** WAL-replay staging: a second stage under an op id {e accumulates}
+    into a batch instead of clobbering, so replaying the per-record
+    Stage entries of a batched prepare rebuilds the full staged batch. *)
+
 val commit_staged : t -> op:int -> bool
-(** Installs the staged write (if any) and clears it; returns whether a
-    staged write existed. *)
+(** Installs the staged write or batch (if any) and clears it; returns
+    whether anything was staged.  Batch installs apply in write order,
+    each monotone per key. *)
 
 val abort_staged : t -> op:int -> unit
+(** Clears both the single stage and the staged batch of [op]. *)
+
 val staged_count : t -> int
+(** Staged entries: single stages plus staged batches (a batch counts
+    once, however many writes it carries). *)
+
 val keys : t -> int list

@@ -22,6 +22,7 @@ type t = {
   mutable rev_log : entry list;  (* newest first *)
   mutable n : int;
   mutable lost : int;
+  mutable syncs : int;
 }
 
 let create ?(policy = Sync_on_commit) ~now () =
@@ -29,7 +30,7 @@ let create ?(policy = Sync_on_commit) ~now () =
   | Async lag when lag <= 0.0 ->
     invalid_arg "Wal.create: Async flush lag must be positive"
   | _ -> ());
-  { policy; now; rev_log = []; n = 0; lost = 0 }
+  { policy; now; rev_log = []; n = 0; lost = 0; syncs = 0 }
 
 let policy t = t.policy
 
@@ -41,15 +42,41 @@ let durable_at t record =
   | Sync_on_prepare, _ -> now
   | Async lag, _ -> now +. lag
 
+(* A record is synchronously forced exactly when the policy makes it
+   durable the instant it is appended. *)
+let forces t record =
+  match (t.policy, record) with
+  | Sync_on_commit, (Commit _ | Install _) -> true
+  | Sync_on_commit, (Stage _ | Abort _) -> false
+  | Sync_on_prepare, _ -> true
+  | Async _, _ -> false
+
 let append t record =
+  if forces t record then t.syncs <- t.syncs + 1;
   t.rev_log <- { record; durable_at = durable_at t record } :: t.rev_log;
   t.n <- t.n + 1
+
+(* Group commit: the whole batch shares one durability point.  Each
+   record keeps its per-policy [durable_at] (they are all stamped at the
+   same virtual instant anyway), but however many of them the policy
+   would force, at most ONE sync is charged — that amortization is the
+   point of batching the log writes. *)
+let append_batch t records =
+  let any_force = List.exists (forces t) records in
+  if any_force then t.syncs <- t.syncs + 1;
+  List.iter
+    (fun record ->
+      t.rev_log <- { record; durable_at = durable_at t record } :: t.rev_log;
+      t.n <- t.n + 1)
+    records
 
 let crash t =
   let now = t.now () in
   (* Append times are monotone, so the non-durable records form a prefix of
      the newest-first list; still filter the whole log so the volatile
-     (never-durable) stages of Sync_on_commit go too. *)
+     (never-durable) stages of Sync_on_commit go too.  The boundary is
+     INCLUSIVE: a record whose [durable_at] equals the crash time has
+     reached stable storage and survives (see wal.mli). *)
   let survivors = List.filter (fun e -> e.durable_at <= now) t.rev_log in
   let kept = List.length survivors in
   t.lost <- t.lost + (t.n - kept);
@@ -58,7 +85,7 @@ let crash t =
 
 let replay t store =
   let apply = function
-    | Stage { op; key; ts; value } -> Store.stage store ~op ~key ~ts ~value
+    | Stage { op; key; ts; value } -> Store.stage_accum store ~op ~key ~ts ~value
     | Commit { op; key; ts; value } ->
       Store.abort_staged store ~op;
       ignore (Store.install store ~key ~ts ~value)
@@ -70,5 +97,6 @@ let replay t store =
 
 let length t = t.n
 let lost_total t = t.lost
+let syncs t = t.syncs
 
 let pp_policy ppf p = Format.pp_print_string ppf (policy_to_string p)

@@ -21,7 +21,15 @@
       much dirty data in flight).  A crash loses the un-flushed suffix —
       {e including writes the replica already acknowledged}.  This policy
       deliberately violates the stable-storage contract; the consistency
-      checker exists to catch exactly the anomalies it introduces. *)
+      checker exists to catch exactly the anomalies it introduces.
+
+    {b Async durability boundary (pinned).}  A record appended at time
+    [t] under [Async lag] is durable from [t +. lag] {e inclusive}: a
+    crash at exactly [t +. lag] keeps the record, a crash any earlier
+    loses it.  The flush is modelled as happening {e at} the deadline,
+    before any crash processed at the same instant — the tie breaks in
+    favour of durability.  This is a contract, not an accident of
+    floating-point comparison; tests pin both sides of the boundary. *)
 
 type policy =
   | Sync_on_commit
@@ -49,11 +57,25 @@ val create : ?policy:policy -> now:(unit -> float) -> unit -> t
     Raises [Invalid_argument] on [Async lag] with [lag <= 0]. *)
 
 val policy : t -> policy
+
 val append : t -> record -> unit
+(** Appends one record, stamped durable per the policy.  Counts one
+    {!syncs} when the policy forces it to stable storage immediately
+    (Sync_on_prepare always; Sync_on_commit for [Commit]/[Install]). *)
+
+val append_batch : t -> record list -> unit
+(** Group commit: appends the records in order with the same per-record
+    durability stamps {!append} would give them (all at the same virtual
+    instant), but charges {e at most one} {!syncs} for the whole batch —
+    one durability point amortized over every record the policy would
+    otherwise force individually.  Crash truncation and {!replay} see
+    the records exactly as if appended one by one. *)
 
 val crash : t -> unit
 (** An amnesia crash at the current time: truncates every record that was
-    not yet durable under the policy.  Fail-stop crashes never call this —
+    not yet durable under the policy.  The comparison is inclusive — a
+    record whose durability deadline is exactly now survives (see the
+    Async boundary note above).  Fail-stop crashes never call this —
     the replica's memory survives, so the log is irrelevant. *)
 
 val replay : t -> Store.t -> int
@@ -67,5 +89,10 @@ val length : t -> int
 val lost_total : t -> int
 (** Records discarded across all {!crash} calls so far — the measurable
     gap between the stable-storage claim and this policy's reality. *)
+
+val syncs : t -> int
+(** Synchronous stable-storage forces charged so far: one per forcing
+    {!append}, at most one per {!append_batch}.  The batched-over-unbatched
+    ratio of this counter is the group-commit amortization. *)
 
 val pp_policy : Format.formatter -> policy -> unit

@@ -16,6 +16,7 @@ type counters = {
   mutable dropped_partition : int;
   mutable dropped_no_handler : int;
   mutable dropped_overload : int;
+  mutable coalesced : int;
 }
 
 (* Pre-resolved metric handles: looked up once in [attach_obs] so the send
@@ -28,6 +29,7 @@ type obs_counters = {
   o_drop_partition : Obs.Metrics.counter;
   o_drop_no_handler : Obs.Metrics.counter;
   o_drop_overload : Obs.Metrics.counter;
+  o_coalesced : Obs.Metrics.counter;
   o_queue_depth : Obs.Metrics.histogram;
   o_site_sent : Obs.Metrics.counter array;
   o_site_delivered : Obs.Metrics.counter array;
@@ -104,6 +106,7 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
         dropped_partition = 0;
         dropped_no_handler = 0;
         dropped_overload = 0;
+        coalesced = 0;
       };
     delivered_to = Array.make n 0;
     trace = None;
@@ -129,6 +132,7 @@ let attach_obs t obs =
         o_drop_partition = c "net.dropped.partition";
         o_drop_no_handler = c "net.dropped.no_handler";
         o_drop_overload = c "net.dropped.overload";
+        o_coalesced = c "net.coalesced";
         o_queue_depth = Obs.Metrics.histogram m "net.queue.depth";
         o_site_sent =
           Array.init t.n (fun i -> c (Printf.sprintf "net.site.%d.sent" i));
@@ -222,10 +226,20 @@ let enqueue t ~src ~dst s msg =
     if not s.busy then serve t ~dst s
   end
 
-let send t ~src ~dst msg =
+let send t ?(units = 1) ~src ~dst msg =
   check_site t src;
   check_site t dst;
   t.counters.sent <- t.counters.sent + 1;
+  (* A coalesced envelope carries [units] logical operations in one
+     message: one send, one service-queue slot, one delivery — that is
+     the amortization.  The counter records how many per-op messages the
+     coalescing saved. *)
+  if units > 1 then begin
+    t.counters.coalesced <- t.counters.coalesced + (units - 1);
+    match t.obs with
+    | None -> ()
+    | Some o -> Obs.Metrics.add o.o_coalesced (units - 1)
+  end;
   (match t.obs with
   | None -> ()
   | Some o ->

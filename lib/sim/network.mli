@@ -50,11 +50,19 @@ val set_handler : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
 (** Installs the message handler for a site.  A site without a handler
     drops messages. *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send : 'msg t -> ?units:int -> src:int -> dst:int -> 'msg -> unit
 (** Queues delivery after a sampled latency.  The message is dropped when
     the source is down at send time, the destination is down at delivery
     time, the pair is separated by a partition at delivery time, or the
-    link loses it. *)
+    link loses it.
+
+    [?units] (default 1) declares how many logical operations the message
+    carries.  A coalesced envelope with [units = k] is still ONE message —
+    one send, one loss/latency draw, one service-queue slot at the
+    destination — which is exactly the amortization batching buys; the
+    [units - 1] per-op messages it saved are tallied in
+    [counters.coalesced] (metric [net.coalesced]).  Passing [units = 1]
+    is byte-identical to omitting it. *)
 
 val broadcast : 'msg t -> src:int -> dst:int list -> 'msg -> unit
 
@@ -162,6 +170,9 @@ type counters = {
   mutable dropped_overload : int;
       (** turned away by a full ingress queue ({!set_service}) — load
           shedding, not loss, so it gets its own bucket *)
+  mutable coalesced : int;
+      (** per-op messages saved by multi-op envelopes: the sum over all
+          sends of [units - 1] (see {!send}) *)
 }
 
 val counters : 'msg t -> counters

@@ -89,6 +89,33 @@ End-to-end simulation from the CLI is deterministic under a fixed seed:
   read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
   messages: sent=480 delivered=480 dropped=0 (12.0 per op)
 
+A batch window of one op is byte-identical to the classic loop (same RNG
+draw order, same messages, same latencies) — only the trailing batching
+line is new, and it confirms no multi-key batch was ever formed:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --batch 1
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=20 failed=0  writes: ok=20 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
+  messages: sent=480 delivered=480 dropped=0 (12.0 per op)
+  batching: batch=1 pipeline=1 batches=0 coalesced=0 wal syncs=0
+
+Real batching collapses quorum rounds and 2PC exchanges into multi-key
+envelopes: the same 40 client ops need 124 messages instead of 480 (3.1
+per op, was 12.0), with the 160 saved per-op messages counted as
+coalesced — and still zero safety violations:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --batch 8 --pipeline 2 --group-commit
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=24 failed=0  writes: ok=16 failed=0  retries=0
+  safety violations=0
+  read latency: mean=2.67 p99=6.43   write latency: mean=10.73 p99=12.01
+  messages: sent=124 delivered=124 dropped=0 (3.1 per op)
+  batching: batch=8 pipeline=2 batches=9 coalesced=160 wal syncs=0
+
 Chaos with amnesia crashes, a commit-durable WAL, and quorum catch-up keeps
 every read regular (the consistency checker replays the span trace):
 

@@ -1,0 +1,217 @@
+(* The batching execution layer: multi-key quorum rounds, batched 2PC,
+   WAL group commit, message coalescing and the pipelined client loop —
+   plus the determinism contracts (batch size 1 is byte-identical to
+   unbatched; batched runs are reproducible per seed; group commit under
+   amnesia churn stays consistent). *)
+
+module Engine = Dsim.Engine
+module Network = Dsim.Network
+module Coordinator = Replication.Coordinator
+module Replica = Replication.Replica
+module Harness = Replication.Harness
+module Timestamp = Replication.Timestamp
+module Wal = Replication.Wal
+module Batching = Eval.Batching
+module Consistency = Eval.Consistency
+module Rng = Dsutil.Rng
+
+(* --- coordinator-level batch semantics ---------------------------------- *)
+
+let setup ?(spec = "1-3-5") ?(seed = 42) () =
+  let tree = Arbitrary.Tree.of_spec spec in
+  let proto = Arbitrary.Quorums.protocol tree in
+  let n = Arbitrary.Tree.n tree in
+  let engine = Engine.create ~seed () in
+  let net = Network.create ~engine ~n:(n + 1) () in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
+  let coord = Coordinator.create ~site:n ~net ~proto () in
+  (engine, net, coord, n)
+
+let test_write_batch_then_read_batch () =
+  let engine, _, coord, _ = setup () in
+  let writes = [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ] in
+  let wrote = ref [] in
+  Coordinator.write_batch coord ~writes (fun rs -> wrote := rs);
+  Engine.run engine;
+  Alcotest.(check int) "every key acked" 4 (List.length !wrote);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "committed" true (r <> None))
+    !wrote;
+  let read = ref [] in
+  Coordinator.read_batch coord ~keys:[ 0; 1; 2; 3 ] (fun rs -> read := rs);
+  Engine.run engine;
+  List.iter2
+    (fun (k, v) (k', r) ->
+      Alcotest.(check int) "request order preserved" k k';
+      match r with
+      | Some { Coordinator.value; _ } ->
+        Alcotest.(check string) "batched read returns the write" v value
+      | None -> Alcotest.fail "batched read failed")
+    writes !read;
+  let m = Coordinator.metrics coord in
+  Alcotest.(check int) "per-key read accounting" 4 m.Coordinator.reads_ok;
+  Alcotest.(check int) "per-key write accounting" 4 m.Coordinator.writes_ok;
+  Alcotest.(check int) "two multi-key batches" 2 m.Coordinator.batches
+
+let test_duplicate_key_last_writer_wins () =
+  let engine, _, coord, _ = setup () in
+  let result = ref [] in
+  Coordinator.write_batch coord
+    ~writes:[ (5, "first"); (6, "x"); (5, "second") ]
+    (fun rs -> result := rs);
+  Engine.run engine;
+  (match !result with
+  | [ (5, Some ts1); (6, Some _); (5, Some ts2) ] ->
+    Alcotest.(check bool) "later occurrence stamped newer" true
+      (Timestamp.newer_than ts2 ts1)
+  | _ -> Alcotest.fail "unexpected result shape");
+  let got = ref None in
+  Coordinator.read coord ~key:5 (fun r -> got := r);
+  Engine.run engine;
+  match !got with
+  | Some { Coordinator.value; _ } ->
+    Alcotest.(check string) "last writer wins within the batch" "second" value
+  | None -> Alcotest.fail "read failed"
+
+let test_batch_failure_reports_every_key () =
+  let engine, net, coord, n = setup () in
+  for site = 0 to n - 1 do
+    Network.crash net site
+  done;
+  let wrote = ref [] and read = ref [] in
+  Coordinator.write_batch coord ~writes:[ (0, "x"); (1, "y") ] (fun rs ->
+      wrote := rs);
+  Coordinator.read_batch coord ~keys:[ 2; 3; 4 ] (fun rs -> read := rs);
+  Engine.run engine;
+  Alcotest.(check int) "write batch reports every key" 2 (List.length !wrote);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "write key failed" true (r = None))
+    !wrote;
+  Alcotest.(check int) "read batch reports every key" 3 (List.length !read);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "read key failed" true (r = None))
+    !read;
+  let m = Coordinator.metrics coord in
+  Alcotest.(check int) "per-key failure accounting" 3 m.Coordinator.reads_failed;
+  Alcotest.(check int) "per-key write failures" 2 m.Coordinator.writes_failed
+
+let test_singleton_and_empty_batches_delegate () =
+  let engine, _, coord, _ = setup () in
+  let empty = ref None and single = ref [] in
+  Coordinator.read_batch coord ~keys:[] (fun rs -> empty := Some rs);
+  Alcotest.(check bool) "empty batch answers synchronously" true
+    (!empty = Some []);
+  Coordinator.write_batch coord ~writes:[ (7, "solo") ] (fun rs -> single := rs);
+  Engine.run engine;
+  (match !single with
+  | [ (7, Some _) ] -> ()
+  | _ -> Alcotest.fail "singleton write did not delegate cleanly");
+  let m = Coordinator.metrics coord in
+  Alcotest.(check int) "singleton is not counted as a batch" 0
+    m.Coordinator.batches;
+  Alcotest.(check int) "but is a plain write" 1 m.Coordinator.writes_ok
+
+(* --- harness-level determinism and throughput --------------------------- *)
+
+let test_batch1_byte_identical_to_unbatched () =
+  let plain, batch1 =
+    Batching.pair ~knobs:Batching.identity_knobs
+      ~name:Arbitrary.Config.Arbitrary ~n:9 ~ops:120 ~seed:3 ()
+  in
+  Alcotest.(check string) "batch=1/pipeline=1 fingerprint"
+    (Batching.fingerprint (Harness.run plain))
+    (Batching.fingerprint (Harness.run batch1))
+
+let test_batched_run_deterministic () =
+  let _, batched =
+    Batching.pair ~name:Arbitrary.Config.Arbitrary ~n:9 ~ops:160 ~seed:11 ()
+  in
+  Alcotest.(check string) "same seed, same batched run"
+    (Batching.fingerprint (Harness.run batched))
+    (Batching.fingerprint (Harness.run batched))
+
+let test_batching_reduces_messages () =
+  let plain, batched =
+    Batching.pair ~name:Arbitrary.Config.Arbitrary ~n:9 ~ops:200 ~seed:5 ()
+  in
+  let r_u = Harness.run plain and r_b = Harness.run batched in
+  let total r = r.Harness.reads_ok + r.Harness.writes_ok in
+  Alcotest.(check int) "unbatched completes everything" 200 (total r_u);
+  Alcotest.(check int) "batched completes everything" 200 (total r_b);
+  Alcotest.(check int) "no safety violations" 0
+    (r_u.Harness.safety_violations + r_b.Harness.safety_violations);
+  Alcotest.(check bool) "multi-key batches executed" true
+    (r_b.Harness.batches > 0);
+  Alcotest.(check bool) "envelopes coalesced per-op messages" true
+    (r_b.Harness.coalesced_ops > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "messages per op %.1f -> %.1f (want < half)"
+       (Harness.messages_per_op r_u)
+       (Harness.messages_per_op r_b))
+    true
+    (Harness.messages_per_op r_b < Harness.messages_per_op r_u /. 2.0)
+
+(* Satellite gate: group commit under Sync_on_prepare with amnesia
+   crashes landing mid-batch — staged batches must replay (or vanish)
+   atomically enough that no read ever observes a regression. *)
+let test_group_commit_amnesia_consistent () =
+  let proto =
+    Eval.Config_metrics.protocol_of Arbitrary.Config.Arbitrary ~n:9
+  in
+  let s = Harness.default_scenario ~proto in
+  let failures =
+    Dsim.Failure.random_crash_recovery ~rng:(Rng.create 21) ~n:9
+      ~horizon:2500.0 ~mtbf:150.0 ~mttr:40.0
+  in
+  let run group_commit =
+    Harness.run
+      {
+        s with
+        Harness.n_clients = 2;
+        ops_per_client = 24;
+        think_time = 3.0;
+        seed = 21;
+        failures;
+        horizon = 3000.0;
+        warmup = 1.0;
+        crash_mode = Dsim.Network.Amnesia;
+        wal = Wal.Sync_on_prepare;
+        check_consistency = true;
+        batching = Some { Harness.batch_size = 8; group_commit; pipeline = 2 };
+      }
+  in
+  let grouped = run true in
+  Alcotest.(check int) "no safety violations" 0
+    grouped.Harness.safety_violations;
+  let c = Consistency.check grouped.Harness.spans in
+  Alcotest.(check bool) "trace-checker finds no violation" true
+    (Consistency.ok c);
+  Alcotest.(check bool) "batches survived the churn" true
+    (grouped.Harness.batches > 0);
+  Alcotest.(check bool) "group commit syncs charged" true
+    (grouped.Harness.wal_syncs > 0);
+  let plain = run false in
+  Alcotest.(check int) "consistent without group commit too" 0
+    plain.Harness.safety_violations;
+  Alcotest.(check bool) "grouping never costs extra syncs" true
+    (grouped.Harness.wal_syncs <= plain.Harness.wal_syncs)
+
+let suite =
+  [
+    Alcotest.test_case "write_batch then read_batch round-trips" `Quick
+      test_write_batch_then_read_batch;
+    Alcotest.test_case "duplicate key: last writer wins" `Quick
+      test_duplicate_key_last_writer_wins;
+    Alcotest.test_case "batch failure reports every key" `Quick
+      test_batch_failure_reports_every_key;
+    Alcotest.test_case "singleton and empty batches delegate" `Quick
+      test_singleton_and_empty_batches_delegate;
+    Alcotest.test_case "batch=1 is byte-identical to unbatched" `Quick
+      test_batch1_byte_identical_to_unbatched;
+    Alcotest.test_case "batched runs are deterministic" `Quick
+      test_batched_run_deterministic;
+    Alcotest.test_case "batching reduces messages per op" `Quick
+      test_batching_reduces_messages;
+    Alcotest.test_case "group commit consistent under amnesia churn" `Quick
+      test_group_commit_amnesia_consistent;
+  ]

@@ -100,6 +100,83 @@ let test_concurrent_ops_different_keys () =
   Engine.run engine;
   Alcotest.(check int) "all values correct" 10 !read_back
 
+(* Regression: caller-level re-issues must never deposit into the shared
+   retry budget.  Every operation entry used to deposit unconditionally,
+   so a storm of re-issued failures earned back the very tokens its
+   internal retries spent — the budget never reached sustained
+   suppression.  With [~retry:true] the deposit is skipped: a storm with
+   zero genuine first attempts drains the bucket once and stays drained. *)
+let test_reissue_storm_cannot_refill_budget () =
+  let tree = Arbitrary.Tree.of_spec "1-3-5" in
+  let proto = Arbitrary.Quorums.protocol tree in
+  let n = Arbitrary.Tree.n tree in
+  let engine = Engine.create ~seed:9 () in
+  let net = Network.create ~engine ~n:(n + 1) () in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
+  let budget =
+    Detect.Budget.create ~config:{ Detect.Budget.ratio = 0.5; burst = 3.0 } ()
+  in
+  let coord =
+    Coordinator.create ~site:n ~net ~proto ~budget
+      ~config:
+        { Coordinator.default_config with max_retries = 5; timeout = 5.0 }
+      ()
+  in
+  (* Every replica down: each re-issue can only fail, retrying until the
+     budget refuses. *)
+  for site = 0 to n - 1 do
+    Network.crash net site
+  done;
+  let failures = ref 0 in
+  for i = 0 to 19 do
+    Coordinator.write coord ~retry:true ~key:(i mod 4) ~value:"storm"
+      (fun r -> if r = None then incr failures)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "every re-issue failed" 20 !failures;
+  Alcotest.(check int) "zero first attempts recorded" 0
+    (Detect.Budget.attempts budget);
+  Alcotest.(check int) "only the initial burst was granted" 3
+    (Detect.Budget.granted budget);
+  Alcotest.(check bool) "bucket drained for good" true
+    (Detect.Budget.tokens budget < 1.0);
+  let m = Coordinator.metrics coord in
+  Alcotest.(check bool) "suppression is sustained" true
+    (m.Coordinator.retries_suppressed >= 17);
+  (* A second wave meets the same wall: no grants, only suppression. *)
+  let suppressed_before = Detect.Budget.suppressed budget in
+  for i = 0 to 9 do
+    Coordinator.write coord ~retry:true ~key:(i mod 4) ~value:"storm2"
+      (fun _ -> ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "still only the initial burst" 3
+    (Detect.Budget.granted budget);
+  Alcotest.(check bool) "second wave only suppressed" true
+    (Detect.Budget.suppressed budget > suppressed_before)
+
+let test_rpc_retry_flag_skips_deposit () =
+  (* Same contract one layer down: [Quorum_rpc.query ~retry:true] leaves
+     the bucket untouched while a plain call deposits. *)
+  let tree = Arbitrary.Tree.of_spec "1-3" in
+  let proto = Arbitrary.Quorums.protocol tree in
+  let n = Arbitrary.Tree.n tree in
+  let engine = Engine.create ~seed:4 () in
+  let net = Network.create ~engine ~n:(n + 1) () in
+  let _replicas = Array.init n (fun site -> Replica.create ~site ~net ()) in
+  let budget =
+    Detect.Budget.create ~config:{ Detect.Budget.ratio = 0.5; burst = 2.0 } ()
+  in
+  let rpc = Quorum_rpc.create ~site:n ~net ~proto ~budget () in
+  Quorum_rpc.query rpc ~retry:true ~key:0 (fun _ -> ());
+  Engine.run engine;
+  Alcotest.(check int) "re-issue deposits nothing" 0
+    (Detect.Budget.attempts budget);
+  Quorum_rpc.query rpc ~key:0 (fun _ -> ());
+  Engine.run engine;
+  Alcotest.(check int) "first attempt deposits" 1
+    (Detect.Budget.attempts budget)
+
 let test_rpc_query_no_quorum () =
   let engine, net, _, _, rpc = build () in
   List.iter (Network.crash net) [ 0; 1; 2 ];
@@ -159,6 +236,10 @@ let suite =
     Alcotest.test_case "latency stats recorded" `Quick test_latency_stats_recorded;
     Alcotest.test_case "concurrent ops on different keys" `Quick
       test_concurrent_ops_different_keys;
+    Alcotest.test_case "re-issue storm cannot refill budget" `Quick
+      test_reissue_storm_cannot_refill_budget;
+    Alcotest.test_case "rpc retry flag skips deposit" `Quick
+      test_rpc_retry_flag_skips_deposit;
     Alcotest.test_case "rpc query without quorum" `Quick test_rpc_query_no_quorum;
     Alcotest.test_case "rpc forced-ts idempotence" `Quick
       test_rpc_forced_ts_idempotent;

@@ -308,6 +308,38 @@ let test_breaker_filter () =
   Alcotest.(check int) "half-open sites restored" 4
     (Bitset.cardinal (Breaker.filter b view2))
 
+(* Regression: read-only inspection must never commit state transitions.
+   [open_sites] and [state] used to route through the mutating accessor,
+   so merely LOOKING at a cooled-down breaker flipped it Half_open and
+   counted a probe — monitoring changed what it measured.  Now inspection
+   is pure and only the traffic path ([allowed] / [record_*]) commits the
+   Open -> Half_open transition. *)
+let test_breaker_inspection_is_pure () =
+  let config =
+    { Breaker.default_config with Breaker.threshold = 2; cooldown = 100.0 }
+  in
+  let b, at = breaker ~config () in
+  ignore (trip b 0 2);
+  at := 100.0;
+  (* Cooldown elapsed: N consecutive inspections all see the effective
+     Half_open state and leave the probe counter untouched. *)
+  for _ = 1 to 10 do
+    Alcotest.(check (list int)) "open_sites sees through the cooldown" []
+      (Breaker.open_sites b)
+  done;
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "state reports half-open" true
+      (Breaker.state b 0 = Breaker.Half_open)
+  done;
+  Alcotest.(check int) "inspection counted no probes" 0 (Breaker.probes b);
+  (* The first traffic-path call commits the transition: exactly one
+     probe, not eleven. *)
+  Alcotest.(check bool) "allowed admits the probe" true (Breaker.allowed b 0);
+  Alcotest.(check int) "exactly one probe" 1 (Breaker.probes b);
+  Breaker.record_ok b 0;
+  Alcotest.(check bool) "probe success closes" true
+    (Breaker.state b 0 = Breaker.Closed)
+
 let test_breaker_rejects_bad_config () =
   Alcotest.check_raises "zero threshold"
     (Invalid_argument "Breaker.create: threshold < 1")
@@ -507,6 +539,8 @@ let suite =
       test_breaker_late_ok_ignored_while_open;
     Alcotest.test_case "breaker: filter removes open sites" `Quick
       test_breaker_filter;
+    Alcotest.test_case "breaker: inspection is pure" `Quick
+      test_breaker_inspection_is_pure;
     Alcotest.test_case "breaker: rejects bad config" `Quick
       test_breaker_rejects_bad_config;
     Alcotest.test_case "budget: starts full, drains, suppresses" `Quick

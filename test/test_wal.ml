@@ -90,6 +90,101 @@ let test_async_lag () =
   Alcotest.(check bool) "flushed after the lag" true
     (Store.read store ~key:0 = (ts 3, "c"))
 
+(* Regression: the Async durability boundary is pinned INCLUSIVE.  A
+   record appended at t under [Async lag] is durable from exactly
+   [t +. lag]; a crash at that very instant keeps it (the tie breaks in
+   favour of durability — wal.mli documents the contract this test
+   anchors).  One ulp earlier and the same record is gone. *)
+let test_async_boundary_inclusive () =
+  let now, set = clock () in
+  let wal = Wal.create ~policy:(Wal.Async 10.0) ~now () in
+  Wal.append wal (commit ~op:1 ~key:0 ~v:1 "a");
+  set 10.0;
+  (* crash at exactly t + lag *)
+  Wal.crash wal;
+  Alcotest.(check int) "boundary record survives" 0 (Wal.lost_total wal);
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "boundary record replayed" true
+    (Store.read store ~key:0 = (ts 1, "a"));
+  let now2, set2 = clock () in
+  let wal2 = Wal.create ~policy:(Wal.Async 10.0) ~now:now2 () in
+  Wal.append wal2 (commit ~op:1 ~key:0 ~v:1 "a");
+  set2 (Float.pred 10.0);
+  (* one ulp before the boundary *)
+  Wal.crash wal2;
+  Alcotest.(check int) "one ulp earlier loses it" 1 (Wal.lost_total wal2);
+  let store2 = Store.create () in
+  ignore (Wal.replay wal2 store2);
+  Alcotest.(check bool) "nothing replayed" true
+    (Store.read store2 ~key:0 = (Timestamp.zero, ""))
+
+(* Group commit: a batch of records shares ONE durability point.  The
+   sync counter is the only observable difference — per-record stamps,
+   crash truncation and replay are identical to individual appends. *)
+let test_group_commit_one_sync_per_batch () =
+  let now, _ = clock () in
+  let plain = Wal.create ~policy:Wal.Sync_on_prepare ~now () in
+  Wal.append plain (stage ~op:1 ~key:0 ~v:1 "a");
+  Wal.append plain (stage ~op:2 ~key:1 ~v:1 "b");
+  Alcotest.(check int) "one sync per forcing append" 2 (Wal.syncs plain);
+  let now2, _ = clock () in
+  let grouped = Wal.create ~policy:Wal.Sync_on_prepare ~now:now2 () in
+  Wal.append_batch grouped
+    [ stage ~op:1 ~key:0 ~v:1 "a"; stage ~op:2 ~key:1 ~v:1 "b" ];
+  Alcotest.(check int) "whole batch: one sync" 1 (Wal.syncs grouped);
+  Alcotest.(check int) "same records" (Wal.length plain) (Wal.length grouped);
+  Wal.crash plain;
+  Wal.crash grouped;
+  let s1 = Store.create () and s2 = Store.create () in
+  let r1 = Wal.replay plain s1 and r2 = Wal.replay grouped s2 in
+  Alcotest.(check int) "crash + replay parity" r1 r2;
+  Alcotest.(check bool) "both stages rebuilt" true
+    (Store.staged s2 ~op:1 = Some (0, ts 1, "a")
+    && Store.staged s2 ~op:2 = Some (1, ts 1, "b"))
+
+let test_group_commit_force_detection () =
+  (* Sync_on_commit: a stage-only batch is lazy; a batch containing any
+     forcing record costs exactly one sync.  Async never syncs. *)
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append_batch wal
+    [ stage ~op:1 ~key:0 ~v:1 "a"; stage ~op:2 ~key:1 ~v:1 "b" ];
+  Alcotest.(check int) "stage-only batch is lazy" 0 (Wal.syncs wal);
+  Wal.append_batch wal
+    [ commit ~op:1 ~key:0 ~v:1 "a"; commit ~op:2 ~key:1 ~v:1 "b" ];
+  Alcotest.(check int) "commit batch forces once" 1 (Wal.syncs wal);
+  let now2, _ = clock () in
+  let async = Wal.create ~policy:(Wal.Async 5.0) ~now:now2 () in
+  Wal.append_batch async
+    [ commit ~op:1 ~key:0 ~v:1 "a"; commit ~op:2 ~key:1 ~v:1 "b" ];
+  Alcotest.(check int) "async batch never syncs" 0 (Wal.syncs async)
+
+(* Replaying the per-record Stage entries of one batched prepare must
+   rebuild the whole staged batch — a second Stage under the same op id
+   accumulates instead of clobbering. *)
+let test_replay_rebuilds_batch_stage () =
+  let now, _ = clock () in
+  let wal = Wal.create ~policy:Wal.Sync_on_prepare ~now () in
+  Wal.append_batch wal
+    [
+      stage ~op:9 ~key:0 ~v:1 "a";
+      stage ~op:9 ~key:1 ~v:1 "b";
+      stage ~op:9 ~key:2 ~v:1 "c";
+    ];
+  Wal.crash wal;
+  let store = Store.create () in
+  Alcotest.(check int) "all replayed" 3 (Wal.replay wal store);
+  Alcotest.(check bool) "staged batch rebuilt in order" true
+    (Store.staged_many store ~op:9
+    = Some [ (0, ts 1, "a"); (1, ts 1, "b"); (2, ts 1, "c") ]);
+  Alcotest.(check bool) "commit installs every key" true
+    (Store.commit_staged store ~op:9);
+  Alcotest.(check bool) "all keys installed" true
+    (Store.read store ~key:0 = (ts 1, "a")
+    && Store.read store ~key:1 = (ts 1, "b")
+    && Store.read store ~key:2 = (ts 1, "c"))
+
 (* Replay preserves install monotonicity and abort semantics. *)
 let test_replay_order () =
   let now, _ = clock () in
@@ -136,6 +231,14 @@ let suite =
     Alcotest.test_case "sync-on-prepare crash semantics" `Quick
       test_sync_on_prepare_crash;
     Alcotest.test_case "async flush lag" `Quick test_async_lag;
+    Alcotest.test_case "async boundary is inclusive" `Quick
+      test_async_boundary_inclusive;
+    Alcotest.test_case "group commit: one sync per batch" `Quick
+      test_group_commit_one_sync_per_batch;
+    Alcotest.test_case "group commit: force detection per policy" `Quick
+      test_group_commit_force_detection;
+    Alcotest.test_case "replay rebuilds a batched stage" `Quick
+      test_replay_rebuilds_batch_stage;
     Alcotest.test_case "replay keeps installs monotone" `Quick
       test_replay_order;
     Alcotest.test_case "replay honors aborts" `Quick
