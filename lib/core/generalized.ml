@@ -206,6 +206,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

@@ -87,6 +87,36 @@ let read_quorum ?(policy = Uniform) t ~alive ~rng =
   in
   go 0
 
+let n_levels t = Array.length t.replicas
+
+(* One level of [read_quorum], for tree-level pipelined reads: same
+   candidate filtering, same single bounded draw (bound = alive candidate
+   count), so a caller walking levels 0..n_levels-1 in order consumes the
+   RNG exactly as one [read_quorum] call would — stopping, like it, at
+   the first level with no alive candidate (returned as -1). *)
+let read_site ?(policy = Uniform) t ~alive ~rng ~level =
+  let reps = t.replicas.(level) in
+  if Bitset.equal alive t.full then begin
+    match policy with
+    | First_alive -> reps.(0)
+    | Uniform -> reps.(Rng.int rng (Array.length reps))
+  end
+  else begin
+    let c = ref 0 in
+    for j = 0 to Array.length reps - 1 do
+      let s = Array.unsafe_get reps j in
+      if Bitset.mem alive s then begin
+        Array.unsafe_set t.scratch !c s;
+        incr c
+      end
+    done;
+    if !c = 0 then -1
+    else
+      match policy with
+      | First_alive -> t.scratch.(0)
+      | Uniform -> t.scratch.(Rng.int rng !c)
+  end
+
 let write_quorum ?(policy = Uniform) t ~alive ~rng =
   let n_levels = Array.length t.replicas in
   if Bitset.equal alive t.full then begin

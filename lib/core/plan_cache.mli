@@ -56,6 +56,22 @@ val read_quorum :
   Dsutil.Bitset.t option
 (** Same contract (and same RNG draws) as {!Quorums.read_quorum}. *)
 
+val n_levels : t -> int
+(** Number of physical levels (the per-level quorum groups of §3.2). *)
+
+val read_site :
+  ?policy:policy ->
+  t ->
+  alive:Dsutil.Bitset.t ->
+  rng:Dsutil.Rng.t ->
+  level:int ->
+  int
+(** The read-quorum member for one physical level (index in
+    [0, n_levels)), or -1 when the level has no alive candidate.  Walking
+    the levels in ascending order and stopping at the first -1 draws the
+    RNG exactly like one {!read_quorum} call — this is the per-level hook
+    behind tree-level pipelined reads. *)
+
 val write_quorum :
   ?policy:policy ->
   t ->

@@ -32,7 +32,7 @@ let candidates ~n =
     if max_levels <= 64 then List.init max_levels (fun i -> i + 1)
     else begin
       let stride = max_levels / 64 in
-      List.sort_uniq compare
+      List.sort_uniq Int.compare
         (List.init 64 (fun i -> max 1 ((i + 1) * stride)) @ [ max_levels ])
     end
   in

@@ -81,6 +81,17 @@ let protocol tree =
       let universe_size p = Tree.n (Plan_cache.tree p)
       let read_quorum p ~alive ~rng = Plan_cache.read_quorum p ~alive ~rng
       let write_quorum p ~alive ~rng = Plan_cache.write_quorum p ~alive ~rng
+
+      (* Per-level assembly for pipelined reads rides the same plan (and
+         the same draws) as whole-quorum assembly. *)
+      let read_levels p =
+        Some
+          {
+            Quorum.Protocol.n_levels = Plan_cache.n_levels p;
+            level_site =
+              (fun ~alive ~rng ~level ->
+                Plan_cache.read_site p ~alive ~rng ~level);
+          }
       let enumerate_read_quorums p = enumerate_read_quorums (Plan_cache.tree p)
       let enumerate_write_quorums p = enumerate_write_quorums (Plan_cache.tree p)
       let fork = Plan_cache.fork
@@ -98,6 +109,7 @@ let reference_protocol tree =
       let universe_size = Tree.n
       let read_quorum t ~alive ~rng = read_quorum t ~alive ~rng
       let write_quorum t ~alive ~rng = write_quorum t ~alive ~rng
+      let read_levels _ = None
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
       let fork t = t

@@ -101,6 +101,7 @@ let write_load t =
   let c = float_of_int t.cols and r = float_of_int t.rows in
   (1.0 /. c) +. ((c -. 1.0) /. c /. r)
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -114,6 +115,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

@@ -126,6 +126,7 @@ let read_availability t ~p = availability_of t.r t ~p
 let write_availability t ~p = availability_of t.w t ~p
 let availability = read_availability
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -139,6 +140,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

@@ -47,6 +47,7 @@ let quorum_size t = (2 * t.k) - 1
 let load t =
   float_of_int (quorum_size t) /. float_of_int (universe_size t)
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -60,6 +61,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

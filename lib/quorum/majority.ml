@@ -81,6 +81,7 @@ let availability t ~p =
   done;
   !acc
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -94,6 +95,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

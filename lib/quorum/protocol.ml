@@ -1,5 +1,10 @@
 module Bitset = Dsutil.Bitset
 
+type level_plan = {
+  n_levels : int;
+  level_site : alive:Bitset.t -> rng:Dsutil.Rng.t -> level:int -> int;
+}
+
 module type S = sig
   type t
 
@@ -11,6 +16,8 @@ module type S = sig
 
   val write_quorum :
     t -> alive:Bitset.t -> rng:Dsutil.Rng.t -> Bitset.t option
+
+  val read_levels : t -> level_plan option
 
   val enumerate_read_quorums : t -> Bitset.t Seq.t
   val enumerate_write_quorums : t -> Bitset.t Seq.t
@@ -26,6 +33,8 @@ let name (Dyn ((module P), p)) = P.name p
 let universe_size (Dyn ((module P), p)) = P.universe_size p
 let read_quorum (Dyn ((module P), p)) ~alive ~rng = P.read_quorum p ~alive ~rng
 let write_quorum (Dyn ((module P), p)) ~alive ~rng = P.write_quorum p ~alive ~rng
+
+let read_levels (Dyn ((module P), p)) = P.read_levels p
 
 let fork (Dyn ((module P), p)) = Dyn ((module P), P.fork p)
 

@@ -6,6 +6,21 @@
     whenever any quorum is contained in the alive set, so that availability
     can be measured by sampling alive patterns. *)
 
+type level_plan = {
+  n_levels : int;
+  level_site : alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> level:int -> int;
+}
+(** Per-level read-quorum assembly, for protocols whose read quorums are
+    built one member per structural level (the tree protocol's §3.2
+    physical levels).  [level_site ~alive ~rng ~level] returns the member
+    chosen for [level], or -1 when that level has no alive candidate;
+    walking levels in ascending order and stopping at the first -1 must
+    consume the RNG exactly as one [read_quorum] call would, so a
+    level-pipelined read sees the same quorum a level-barrier read
+    would.  Coordinators use this to issue level k+1's request as soon as
+    level k's member resolves instead of materializing the whole quorum
+    first. *)
+
 module type S = sig
   type t
 
@@ -21,6 +36,11 @@ module type S = sig
 
   val write_quorum :
     t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+  val read_levels : t -> level_plan option
+  (** The per-level assembly hook, for protocols that support it; [None]
+      (the common case) makes level-pipelined reads fall back to whole-
+      quorum assembly. *)
 
   val enumerate_read_quorums : t -> Dsutil.Bitset.t Seq.t
   (** All (minimal) read quorums.  Only call on small instances: the count
@@ -52,6 +72,9 @@ val read_quorum :
 
 val write_quorum :
   t -> alive:Dsutil.Bitset.t -> rng:Dsutil.Rng.t -> Dsutil.Bitset.t option
+
+val read_levels : t -> level_plan option
+(** See {!S.read_levels}. *)
 
 val fork : t -> t
 (** A private copy for use in another domain; see {!S.fork}.  The parallel

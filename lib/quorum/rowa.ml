@@ -40,6 +40,7 @@ let write_load _ = 1.0
 let read_availability t ~p = 1.0 -. ((1.0 -. p) ** float_of_int t.n)
 let write_availability t ~p = p ** float_of_int t.n
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t = Protocol.Dyn ((module struct
@@ -49,6 +50,7 @@ let protocol t = Protocol.Dyn ((module struct
   let universe_size = universe_size
   let read_quorum = read_quorum
   let write_quorum = write_quorum
+  let read_levels _ = None
   let enumerate_read_quorums = enumerate_read_quorums
   let enumerate_write_quorums = enumerate_write_quorums
   let fork t = t

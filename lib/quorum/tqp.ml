@@ -143,6 +143,7 @@ let write_availability t ~p =
 
 let write_load _ = 1.0
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -156,6 +157,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

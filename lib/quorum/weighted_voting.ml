@@ -97,6 +97,7 @@ let min_quorum_size t threshold =
 let min_read_quorum_size t = min_quorum_size t t.r
 let min_write_quorum_size t = min_quorum_size t t.w
 
+let read_levels _ = None
 let fork t = t
 
 let protocol t =
@@ -110,6 +111,7 @@ let protocol t =
       let write_quorum = write_quorum
       let enumerate_read_quorums = enumerate_read_quorums
       let enumerate_write_quorums = enumerate_write_quorums
+      let read_levels _ = None
       let fork t = t
     end)
     t

@@ -1,0 +1,153 @@
+type t = {
+  keys : int array;
+  versions : int array;
+  sids : int array;
+  values : string array;
+}
+
+let empty = { keys = [||]; versions = [||]; sids = [||]; values = [||] }
+
+let length b = Array.length b.keys
+
+let make ~keys ~versions ~sids ~values =
+  let n = Array.length keys in
+  if
+    Array.length versions <> n
+    || Array.length sids <> n
+    || Array.length values <> n
+  then invalid_arg "Batch.make: column lengths differ";
+  { keys; versions; sids; values }
+
+let key b i = b.keys.(i)
+let version b i = b.versions.(i)
+let sid b i = b.sids.(i)
+let value b i = b.values.(i)
+let ts b i = Timestamp.make ~version:b.versions.(i) ~sid:b.sids.(i)
+
+let init n f =
+  if n = 0 then empty
+  else begin
+    let keys = Array.make n 0
+    and versions = Array.make n 0
+    and sids = Array.make n 0
+    and values = Array.make n "" in
+    for i = 0 to n - 1 do
+      let k, v, s, value = f i in
+      keys.(i) <- k;
+      versions.(i) <- v;
+      sids.(i) <- s;
+      values.(i) <- value
+    done;
+    { keys; versions; sids; values }
+  end
+
+let of_list writes =
+  let n = List.length writes in
+  if n = 0 then empty
+  else begin
+    let keys = Array.make n 0
+    and versions = Array.make n 0
+    and sids = Array.make n 0
+    and values = Array.make n "" in
+    List.iteri
+      (fun i (k, (ts : Timestamp.t), value) ->
+        keys.(i) <- k;
+        versions.(i) <- ts.Timestamp.version;
+        sids.(i) <- ts.Timestamp.sid;
+        values.(i) <- value)
+      writes;
+    { keys; versions; sids; values }
+  end
+
+let to_list b =
+  List.init (length b) (fun i -> (key b i, ts b i, value b i))
+
+let iter f b =
+  for i = 0 to length b - 1 do
+    f ~key:b.keys.(i) ~version:b.versions.(i) ~sid:b.sids.(i)
+      ~value:b.values.(i)
+  done
+
+module Builder = struct
+  type batch = t
+
+  type t = {
+    mutable b_keys : int array;
+    mutable b_versions : int array;
+    mutable b_sids : int array;
+    mutable b_values : string array;
+    mutable len : int;
+  }
+
+  let create ?(capacity = 0) () =
+    let capacity = max capacity 0 in
+    {
+      b_keys = Array.make capacity 0;
+      b_versions = Array.make capacity 0;
+      b_sids = Array.make capacity 0;
+      b_values = Array.make capacity "";
+      len = 0;
+    }
+
+  let length b = b.len
+
+  (* Wrap an immutable batch without copying: the builder's arrays alias
+     the batch's, but [len = capacity] means the first [push] grows (and
+     therefore copies) before writing, so the original stays intact. *)
+  let of_batch (src : batch) =
+    {
+      b_keys = src.keys;
+      b_versions = src.versions;
+      b_sids = src.sids;
+      b_values = src.values;
+      len = Array.length src.keys;
+    }
+
+  let grow b needed =
+    let cap = max 4 (max needed (2 * Array.length b.b_keys)) in
+    let keys = Array.make cap 0
+    and versions = Array.make cap 0
+    and sids = Array.make cap 0
+    and values = Array.make cap "" in
+    Array.blit b.b_keys 0 keys 0 b.len;
+    Array.blit b.b_versions 0 versions 0 b.len;
+    Array.blit b.b_sids 0 sids 0 b.len;
+    Array.blit b.b_values 0 values 0 b.len;
+    b.b_keys <- keys;
+    b.b_versions <- versions;
+    b.b_sids <- sids;
+    b.b_values <- values
+
+  let push b ~key ~version ~sid ~value =
+    if b.len = Array.length b.b_keys then grow b (b.len + 1);
+    b.b_keys.(b.len) <- key;
+    b.b_versions.(b.len) <- version;
+    b.b_sids.(b.len) <- sid;
+    b.b_values.(b.len) <- value;
+    b.len <- b.len + 1
+
+  let key b i = b.b_keys.(i)
+  let version b i = b.b_versions.(i)
+  let sid b i = b.b_sids.(i)
+  let value b i = b.b_values.(i)
+
+  (* A trimmed immutable snapshot.  When the builder is exactly full —
+     the [of_batch] round trip, or a lucky exact fill — the arrays are
+     shared rather than copied; the builder is then in the same aliased
+     state [of_batch] produces, which stays safe for the same reason. *)
+  let snapshot b : batch =
+    if b.len = Array.length b.b_keys then
+      {
+        keys = b.b_keys;
+        versions = b.b_versions;
+        sids = b.b_sids;
+        values = b.b_values;
+      }
+    else
+      {
+        keys = Array.sub b.b_keys 0 b.len;
+        versions = Array.sub b.b_versions 0 b.len;
+        sids = Array.sub b.b_sids 0 b.len;
+        values = Array.sub b.b_values 0 b.len;
+      }
+end

@@ -1,0 +1,70 @@
+(** Flat, length-carrying batch payloads: parallel arrays of
+    (key, version, sid, value), one slot per write or read entry.
+
+    The coalesced message envelopes ({!Message.Read_batch_reply},
+    {!Message.Prepare_batch}) and the store's staged batches carry one of
+    these instead of a [(int * Timestamp.t * string) list]: no per-entry
+    cons cells or boxed timestamps, and the length is an array length
+    rather than a list walk.  A [t] is immutable by convention — never
+    mutate the arrays of a batch you did not just build. *)
+
+type t = {
+  keys : int array;
+  versions : int array;
+  sids : int array;
+  values : string array;
+}
+
+val empty : t
+val length : t -> int
+
+val make :
+  keys:int array ->
+  versions:int array ->
+  sids:int array ->
+  values:string array ->
+  t
+(** Validates that all four columns have the same length. *)
+
+val key : t -> int -> int
+val version : t -> int -> int
+val sid : t -> int -> int
+val value : t -> int -> string
+
+val ts : t -> int -> Timestamp.t
+(** Boxes the timestamp of entry [i] — convenience for cold paths. *)
+
+val init : int -> (int -> int * int * int * string) -> t
+(** [init n f] builds a batch from [f i = (key, version, sid, value)]. *)
+
+val of_list : (int * Timestamp.t * string) list -> t
+val to_list : t -> (int * Timestamp.t * string) list
+
+val iter :
+  (key:int -> version:int -> sid:int -> value:string -> unit) -> t -> unit
+
+(** Amortized-doubling accumulator, the efficient replacement for the
+    [writes @ [w]] quadratic append that WAL replay used to do per staged
+    record. *)
+module Builder : sig
+  type batch = t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+
+  val of_batch : batch -> t
+  (** Wraps an immutable batch as a full builder {e without copying}; a
+      subsequent [push] copies on growth, leaving the original intact. *)
+
+  val push : t -> key:int -> version:int -> sid:int -> value:string -> unit
+
+  val key : t -> int -> int
+  val version : t -> int -> int
+  val sid : t -> int -> int
+  val value : t -> int -> string
+
+  val snapshot : t -> batch
+  (** Trimmed immutable view; shares the arrays when the builder is
+      exactly full, copies otherwise. *)
+end

@@ -60,6 +60,18 @@ type config = {
           disables the budget. *)
   backoff : Detect.Backoff.policy;  (** retry pause policy *)
   rto : Detect.Rto.config;  (** adaptive-timeout estimator parameters *)
+  pipeline_levels : bool;
+      (** tree-level pipelined reads (off by default): when the protocol
+          exposes a per-level quorum plan ({!Quorum.Protocol.read_levels} —
+          the arbitrary tree protocol does), a read streams its quorum,
+          sending each level's request the moment that level's member is
+          chosen instead of materializing the full quorum first.  Quorum
+          membership and RNG consumption are unchanged (see
+          {!Quorum.Protocol.level_plan}); dispatch happens in tree-level
+          order rather than ascending site order, so seeded simulations
+          are equivalent (same values, same timestamps on every read) but
+          not byte-identical.  Protocols without a level plan fall back to
+          whole-quorum assembly. *)
 }
 
 val default_config : config

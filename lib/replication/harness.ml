@@ -141,7 +141,7 @@ type report = {
    check. *)
 type checker = { latest : (int, Timestamp.t) Hashtbl.t; mutable violations : int }
 
-let run ?obs scenario =
+let run ?obs ?read_probe scenario =
   (* Private protocol instance: quorum plans carry scratch buffers, and the
      parallel evaluation driver may run many harnesses over one scenario
      template concurrently. *)
@@ -248,7 +248,19 @@ let run ?obs scenario =
   let checker = { latest = Hashtbl.create 16; violations = 0 } in
   let clients_done = ref 0 in
   let monitors = ref [] in
-  let completions = ref [] in
+  (* Completion times go into a growable floatarray (flat stores): the
+     list formulation costs five words per completed op. *)
+  let completions = ref (Float.Array.create 64) in
+  let n_completions = ref 0 in
+  let record_completion () =
+    (if !n_completions = Float.Array.length !completions then begin
+       let grown = Float.Array.create (2 * !n_completions) in
+       Float.Array.blit !completions 0 grown 0 !n_completions;
+       completions := grown
+     end);
+    Float.Array.set !completions !n_completions (Engine.now engine);
+    incr n_completions
+  in
   (* All clients finished: stop the heartbeat loops so the engine drains
      instead of pinging until the horizon. *)
   let total_clients = scenario.n_clients + n_burst in
@@ -284,12 +296,14 @@ let run ?obs scenario =
         ~zipf_theta:scenario.zipf_theta ()
     in
     let expected_now key =
-      Option.value ~default:Timestamp.zero (Hashtbl.find_opt checker.latest key)
+      match Hashtbl.find checker.latest key with
+      | exception Not_found -> Timestamp.zero
+      | ts -> ts
     in
     let process_read expected result =
       match result with
       | Some { Coordinator.ts; _ } ->
-        completions := Engine.now engine :: !completions;
+        record_completion ();
         if Timestamp.newer_than expected ts then
           checker.violations <- checker.violations + 1
       | None -> ()
@@ -297,29 +311,51 @@ let run ?obs scenario =
     let process_write key result =
       match result with
       | Some ts ->
-        completions := Engine.now engine :: !completions;
+        record_completion ();
         Hashtbl.replace checker.latest key (Timestamp.max (expected_now key) ts)
       | None -> ()
     in
-    let rec step remaining =
-      if remaining = 0 then client_finished ()
+    (* Unbatched loop with preallocated per-client closures: the current
+       op's key and expected timestamp ride in mutable slots instead of
+       fresh closures, so issuing an operation allocates nothing on the
+       client side.  Dispatch order, RNG draws and event scheduling are
+       exactly those of the closure-per-op formulation, so seeded runs
+       are byte-identical. *)
+    let remaining = ref 0 in
+    let cur_key = ref 0 in
+    let cur_expected = ref Timestamp.zero in
+    let rec dispatch () =
+      if !remaining = 0 then client_finished ()
       else begin
-        let continue () =
-          Engine.schedule engine
-            ~delay:(Workload.Generator.think_time gen ~mean:think)
-            (fun () -> step (remaining - 1))
-        in
         match Workload.Generator.next gen with
         | Workload.Generator.Read key ->
-          let expected = expected_now key in
-          Coordinator.read coord ~key (fun result ->
-              process_read expected result;
-              continue ())
+          cur_key := key;
+          cur_expected := expected_now key;
+          Coordinator.read coord ~key on_read
         | Workload.Generator.Write (key, value) ->
-          Coordinator.write coord ~key ~value (fun result ->
-              process_write key result;
-              continue ())
+          cur_key := key;
+          Coordinator.write coord ~key ~value on_write
       end
+    and on_read result =
+      (match (read_probe, result) with
+      | Some f, Some r -> f ~key:!cur_key r
+      | _ -> ());
+      process_read !cur_expected result;
+      continue ()
+    and on_write result =
+      process_write !cur_key result;
+      continue ()
+    and continue () =
+      Engine.schedule engine
+        ~delay:(Workload.Generator.think_time gen ~mean:think)
+        advance
+    and advance () =
+      remaining := !remaining - 1;
+      dispatch ()
+    in
+    let step ops =
+      remaining := ops;
+      dispatch ()
     in
     (* Batched client: ops are issued in windows of [batch_size] (one
        read-batch plus one write-batch per window) with up to [pipeline]
@@ -475,7 +511,7 @@ let run ?obs scenario =
          peak := max !peak (Network.queue_peak net site)
        done;
        !peak);
-    completions = Array.of_list (List.rev !completions);
+    completions = Array.init !n_completions (Float.Array.get !completions);
     batches = sum (fun m -> m.Coordinator.batches);
     coalesced_ops = counters.Network.coalesced;
     wal_syncs = sum_replicas Replica.wal_syncs;

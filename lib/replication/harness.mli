@@ -170,12 +170,25 @@ type report = {
           whole batch counts one *)
 }
 
-val run : ?obs:Obs.t -> scenario -> report
+val run :
+  ?obs:Obs.t ->
+  ?read_probe:(key:int -> Coordinator.read_result -> unit) ->
+  scenario ->
+  report
 (** With [obs], the harness points its clock at the engine's virtual time,
     mirrors the network counters into its registry, and hands it to every
     client coordinator, so spans and phase-latency histograms cover the
     whole run.  Attaching [obs] never perturbs the simulation: it draws no
-    randomness and schedules no events. *)
+    randomness and schedules no events.
+
+    [read_probe] is invoked on every {e successful} unbatched read with
+    the key and the returned value/timestamp, in completion order — the
+    raw material for result-equivalence checks (e.g. level-pipelined vs
+    level-barrier reads).  Batched clients do not invoke it.  Like [obs],
+    it never perturbs the simulation. *)
+
+val completed : report -> int
+(** Successful operations: [reads_ok + writes_ok]. *)
 
 val messages_per_op : report -> float
 (** Delivered messages divided by completed operations — the measured

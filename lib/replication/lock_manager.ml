@@ -28,21 +28,34 @@ let grant t lock w =
   Engine.schedule t.engine ~delay:0.0 w.grant
 
 let acquire t ~key ~mode ~owner k =
-  match Hashtbl.find_opt t.locks key with
-  | None ->
+  match Hashtbl.find t.locks key with
+  | exception Not_found ->
     let lock =
       { held_mode = mode; holders = []; waiters = Queue.create (); upgrade = None }
     in
     Hashtbl.replace t.locks key lock;
-    grant t lock { mode; owner; grant = k }
-  | Some lock ->
-    if involves lock owner then
-      invalid_arg "Lock_manager.acquire: owner already holds or waits";
+    lock.holders <- [ owner ];
+    Engine.schedule t.engine ~delay:0.0 k
+  | lock ->
     if
-      Queue.is_empty lock.waiters && lock.upgrade = None
-      && (lock.holders = [] || (mode = Shared && lock.held_mode = Shared))
-    then grant t lock { mode; owner; grant = k }
-    else Queue.add { mode; owner; grant = k } lock.waiters
+      lock.holders = [] && lock.upgrade = None && Queue.is_empty lock.waiters
+    then begin
+      (* Free cached lock (release keeps records around for reuse): grant
+         without building a waiter — nothing is held or queued, so the
+         [involves] check is trivially false. *)
+      lock.held_mode <- mode;
+      lock.holders <- [ owner ];
+      Engine.schedule t.engine ~delay:0.0 k
+    end
+    else begin
+      if involves lock owner then
+        invalid_arg "Lock_manager.acquire: owner already holds or waits";
+      if
+        Queue.is_empty lock.waiters && lock.upgrade = None
+        && mode = Shared && lock.held_mode = Shared
+      then grant t lock { mode; owner; grant = k }
+      else Queue.add { mode; owner; grant = k } lock.waiters
+    end
 
 let rec drain t lock =
   (* A pending upgrade outranks the queue: it can only proceed once its
@@ -79,15 +92,22 @@ and drain_shared t lock =
   | _ -> ()
 
 let release t ~key ~owner =
-  match Hashtbl.find_opt t.locks key with
-  | None -> invalid_arg "Lock_manager.release: key not locked"
-  | Some lock ->
-    if not (List.mem owner lock.holders) then
-      invalid_arg "Lock_manager.release: lock not held by owner";
-    lock.holders <- List.filter (fun o -> o <> owner) lock.holders;
-    if lock.holders = [] && Queue.is_empty lock.waiters && lock.upgrade = None
-    then Hashtbl.remove t.locks key
-    else drain t lock
+  match Hashtbl.find t.locks key with
+  | exception Not_found -> invalid_arg "Lock_manager.release: key not locked"
+  | lock ->
+    (match lock.holders with
+    | [ o ] when o = owner -> lock.holders <- []
+    | holders ->
+      if not (List.mem owner holders) then
+        invalid_arg "Lock_manager.release: lock not held by owner";
+      lock.holders <- List.filter (fun o -> o <> owner) holders);
+    (* The record stays cached in the table when it falls idle, so the
+       next acquire of this key allocates neither a lock nor a queue. *)
+    if
+      not
+        (lock.holders = [] && Queue.is_empty lock.waiters
+       && lock.upgrade = None)
+    then drain t lock
 
 let try_upgrade t ~key ~owner k =
   match Hashtbl.find_opt t.locks key with

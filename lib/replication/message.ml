@@ -1,30 +1,31 @@
 type t =
   | Read_request of { op : int; key : int }
-  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string; inc : int }
-  | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Read_reply of {
+      op : int;
+      key : int;
+      version : int;
+      sid : int;
+      value : string;
+      inc : int;
+    }
+  | Prepare of { op : int; key : int; version : int; sid : int; value : string }
   | Prepare_ack of { op : int; inc : int }
   | Prepare_nack of { op : int; reason : string }
   | Commit of { op : int; inc : int }
   | Commit_ack of { op : int; inc : int }
   | Abort of { op : int }
-  | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Repair of { op : int; key : int; version : int; sid : int; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
   | Busy of { op : int }
       (** overload nack: the replica shed the request instead of queueing
           it; the coordinator should back off, not wait for a timeout *)
-  | Read_batch of { op : int; keys : int list }
+  | Read_batch of { op : int; n_keys : int; keys : int array }
       (** coalesced read envelope: one message, one service-queue slot,
-          many keys *)
-  | Read_batch_reply of {
-      op : int;
-      entries : (int * Timestamp.t * string) list;  (* key, ts, value *)
-      inc : int;
-    }
-  | Prepare_batch of {
-      op : int;
-      writes : (int * Timestamp.t * string) list;  (* key, ts, value *)
-    }
+          many keys.  The first [n_keys] entries of [keys] are live, so a
+          pooled oversized buffer can ride as-is. *)
+  | Read_batch_reply of { op : int; entries : Batch.t; inc : int }
+  | Prepare_batch of { op : int; writes : Batch.t }
       (** coalesced 2PC stage: the batch is staged (and later committed or
           aborted) atomically under one op id; acked with [Prepare_ack] *)
   | Ping of { seq : int }
@@ -58,32 +59,32 @@ let incarnation = function
     None
 
 let batch_size = function
-  | Read_batch { keys; _ } -> List.length keys
-  | Read_batch_reply { entries; _ } -> List.length entries
-  | Prepare_batch { writes; _ } -> List.length writes
+  | Read_batch { n_keys; _ } -> n_keys
+  | Read_batch_reply { entries; _ } -> Batch.length entries
+  | Prepare_batch { writes; _ } -> Batch.length writes
   | _ -> 1
 
 let pp ppf = function
   | Read_request { op; key } -> Format.fprintf ppf "read-req(op=%d key=%d)" op key
-  | Read_reply { op; key; ts; _ } ->
-    Format.fprintf ppf "read-reply(op=%d key=%d ts=%a)" op key Timestamp.pp ts
-  | Prepare { op; key; ts; _ } ->
-    Format.fprintf ppf "prepare(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Read_reply { op; key; version; sid; _ } ->
+    Format.fprintf ppf "read-reply(op=%d key=%d ts=v%d@@%d)" op key version sid
+  | Prepare { op; key; version; sid; _ } ->
+    Format.fprintf ppf "prepare(op=%d key=%d ts=v%d@@%d)" op key version sid
   | Prepare_ack { op; _ } -> Format.fprintf ppf "prepare-ack(op=%d)" op
   | Prepare_nack { op; reason } ->
     Format.fprintf ppf "prepare-nack(op=%d %s)" op reason
   | Commit { op; _ } -> Format.fprintf ppf "commit(op=%d)" op
   | Commit_ack { op; _ } -> Format.fprintf ppf "commit-ack(op=%d)" op
   | Abort { op } -> Format.fprintf ppf "abort(op=%d)" op
-  | Repair { op; key; ts; _ } ->
-    Format.fprintf ppf "repair(op=%d key=%d ts=%a)" op key Timestamp.pp ts
+  | Repair { op; key; version; sid; _ } ->
+    Format.fprintf ppf "repair(op=%d key=%d ts=v%d@@%d)" op key version sid
   | Busy { op } -> Format.fprintf ppf "busy(op=%d)" op
-  | Read_batch { op; keys } ->
-    Format.fprintf ppf "read-batch(op=%d |keys|=%d)" op (List.length keys)
+  | Read_batch { op; n_keys; _ } ->
+    Format.fprintf ppf "read-batch(op=%d |keys|=%d)" op n_keys
   | Read_batch_reply { op; entries; _ } ->
     Format.fprintf ppf "read-batch-reply(op=%d |entries|=%d)" op
-      (List.length entries)
+      (Batch.length entries)
   | Prepare_batch { op; writes } ->
-    Format.fprintf ppf "prepare-batch(op=%d |writes|=%d)" op (List.length writes)
+    Format.fprintf ppf "prepare-batch(op=%d |writes|=%d)" op (Batch.length writes)
   | Ping { seq } -> Format.fprintf ppf "ping(seq=%d)" seq
   | Pong { seq } -> Format.fprintf ppf "pong(seq=%d)" seq

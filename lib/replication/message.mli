@@ -7,6 +7,15 @@
     it, then runs a two-phase commit over a write quorum (§2.2: writes end
     with 2PC among participants).
 
+    {b Flat representations.}  The hot-path messages carry timestamps as
+    two unboxed [int] fields ([version], [sid]) rather than a boxed
+    {!Timestamp.t}, and the coalesced envelopes carry {!Batch.t} parallel
+    arrays (or a length-carrying key array) rather than lists — the
+    failure-free paths construct millions of these per campaign, and the
+    flat layout keeps each one to a single small block.  Use
+    [Timestamp.make ~version ~sid] at the edges that need a boxed
+    timestamp (WAL records, results).
+
     {b Incarnations.}  Replica replies carry the replica's incarnation
     number — the count of amnesia recoveries it has been through (always 0
     under the paper's fail-stop model, where nothing is ever lost).  A
@@ -18,8 +27,15 @@
 
 type t =
   | Read_request of { op : int; key : int }
-  | Read_reply of { op : int; key : int; ts : Timestamp.t; value : string; inc : int }
-  | Prepare of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Read_reply of {
+      op : int;
+      key : int;
+      version : int;
+      sid : int;
+      value : string;
+      inc : int;
+    }
+  | Prepare of { op : int; key : int; version : int; sid : int; value : string }
   | Prepare_ack of { op : int; inc : int }
   | Prepare_nack of { op : int; reason : string }
       (** refusal: the replica cannot take part right now (e.g. it is
@@ -29,7 +45,7 @@ type t =
       (** [inc] is the incarnation this member acked the prepare under *)
   | Commit_ack of { op : int; inc : int }
   | Abort of { op : int }
-  | Repair of { op : int; key : int; ts : Timestamp.t; value : string }
+  | Repair of { op : int; key : int; version : int; sid : int; value : string }
       (** read-repair: install this committed (timestamp, value) directly —
           monotone installs make it always safe *)
   | Busy of { op : int }
@@ -38,21 +54,15 @@ type t =
           [Prepare_nack]: the replica is healthy, just loaded — useful
           both to the retry logic (fail fast, back off) and to the circuit
           breaker (count as pushback, do not count as death) *)
-  | Read_batch of { op : int; keys : int list }
+  | Read_batch of { op : int; n_keys : int; keys : int array }
       (** coalesced read envelope: many keys ride one message, which the
           service-queue model counts as ONE unit of per-site work — the
-          whole point of coalescing.  Answered by [Read_batch_reply] with
-          one (key, ts, value) entry per requested key (in key order), or
-          [Busy]/[Prepare_nack]-style refusal via [Busy] when shed *)
-  | Read_batch_reply of {
-      op : int;
-      entries : (int * Timestamp.t * string) list;
-      inc : int;
-    }
-  | Prepare_batch of {
-      op : int;
-      writes : (int * Timestamp.t * string) list;
-    }
+          whole point of coalescing.  Only the first [n_keys] entries of
+          [keys] are live (the array may be a pooled oversized buffer).
+          Answered by [Read_batch_reply] with one entry per requested key
+          (in key order), or refused via [Busy] when shed *)
+  | Read_batch_reply of { op : int; entries : Batch.t; inc : int }
+  | Prepare_batch of { op : int; writes : Batch.t }
       (** coalesced 2PC stage: the writes are staged atomically under one
           op id and later committed or aborted together by the ordinary
           [Commit]/[Abort] for that op.  Acked with [Prepare_ack], so the
@@ -73,7 +83,7 @@ val incarnation : t -> int option
 
 val batch_size : t -> int
 (** Logical operations the message carries: the batch length for the
-    coalesced envelopes, 1 for everything else.  Feeds the network's
-    [?units] accounting. *)
+    coalesced envelopes (an O(1) field read, not a list walk), 1 for
+    everything else.  Feeds the network's [?units] accounting. *)
 
 val pp : Format.formatter -> t -> unit

@@ -28,7 +28,8 @@ type phase = Query | Prepare_phase | Commit_phase
 type gather = {
   phase : phase;
   started : float;  (** phase start, for RTT samples *)
-  mutable waiting : int list;
+  members : int array;  (** phase members; replied entries marked -1 *)
+  mutable waiting_n : int;
   mutable max_ts : Timestamp.t;
   mutable max_value : string;
   complete : unit -> unit;
@@ -36,6 +37,17 @@ type gather = {
       (** a member refused ([Prepare_nack]): fail the phase now instead of
           waiting out the timeout *)
 }
+
+(* The members of [g] still waiting, as a list (cold paths only: blame
+   assignment after a timeout, commit resends). *)
+let gather_waiting g =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let m = g.members.(i) in
+      go (i - 1) (if m >= 0 then m :: acc else acc)
+  in
+  go (Array.length g.members - 1) []
 
 type t = {
   site : int;
@@ -197,10 +209,13 @@ let handle t ~src msg =
       | _ ->
         let expected =
           match (msg : Message.t) with
-          | Read_reply { ts; value; _ } ->
+          | Read_reply { version; sid; value; _ } ->
             if g.phase = Query then begin
-              if Timestamp.newer_than ts g.max_ts then begin
-                g.max_ts <- ts;
+              if
+                Timestamp.newer_flat version sid g.max_ts.Timestamp.version
+                  g.max_ts.Timestamp.sid
+              then begin
+                g.max_ts <- Timestamp.make ~version ~sid;
                 g.max_value <- value
               end;
               true
@@ -225,12 +240,20 @@ let handle t ~src msg =
             false
         in
         if expected then begin
-          if List.mem src g.waiting then begin
+          let rec mark i =
+            if i = Array.length g.members then false
+            else if g.members.(i) = src then begin
+              g.members.(i) <- -1;
+              g.waiting_n <- g.waiting_n - 1;
+              true
+            end
+            else mark (i + 1)
+          in
+          if mark 0 then begin
             Detect.Rto.observe t.rto (Engine.now (engine t) -. g.started);
             breaker_ok t src
           end;
-          g.waiting <- List.filter (fun m -> m <> src) g.waiting;
-          if g.waiting = [] then begin
+          if g.waiting_n = 0 then begin
             Hashtbl.remove t.pending op;
             g.complete ()
           end
@@ -275,11 +298,13 @@ let create ~site ~net ~proto ?view ?budget ?breaker ?obs
    the deadline. *)
 let run_phase t ~span ~phase ~members ~mk_msg ~on_success ~on_timeout =
   let op = fresh_op t in
+  let marr = Array.of_list members in
   let rec g =
     {
       phase;
       started = Engine.now (engine t);
-      waiting = members;
+      members = marr;
+      waiting_n = Array.length marr;
       max_ts = Timestamp.zero;
       max_value = "";
       complete = (fun () -> on_success op g);
@@ -296,11 +321,15 @@ let run_phase t ~span ~phase ~members ~mk_msg ~on_success ~on_timeout =
         Hashtbl.remove t.pending op;
         (* The laggards missed the deadline: negative evidence for both
            the liveness view and the overload breaker. *)
-        List.iter t.view.Detect.View.suspect g.waiting;
-        List.iter (breaker_failure t) g.waiting;
+        List.iter
+          (fun m ->
+            t.view.Detect.View.suspect m;
+            breaker_failure t m)
+          (gather_waiting g);
         on_timeout ()
       | _ -> ());
-  List.iter (fun m -> Network.send t.net ~src:t.site ~dst:m (mk_msg op)) members
+  let msg = mk_msg op in
+  List.iter (fun m -> Network.send t.net ~src:t.site ~dst:m msg) members
 
 (* Retry scheduling: exponential backoff with jitter, bounded by the
    per-operation deadline budget — once a retry could not even be issued
@@ -381,7 +410,15 @@ let prepare_sp t ~span ~key ~ts ~value k =
     | Some quorum ->
       let members = Bitset.elements quorum in
       run_phase t ~span ~phase:Prepare_phase ~members
-        ~mk_msg:(fun op -> Message.Prepare { op; key; ts; value })
+        ~mk_msg:(fun op ->
+          Message.Prepare
+            {
+              op;
+              key;
+              version = ts.Timestamp.version;
+              sid = ts.Timestamp.sid;
+              value;
+            })
         ~on_success:(fun op _g ->
           oend t span ~timed_out:false;
           k (Some (op, members)))
@@ -402,7 +439,8 @@ let commit_staged_sp t ~span ~op ~members k =
       {
         phase = Commit_phase;
         started = Engine.now (engine t);
-        waiting = ms;
+        members = Array.of_list ms;
+        waiting_n = List.length ms;
         max_ts = Timestamp.zero;
         max_value = "";
         complete = (fun () -> done_ true);
@@ -421,11 +459,15 @@ let commit_staged_sp t ~span ~op ~members k =
         match Hashtbl.find_opt t.pending op with
         | Some g' when g' == g ->
           Hashtbl.remove t.pending op;
-          List.iter t.view.Detect.View.suspect g.waiting;
-          List.iter (breaker_failure t) g.waiting;
+          let waiting = gather_waiting g in
+          List.iter
+            (fun m ->
+              t.view.Detect.View.suspect m;
+              breaker_failure t m)
+            waiting;
           if tries > 0 then begin
             oretry t span ~backoff:0.0;
-            send (tries - 1) g.waiting
+            send (tries - 1) waiting
           end
           else done_ false
         | _ -> ());

@@ -284,13 +284,29 @@ let handle_serving t ~src msg =
   match (msg : Message.t) with
   | Read_request { op; key } ->
     t.reads_served <- t.reads_served + 1;
-    let ts, value = Store.read t.store ~key in
+    (* Flat serving path: no tuple, no boxed timestamp — only the reply
+       message itself is allocated. *)
+    let store = t.store in
     send t ~dst:src
-      (Message.Read_reply { op; key; ts; value; inc = t.incarnation })
-  | Prepare { op; key; ts; value } ->
+      (Message.Read_reply
+         {
+           op;
+           key;
+           version = Store.version_of store ~key;
+           sid = Store.sid_of store ~key;
+           value = Store.value_of store ~key;
+           inc = t.incarnation;
+         })
+  | Prepare { op; key; version; sid; value } ->
     t.prepares_seen <- t.prepares_seen + 1;
-    Store.stage t.store ~op ~key ~ts ~value;
-    wal_append t (Wal.Stage { op; key; ts; value });
+    Store.stage_flat t.store ~op ~key ~version ~sid ~value;
+    (* The WAL keeps boxed timestamps (cold path); build one only when a
+       WAL is actually attached. *)
+    (match t.wal with
+    | Some wal ->
+      Wal.append wal
+        (Wal.Stage { op; key; ts = Timestamp.make ~version ~sid; value })
+    | None -> ());
     send t ~dst:src (Message.Prepare_ack { op; inc = t.incarnation })
   | Commit { op; inc } ->
     if inc <> t.incarnation then begin
@@ -302,56 +318,78 @@ let handle_serving t ~src msg =
       nack t ~dst:src ~op "stale-incarnation"
     end
     else begin
-      (match Store.staged t.store ~op with
-      | Some (key, ts, value) ->
-        wal_append t (Wal.Commit { op; key; ts; value });
-        if Store.commit_staged t.store ~op then
-          t.writes_applied <- t.writes_applied + 1
-      | None -> (
-        match Store.staged_many t.store ~op with
-        | Some writes ->
-          (* A staged batch commits atomically: every write's Commit
-             record shares the batch's durability point. *)
-          wal_append_many t
-            (List.map
-               (fun (key, ts, value) -> Wal.Commit { op; key; ts; value })
-               writes);
-          if Store.commit_staged t.store ~op then
-            t.writes_applied <- t.writes_applied + List.length writes
-        | None -> ()));
+      (if Store.has_staged t.store ~op then begin
+         (match t.wal with
+         | Some wal -> (
+           match Store.staged t.store ~op with
+           | Some (key, ts, value) ->
+             Wal.append wal (Wal.Commit { op; key; ts; value })
+           | None -> ())
+         | None -> ());
+         if Store.commit_staged t.store ~op then
+           t.writes_applied <- t.writes_applied + 1
+       end
+       else
+         let n = Store.staged_batch_size t.store ~op in
+         if n > 0 then begin
+           (* A staged batch commits atomically: every write's Commit
+              record shares the batch's durability point. *)
+           (match t.wal with
+           | Some _ -> (
+             match Store.staged_many t.store ~op with
+             | Some writes ->
+               wal_append_many t
+                 (List.map
+                    (fun (key, ts, value) -> Wal.Commit { op; key; ts; value })
+                    (Batch.to_list writes))
+             | None -> ())
+           | None -> ());
+           if Store.commit_staged t.store ~op then
+             t.writes_applied <- t.writes_applied + n
+         end);
       (* Ack even when nothing was staged: a same-incarnation resend means
          the first commit already applied (nothing can have been lost
          within one incarnation). *)
       send t ~dst:src (Message.Commit_ack { op; inc = t.incarnation })
     end
   | Abort { op } ->
-    if Store.staged t.store ~op <> None || Store.staged_many t.store ~op <> None
+    if Store.has_staged t.store ~op || Store.staged_batch_size t.store ~op > 0
     then wal_append t (Wal.Abort { op });
     Store.abort_staged t.store ~op
-  | Repair { key; ts; value; _ } ->
-    if Store.install t.store ~key ~ts ~value then begin
-      wal_append t (Wal.Install { key; ts; value });
+  | Repair { key; version; sid; value; _ } ->
+    if Store.install_flat t.store ~key ~version ~sid ~value then begin
+      (match t.wal with
+      | Some wal ->
+        Wal.append wal
+          (Wal.Install { key; ts = Timestamp.make ~version ~sid; value })
+      | None -> ());
       t.repairs_applied <- t.repairs_applied + 1
     end
-  | Read_batch { op; keys } ->
+  | Read_batch { op; n_keys; keys } ->
     (* Coalesced reads: one envelope in, one envelope out, each counted
-       as one message by the network but as |keys| logical reads here. *)
-    t.reads_served <- t.reads_served + List.length keys;
+       as one message by the network but as [n_keys] logical reads here. *)
+    t.reads_served <- t.reads_served + n_keys;
+    let store = t.store in
     let entries =
-      List.map
-        (fun key ->
-          let ts, value = Store.read t.store ~key in
-          (key, ts, value))
-        keys
+      Batch.init n_keys (fun i ->
+          let key = keys.(i) in
+          ( key,
+            Store.version_of store ~key,
+            Store.sid_of store ~key,
+            Store.value_of store ~key ))
     in
-    send t ~dst:src
-      ~units:(List.length entries)
+    send t ~dst:src ~units:n_keys
       (Message.Read_batch_reply { op; entries; inc = t.incarnation })
   | Prepare_batch { op; writes } ->
-    t.prepares_seen <- t.prepares_seen + List.length writes;
+    t.prepares_seen <- t.prepares_seen + Batch.length writes;
     Store.stage_many t.store ~op writes;
-    wal_append_many t
-      (List.map (fun (key, ts, value) -> Wal.Stage { op; key; ts; value }) writes);
+    (match t.wal with
+    | Some _ ->
+      wal_append_many t
+        (List.map
+           (fun (key, ts, value) -> Wal.Stage { op; key; ts; value })
+           (Batch.to_list writes))
+    | None -> ());
     send t ~dst:src (Message.Prepare_ack { op; inc = t.incarnation })
   | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
   | Read_reply _ | Read_batch_reply _ | Prepare_ack _ | Prepare_nack _
@@ -376,9 +414,17 @@ let handle_recovering t ~src msg =
          requester sees the newest committed timestamp — and refusing
          would let recovering replicas nack each other's catch-ups into a
          permanent mutual standoff once all have crashed at least once. *)
-      let ts, value = Store.read t.store ~key in
+      let store = t.store in
       send t ~dst:src
-        (Message.Read_reply { op; key; ts; value; inc = t.incarnation })
+        (Message.Read_reply
+           {
+             op;
+             key;
+             version = Store.version_of store ~key;
+             sid = Store.sid_of store ~key;
+             value = Store.value_of store ~key;
+             inc = t.incarnation;
+           })
     end
     else nack t ~dst:src ~op "recovering"
   | Read_batch { op; _ } ->
@@ -391,16 +437,20 @@ let handle_recovering t ~src msg =
     ocount t "replica.stale_inc.nacked";
     nack t ~dst:src ~op "stale-incarnation"
   | Abort { op } -> Store.abort_staged t.store ~op
-  | Repair { key; ts; value; _ } ->
-    if Store.install t.store ~key ~ts ~value then begin
-      wal_append t (Wal.Install { key; ts; value });
+  | Repair { key; version; sid; value; _ } ->
+    if Store.install_flat t.store ~key ~version ~sid ~value then begin
+      (match t.wal with
+      | Some wal ->
+        Wal.append wal
+          (Wal.Install { key; ts = Timestamp.make ~version ~sid; value })
+      | None -> ());
       t.repairs_applied <- t.repairs_applied + 1
     end
   | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
-  | Read_reply { ts; value; _ } -> (
+  | Read_reply { version; sid; value; _ } -> (
     match t.gather with
     | Some g when g.g_op = Message.op_id msg ->
-      catchup_gather_reply t g ~src ~ts ~value
+      catchup_gather_reply t g ~src ~ts:(Timestamp.make ~version ~sid) ~value
     | _ -> ())
   | Prepare_nack _ -> (
     match t.gather with

@@ -5,6 +5,15 @@
     commits are harmless.  Prepared-but-undecided writes are staged per
     operation id.
 
+    {b Representation.}  Committed state is a dense array-backed map:
+    key-id-indexed parallel arrays with unboxed [version]/[sid] columns
+    and a string value column, plus a hashtable spill for negative or
+    very large key ids.  The flat accessors ({!version_of}, {!sid_of},
+    {!value_of}) read it without boxing a timestamp or a tuple — the
+    replica's serving path goes through them.  Staged batches are flat
+    {!Batch} arrays, and WAL replay accumulates them in amortized O(1)
+    per record.
+
     The store itself is plain volatile memory.  What survives a crash is
     decided one layer up: under the paper's fail-stop model (§2.2) the
     whole store persists untouched, while under amnesia crashes the replica
@@ -22,29 +31,54 @@ val create : unit -> t
 val read : t -> key:int -> Timestamp.t * string
 (** [Timestamp.zero] and the empty string for never-written keys. *)
 
+val version_of : t -> key:int -> int
+(** Committed version of [key]; 0 for never-written keys.  Allocation-free. *)
+
+val sid_of : t -> key:int -> int
+(** Committed writer sid of [key]; 0 for never-written keys. *)
+
+val value_of : t -> key:int -> string
+(** Committed value of [key]; [""] for never-written keys. *)
+
 val install : t -> key:int -> ts:Timestamp.t -> value:string -> bool
 (** Applies the write if [ts] is newer than the committed timestamp;
     returns whether the state changed. *)
+
+val install_flat :
+  t -> key:int -> version:int -> sid:int -> value:string -> bool
+(** {!install} without the boxed timestamp. *)
 
 val stage : t -> op:int -> key:int -> ts:Timestamp.t -> value:string -> unit
 (** Stages a single write under [op] (last-write-wins per op id); clears
     any staged batch under the same id. *)
 
+val stage_flat :
+  t -> op:int -> key:int -> version:int -> sid:int -> value:string -> unit
+(** {!stage} without the boxed timestamp. *)
+
 val staged : t -> op:int -> (int * Timestamp.t * string) option
 
-val stage_many :
-  t -> op:int -> (int * Timestamp.t * string) list -> unit
+val has_staged : t -> op:int -> bool
+(** Whether a single write is staged under [op], without allocating the
+    option {!staged} returns. *)
+
+val stage_many : t -> op:int -> Batch.t -> unit
 (** Stages a whole batch of writes under one op id (a batched prepare);
     clears any single stage under the same id.  Committed or aborted
-    atomically by {!commit_staged} / {!abort_staged}. *)
+    atomically by {!commit_staged} / {!abort_staged}.  The store takes
+    ownership of the batch's arrays (sharing, not copying). *)
 
-val staged_many : t -> op:int -> (int * Timestamp.t * string) list option
+val staged_many : t -> op:int -> Batch.t option
+
+val staged_batch_size : t -> op:int -> int
+(** Number of writes in the batch staged under [op]; 0 when none is. *)
 
 val stage_accum :
   t -> op:int -> key:int -> ts:Timestamp.t -> value:string -> unit
 (** WAL-replay staging: a second stage under an op id {e accumulates}
     into a batch instead of clobbering, so replaying the per-record
-    Stage entries of a batched prepare rebuilds the full staged batch. *)
+    Stage entries of a batched prepare rebuilds the full staged batch.
+    Amortized O(1) per record. *)
 
 val commit_staged : t -> op:int -> bool
 (** Installs the staged write or batch (if any) and clears it; returns
@@ -59,3 +93,4 @@ val staged_count : t -> int
     once, however many writes it carries). *)
 
 val keys : t -> int list
+(** Committed keys, ascending. *)

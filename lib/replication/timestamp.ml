@@ -11,6 +11,8 @@ let make ~version ~sid =
 let newer_than a b =
   a.version > b.version || (a.version = b.version && a.sid < b.sid)
 
+let newer_flat av asid bv bsid = av > bv || (av = bv && asid < bsid)
+
 let compare a b =
   if newer_than a b then 1 else if newer_than b a then -1 else 0
 

@@ -12,6 +12,11 @@ val make : version:int -> sid:int -> t
 val newer_than : t -> t -> bool
 (** [newer_than a b] — is [a] strictly newer than [b]? *)
 
+val newer_flat : int -> int -> int -> int -> bool
+(** [newer_flat av asid bv bsid] = [newer_than {av; asid} {bv; bsid}]
+    without boxing either side — for the flat hot paths that keep
+    timestamps as unboxed (version, sid) int pairs. *)
+
 val compare : t -> t -> int
 (** Total order with [compare a b > 0] iff [newer_than a b]. *)
 

@@ -259,7 +259,8 @@ let commit t k =
   | Done _ | Committing -> invalid_arg "Txn.commit: transaction finished"
   | Active ->
     let keys =
-      List.sort compare (Hashtbl.fold (fun key _ acc -> key :: acc) t.write_buf [])
+      List.sort Int.compare
+        (Hashtbl.fold (fun key _ acc -> key :: acc) t.write_buf [])
     in
     if keys = [] then begin
       finish t Committed;

@@ -1,48 +1,76 @@
-module Heap = Dsutil.Heap
+module Fheap = Dsutil.Fheap
 module Rng = Dsutil.Rng
 
+(* The clock lives in its own float-only record: float fields of such a
+   record are stored flat, so advancing the clock on every event is a
+   plain store.  Inlined in the mixed record below, each [<-] would box a
+   fresh float — three words per event, millions of events per run. *)
+type clock = { mutable now : float }
+
+(* An event is (handler, meta, payload): closure events use the shared
+   [run_closure] handler with the closure as payload, while hot callers
+   (message delivery, per-op timeouts) keep ONE preallocated handler and
+   thread per-event arguments through the int [meta] and the [payload]
+   slot — no per-event closure, no per-event allocation at all. *)
+type handler = { run : int -> Obj.t -> unit }
+
 type t = {
-  mutable clock : float;
-  queue : (float, unit -> unit) Heap.t;
+  clock : clock;
+  queue : (handler, Obj.t) Fheap.t;
   rng : Rng.t;
+  advance : float -> handler -> int -> Obj.t -> unit;
+      (* preallocated [pop_apply] continuation: set the clock, run the
+         event — so the run loop allocates nothing per event *)
 }
 
-let create ?(seed = 42) () =
-  { clock = 0.0; queue = Heap.create ~compare:Float.compare; rng = Rng.create seed }
+let run_closure = { run = (fun _ p -> (Obj.obj p : unit -> unit) ()) }
+let dummy_handler = { run = (fun _ _ -> ()) }
 
-let now t = t.clock
+let create ?(seed = 42) () =
+  let clock = { now = 0.0 } in
+  {
+    clock;
+    queue = Fheap.create ~dummy_h:dummy_handler ~dummy_p:(Obj.repr 0);
+    rng = Rng.create seed;
+    advance =
+      (fun time h meta p ->
+        clock.now <- time;
+        h.run meta p);
+  }
+
+let now t = t.clock.now
 let rng t = t.rng
 
 let schedule_at t ~time f =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Heap.push t.queue time f
+  if time < t.clock.now then invalid_arg "Engine.schedule_at: time in the past";
+  Fheap.push t.queue time run_closure 0 (Obj.repr f)
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Heap.push t.queue (t.clock +. delay) f
+  Fheap.push t.queue (t.clock.now +. delay) run_closure 0 (Obj.repr f)
 
-let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-    t.clock <- time;
-    f ();
-    true
+let handler run = { run }
+
+let schedule_packed t ~delay h ~meta ~payload =
+  if delay < 0.0 then invalid_arg "Engine.schedule_packed: negative delay";
+  Fheap.push t.queue (t.clock.now +. delay) h meta payload
+
+let step t = Fheap.pop_apply t.queue t.advance
 
 let run ?until t =
   (match until with
   | None -> while step t do () done
   | Some limit ->
-    (* Bounded loop compares the head key in place ([Heap.min_key]): the
+    (* Bounded loop compares the head key in place ([Fheap.min_key]): the
        option/pair a peek would allocate per event adds up over the
        millions of events a campaign cell processes. *)
-    while (not (Heap.is_empty t.queue)) && Heap.min_key t.queue <= limit do
+    while (not (Fheap.is_empty t.queue)) && Fheap.min_key t.queue <= limit do
       ignore (step t)
     done);
   match until with
-  | Some limit when t.clock < limit && Heap.is_empty t.queue ->
+  | Some limit when t.clock.now < limit && Fheap.is_empty t.queue ->
     (* Advance the clock to the horizon so repeated bounded runs compose. *)
-    t.clock <- limit
+    t.clock.now <- limit
   | _ -> ()
 
-let pending t = Heap.length t.queue
+let pending t = Fheap.length t.queue

@@ -23,6 +23,21 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant; times in the past raise [Invalid_argument]. *)
 
+type handler
+(** A preallocated event handler: [run meta payload] receives the int and
+    payload passed to {!schedule_packed}.  Hot callers (message delivery,
+    per-operation timeouts) build ONE handler up front and thread
+    per-event arguments through the two slots, so scheduling allocates
+    nothing — unlike {!schedule}, whose closure costs several words per
+    event. *)
+
+val handler : (int -> Obj.t -> unit) -> handler
+
+val schedule_packed : t -> delay:float -> handler -> meta:int -> payload:Obj.t -> unit
+(** Run [handler] with [meta] and [payload] after [delay].  Ordering is
+    identical to {!schedule} (timestamp order, FIFO among equals — both
+    share one queue).  Negative delays raise [Invalid_argument]. *)
+
 val run : ?until:float -> t -> unit
 (** Process events until the queue drains or virtual time would pass
     [until].  Events at exactly [until] are processed. *)

@@ -2,11 +2,18 @@ module Rng = Dsutil.Rng
 
 type t = Constant of float | Uniform of float * float | Exponential of float
 
+(* The exponential draw is written out inline: layering through
+   [Rng.exponential] and [Rng.uniform_in] costs a boxed float return per
+   call level on the per-message hot path.  The arithmetic is identical
+   ([Rng.float] then the same transform), so the draws are unchanged. *)
 let sample t rng =
   match t with
   | Constant d -> d
-  | Uniform (lo, hi) -> Rng.uniform_in rng lo hi
-  | Exponential mean -> (0.1 *. mean) +. Rng.exponential rng mean
+  | Uniform (lo, hi) -> lo +. Rng.float rng (hi -. lo)
+  | Exponential mean ->
+    let u = Rng.float rng 1.0 in
+    let u = if u <= 0.0 then 1e-300 else u in
+    (0.1 *. mean) +. (-.mean *. log u)
 
 let mean = function
   | Constant d -> d

@@ -69,9 +69,17 @@ type 'msg t = {
   delivered_to : int array;
   mutable trace : 'msg tracer option;
   mutable obs : obs_counters option;
+  mutable deferred : Engine.handler;
+      (* preallocated arrival handler: (src, dst) packed in the event's
+         int slot, the message in its payload slot, so a send schedules
+         no closure *)
 }
 
 and 'msg tracer = { sink : Trace.t; describe : 'msg -> string }
+
+(* Sentinel handler installed by [create]; the first send swaps in the
+   real arrival handler (defined below, next to the delivery logic). *)
+let uninit_deferred = Engine.handler (fun _ _ -> ())
 
 let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
     ?(fifo = false) () =
@@ -111,6 +119,7 @@ let create ~engine ~n ?(latency = Latency.Exponential 1.0) ?(loss_rate = 0.0)
     delivered_to = Array.make n 0;
     trace = None;
     obs = None;
+    deferred = uninit_deferred;
   }
 
 let engine t = t.engine
@@ -149,11 +158,22 @@ let emit t event =
   | None -> ()
   | Some { sink; _ } -> Trace.record sink ~time:(Engine.now t.engine) event
 
-let emit_msg t mk msg =
+(* Send/deliver trace events take src/dst directly rather than a [mk]
+   closure: the closure literal would be allocated per message even with
+   tracing off. *)
+let emit_send t ~src ~dst msg =
   match t.trace with
   | None -> ()
   | Some { sink; describe } ->
-    Trace.record sink ~time:(Engine.now t.engine) (mk (describe msg))
+    Trace.record sink ~time:(Engine.now t.engine)
+      (Trace.Send { src; dst; info = describe msg })
+
+let emit_deliver t ~src ~dst msg =
+  match t.trace with
+  | None -> ()
+  | Some { sink; describe } ->
+    Trace.record sink ~time:(Engine.now t.engine)
+      (Trace.Deliver { src; dst; info = describe msg })
 
 let check_site t i =
   if i < 0 || i >= t.n then invalid_arg "Network: bad site id"
@@ -185,7 +205,7 @@ let deliver t ~src ~dst msg =
     | Some o ->
       Obs.Metrics.incr o.o_delivered;
       Obs.Metrics.incr o.o_site_delivered.(dst));
-    emit_msg t (fun info -> Trace.Deliver { src; dst; info }) msg;
+    emit_deliver t ~src ~dst msg;
     h ~src msg
 
 (* One server per site: the queue head is in service; its completion event
@@ -226,6 +246,36 @@ let enqueue t ~src ~dst s msg =
     if not s.busy then serve t ~dst s
   end
 
+(* Message arrival (the deferred half of [send]): crash/partition checks
+   happen at delivery time, so in-flight messages die with their
+   destination. *)
+let arrive t ~src ~dst msg =
+  if not t.up.(dst) then begin
+    t.counters.dropped_crash <- t.counters.dropped_crash + 1;
+    obs_incr t (fun o -> o.o_drop_crash);
+    emit t (Trace.Drop { src; dst; reason = "destination down" })
+  end
+  else if t.group.(src) <> t.group.(dst) then begin
+    t.counters.dropped_partition <- t.counters.dropped_partition + 1;
+    obs_incr t (fun o -> o.o_drop_partition);
+    emit t (Trace.Drop { src; dst; reason = "partition" })
+  end
+  else begin
+    match t.services.(dst) with
+    | None -> deliver t ~src ~dst msg
+    | Some s -> enqueue t ~src ~dst s msg
+  end
+
+(* Install the preallocated arrival handler: one handler per network, the
+   per-message (src, dst) packed into the event's int slot (20 bits each —
+   universes are at most a few hundred sites) and the message in its
+   payload slot.  Closure-based scheduling would cost several words per
+   message. *)
+let init_deferred t =
+  t.deferred <-
+    Engine.handler (fun meta p ->
+        arrive t ~src:(meta lsr 20) ~dst:(meta land 0xFFFFF) (Obj.obj p))
+
 let send t ?(units = 1) ~src ~dst msg =
   check_site t src;
   check_site t dst;
@@ -245,7 +295,7 @@ let send t ?(units = 1) ~src ~dst msg =
   | Some o ->
     Obs.Metrics.incr o.o_sent;
     Obs.Metrics.incr o.o_site_sent.(src));
-  emit_msg t (fun info -> Trace.Send { src; dst; info }) msg;
+  emit_send t ~src ~dst msg;
   if not t.up.(src) then begin
     t.counters.dropped_crash <- t.counters.dropped_crash + 1;
     obs_incr t (fun o -> o.o_drop_crash);
@@ -271,22 +321,9 @@ let send t ?(units = 1) ~src ~dst msg =
         at -. Engine.now t.engine
       end
     in
-    Engine.schedule t.engine ~delay (fun () ->
-        if not t.up.(dst) then begin
-          t.counters.dropped_crash <- t.counters.dropped_crash + 1;
-          obs_incr t (fun o -> o.o_drop_crash);
-          emit t (Trace.Drop { src; dst; reason = "destination down" })
-        end
-        else if t.group.(src) <> t.group.(dst) then begin
-          t.counters.dropped_partition <- t.counters.dropped_partition + 1;
-          obs_incr t (fun o -> o.o_drop_partition);
-          emit t (Trace.Drop { src; dst; reason = "partition" })
-        end
-        else begin
-          match t.services.(dst) with
-          | None -> deliver t ~src ~dst msg
-          | Some s -> enqueue t ~src ~dst s msg
-        end)
+    if t.deferred == uninit_deferred then init_deferred t;
+    Engine.schedule_packed t.engine ~delay t.deferred
+      ~meta:((src lsl 20) lor dst) ~payload:(Obj.repr msg)
   end
 
 let broadcast t ~src ~dst msg = List.iter (fun d -> send t ~src ~dst:d msg) dst

@@ -77,6 +77,23 @@ let fold f t init =
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
 
+let fill_elements t buf =
+  let c = ref 0 in
+  let nw = Array.length t.words in
+  for w = 0 to nw - 1 do
+    let bits = ref t.words.(w) in
+    let base = w * bits_per_word in
+    while !bits <> 0 do
+      let low = !bits land - !bits in
+      (* index of the lowest set bit *)
+      let b = popcount (low - 1) in
+      buf.(!c) <- base + b;
+      incr c;
+      bits := !bits land lnot low
+    done
+  done;
+  !c
+
 let of_list capacity l =
   let t = create capacity in
   List.iter (add t) l;

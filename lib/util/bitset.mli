@@ -31,6 +31,13 @@ val diff : t -> t -> t
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val elements : t -> int list
+
+val fill_elements : t -> int array -> int
+(** [fill_elements t buf] writes the members in ascending order into
+    [buf] and returns how many there are — {!elements} without the list.
+    [buf] must hold at least [cardinal t] entries (capacity-sized buffers
+    always fit); @raise Invalid_argument otherwise. *)
+
 val of_list : int -> int list -> t
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

@@ -66,6 +66,18 @@ let push t key value =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+let pop_apply t f =
+  if t.size = 0 then false
+  else begin
+    let e = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- sentinel ();
+    if t.size > 0 then sift_down t 0;
+    f e.key e.value;
+    true
+  end
+
 let pop t =
   if t.size = 0 then None
   else begin

@@ -1,52 +1,66 @@
-type t = {
-  mutable n : int;
+(* Float state lives in a float-only sub-record ([acc]) and retained
+   samples in a [floatarray]: both store flat, so [add] — which runs on
+   the per-operation and per-reply hot paths (latency accumulators, RTT
+   estimators) — allocates nothing beyond amortized sample-array growth.
+   Inlining the float fields in the mixed record below would box two
+   floats per update, and a sample list would cons five words per
+   sample. *)
+type acc = {
   mutable mean : float;
   mutable m2 : float;
   mutable min_v : float;
   mutable max_v : float;
-  mutable samples : float list;
+}
+
+type t = {
+  mutable n : int;
+  acc : acc;
+  mutable samples : floatarray;  (* first [n] entries, insertion order *)
   mutable sorted : float array option; (* cache invalidated by [add] *)
 }
 
 let create () =
   {
     n = 0;
-    mean = 0.0;
-    m2 = 0.0;
-    min_v = infinity;
-    max_v = neg_infinity;
-    samples = [];
+    acc = { mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity };
+    samples = Float.Array.create 0;
     sorted = None;
   }
 
 let add t x =
+  (if t.n = Float.Array.length t.samples then begin
+     let grown = Float.Array.create (max 8 (2 * t.n)) in
+     Float.Array.blit t.samples 0 grown 0 t.n;
+     t.samples <- grown
+   end);
+  Float.Array.set t.samples t.n x;
   t.n <- t.n + 1;
-  let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
-  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-  if x < t.min_v then t.min_v <- x;
-  if x > t.max_v then t.max_v <- x;
-  t.samples <- x :: t.samples;
+  let a = t.acc in
+  let delta = x -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int t.n);
+  a.m2 <- a.m2 +. (delta *. (x -. a.mean));
+  if x < a.min_v then a.min_v <- x;
+  if x > a.max_v then a.max_v <- x;
   t.sorted <- None
 
 let count t = t.n
-let mean t = if t.n = 0 then 0.0 else t.mean
-let total t = t.mean *. float_of_int t.n
-let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let mean t = if t.n = 0 then 0.0 else t.acc.mean
+let total t = t.acc.mean *. float_of_int t.n
+let variance t = if t.n < 2 then 0.0 else t.acc.m2 /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
 let min_value t =
   if t.n = 0 then invalid_arg "Stats.min_value: empty";
-  t.min_v
+  t.acc.min_v
 
 let max_value t =
   if t.n = 0 then invalid_arg "Stats.max_value: empty";
-  t.max_v
+  t.acc.max_v
 
 let sorted_samples t =
   match t.sorted with
   | Some a -> a
   | None ->
-    let a = Array.of_list t.samples in
+    let a = Array.init t.n (fun i -> Float.Array.get t.samples i) in
     Array.sort Float.compare a;
     t.sorted <- Some a;
     a
@@ -65,9 +79,18 @@ let percentile t q =
 let ci95 t =
   if t.n < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.n)
 
+(* Replays [a]'s samples in insertion order, then [b]'s newest-first —
+   exactly the order the former list representation produced
+   ([rev_append a.samples b.samples] over newest-first lists), so merged
+   Welford state is unchanged. *)
 let merge a b =
   let t = create () in
-  List.iter (add t) (List.rev_append a.samples b.samples);
+  for i = 0 to a.n - 1 do
+    add t (Float.Array.get a.samples i)
+  done;
+  for i = b.n - 1 downto 0 do
+    add t (Float.Array.get b.samples i)
+  done;
   t
 
 let mean_of xs =

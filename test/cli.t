@@ -89,6 +89,20 @@ End-to-end simulation from the CLI is deterministic under a fixed seed:
   read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
   messages: sent=480 delivered=480 dropped=0 (12.0 per op)
 
+Level-pipelined read dispatch is a pure hot-path optimization: quorum
+selection consumes the RNG exactly as whole-quorum assembly would, so a
+seeded run reports the same results, the same message count and the same
+latencies — the flag changes dispatch order and allocation, never
+outcomes:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --pipeline-levels
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=20 failed=0  writes: ok=20 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
+  messages: sent=480 delivered=480 dropped=0 (12.0 per op)
+
 A batch window of one op is byte-identical to the classic loop (same RNG
 draw order, same messages, same latencies) — only the trailing batching
 line is new, and it confirms no multi-key batch was ever formed:

@@ -143,6 +143,76 @@ let test_large_random () =
   in
   Alcotest.(check int) "drained all" 5000 (drain min_int 0)
 
+(* The flat event queue claims pop-order identity with
+   [Heap.create ~compare:Float.compare]: (time, insertion seq) is a
+   strict total order, so arity and layout cannot matter.  Drive both
+   through the same randomized push/pop stream — a coarse key grid forces
+   plenty of ties, so FIFO tie-breaking is what's really under test. *)
+let test_fheap_matches_generic_heap () =
+  let module Fheap = Dsutil.Fheap in
+  let rng = Dsutil.Rng.create 4242 in
+  let fh = Fheap.create ~dummy_h:(-1) ~dummy_p:"" in
+  let h = Heap.create ~compare:Float.compare in
+  let next_id = ref 0 in
+  let popped = ref 0 in
+  let check_pop () =
+    match Heap.pop h with
+    | None -> Alcotest.(check bool) "both empty" true (Fheap.is_empty fh)
+    | Some (k, id) ->
+      incr popped;
+      let got =
+        Fheap.pop_apply fh (fun time handler meta payload ->
+            Alcotest.(check (float 0.0)) "same key" k time;
+            Alcotest.(check int) "same entry" id meta;
+            Alcotest.(check int) "handler rides along" id handler;
+            Alcotest.(check string) "payload rides along" (string_of_int id)
+              payload)
+      in
+      Alcotest.(check bool) "flat heap not empty" true got
+  in
+  for _round = 1 to 4 do
+    for _ = 1 to 3000 do
+      if Dsutil.Rng.int rng 3 = 0 then check_pop ()
+      else begin
+        (* 40 distinct keys over thousands of pushes: ties everywhere *)
+        let k = float_of_int (Dsutil.Rng.int rng 40) in
+        let id = !next_id in
+        incr next_id;
+        Heap.push h k id;
+        Fheap.push fh k id id (string_of_int id)
+      end
+    done;
+    Alcotest.(check int) "same length" (Heap.length h) (Fheap.length fh);
+    if not (Heap.is_empty h) then
+      Alcotest.(check (float 0.0)) "same min key" (Heap.min_key h)
+        (Fheap.min_key fh)
+  done;
+  while not (Heap.is_empty h) do
+    check_pop ()
+  done;
+  Alcotest.(check bool) "flat heap drained" true (Fheap.is_empty fh);
+  Alcotest.(check bool) "popped plenty" true (!popped > 5000)
+
+let test_fheap_clear () =
+  let module Fheap = Dsutil.Fheap in
+  let fh = Fheap.create ~dummy_h:0 ~dummy_p:() in
+  for i = 1 to 100 do
+    Fheap.push fh (float_of_int (i mod 7)) i 0 ()
+  done;
+  Fheap.clear fh;
+  Alcotest.(check bool) "empty after clear" true (Fheap.is_empty fh);
+  Alcotest.(check int) "length 0" 0 (Fheap.length fh);
+  Alcotest.(check bool) "pop on empty" false
+    (Fheap.pop_apply fh (fun _ _ _ _ -> Alcotest.fail "popped from empty"));
+  (* reusable after clear, slots recycle correctly *)
+  Fheap.push fh 2.0 1 10 ();
+  Fheap.push fh 1.0 2 20 ();
+  let order = ref [] in
+  while Fheap.pop_apply fh (fun _ _ meta _ -> order := meta :: !order) do
+    ()
+  done;
+  Alcotest.(check (list int)) "ordered after reuse" [ 20; 10 ] (List.rev !order)
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -159,4 +229,7 @@ let suite =
     Alcotest.test_case "clear releases everything" `Quick
       test_clear_releases_everything;
     Alcotest.test_case "large random drain" `Quick test_large_random;
+    Alcotest.test_case "flat heap matches generic heap" `Quick
+      test_fheap_matches_generic_heap;
+    Alcotest.test_case "flat heap clear and reuse" `Quick test_fheap_clear;
   ]

@@ -37,9 +37,24 @@ let test_message_pp_and_op_id () =
   let cases =
     [
       (Replication.Message.Read_request { op = 1; key = 2 }, 1, "read-req");
-      ( Replication.Message.Read_reply { op = 2; key = 0; ts; value = "v"; inc = 0 },
+      ( Replication.Message.Read_reply
+          {
+            op = 2;
+            key = 0;
+            version = ts.Replication.Timestamp.version;
+            sid = ts.Replication.Timestamp.sid;
+            value = "v";
+            inc = 0;
+          },
         2, "read-reply" );
-      ( Replication.Message.Prepare { op = 3; key = 0; ts; value = "v" },
+      ( Replication.Message.Prepare
+          {
+            op = 3;
+            key = 0;
+            version = ts.Replication.Timestamp.version;
+            sid = ts.Replication.Timestamp.sid;
+            value = "v";
+          },
         3, "prepare" );
       (Replication.Message.Prepare_ack { op = 4; inc = 0 }, 4, "prepare-ack");
       ( Replication.Message.Prepare_nack { op = 5; reason = "r" },
@@ -47,7 +62,14 @@ let test_message_pp_and_op_id () =
       (Replication.Message.Commit { op = 6; inc = 0 }, 6, "commit");
       (Replication.Message.Commit_ack { op = 7; inc = 0 }, 7, "commit-ack");
       (Replication.Message.Abort { op = 8 }, 8, "abort");
-      ( Replication.Message.Repair { op = 9; key = 1; ts; value = "v" },
+      ( Replication.Message.Repair
+          {
+            op = 9;
+            key = 1;
+            version = ts.Replication.Timestamp.version;
+            sid = ts.Replication.Timestamp.sid;
+            value = "v";
+          },
         9, "repair" );
     ]
   in

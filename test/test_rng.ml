@@ -87,6 +87,92 @@ let test_pick_uniform () =
       Alcotest.(check bool) "roughly uniform" true (abs (c - 10_000) < 500))
     counts
 
+(* The production generator computes SplitMix64 on 32-bit limbs held in
+   native ints (no [Int64] boxes on the draw path).  This reference is
+   the textbook [Int64] formulation; every public draw — raw 64-bit
+   output, [int], [float], [bool], and draws from split children — must
+   be bit-identical to it. *)
+module Ref64 = struct
+  type t = { mutable state : int64; mutable gamma : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let mix64 z =
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L)
+    in
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL)
+    in
+    Int64.(logxor z (shift_right_logical z 31))
+
+  let mix_gamma z =
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL)
+    in
+    let z =
+      Int64.(mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L)
+    in
+    Int64.(logor (logxor z (shift_right_logical z 33)) 1L)
+
+  let create seed = { state = mix64 (Int64.of_int seed); gamma = golden }
+
+  let next t =
+    t.state <- Int64.add t.state t.gamma;
+    mix64 t.state
+
+  let int t bound =
+    Int64.to_int (Int64.shift_right_logical (next t) 2) mod bound
+
+  let float t bound =
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    /. 9007199254740992.0 *. bound
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  let split t =
+    t.state <- Int64.add t.state t.gamma;
+    let state = mix64 t.state in
+    t.state <- Int64.add t.state t.gamma;
+    { state; gamma = mix_gamma t.state }
+end
+
+let test_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let rng = Dsutil.Rng.create seed and r = Ref64.create seed in
+      for _ = 1 to 2000 do
+        Alcotest.(check int64) "raw draw" (Ref64.next r) (Dsutil.Rng.int64 rng)
+      done;
+      for _ = 1 to 2000 do
+        Alcotest.(check int) "int draw" (Ref64.int r 1000)
+          (Dsutil.Rng.int rng 1000)
+      done;
+      for _ = 1 to 2000 do
+        Alcotest.(check (float 0.0)) "float draw" (Ref64.float r 3.5)
+          (Dsutil.Rng.float rng 3.5)
+      done;
+      for _ = 1 to 2000 do
+        Alcotest.(check bool) "bool draw" (Ref64.bool r) (Dsutil.Rng.bool rng)
+      done)
+    [ 0; 1; 42; -1; 123456789; min_int; max_int ]
+
+let test_split_matches_int64_reference () =
+  let rng = Dsutil.Rng.create 7 and r = Ref64.create 7 in
+  let child = Dsutil.Rng.split rng and rchild = Ref64.split r in
+  for _ = 1 to 500 do
+    Alcotest.(check int64) "child stream" (Ref64.next rchild)
+      (Dsutil.Rng.int64 child);
+    Alcotest.(check int64) "parent stream after split" (Ref64.next r)
+      (Dsutil.Rng.int64 rng)
+  done;
+  (* grandchild: split of a split *)
+  let gchild = Dsutil.Rng.split child and rgchild = Ref64.split rchild in
+  for _ = 1 to 500 do
+    Alcotest.(check int64) "grandchild stream" (Ref64.next rgchild)
+      (Dsutil.Rng.int64 gchild)
+  done
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -101,4 +187,8 @@ let suite =
     Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
     Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
     Alcotest.test_case "pick is uniform" `Quick test_pick_uniform;
+    Alcotest.test_case "matches Int64 reference" `Quick
+      test_matches_int64_reference;
+    Alcotest.test_case "split matches Int64 reference" `Quick
+      test_split_matches_int64_reference;
   ]
