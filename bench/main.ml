@@ -7,6 +7,7 @@
    Run with: dune exec bench/main.exe              # everything
              dune exec bench/main.exe -- --smoke   # baseline only (CI gate)
              dune exec bench/main.exe -- --hotpath # hot paths only (CI perf gate)
+             dune exec bench/main.exe -- --shard   # shard scaling only (CI gate)
 
    The baseline section is a gate, not just a report: it exits non-zero
    when the measured per-site loads drift more than 10% from Equation 3.2,
@@ -539,6 +540,50 @@ let campaign_hotpath () =
       identical,
     identical )
 
+(* Zipfian shard-imbalance probe: one S=16 cell at θ=0.99, the compact
+   form of the skew report the shard campaign (--shard) expands on. *)
+let shard_hotpath () =
+  let name = Arbitrary.Config.Arbitrary in
+  let n = Eval.Config_metrics.feasible_n name 9 in
+  let proto = Eval.Config_metrics.protocol_of name ~n in
+  let s = Replication.Harness.default_scenario ~proto in
+  let base =
+    {
+      s with
+      Replication.Harness.n_clients = 32;
+      ops_per_client = 16;
+      read_fraction = 0.5;
+      key_space = 1024;
+      zipf_theta = 0.99;
+      think_time = 0.1;
+      seed = 11;
+    }
+  in
+  let sc =
+    {
+      Replication.Shard_harness.base;
+      shards = 16;
+      strategy = Arbitrary.Shard_map.Hash;
+      service_time = 0.0;
+      shard_failures = [];
+      reconfig = [];
+    }
+  in
+  let r, w = wall (fun () -> Replication.Shard_harness.run sc) in
+  let imb_max, imb_mean = Replication.Shard_harness.imbalance r in
+  let ratio = Replication.Shard_harness.imbalance_ratio r in
+  let violations =
+    r.Replication.Shard_harness.agg.Replication.Harness.safety_violations
+  in
+  Printf.printf
+    "  shard skew (S=16, zipf 0.99): per-shard ops max %.0f mean %.1f \
+     imbalance %.2fx, %d violations (%.2fs)\n"
+    imb_max imb_mean ratio violations w;
+  ( Printf.sprintf
+      "{\"shards\":16,\"zipf_theta\":0.99,\"ops_max\":%.0f,\"ops_mean\":%.2f,\"imbalance_ratio\":%.3f,\"violations\":%d}"
+      imb_max imb_mean ratio violations,
+    violations = 0 )
+
 let hotpath_json_valid json =
   let contains needle =
     let nl = String.length needle and jl = String.length json in
@@ -555,6 +600,7 @@ let hotpath_json_valid json =
   && contains "\"pipeline\""
   && contains "\"batch\""
   && contains "\"campaign\""
+  && contains "\"shard\""
 
 let hotpath_section () =
   hr "B1 | Hot paths: plan cache, simulator throughput, multicore campaign";
@@ -564,11 +610,13 @@ let hotpath_section () =
   let pipeline_json, pipeline_ok = pipeline_hotpath () in
   let batch_json, batch_ok = batch_hotpath () in
   let campaign_json, identical = campaign_hotpath () in
+  let shard_json, shard_ok = shard_hotpath () in
   let json =
     Printf.sprintf
-      "{\"schema\":\"bench-hotpath/2\",\"cores\":%d,\"quorum\":%s,\"e2e\":%s,\"alloc\":%s,\"pipeline\":%s,\"batch\":%s,\"campaign\":%s}"
+      "{\"schema\":\"bench-hotpath/2\",\"cores\":%d,\"quorum\":%s,\"e2e\":%s,\"alloc\":%s,\"pipeline\":%s,\"batch\":%s,\"campaign\":%s,\"shard\":%s}"
       (Domain.recommended_domain_count ())
       quorum_json e2e_json alloc_json pipeline_json batch_json campaign_json
+      shard_json
   in
   let oc = open_out hotpath_path in
   output_string oc json;
@@ -586,14 +634,57 @@ let hotpath_section () =
      >= 1.3x on some config (the one same-box wall-clock gate — the seed
      column was measured by this probe on the reference box); batching
      must deliver its relative speedup without safety violations;
-     parallel output must match sequential output; and the payload must
-     be well-formed. *)
+     parallel output must match sequential output; the skew probe must
+     stay violation-free; and the payload must be well-formed. *)
   if
     not
       (valid && cache_floor_ok && e2e_ok && alloc_ok && pipeline_ok
-     && batch_ok && identical)
+     && batch_ok && identical && shard_ok)
   then begin
     print_endline "HOTPATH GATE FAILED";
+    exit 1
+  end
+
+(* --- shard-scaling benchmark (BENCH_shard.json) -------------------------- *)
+
+let shard_path = "BENCH_shard.json"
+
+let shard_json_valid json =
+  let contains needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec at i = i + nl <= jl && (String.sub json i nl = needle || at (i + 1)) in
+    at 0
+  in
+  String.length json > 2
+  && String.sub json 0 1 = "{"
+  && json.[String.length json - 1] = '}'
+  && contains "\"schema\":\"bench-shard/1\""
+  && contains "\"scaling\""
+  && contains "\"speedup_s16\""
+  && contains "\"skew\""
+  && contains "\"identity\""
+  && contains "\"atomicity\""
+  && contains "\"reconfig\""
+  && contains "\"pass\""
+
+let shard_section () =
+  hr "S1 | Shard scaling: multi-tree control plane over one engine";
+  let campaign, w = wall (fun () -> Eval.Sharding.run ()) in
+  print_string (Eval.Sharding.table campaign);
+  Printf.printf "\ncampaign wall-clock %.2fs\n" w;
+  let json = Eval.Sharding.json campaign in
+  let oc = open_out shard_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  let valid = shard_json_valid json in
+  Printf.printf "wrote %s (%d bytes, structural check %s)\n" shard_path
+    (String.length json + 1)
+    (if valid then "OK" else "FAILED");
+  let v = Eval.Sharding.gate campaign in
+  List.iter (Printf.printf "  GATE: %s\n") v.Eval.Sharding.failures;
+  if not (valid && v.Eval.Sharding.pass) then begin
+    print_endline "SHARD GATE FAILED";
     exit 1
   end
 
@@ -681,8 +772,10 @@ let run_benchmarks () =
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let hotpath_only = Array.exists (( = ) "--hotpath") Sys.argv in
+  let shard_only = Array.exists (( = ) "--shard") Sys.argv in
   if smoke then baseline_section ()
   else if hotpath_only then hotpath_section ()
+  else if shard_only then shard_section ()
   else begin
     analytic_sections ();
     planner_section ();
@@ -692,6 +785,7 @@ let () =
     generalized_section ();
     baseline_section ();
     hotpath_section ();
+    shard_section ();
     run_benchmarks ();
     print_newline ()
   end

@@ -63,6 +63,49 @@ let p_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Partition the keyspace over S independent tree instances \
+           (multi-tree control plane).  $(b,--shards 1) runs the sharded \
+           harness in its byte-identical-to-unsharded configuration.")
+
+let shard_strategy_conv =
+  let parse s =
+    match Arbitrary.Shard_map.strategy_of_string (String.lowercase_ascii s) with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S (hash|range)" s))
+  in
+  let print ppf st =
+    Format.pp_print_string ppf (Arbitrary.Shard_map.strategy_to_string st)
+  in
+  Arg.conv (parse, print)
+
+let shard_strategy_arg =
+  Arg.(
+    value
+    & opt shard_strategy_conv Arbitrary.Shard_map.Hash
+    & info [ "shard-strategy" ] ~docv:"STRATEGY"
+        ~doc:"Key partitioning: $(b,hash) (default) or $(b,range).")
+
+(* The sharding trailer printed by simulate/chaos when S > 1: routing and
+   balance, so skew is visible from the CLI. *)
+let pp_shard_summary ppf (strategy, r) =
+  let module Sh = Replication.Shard_harness in
+  Format.fprintf ppf "sharding: shards=%d strategy=%s active=[%s]@,"
+    r.Sh.shards
+    (Arbitrary.Shard_map.strategy_to_string strategy)
+    (String.concat ";" (List.map string_of_int r.Sh.active_shards));
+  Format.fprintf ppf "per-shard ops=[%s] keys=[%s] imbalance=%.2f"
+    (String.concat ";"
+       (List.map string_of_int (Array.to_list r.Sh.per_shard_ops)))
+    (String.concat ";"
+       (List.map string_of_int (Array.to_list r.Sh.per_shard_keys)))
+    (Sh.imbalance_ratio r)
+
 let metrics_json_arg =
   Arg.(
     value
@@ -429,7 +472,8 @@ let simulate_cmd =
              of level by level (same results, fewer latency round trips).")
   in
   let run config n clients ops read_fraction loss mtbf mttr seed preset batch
-      pipeline group_commit pipeline_levels metrics_json spans_jsonl =
+      pipeline group_commit pipeline_levels shards strategy metrics_json
+      spans_jsonl =
     let read_fraction, zipf_theta =
       match preset with
       | None -> (read_fraction, 0.0)
@@ -447,11 +491,15 @@ let simulate_cmd =
     or_fail @@ fun () ->
     let proto = Eval.Config_metrics.protocol_of name ~n in
     let n_replicas = Quorum.Protocol.universe_size proto in
-    let failures =
+    (* Per-shard failure schedules draw from seed+1+shard, so shard 0 of a
+       sharded run churns exactly like the unsharded run (seed+1) — the
+       S=1 byte-identity carries through --mtbf. *)
+    let failures_for shard =
       match mtbf with
       | None -> []
       | Some mtbf ->
-        Dsim.Failure.random_crash_recovery ~rng:(Dsutil.Rng.create (seed + 1))
+        Dsim.Failure.random_crash_recovery
+          ~rng:(Dsutil.Rng.create (seed + 1 + shard))
           ~n:n_replicas ~horizon:10_000.0 ~mtbf ~mttr
     in
     let s = Replication.Harness.default_scenario ~proto in
@@ -465,25 +513,43 @@ let simulate_cmd =
             pipeline = max 1 pipeline;
           }
     in
+    let base =
+      {
+        s with
+        Replication.Harness.n_clients = clients;
+        ops_per_client = ops;
+        read_fraction;
+        zipf_theta;
+        loss_rate = loss;
+        seed;
+        batching;
+        coordinator =
+          {
+            s.Replication.Harness.coordinator with
+            Replication.Coordinator.pipeline_levels;
+          };
+      }
+    in
     let obs, obs_finish = obs_setup ~metrics_json ~spans_jsonl in
-    let report =
-      Replication.Harness.run ?obs
-        {
-          s with
-          Replication.Harness.n_clients = clients;
-          ops_per_client = ops;
-          read_fraction;
-          zipf_theta;
-          loss_rate = loss;
-          failures;
-          seed;
-          batching;
-          coordinator =
-            {
-              s.Replication.Harness.coordinator with
-              Replication.Coordinator.pipeline_levels;
-            };
-        }
+    let report, shard_summary =
+      match shards with
+      | None ->
+        ( Replication.Harness.run ?obs
+            { base with Replication.Harness.failures = failures_for 0 },
+          None )
+      | Some shards ->
+        let sc =
+          {
+            (Replication.Shard_harness.default ~proto ~shards) with
+            Replication.Shard_harness.base;
+            strategy;
+            shard_failures =
+              (if mtbf = None then []
+               else List.init shards (fun i -> (i, failures_for i)));
+          }
+        in
+        let r = Replication.Shard_harness.run ?obs sc in
+        (r.Replication.Shard_harness.agg, Some r)
     in
     Format.printf "%s over %d replicas:@.%a@."
       (Arbitrary.Config.name_to_string name)
@@ -493,6 +559,10 @@ let simulate_cmd =
         batch (max 1 pipeline) report.Replication.Harness.batches
         report.Replication.Harness.coalesced_ops
         report.Replication.Harness.wal_syncs;
+    (match shard_summary with
+    | Some r when r.Replication.Shard_harness.shards > 1 ->
+      Format.printf "@[<v>%a@]@." pp_shard_summary (strategy, r)
+    | _ -> ());
     obs_finish ()
   in
   Cmd.v
@@ -501,8 +571,8 @@ let simulate_cmd =
     Term.(
       const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ read_fraction_arg
       $ loss_arg $ mtbf_arg $ mttr_arg $ seed_arg $ preset_arg $ batch_arg
-      $ pipeline_arg $ group_commit_arg $ pipeline_levels_arg
-      $ metrics_json_arg $ spans_jsonl_arg)
+      $ pipeline_arg $ group_commit_arg $ pipeline_levels_arg $ shards_arg
+      $ shard_strategy_arg $ metrics_json_arg $ spans_jsonl_arg)
 
 (* --- chaos ---------------------------------------------------------------- *)
 
@@ -627,13 +697,16 @@ let chaos_cmd =
              offline; exit non-zero on any violation.")
   in
   let run config n clients ops seed horizon schedule crash_mode wal wal_lag
-      no_catch_up check_consistency =
+      no_catch_up check_consistency shards strategy =
     or_fail @@ fun () ->
     let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
     let n = Eval.Config_metrics.feasible_n name n in
     let proto = Eval.Config_metrics.protocol_of name ~n in
-    let entries =
-      schedule.Eval.Chaos.entries ~rng:(Dsutil.Rng.create seed) ~n ~horizon
+    (* Shard s draws its schedule from seed+s: shard 0 of a sharded run
+       fails exactly like the unsharded run. *)
+    let entries_for shard =
+      schedule.Eval.Chaos.entries ~rng:(Dsutil.Rng.create (seed + shard)) ~n
+        ~horizon
     in
     let wal_policy =
       match wal with
@@ -643,26 +716,42 @@ let chaos_cmd =
     in
     let catch_up = not no_catch_up in
     let s = Replication.Harness.default_scenario ~proto in
-    let report =
-      Replication.Harness.run
-        {
-          s with
-          Replication.Harness.n_clients = clients;
-          ops_per_client = ops;
-          read_fraction = 0.5;
-          key_space = 8;
-          think_time = 3.0;
-          loss_rate = schedule.Eval.Chaos.loss_rate;
-          failures = entries;
-          seed;
-          coordinator = Eval.Chaos.chaos_coordinator;
-          horizon;
-          warmup = 1.0;
-          crash_mode;
-          wal = wal_policy;
-          catch_up;
-          check_consistency;
-        }
+    let base =
+      {
+        s with
+        Replication.Harness.n_clients = clients;
+        ops_per_client = ops;
+        read_fraction = 0.5;
+        key_space = 8;
+        think_time = 3.0;
+        loss_rate = schedule.Eval.Chaos.loss_rate;
+        seed;
+        coordinator = Eval.Chaos.chaos_coordinator;
+        horizon;
+        warmup = 1.0;
+        crash_mode;
+        wal = wal_policy;
+        catch_up;
+        check_consistency;
+      }
+    in
+    let report, shard_summary =
+      match shards with
+      | None ->
+        ( Replication.Harness.run
+            { base with Replication.Harness.failures = entries_for 0 },
+          None )
+      | Some shards ->
+        let sc =
+          {
+            (Replication.Shard_harness.default ~proto ~shards) with
+            Replication.Shard_harness.base;
+            strategy;
+            shard_failures = List.init shards (fun i -> (i, entries_for i));
+          }
+        in
+        let r = Replication.Shard_harness.run sc in
+        (r.Replication.Shard_harness.agg, Some r)
     in
     Format.printf "%s over %d replicas: schedule=%s crash-mode=%a wal=%a \
                    catch-up=%s@."
@@ -672,6 +761,10 @@ let chaos_cmd =
       crash_mode Replication.Wal.pp_policy wal_policy
       (if catch_up then "on" else "off");
     Format.printf "%a@." Replication.Harness.pp_report report;
+    (match shard_summary with
+    | Some r when r.Replication.Shard_harness.shards > 1 ->
+      Format.printf "@[<v>%a@]@." pp_shard_summary (strategy, r)
+    | _ -> ());
     if crash_mode = Dsim.Network.Amnesia then
       Format.printf
         "recovery: rejoins=%d keys-caught-up=%d abandoned=%d wal-replayed=%d \
@@ -702,7 +795,8 @@ let chaos_cmd =
     Term.(
       const run $ config_arg $ n_arg $ clients_arg $ ops_arg $ seed_arg
       $ horizon_arg $ schedule_arg $ crash_mode_arg $ wal_arg $ wal_lag_arg
-      $ no_catch_up_arg $ check_consistency_arg)
+      $ no_catch_up_arg $ check_consistency_arg $ shards_arg
+      $ shard_strategy_arg)
 
 (* --- overload ------------------------------------------------------------- *)
 

@@ -108,3 +108,31 @@ let pp ppf r =
     r.reads_checked r.writes_indexed r.unstamped (List.length r.violations);
   List.iter (fun v -> Format.fprintf ppf "@,  %a" pp_violation v) r.violations;
   Format.fprintf ppf "@]"
+
+(* --- increment conservation (cross-shard atomicity) --------------------- *)
+
+type conservation = {
+  committed_increments : int;
+  uncertain_increments : int;
+  observed_increments : int;
+  phantom_increments : int;
+  lost_increments : int;
+}
+
+let check_conservation ~committed ~uncertain ~observed =
+  {
+    committed_increments = committed;
+    uncertain_increments = uncertain;
+    observed_increments = observed;
+    phantom_increments = max 0 (observed - committed - uncertain);
+    lost_increments = max 0 (committed - observed);
+  }
+
+let conserved c = c.phantom_increments = 0 && c.lost_increments = 0
+
+let pp_conservation ppf c =
+  Format.fprintf ppf
+    "committed=%d uncertain=%d observed=%d phantom=%d lost=%d (%s)"
+    c.committed_increments c.uncertain_increments c.observed_increments
+    c.phantom_increments c.lost_increments
+    (if conserved c then "conserved" else "VIOLATED")

@@ -45,3 +45,32 @@ val ok : report -> bool
 val pp : Format.formatter -> report -> unit
 
 val pp_violation : Format.formatter -> violation -> unit
+
+(** {2 Increment conservation}
+
+    The transaction harnesses run increment transactions whose committed
+    effects are exactly countable, giving the atomicity invariant
+
+    {v committed ≤ observed ≤ committed + uncertain v}
+
+    where [uncertain] bounds the 2PC in-doubt window.  {e Phantom}
+    increments (observed above the upper bound) are the signature of a
+    partially-applied cross-shard transaction — a broken atomicity
+    barrier; {e lost} increments (observed below the floor) would mean a
+    committed write vanished. *)
+
+type conservation = {
+  committed_increments : int;
+  uncertain_increments : int;
+  observed_increments : int;
+  phantom_increments : int;  (** max 0 (observed - committed - uncertain) *)
+  lost_increments : int;  (** max 0 (committed - observed) *)
+}
+
+val check_conservation :
+  committed:int -> uncertain:int -> observed:int -> conservation
+
+val conserved : conservation -> bool
+(** No phantoms, nothing lost. *)
+
+val pp_conservation : Format.formatter -> conservation -> unit

@@ -1,0 +1,63 @@
+(** Cross-shard transaction scenarios: increment transactions whose keys
+    deliberately span several shard instances, driven through a sharded
+    {!Txn} manager (one quorum-RPC endpoint per shard, one global lock
+    manager).
+
+    The conservation invariant of {!Txn_harness} carries over unchanged —
+
+    {v  Σ committed increments ≤ Σ final counter values
+                                ≤ Σ committed + Σ uncertain increments  v}
+
+    — but now it is an {e atomicity} check: with 2PC's cross-shard
+    all-prepared barrier intact ([atomic = true]) the invariant holds
+    through per-shard crash schedules, while the negative control
+    ([atomic = false]: every shard's leg commits independently) leaves
+    partially-applied transactions whose phantom increments push the
+    observed total above the bound. *)
+
+type scenario = {
+  proto : Quorum.Protocol.t;  (** per-shard tree *)
+  shards : int;
+  strategy : Arbitrary.Shard_map.strategy;
+  atomic : bool;
+      (** [false] disables the cross-shard prepare barrier (negative
+          control) *)
+  n_clients : int;
+  txns_per_client : int;
+  keys_per_txn : int;
+      (** keys per transaction, drawn from distinct shards round-robin *)
+  key_space : int;
+  latency : Dsim.Latency.t;
+  loss_rate : float;
+  think_time : float;
+  shard_failures : (int * Dsim.Failure.entry list) list;
+  shard_loss : (int * float) list;
+      (** per-shard message-loss override (negative-control fuel: a lossy
+          shard's legs fail while its reads sometimes still succeed) *)
+  seed : int;
+  config : Txn.config;
+  horizon : float;
+}
+
+val default_scenario : proto:Quorum.Protocol.t -> shards:int -> scenario
+(** 3 clients × 30 transactions, 2 keys/txn over 16 keys, hash
+    partitioning, atomic, no failures. *)
+
+type report = {
+  committed : int;
+  aborted : int;
+  uncertain : int;  (** aborted with in-doubt commit acks *)
+  partial_commits : int;
+      (** non-atomic aborts where ≥1 shard leg applied and ≥1 did not —
+          always 0 when [atomic] *)
+  committed_increments : int;
+  uncertain_increments : int;
+  observed_total : int;  (** Σ final counter values across all shards *)
+  conservation_ok : bool;
+  cross_shard_txns : int;  (** transactions whose keys spanned ≥2 shards *)
+  duration : float;
+}
+
+val run : ?obs:Obs.t -> scenario -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -6,7 +6,9 @@ type config = { rpc : Quorum_rpc.config; lock_timeout : float }
 let default_config = { rpc = Quorum_rpc.default_config; lock_timeout = 200.0 }
 
 type manager = {
-  rpc : Quorum_rpc.t;
+  rpcs : Quorum_rpc.t array;  (* one endpoint per shard *)
+  route : int -> int;  (* key -> index into rpcs *)
+  atomic : bool;  (* false = per-shard legs commit independently *)
   locks : Lock_manager.t;
   lock_timeout : float;
   engine : Engine.t;
@@ -15,20 +17,37 @@ type manager = {
   mutable aborted : int;
 }
 
-let create_manager ~site ~net ~proto ~locks ?view ?obs
-    ?(config = default_config) () =
-  let rpc =
-    Quorum_rpc.create ~site ~net ~proto ?view ?obs ~config:config.rpc ()
+(* The primary endpoint: site identity, span site and version sid.  All
+   endpoints of a manager share one client site, so any of them serves. *)
+let primary mgr = mgr.rpcs.(0)
+let rpc_for mgr key = mgr.rpcs.(mgr.route key)
+
+let create_sharded_manager ~site ~endpoints ~route ~locks ?(atomic = true)
+    ?view ?obs ?(config = default_config) () =
+  if Array.length endpoints = 0 then
+    invalid_arg "Txn.create_sharded_manager: need at least one endpoint";
+  let rpcs =
+    Array.map
+      (fun (net, proto) ->
+        Quorum_rpc.create ~site ~net ~proto ?view ?obs ~config:config.rpc ())
+      endpoints
   in
   {
-    rpc;
+    rpcs;
+    route;
+    atomic;
     locks;
     lock_timeout = config.lock_timeout;
-    engine = Network.engine net;
+    engine = Network.engine (fst endpoints.(0));
     obs;
     committed = 0;
     aborted = 0;
   }
+
+let create_manager ~site ~net ~proto ~locks ?view ?obs ?config () =
+  create_sharded_manager ~site ~endpoints:[| (net, proto) |]
+    ~route:(fun _ -> 0)
+    ~locks ?view ?obs ?config ()
 
 let committed mgr = mgr.committed
 let aborted mgr = mgr.aborted
@@ -55,12 +74,12 @@ let begin_txn mgr =
   incr txn_counter;
   {
     mgr;
-    owner = (!txn_counter * 1_000_003) + Quorum_rpc.site mgr.rpc;
+    owner = (!txn_counter * 1_000_003) + Quorum_rpc.site (primary mgr);
     span =
       (match mgr.obs with
       | None -> None
       | Some obs ->
-        Some (Obs.span obs ~op:"txn" ~site:(Quorum_rpc.site mgr.rpc) ()));
+        Some (Obs.span obs ~op:"txn" ~site:(Quorum_rpc.site (primary mgr)) ()));
     state = Active;
     read_cache = Hashtbl.create 8;
     write_buf = Hashtbl.create 8;
@@ -115,7 +134,7 @@ let read t ~key k =
       | Some v -> k (Some v)  (* repeatable read *)
       | None ->
         let proceed () =
-          Quorum_rpc.query t.mgr.rpc ~key (fun result ->
+          Quorum_rpc.query (rpc_for t.mgr key) ~key (fun result ->
               match (t.state, result) with
               | Active, Some (_, value) ->
                 Hashtbl.replace t.read_cache key value;
@@ -201,10 +220,10 @@ let version_all t keys k =
   let results = Hashtbl.create 8 in
   let remaining = ref (List.length keys) in
   let failed = ref false in
-  let site = Quorum_rpc.site t.mgr.rpc in
+  let site = Quorum_rpc.site (primary t.mgr) in
   List.iter
     (fun key ->
-      Quorum_rpc.query t.mgr.rpc ~key (fun r ->
+      Quorum_rpc.query (rpc_for t.mgr key) ~key (fun r ->
           (match r with
           | Some (ts, _) ->
             Hashtbl.replace results key
@@ -224,7 +243,7 @@ let prepare_all t keys versions k =
     (fun key ->
       let ts = Hashtbl.find versions key in
       let value = Hashtbl.find t.write_buf key in
-      Quorum_rpc.prepare t.mgr.rpc ~key ~ts ~value (fun r ->
+      Quorum_rpc.prepare (rpc_for t.mgr key) ~key ~ts ~value (fun r ->
           (match r with
           | Some (op, members) -> Hashtbl.replace staged key (op, members)
           | None -> failed := true);
@@ -232,8 +251,8 @@ let prepare_all t keys versions k =
           if !remaining = 0 then
             if !failed then begin
               Hashtbl.iter
-                (fun _ (op, members) ->
-                  Quorum_rpc.abort_staged t.mgr.rpc ~op ~members)
+                (fun key (op, members) ->
+                  Quorum_rpc.abort_staged (rpc_for t.mgr key) ~op ~members)
                 staged;
               k None
             end
@@ -247,8 +266,8 @@ let commit_all t staged k =
   let remaining = ref (List.length entries) in
   let failed = ref false in
   List.iter
-    (fun (_key, (op, members)) ->
-      Quorum_rpc.commit_staged t.mgr.rpc ~op ~members (fun ok ->
+    (fun (key, (op, members)) ->
+      Quorum_rpc.commit_staged (rpc_for t.mgr key) ~op ~members (fun ok ->
           if not ok then failed := true;
           decr remaining;
           if !remaining = 0 then k (not !failed)))
@@ -281,20 +300,81 @@ let commit t k =
               k (Aborted "version phase failed")
             | Some versions ->
               ophase t ~kind:Obs.Span.Prepare ~quorum:keys;
-              prepare_all t keys versions (function
-                | None ->
-                  finish t (Aborted "prepare phase failed");
-                  k (Aborted "prepare phase failed")
-                | Some staged ->
-                  ophase t ~kind:Obs.Span.Commit ~quorum:keys;
-                  commit_all t staged (fun ok ->
-                      if ok then begin
-                        finish t Committed;
-                        k Committed
-                      end
-                      else begin
-                        let reason = "commit acks incomplete (outcome uncertain)" in
-                        finish t (Aborted reason);
-                        k (Aborted reason)
-                      end))))
+              if t.mgr.atomic then
+                prepare_all t keys versions (function
+                  | None ->
+                    finish t (Aborted "prepare phase failed");
+                    k (Aborted "prepare phase failed")
+                  | Some staged ->
+                    ophase t ~kind:Obs.Span.Commit ~quorum:keys;
+                    commit_all t staged (fun ok ->
+                        if ok then begin
+                          finish t Committed;
+                          k Committed
+                        end
+                        else begin
+                          let reason = "commit acks incomplete (outcome uncertain)" in
+                          finish t (Aborted reason);
+                          k (Aborted reason)
+                        end))
+              else begin
+                (* Negative control: every shard's leg prepares and
+                   commits independently — the cross-shard all-prepared
+                   barrier is gone.  A shard that cannot assemble a
+                   quorum aborts only its own leg, so a transaction
+                   spanning a crashed shard and a healthy one applies
+                   partially: exactly the phantom the conservation
+                   checker must catch. *)
+                ophase t ~kind:Obs.Span.Commit ~quorum:keys;
+                let groups = Hashtbl.create 4 in
+                List.iter
+                  (fun key ->
+                    let s = t.mgr.route key in
+                    let prev =
+                      try Hashtbl.find groups s with Not_found -> []
+                    in
+                    Hashtbl.replace groups s (key :: prev))
+                  keys;
+                let legs =
+                  List.sort
+                    (fun (a, _) (b, _) -> Int.compare a b)
+                    (Hashtbl.fold
+                       (fun s ks acc -> (s, List.rev ks) :: acc)
+                       groups [])
+                in
+                let total = List.length legs in
+                let done_legs = ref 0 in
+                let applied = ref 0 in
+                let uncertain = ref false in
+                let leg_finished ~applied_leg ~unc =
+                  if applied_leg then incr applied;
+                  if unc then uncertain := true;
+                  incr done_legs;
+                  if !done_legs = total then
+                    if !applied = total && not !uncertain then begin
+                      finish t Committed;
+                      k Committed
+                    end
+                    else begin
+                      let reason =
+                        if !uncertain then
+                          "commit acks incomplete (outcome uncertain)"
+                        else
+                          Printf.sprintf
+                            "non-atomic commit: %d/%d shard legs applied"
+                            !applied total
+                      in
+                      finish t (Aborted reason);
+                      k (Aborted reason)
+                    end
+                in
+                List.iter
+                  (fun (_shard, gkeys) ->
+                    prepare_all t gkeys versions (function
+                      | None -> leg_finished ~applied_leg:false ~unc:false
+                      | Some staged ->
+                        commit_all t staged (fun ok ->
+                            leg_finished ~applied_leg:true ~unc:(not ok))))
+                  legs
+              end))
     end

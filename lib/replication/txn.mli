@@ -45,6 +45,32 @@ val create_manager :
     barriers (their quorum lists carry the write-key set), and the
     underlying RPC endpoint is instrumented too. *)
 
+val create_sharded_manager :
+  site:int ->
+  endpoints:(Message.t Dsim.Network.t * Quorum.Protocol.t) array ->
+  route:(int -> int) ->
+  locks:Lock_manager.t ->
+  ?atomic:bool ->
+  ?view:Detect.View.t ->
+  ?obs:Obs.t ->
+  ?config:config ->
+  unit ->
+  manager
+(** A manager spanning several shard instances: one quorum-RPC endpoint
+    per shard (each [(net, proto)] pair is a shard's network and
+    protocol; all endpoints use the same client [site]), with [route]
+    mapping a key to its endpoint index.  Commit keeps the cross-key
+    all-prepared barrier, so a transaction is atomic {e across shards}:
+    no shard's leg commits until every key on every shard is staged.
+
+    [atomic:false] is the negative control: each shard's prepare/commit
+    leg runs independently with no cross-shard barrier, so a transaction
+    spanning an unavailable shard and a healthy one applies partially
+    (the outcome is [Aborted] but some legs persist — phantom
+    increments a conservation checker must flag).  Single-endpoint
+    managers from {!create_manager} are unaffected: with one shard both
+    modes coincide with the unsharded commit. *)
+
 type t
 (** An open transaction. *)
 

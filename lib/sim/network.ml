@@ -53,7 +53,7 @@ type 'msg t = {
   engine : Engine.t;
   n : int;
   latency : Latency.t;
-  loss_rate : float;
+  mutable loss_rate : float;
   fifo_floor : float array;  (* per src*n+dst: last delivery time; empty
                                 unless FIFO ordering was requested *)
   rng : Rng.t;
@@ -442,6 +442,11 @@ let partition t groups =
 let heal t =
   emit t (Trace.Partition_change "healed");
   Array.fill t.group 0 t.n 0
+
+let set_loss_rate t rate =
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Network.set_loss_rate: loss_rate out of [0,1)";
+  t.loss_rate <- rate
 
 let counters t = t.counters
 let per_site_delivered t = Array.copy t.delivered_to

@@ -153,6 +153,10 @@ val partition : 'msg t -> int list list -> unit
 val heal : 'msg t -> unit
 (** Removes any partition. *)
 
+val set_loss_rate : 'msg t -> float -> unit
+(** Replaces the message-loss probability for all subsequent sends (e.g.
+    to stop dropping messages before an end-of-run state audit). *)
+
 val reachable : 'msg t -> int -> int -> bool
 (** Same partition group (irrespective of up/down state). *)
 

@@ -130,6 +130,46 @@ coalesced — and still zero safety violations:
   messages: sent=124 delivered=124 dropped=0 (3.1 per op)
   batching: batch=8 pipeline=2 batches=9 coalesced=160 wal syncs=0
 
+A single shard is the unsharded fast path: same RNG draws, same events,
+byte-identical output with no sharding trailer — compare against the
+plain run above:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --shards 1
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=20 failed=0  writes: ok=20 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.13 p99=6.77   write latency: mean=10.29 p99=15.07
+  messages: sent=480 delivered=480 dropped=0 (12.0 per op)
+
+Sharding the keyspace over four independent trees routes each key to one
+tree instance and reports the per-shard operation and key histograms
+(the read/write mix shifts because each client op now draws keys that
+land on different shards' RNG streams):
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --shards 4
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=14 failed=0  writes: ok=26 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.64 p99=7.69   write latency: mean=10.56 p99=18.39
+  messages: sent=576 delivered=576 dropped=0 (14.4 per op)
+  sharding: shards=4 strategy=hash active=[0;1;2;3]
+  per-shard ops=[15;5;4;16] keys=[3;1;1;3] imbalance=1.60
+
+Range partitioning spreads this key space more evenly than hashing —
+contiguous key blocks map to contiguous shards:
+
+  $ replica-ctl simulate -n 8 --clients 2 --ops 20 --seed 3 --shards 4 --shard-strategy range
+  ARBITRARY over 8 replicas:
+  duration=100000.0
+  reads: ok=14 failed=0  writes: ok=26 failed=0  retries=0
+  safety violations=0
+  read latency: mean=3.18 p99=6.56   write latency: mean=11.36 p99=17.71
+  messages: sent=576 delivered=576 dropped=0 (14.4 per op)
+  sharding: shards=4 strategy=range active=[0;1;2;3]
+  per-shard ops=[9;10;9;12] keys=[2;2;2;2] imbalance=1.20
+
 Chaos with amnesia crashes, a commit-durable WAL, and quorum catch-up keeps
 every read regular (the consistency checker replays the span trace):
 
@@ -141,6 +181,22 @@ every read regular (the consistency checker replays the span trace):
   read latency: mean=3.62 p99=6.45   write latency: mean=12.95 p99=27.53
   messages: sent=2594 delivered=2589 dropped=5 (161.8 per op)
   recovery: rejoins=48 keys-caught-up=30 abandoned=0 wal-replayed=262 wal-lost=28 stale-rejected=0 stale-nacked=0 still-recovering=0
+  consistency: reads=8 writes=8 unstamped=0 violations=0
+
+Sharded chaos gives every shard its own independently-seeded failure
+schedule (shard 0 reuses the unsharded seed) and still replays the whole
+aggregate span trace through the checker:
+
+  $ replica-ctl chaos -n 9 --clients 2 --ops 8 --seed 7 --crash-mode amnesia --wal commit --check-consistency --shards 2
+  ARBITRARY over 9 replicas: schedule=crashes crash-mode=amnesia wal=commit catch-up=on
+  duration=3000.0
+  reads: ok=8 failed=0  writes: ok=8 failed=0  retries=0
+  safety violations=0
+  read latency: mean=4.57 p99=9.08   write latency: mean=9.45 p99=11.96
+  messages: sent=2459 delivered=2453 dropped=6 (153.3 per op)
+  sharding: shards=2 strategy=hash active=[0;1]
+  per-shard ops=[10;6] keys=[5;3] imbalance=1.25
+  recovery: rejoins=90 keys-caught-up=31 abandoned=0 wal-replayed=262 wal-lost=24 stale-rejected=0 stale-nacked=0 still-recovering=0
   consistency: reads=8 writes=8 unstamped=0 violations=0
 
 The negative control — async WAL, catch-up off, total blackout — loses the

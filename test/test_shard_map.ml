@@ -1,0 +1,150 @@
+(* Shard-map determinism and well-formedness: same seed + key set give
+   identical assignments on every run; split/merge keep every key owned
+   by exactly one active shard, with no gaps in range mode. *)
+
+module Shard_map = Arbitrary.Shard_map
+module Parallel = Eval.Parallel
+
+let make ?(strategy = Shard_map.Hash) ?(shards = 4) ?(key_space = 256)
+    ?(seed = 42) () =
+  Shard_map.create ~strategy ~shards ~key_space ~seed ()
+
+let test_deterministic_assignment () =
+  let a = make () and b = make () in
+  Alcotest.(check (array int)) "same seed, same owner table"
+    (Shard_map.snapshot a) (Shard_map.snapshot b);
+  let c = make ~seed:43 () in
+  Alcotest.(check bool) "different seed, different table" true
+    (Shard_map.snapshot a <> Shard_map.snapshot c)
+
+let test_deterministic_across_domains () =
+  (* Routing computed concurrently in worker domains must match the
+     sequential assignment: the map is a pure function of its inputs. *)
+  let reference =
+    Array.init 256 (fun k -> Shard_map.route (make ()) k)
+  in
+  let per_domain =
+    Parallel.map ~domains:4
+      (fun _ -> Array.init 256 (fun k -> Shard_map.route (make ()) k))
+      [ 0; 1; 2; 3 ]
+  in
+  List.iter
+    (fun arr ->
+      Alcotest.(check (array int)) "domain sees identical routing" reference arr)
+    per_domain
+
+let test_hash_covers_all_shards () =
+  let m = make () in
+  let counts = Shard_map.counts m in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "every shard owns keys" true (c > 0))
+    counts;
+  Alcotest.(check int) "counts sum to key space" 256
+    (Array.fold_left ( + ) 0 counts)
+
+let test_range_blocks_contiguous () =
+  let m = make ~strategy:Shard_map.Range ~shards:3 ~key_space:10 () in
+  Alcotest.(check (list int)) "shard 0 takes the remainder" [ 0; 1; 2; 3 ]
+    (Shard_map.keys_of m 0);
+  Alcotest.(check (list int)) "shard 1 next block" [ 4; 5; 6 ] (Shard_map.keys_of m 1);
+  Alcotest.(check (list int)) "shard 2 last block" [ 7; 8; 9 ] (Shard_map.keys_of m 2);
+  Alcotest.(check bool) "well formed" true (Shard_map.well_formed m)
+
+let well_formed_every_key_once m =
+  Shard_map.well_formed m
+  && Array.for_all
+       (fun s -> Shard_map.is_active m s)
+       (Shard_map.snapshot m)
+
+let test_split_well_formed () =
+  List.iter
+    (fun strategy ->
+      let m = make ~strategy ~shards:4 ~key_space:101 () in
+      let change = Shard_map.plan_split m ~shard:2 in
+      Alcotest.(check int) "fresh id allocated" 4 change.Shard_map.target;
+      (* Routing untouched until commit. *)
+      List.iter
+        (fun k ->
+          Alcotest.(check int) "moved key still at source pre-commit" 2
+            (Shard_map.route m k))
+        change.Shard_map.moved;
+      Shard_map.commit m change;
+      Alcotest.(check bool) "well formed after split" true
+        (well_formed_every_key_once m);
+      List.iter
+        (fun k ->
+          Alcotest.(check int) "moved key at target post-commit" 4
+            (Shard_map.route m k))
+        change.Shard_map.moved;
+      (* Roughly half moved. *)
+      let c = Shard_map.counts m in
+      Alcotest.(check bool) "split halves the shard" true
+        (abs (c.(2) - c.(4)) <= 1))
+    [ Shard_map.Hash; Shard_map.Range ]
+
+let test_merge_well_formed () =
+  let m = make ~strategy:Shard_map.Range ~shards:4 ~key_space:64 () in
+  let change = Shard_map.plan_merge m ~into:1 ~from_:2 in
+  Shard_map.commit m change;
+  Alcotest.(check bool) "well formed after merge" true (well_formed_every_key_once m);
+  Alcotest.(check bool) "source inactive" false (Shard_map.is_active m 2);
+  Alcotest.(check int) "target owns both ranges" 32 (Shard_map.counts m).(1);
+  Alcotest.(check (list int)) "active shards" [ 0; 1; 3 ] (Shard_map.active m)
+
+let test_range_merge_requires_adjacency () =
+  let m = make ~strategy:Shard_map.Range ~shards:4 ~key_space:64 () in
+  Alcotest.check_raises "non-adjacent range merge rejected"
+    (Invalid_argument "Shard_map.plan_merge: ranges not adjacent")
+    (fun () -> ignore (Shard_map.plan_merge m ~into:0 ~from_:2))
+
+let test_hash_merge_any_pair () =
+  let m = make ~strategy:Shard_map.Hash ~shards:4 ~key_space:64 () in
+  let change = Shard_map.plan_merge m ~into:0 ~from_:3 in
+  Shard_map.commit m change;
+  Alcotest.(check bool) "hash merge of any pair is fine" true
+    (well_formed_every_key_once m)
+
+let test_split_then_merge_back () =
+  let m = make ~strategy:Shard_map.Range ~shards:2 ~key_space:20 () in
+  let split = Shard_map.plan_split m ~shard:0 in
+  Shard_map.commit m split;
+  let merge = Shard_map.plan_merge m ~into:0 ~from_:split.Shard_map.target in
+  Shard_map.commit m merge;
+  Alcotest.(check bool) "well formed after round trip" true
+    (well_formed_every_key_once m);
+  Alcotest.(check int) "shard 0 owns its original block again" 10
+    (Shard_map.counts m).(0)
+
+let test_stale_plan_rejected () =
+  let m = make ~shards:4 ~key_space:64 () in
+  let a = Shard_map.plan_split m ~shard:0 in
+  let b = Shard_map.plan_split m ~shard:0 in
+  Shard_map.commit m a;
+  Alcotest.check_raises "overlapping plan rejected"
+    (Invalid_argument "Shard_map.commit: stale plan (key no longer at source)")
+    (fun () -> Shard_map.commit m b)
+
+let test_route_bounds () =
+  let m = make ~key_space:8 () in
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Shard_map.route: key out of range")
+    (fun () -> ignore (Shard_map.route m 8))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic assignment per seed" `Quick
+      test_deterministic_assignment;
+    Alcotest.test_case "identical across domain counts" `Quick
+      test_deterministic_across_domains;
+    Alcotest.test_case "hash covers all shards" `Quick test_hash_covers_all_shards;
+    Alcotest.test_case "range blocks contiguous" `Quick test_range_blocks_contiguous;
+    Alcotest.test_case "split keeps map well-formed" `Quick test_split_well_formed;
+    Alcotest.test_case "merge keeps map well-formed" `Quick test_merge_well_formed;
+    Alcotest.test_case "range merge requires adjacency" `Quick
+      test_range_merge_requires_adjacency;
+    Alcotest.test_case "hash merge of any pair" `Quick test_hash_merge_any_pair;
+    Alcotest.test_case "split then merge back" `Quick test_split_then_merge_back;
+    Alcotest.test_case "stale overlapping plan rejected" `Quick
+      test_stale_plan_rejected;
+    Alcotest.test_case "route bounds checked" `Quick test_route_bounds;
+  ]
