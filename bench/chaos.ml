@@ -7,6 +7,7 @@
      dune exec bench/chaos.exe               # full campaign (32 cells)
      dune exec bench/chaos.exe -- --smoke    # CI budget (8 cells, seeded)
      dune exec bench/chaos.exe -- --overload # overload campaign only
+     dune exec bench/chaos.exe -- --churn    # membership-churn gate only
 
    Exit status is non-zero when any cell records a safety violation, when
    the heartbeat detector's success rate falls more than 10 points behind
@@ -18,6 +19,7 @@
    violations) — the campaign is a gate, not just a report. *)
 
 let overload_path = "BENCH_overload.json"
+let churn_path = "BENCH_churn.json"
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -77,8 +79,96 @@ let run_overload () =
   end;
   Printf.printf "overload gate OK\n"
 
+let churn_cell_json (c : Eval.Churn.cell) =
+  let r = c.Eval.Churn.c_report in
+  Printf.sprintf
+    "{\"config\":\"%s\",\"n\":%d,\"scenario\":\"%s\",\"reads_ok\":%d,\"writes_ok\":%d,\"promotions_done\":%d,\"decommissions_done\":%d,\"provision_runs\":%d,\"provision_chunks\":%d,\"provision_resumes\":%d,\"provision_donor_failovers\":%d,\"failed_rejoins\":%d,\"violations\":%d}"
+    (Arbitrary.Config.name_to_string c.Eval.Churn.c_config)
+    c.Eval.Churn.c_n
+    (json_escape c.Eval.Churn.c_kind)
+    r.Replication.Churn_harness.reads_ok r.Replication.Churn_harness.writes_ok
+    r.Replication.Churn_harness.promotions_done
+    r.Replication.Churn_harness.decommissions_done
+    r.Replication.Churn_harness.provision_runs
+    r.Replication.Churn_harness.provision_chunks
+    r.Replication.Churn_harness.provision_resumes
+    r.Replication.Churn_harness.provision_donor_failovers
+    r.Replication.Churn_harness.failed_rejoins
+    r.Replication.Churn_harness.safety_violations
+
+(* Membership-churn smoke gate: the fenced campaign (four configs × four
+   scenarios, plus the sharded run) must be violation-free, the unfenced
+   blackout control must leak, and snapshot provisioning must beat per-key
+   catch-up by at least 5× in protocol rounds on a cold 10k-key rejoin. *)
+let run_churn () =
+  Printf.printf "\n== Membership churn campaign ==\n\n";
+  let fenced = Eval.Churn.run ~n:13 () in
+  print_string (Eval.Churn.table fenced);
+  Printf.printf "\n== Sharded churn (independent trees per shard) ==\n\n";
+  let sharded = Eval.Churn.run_sharded ~n:13 () in
+  print_string (Eval.Churn.table sharded);
+  Printf.printf "\n== Negative control (blackout, unfenced, async WAL) ==\n\n";
+  let negative = Eval.Churn.run_negative ~n:13 () in
+  print_string (Eval.Churn.table negative);
+  let rj = Eval.Churn.cold_rejoin_comparison () in
+  Printf.printf
+    "\ncold rejoin (%d keys, n=%d): catch-up %d rounds vs provisioning %d \
+     rounds (%.1fx)\n"
+    rj.Eval.Churn.rj_keys rj.Eval.Churn.rj_n rj.Eval.Churn.rj_catchup_rounds
+    rj.Eval.Churn.rj_provision_rounds rj.Eval.Churn.rj_speedup;
+  let fenced_violations =
+    Eval.Churn.violations fenced + Eval.Churn.violations sharded
+  in
+  let negative_violations = Eval.Churn.violations negative in
+  let failures = ref [] in
+  if fenced_violations > 0 then
+    failures :=
+      Printf.sprintf "%d violations in the fenced campaign (expected 0)"
+        fenced_violations
+      :: !failures;
+  if negative_violations = 0 then
+    failures :=
+      "negative control leaked nothing — the churn oracle is not catching \
+       stale reads"
+      :: !failures;
+  if not (rj.Eval.Churn.rj_catchup_serving && rj.Eval.Churn.rj_provision_serving)
+  then failures := "a cold rejoin failed to reach serving" :: !failures;
+  if rj.Eval.Churn.rj_speedup < 5.0 then
+    failures :=
+      Printf.sprintf "cold-rejoin speedup %.1fx below the 5x gate"
+        rj.Eval.Churn.rj_speedup
+      :: !failures;
+  let failures = List.rev !failures in
+  let pass = failures = [] in
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"bench-churn/1\",\"cells\":[%s],\"cold_rejoin\":{\"keys\":%d,\"catchup_rounds\":%d,\"provision_rounds\":%d,\"speedup\":%.4f},\"negative_violations\":%d,\"gate\":{\"pass\":%b,\"failures\":[%s]}}"
+      (String.concat ","
+         (List.map churn_cell_json (fenced @ sharded @ negative)))
+      rj.Eval.Churn.rj_keys rj.Eval.Churn.rj_catchup_rounds
+      rj.Eval.Churn.rj_provision_rounds rj.Eval.Churn.rj_speedup
+      negative_violations pass
+      (String.concat ","
+         (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) failures))
+  in
+  let oc = open_out churn_path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" churn_path;
+  if not pass then begin
+    List.iter (fun f -> Printf.eprintf "churn gate: %s\n" f) failures;
+    prerr_endline "FAIL: churn gate";
+    exit 1
+  end;
+  Printf.printf "churn gate OK\n"
+
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if Array.exists (( = ) "--churn") Sys.argv then begin
+    run_churn ();
+    exit 0
+  end;
   if Array.exists (( = ) "--overload") Sys.argv then begin
     run_overload ();
     exit 0

@@ -966,6 +966,225 @@ let overload_cmd =
       $ shed_watermark_arg $ retry_budget_arg $ breaker_arg
       $ burst_clients_arg $ burst_ops_arg $ max_retries_arg)
 
+(* --- membership: provision / promote / decommission ----------------------- *)
+
+(* Shared driver: a Churn_harness run over config × n with a failure and
+   membership script, printing the provisioning / membership counters and
+   failing the process on any freshness violation. *)
+let run_churn_cell ~name ~n ~clients ~ops ~seed ~horizon ~chunk_size ~fence
+    ~failures ~membership =
+  let n = Eval.Config_metrics.feasible_n name n in
+  let proto = Eval.Config_metrics.protocol_of name ~n in
+  let s = Replication.Churn_harness.default_scenario ~proto in
+  let scenario =
+    {
+      s with
+      Replication.Churn_harness.spares = 2;
+      n_clients = clients;
+      ops_per_client = ops;
+      key_space = 8;
+      think_time = 3.0;
+      failures = failures ~n;
+      membership = membership ~n;
+      seed;
+      coordinator = Eval.Chaos.chaos_coordinator;
+      horizon;
+      chunk_size;
+      fence_provisioning = fence;
+    }
+  in
+  (n, Replication.Churn_harness.run scenario)
+
+let print_churn_report ~name ~n ~fence (r : Replication.Churn_harness.report) =
+  let module Ch = Replication.Churn_harness in
+  Format.printf "%s over %d replicas (+2 spares): fence=%s@."
+    (Arbitrary.Config.name_to_string name)
+    n
+    (if fence then "on" else "off");
+  Format.printf "clients: reads ok=%d failed=%d writes ok=%d failed=%d@."
+    r.Ch.reads_ok r.Ch.reads_failed r.Ch.writes_ok r.Ch.writes_failed;
+  Format.printf
+    "provisioning: runs=%d chunks=%d resumes=%d donor-failovers=%d rounds=%d \
+     stale=%d failed-rejoins=%d@."
+    r.Ch.provision_runs r.Ch.provision_chunks r.Ch.provision_resumes
+    r.Ch.provision_donor_failovers r.Ch.provision_rounds r.Ch.provision_stale
+    r.Ch.failed_rejoins;
+  Format.printf "membership: promotions=%d/%d decommissions=%d@."
+    r.Ch.promotions_done r.Ch.promotions_started r.Ch.decommissions_done;
+  Format.printf "status: [%s]@."
+    (String.concat ";" (Array.to_list r.Ch.replica_status));
+  Format.printf "violations: %d@." r.Ch.safety_violations;
+  if r.Ch.safety_violations > 0 then begin
+    Format.eprintf "replica-ctl: freshness violated under churn@.";
+    exit 1
+  end
+
+let churn_clients_arg =
+  Arg.(value & opt int 3 & info [ "clients" ] ~docv:"C" ~doc:"Client count.")
+
+let churn_ops_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Operations per client.")
+
+let churn_horizon_arg =
+  Arg.(
+    value & opt float 3000.0
+    & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon (virtual time).")
+
+let chunk_size_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "chunk-size" ] ~docv:"K"
+        ~doc:"Keys per snapshot chunk of the provisioning transfer.")
+
+let no_fence_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fence" ]
+        ~doc:
+          "Serve while provisioning instead of fencing until the WAL tail \
+           lands (the unsafe negative-control configuration).")
+
+let provision_cmd =
+  let crash_donor_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-donor" ]
+          ~doc:
+            "Crash the rejoiner's donor mid-transfer, forcing a donor \
+             failover with a resume from the last durable chunk mark.")
+  in
+  let crash_recipient_arg =
+    Arg.(
+      value & flag
+      & info [ "crash-recipient" ]
+          ~doc:
+            "Crash the rejoiner again mid-transfer; it must resume from its \
+             last durable chunk mark rather than refetch from chunk 0.")
+  in
+  let run config n clients ops seed horizon chunk_size no_fence crash_donor
+      crash_recipient =
+    or_fail @@ fun () ->
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    (* The rejoiner is the last occupant; its first donor pick is the
+       lowest live occupant (site 0) — whom --crash-donor kills. *)
+    let failures ~n =
+      [
+        { Dsim.Failure.time = 60.0; event = Dsim.Failure.Crash (n - 1) };
+        { Dsim.Failure.time = 100.0; event = Dsim.Failure.Recover (n - 1) };
+      ]
+      @ (if crash_donor then
+           [
+             { Dsim.Failure.time = 103.0; event = Dsim.Failure.Crash 0 };
+             { Dsim.Failure.time = 220.0; event = Dsim.Failure.Recover 0 };
+           ]
+         else [])
+      @
+      if crash_recipient then
+        [
+          { Dsim.Failure.time = 104.0; event = Dsim.Failure.Crash (n - 1) };
+          { Dsim.Failure.time = 160.0; event = Dsim.Failure.Recover (n - 1) };
+        ]
+      else []
+    in
+    let n, report =
+      run_churn_cell ~name ~n ~clients ~ops ~seed ~horizon ~chunk_size
+        ~fence:(not no_fence) ~failures
+        ~membership:(fun ~n:_ -> [])
+    in
+    print_churn_report ~name ~n ~fence:(not no_fence) report
+  in
+  Cmd.v
+    (Cmd.info "provision"
+       ~doc:
+         "Crash a replica and rejoin it through chunked snapshot + WAL-tail \
+          provisioning, optionally killing the donor or the recipient \
+          mid-transfer to exercise failover and resume.")
+    Term.(
+      const run $ config_arg $ n_arg $ churn_clients_arg $ churn_ops_arg
+      $ seed_arg $ churn_horizon_arg $ chunk_size_arg $ no_fence_arg
+      $ crash_donor_arg $ crash_recipient_arg)
+
+let position_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "position" ] ~docv:"P"
+        ~doc:"Tree position whose occupant is replaced.")
+
+let at_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "at" ] ~docv:"T" ~doc:"Virtual time the membership flow starts.")
+
+let promote_cmd =
+  let partition_arg =
+    Arg.(
+      value & flag
+      & info [ "partition" ]
+          ~doc:
+            "Partition the spare away mid-bulk-transfer; the promotion \
+             stalls and completes after the heal.")
+  in
+  let run config n clients ops seed horizon chunk_size position at partition =
+    or_fail @@ fun () ->
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    let failures ~n =
+      if partition then
+        [
+          { Dsim.Failure.time = at +. 3.0; event = Dsim.Failure.Partition [ [ n ] ] };
+          { Dsim.Failure.time = at +. 100.0; event = Dsim.Failure.Heal };
+        ]
+      else []
+    in
+    let membership ~n =
+      if position < 0 || position >= n then
+        invalid_arg "promote: --position out of range";
+      [ { Replication.Churn_harness.at; position; spare = n; fence = false } ]
+    in
+    let n, report =
+      run_churn_cell ~name ~n ~clients ~ops ~seed ~horizon ~chunk_size
+        ~fence:true ~failures ~membership
+    in
+    print_churn_report ~name ~n ~fence:true report
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a spare site into a tree position while clients run: bulk \
+          snapshot provisioning from the outgoing occupant, a locked fenced \
+          delta, then the position flip.  The displaced occupant becomes a \
+          re-promotable spare.")
+    Term.(
+      const run $ config_arg $ n_arg $ churn_clients_arg $ churn_ops_arg
+      $ seed_arg $ churn_horizon_arg $ chunk_size_arg $ position_arg $ at_arg
+      $ partition_arg)
+
+let decommission_cmd =
+  let run config n clients ops seed horizon chunk_size position at =
+    or_fail @@ fun () ->
+    let name = Option.value config ~default:Arbitrary.Config.Arbitrary in
+    let membership ~n =
+      if position < 0 || position >= n then
+        invalid_arg "decommission: --position out of range";
+      [ { Replication.Churn_harness.at; position; spare = n; fence = true } ]
+    in
+    let n, report =
+      run_churn_cell ~name ~n ~clients ~ops ~seed ~horizon ~chunk_size
+        ~fence:true ~failures:(fun ~n:_ -> []) ~membership
+    in
+    print_churn_report ~name ~n ~fence:true report
+  in
+  Cmd.v
+    (Cmd.info "decommission"
+       ~doc:
+         "Drain-fence-remove a position's occupant: promote a spare into the \
+          position and permanently fence the outgoing site (it nacks every \
+          quorum role afterwards).")
+    Term.(
+      const run $ config_arg $ n_arg $ churn_clients_arg $ churn_ops_arg
+      $ seed_arg $ churn_horizon_arg $ chunk_size_arg $ position_arg $ at_arg)
+
 let () =
   let info =
     Cmd.info "replica-ctl" ~version:"1.0.0"
@@ -980,4 +1199,5 @@ let () =
           [
             tree_cmd; analyze_cmd; quorums_cmd; plan_cmd; figures_cmd;
             simulate_cmd; txn_cmd; trace_cmd; chaos_cmd; overload_cmd;
+            provision_cmd; promote_cmd; decommission_cmd;
           ]))

@@ -1,0 +1,114 @@
+module Bitset = Dsutil.Bitset
+
+type t = {
+  inner : Protocol.t;
+  universe : int;
+  map : int array;  (* position -> site; deliberately shared across forks *)
+  scratch : Bitset.t;  (* position-space alive view, reused per call *)
+}
+
+let make ~universe inner =
+  let n = Protocol.universe_size inner in
+  if universe < n then
+    invalid_arg "Relabel.make: universe smaller than the inner protocol";
+  {
+    inner;
+    universe;
+    map = Array.init n Fun.id;
+    scratch = Bitset.create n;
+  }
+
+let positions t = Array.length t.map
+let site_of t ~position = t.map.(position)
+
+let position_of t ~site =
+  let rec go p =
+    if p = Array.length t.map then None
+    else if t.map.(p) = site then Some p
+    else go (p + 1)
+  in
+  go 0
+
+let remap t ~position ~site =
+  if position < 0 || position >= Array.length t.map then
+    invalid_arg "Relabel.remap: no such position";
+  if site < 0 || site >= t.universe then
+    invalid_arg "Relabel.remap: site outside the universe";
+  Array.iter
+    (fun s ->
+      if s = site && t.map.(position) <> site then
+        invalid_arg "Relabel.remap: site already holds a position")
+    t.map;
+  t.map.(position) <- site
+
+(* Restrict a site-space alive view to the positions whose current
+   occupant is alive. *)
+let inner_alive t ~alive =
+  Bitset.clear t.scratch;
+  for p = 0 to Array.length t.map - 1 do
+    if Bitset.mem alive t.map.(p) then Bitset.add t.scratch p
+  done;
+  t.scratch
+
+let to_sites t q =
+  let out = Bitset.create t.universe in
+  Bitset.iter (fun p -> Bitset.add out t.map.(p)) q;
+  out
+
+module Relabeled = struct
+  type nonrec t = t
+
+  let name t = "relabel(" ^ Protocol.name t.inner ^ ")"
+  let universe_size t = t.universe
+
+  let read_quorum t ~alive ~rng =
+    Option.map (to_sites t)
+      (Protocol.read_quorum t.inner ~alive:(inner_alive t ~alive) ~rng)
+
+  let write_quorum t ~alive ~rng =
+    Option.map (to_sites t)
+      (Protocol.write_quorum t.inner ~alive:(inner_alive t ~alive) ~rng)
+
+  let read_levels t =
+    match Protocol.read_levels t.inner with
+    | None -> None
+    | Some plan ->
+      Some
+        {
+          Protocol.n_levels = plan.Protocol.n_levels;
+          level_site =
+            (fun ~alive ~rng ~level ->
+              let p =
+                plan.Protocol.level_site ~alive:(inner_alive t ~alive) ~rng
+                  ~level
+              in
+              if p < 0 then -1 else t.map.(p));
+        }
+
+  let enumerate_read_quorums t =
+    let (Protocol.Dyn ((module P), p)) = t.inner in
+    Seq.map (to_sites t) (P.enumerate_read_quorums p)
+
+  let enumerate_write_quorums t =
+    let (Protocol.Dyn ((module P), p)) = t.inner in
+    Seq.map (to_sites t) (P.enumerate_write_quorums p)
+
+  (* Deliberate deviation from the fork contract: the position map is
+     SHARED between a wrapper and its forks, so a promotion's remap is
+     one atomic store visible to every coordinator at once — forked maps
+     would let two coordinators disagree about who holds a position,
+     which is exactly the split quorum the remap must never produce.
+     The inner protocol and the alive-view scratch are forked normally.
+     Plain [int array] stores are atomic per element in OCaml, and the
+     evaluation driver remaps only between events (single-domain) or on
+     per-cell instances (multi-domain), so the sharing is benign. *)
+  let fork t =
+    {
+      inner = Protocol.fork t.inner;
+      universe = t.universe;
+      map = t.map;
+      scratch = Bitset.create (Array.length t.map);
+    }
+end
+
+let pack t = Protocol.pack (module Relabeled) t

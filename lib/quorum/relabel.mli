@@ -1,0 +1,56 @@
+(** Position→site relabeling: membership changes without touching the
+    tree.
+
+    The tree protocol's quorums are defined over {e positions} in a fixed
+    structure (§3: the logical tree does not change shape online).  To
+    promote a freshly provisioned spare into the structure, or to retire
+    an occupant, the {e assignment} of physical sites to tree positions
+    must change while the tree itself — and therefore every quorum
+    intersection argument — stays put.
+
+    A relabel wrapper holds an inner protocol over positions
+    [0 .. n-1] and a mutable map from positions to site ids drawn from a
+    {e larger} universe [0 .. universe-1] (the extra ids are spares:
+    sites that exist on the network but hold no position and belong to no
+    quorum).  Quorums are assembled by the inner protocol in position
+    space and translated through the map; {!remap} switches one
+    position's occupant in a single atomic store.
+
+    {b Sharing.}  {!Protocol.fork} of a packed wrapper forks the inner
+    protocol and scratch state but {e shares the position map} — a
+    deliberate deviation from the fork contract, documented at the fork
+    implementation: a promotion's remap must be visible to every
+    coordinator's fork at once, or two coordinators could assemble
+    quorums under different memberships that no longer intersect. *)
+
+type t
+
+val make : universe:int -> Protocol.t -> t
+(** [make ~universe inner] wraps [inner] (over positions
+    [0 .. universe_size inner - 1]) with the identity assignment;
+    site ids [universe_size inner .. universe - 1] start as spares.
+    @raise Invalid_argument if [universe] is smaller than the inner
+    universe. *)
+
+val pack : t -> Protocol.t
+(** The wrapper as a {!Protocol.t} ([universe_size] = the full site
+    universe, spares included).  The handle and the packed protocol share
+    the map: {!remap} on the handle is visible through the packed
+    protocol and all its forks. *)
+
+val positions : t -> int
+(** Number of tree positions (the inner universe size). *)
+
+val site_of : t -> position:int -> int
+(** Current occupant of [position]. *)
+
+val position_of : t -> site:int -> int option
+(** The position [site] currently holds; [None] for spares. *)
+
+val remap : t -> position:int -> site:int -> unit
+(** Atomically installs [site] as the occupant of [position].  The
+    displaced occupant becomes a spare.  Must only be called when [site]
+    holds the displaced occupant's acked state (the promotion flow in
+    [Reconfig] provisions and drains before remapping).
+    @raise Invalid_argument when the position or site is out of range, or
+    [site] already holds a different position. *)

@@ -1,0 +1,82 @@
+(** Membership-churn scenarios: provisioning, promotion and decommission
+    under fault injection.
+
+    A churn run builds a {!Quorum.Relabel}-wrapped tree over a universe
+    of [n + spares] sites (the spares start outside every quorum), runs
+    an ordinary client workload against it, and overlays two scripted
+    event streams: a {!Dsim.Failure} schedule (amnesia crashes,
+    partitions) and a membership schedule of {!Reconfig.promote} /
+    decommission flows.  Every replica carries a
+    {!Replica.provision} config, so crashed sites rejoin by snapshot +
+    WAL-tail provisioning — the donor-crash, recipient-crash and
+    partition cases the campaign injects all exercise the transfer's
+    resume and failover machinery.
+
+    Safety is judged by the same client-side freshness oracle the main
+    {!Harness} uses: a read observing a timestamp older than a commit
+    some client already saw acknowledged counts one violation.  With
+    fencing on and a commit-durable WAL the count must be zero; the
+    [fence_provisioning = false] negative control must leak. *)
+
+type membership_op = {
+  at : float;  (** virtual time of the flow's start *)
+  position : int;  (** tree position whose occupant is replaced *)
+  spare : int;  (** site id promoted into the position *)
+  fence : bool;
+      (** decommission the displaced occupant (drain-fence-remove);
+          without it the occupant becomes a re-promotable spare *)
+}
+
+type scenario = {
+  proto : Quorum.Protocol.t;  (** the tree, over positions *)
+  spares : int;  (** extra sites beyond the tree universe *)
+  n_clients : int;
+  ops_per_client : int;
+  read_fraction : float;
+  key_space : int;
+  latency : Dsim.Latency.t;
+  loss_rate : float;
+  think_time : float;
+  failures : Dsim.Failure.entry list;
+  membership : membership_op list;
+  seed : int;
+  coordinator : Coordinator.config;
+  horizon : float;
+  wal : Wal.policy;
+  chunk_size : int;
+  fence_provisioning : bool;
+      (** [false] = the negative control: serve while provisioning *)
+  provision_timeout : float;
+}
+
+val default_scenario : proto:Quorum.Protocol.t -> scenario
+(** One spare, three clients, fenced provisioning, commit-durable WAL,
+    no failures, no membership changes. *)
+
+type report = {
+  duration : float;
+  reads_ok : int;
+  reads_failed : int;
+  writes_ok : int;
+  writes_failed : int;
+  retries : int;
+  safety_violations : int;
+  promotions_started : int;
+  promotions_done : int;
+  decommissions_done : int;
+  provision_runs : int;
+  provision_chunks : int;
+  provision_resumes : int;
+  provision_donor_failovers : int;
+  provision_rounds : int;
+  provision_stale : int;
+  failed_rejoins : int;
+  wal_records_replayed : int;
+  wal_records_lost : int;
+  replica_incarnations : int array;
+  replica_status : string array;  (** per-site {!Replica.status_label} *)
+  messages_delivered : int;
+}
+
+val run : scenario -> report
+val completed : report -> int

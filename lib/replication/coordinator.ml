@@ -1078,7 +1078,8 @@ let handle_single t ~src st msg =
   | Read_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _ | Busy _
   | Read_request _ | Prepare _ | Commit _ | Abort _ | Repair _
   | Read_batch _ | Read_batch_reply _ | Prepare_batch _ | Ping _
-  | Pong _ ->
+  | Pong _ | Provision_request _ | Snapshot_chunk _ | Chunk_ack _
+  | Tail_request _ | Wal_tail _ ->
     (* Out-of-phase or replica-bound: ignore.  A committing op ignores
        [Busy] in particular — commits ride the priority lane, so a
        stray Busy must not fail a decided transaction. *)

@@ -28,6 +28,39 @@ type t =
   | Prepare_batch of { op : int; writes : Batch.t }
       (** coalesced 2PC stage: the batch is staged (and later committed or
           aborted) atomically under one op id; acked with [Prepare_ack] *)
+  | Provision_request of {
+      op : int;
+      from_chunk : int;
+      chunk_size : int;
+      key_space : int;
+    }
+      (** recipient → donor: start (or resume, at [from_chunk]) a chunked
+          snapshot transfer.  Chunk [i] covers keys
+          [i*chunk_size .. (i+1)*chunk_size), so chunk numbers stay
+          meaningful across donor failover and recipient restarts *)
+  | Snapshot_chunk of {
+      op : int;
+      chunk : int;
+      n_chunks : int;
+      wal_index : int;
+      dinc : int;
+      entries : Batch.t;
+    }
+      (** donor → recipient: one snapshot chunk.  [wal_index] is the
+          donor's {!Wal.next_index} when it served the chunk (the cut
+          stamp; the recipient keeps the minimum it has seen), [dinc]
+          the donor's incarnation — a mid-transfer donor restart changes
+          it, fencing the chunks of the broken transfer *)
+  | Chunk_ack of { op : int; chunk : int; chunk_size : int; key_space : int }
+      (** recipient → donor: chunk applied durably, send the next one.
+          Carries the geometry so the donor stays stateless *)
+  | Tail_request of { op : int; from_index : int }
+      (** recipient → donor: all chunks applied; ship every committed WAL
+          record at or after [from_index] (boundary inclusive) *)
+  | Wal_tail of { op : int; dinc : int; next_index : int; entries : Batch.t }
+      (** donor → recipient: the committed tail since the requested
+          index, plus the donor's current [next_index] (the new cut, for
+          a later delta request) *)
   | Ping of { seq : int }
   | Pong of { seq : int }
 
@@ -44,7 +77,12 @@ let op_id = function
   | Busy { op }
   | Read_batch { op; _ }
   | Read_batch_reply { op; _ }
-  | Prepare_batch { op; _ } ->
+  | Prepare_batch { op; _ }
+  | Provision_request { op; _ }
+  | Snapshot_chunk { op; _ }
+  | Chunk_ack { op; _ }
+  | Tail_request { op; _ }
+  | Wal_tail { op; _ } ->
     op
   | Ping _ | Pong _ -> -1  (* never matches a pending operation *)
 
@@ -55,13 +93,20 @@ let incarnation = function
   | Read_batch_reply { inc; _ } ->
     Some inc
   | Read_request _ | Prepare _ | Prepare_nack _ | Commit _ | Abort _
-  | Repair _ | Busy _ | Read_batch _ | Prepare_batch _ | Ping _ | Pong _ ->
+  | Repair _ | Busy _ | Read_batch _ | Prepare_batch _ | Ping _ | Pong _
+  (* provisioning fences on the donor incarnation itself (the replica
+     checks [dinc] against its transfer state), not via the
+     coordinator's reply-fencing path *)
+  | Provision_request _ | Snapshot_chunk _ | Chunk_ack _ | Tail_request _
+  | Wal_tail _ ->
     None
 
 let batch_size = function
   | Read_batch { n_keys; _ } -> n_keys
   | Read_batch_reply { entries; _ } -> Batch.length entries
   | Prepare_batch { writes; _ } -> Batch.length writes
+  | Snapshot_chunk { entries; _ } | Wal_tail { entries; _ } ->
+    max 1 (Batch.length entries)
   | _ -> 1
 
 let pp ppf = function
@@ -86,5 +131,19 @@ let pp ppf = function
       (Batch.length entries)
   | Prepare_batch { op; writes } ->
     Format.fprintf ppf "prepare-batch(op=%d |writes|=%d)" op (Batch.length writes)
+  | Provision_request { op; from_chunk; chunk_size; key_space } ->
+    Format.fprintf ppf "provision-req(op=%d from=%d cs=%d ks=%d)" op from_chunk
+      chunk_size key_space
+  | Snapshot_chunk { op; chunk; n_chunks; wal_index; dinc; entries } ->
+    Format.fprintf ppf
+      "snapshot-chunk(op=%d %d/%d wal@@%d dinc=%d |entries|=%d)" op chunk
+      n_chunks wal_index dinc (Batch.length entries)
+  | Chunk_ack { op; chunk; _ } ->
+    Format.fprintf ppf "chunk-ack(op=%d chunk=%d)" op chunk
+  | Tail_request { op; from_index } ->
+    Format.fprintf ppf "tail-req(op=%d from=%d)" op from_index
+  | Wal_tail { op; dinc; next_index; entries } ->
+    Format.fprintf ppf "wal-tail(op=%d dinc=%d next=%d |entries|=%d)" op dinc
+      next_index (Batch.length entries)
   | Ping { seq } -> Format.fprintf ppf "ping(seq=%d)" seq
   | Pong { seq } -> Format.fprintf ppf "pong(seq=%d)" seq

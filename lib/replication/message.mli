@@ -68,6 +68,47 @@ type t =
           [Commit]/[Abort] for that op.  Acked with [Prepare_ack], so the
           rest of the 2PC machinery (incarnation echo included) is
           unchanged *)
+  | Provision_request of {
+      op : int;
+      from_chunk : int;
+      chunk_size : int;
+      key_space : int;
+    }
+      (** recipient → donor: start (or resume, at [from_chunk]) a chunked
+          snapshot transfer.  Chunk [i] always covers keys
+          [i*chunk_size, (i+1)*chunk_size) of [key_space], so chunk
+          numbers keep their meaning across donor failover and recipient
+          restarts — monotone installs make re-fetching a range from a
+          different donor harmless.  Refused with
+          [Prepare_nack "recovering"] by a donor that cannot serve *)
+  | Snapshot_chunk of {
+      op : int;
+      chunk : int;
+      n_chunks : int;
+      wal_index : int;
+      dinc : int;
+      entries : Batch.t;
+    }
+      (** donor → recipient: one snapshot chunk.  [wal_index] is the
+          donor's {!Wal.next_index} when the chunk was served — the cut
+          stamp; the recipient keeps the {e minimum} stamp it has seen so
+          the eventual tail covers every commit since the earliest cut.
+          [dinc] is the donor's incarnation: a chunk whose [dinc]
+          disagrees with the transfer's established one is from a broken
+          (pre-restart) transfer and is fenced off *)
+  | Chunk_ack of { op : int; chunk : int; chunk_size : int; key_space : int }
+      (** recipient → donor: [chunk] applied and logged durably; send
+          [chunk + 1].  Echoes the geometry so the donor holds no
+          per-transfer state (and therefore cannot corrupt a transfer by
+          crashing — the recipient's acks are the only cursor) *)
+  | Tail_request of { op : int; from_index : int }
+      (** recipient → donor: bulk transfer done; ship every committed WAL
+          record at or after [from_index] ({!Wal.committed_since},
+          boundary inclusive) *)
+  | Wal_tail of { op : int; dinc : int; next_index : int; entries : Batch.t }
+      (** donor → recipient: the committed tail, plus the donor's current
+          [next_index] — the new cut a promotion's final fenced delta
+          request starts from *)
   | Ping of { seq : int }
       (** heartbeat probe from a failure-detecting coordinator *)
   | Pong of { seq : int }  (** heartbeat answer *)

@@ -236,7 +236,8 @@ let handle t ~src msg =
             g.phase = Commit_phase && inc = member_inc t ~op src
           | Read_request _ | Prepare _ | Prepare_nack _ | Busy _ | Commit _
           | Abort _ | Repair _ | Read_batch _ | Read_batch_reply _
-          | Prepare_batch _ | Ping _ | Pong _ ->
+          | Prepare_batch _ | Ping _ | Pong _ | Provision_request _
+          | Snapshot_chunk _ | Chunk_ack _ | Tail_request _ | Wal_tail _ ->
             false
         in
         if expected then begin

@@ -1,5 +1,55 @@
 type result = { migrated : int; failed : int list }
 
+(* Membership flows over a relabeled tree: the tree (and with it every
+   quorum-intersection argument) never changes shape; only the
+   position→site assignment moves.  Safety of the flip rests on the
+   write-quorum structure: a write quorum is all members of one level, so
+   every commit the outgoing occupant acked is either on the outgoing
+   occupant itself or on a quorum that does not contain its position at
+   all.  Provisioning the incoming site from the outgoing occupant —
+   bulk snapshot first, then a final WAL delta fetched while every key is
+   write-locked — therefore hands over the entire set of commits the
+   position is answerable for. *)
+
+let promote ~locks ~relabel ~position ~spare ?outgoing ~key_space
+    ?(on_switch = fun () -> ()) k =
+  if key_space < 1 then invalid_arg "Reconfig.promote: empty key space";
+  let donor = Quorum.Relabel.site_of relabel ~position in
+  let owner = Replica.site spare in
+  let release_all () =
+    for key = 0 to key_space - 1 do
+      Lock_manager.release locks ~key ~owner
+    done
+  in
+  let flip () =
+    (* The spare now holds every commit the position ever acked; fence
+       the outgoing occupant (when asked to) before the remap so no
+       window exists in which both sites could serve the position. *)
+    (match outgoing with Some o -> Replica.decommission o | None -> ());
+    Quorum.Relabel.remap relabel ~position ~site:(Replica.site spare);
+    on_switch ();
+    release_all ();
+    k ()
+  in
+  let locked () =
+    (* Clients are quiesced; one final fenced delta closes the gap
+       between the bulk snapshot's cut and the last acked commit. *)
+    Replica.request_tail spare ~donor flip
+  in
+  let rec lock key =
+    if key = key_space then locked ()
+    else
+      Lock_manager.acquire locks ~key ~mode:Lock_manager.Exclusive ~owner
+        (fun () -> lock (key + 1))
+  in
+  (* Bulk provisioning runs before any lock is taken: clients keep
+     committing while the snapshot streams; the locked delta is small. *)
+  Replica.provision_now spare ~pinned:true ~donor ~on_done:(fun () -> lock 0) ()
+
+let decommission ~locks ~relabel ~position ~outgoing ~spare ~key_space
+    ?on_switch k =
+  promote ~locks ~relabel ~position ~spare ~outgoing ~key_space ?on_switch k
+
 let migrate ~rpc ~locks ~new_proto ~key_space ?(on_switch = fun () -> ()) k =
   if key_space < 1 then invalid_arg "Reconfig.migrate: empty key space";
   let owner = Quorum_rpc.site rpc in

@@ -4,6 +4,30 @@ module Engine = Dsim.Engine
 module Network = Dsim.Network
 module Protocol = Quorum.Protocol
 
+(* Snapshot-provisioning configuration: how a cold or amnesiac replica
+   rebuilds from a donor's chunked snapshot plus a WAL tail instead of
+   per-key quorum catch-up.  Chunk [i] always covers keys
+   [i*chunk_size, (i+1)*chunk_size) of [key_space], so chunk numbers keep
+   their meaning across donor failover and recipient restarts.  [fence]
+   (default true) keeps the recipient out of service until the tail is
+   applied; turning it off is the deliberate safety violation the
+   negative-control campaign checks for. *)
+type provision = {
+  pv_key_space : int;
+  pv_chunk_size : int;
+  pv_fence : bool;
+  pv_timeout : float;
+  pv_donors : (unit -> int list) option;
+}
+
+let provision ?(chunk_size = 256) ?(fence = true) ?(timeout = 30.0) ?donors
+    ~key_space () =
+  if key_space < 1 then invalid_arg "Replica.provision: key_space < 1";
+  if chunk_size < 1 then invalid_arg "Replica.provision: chunk_size < 1";
+  if timeout <= 0.0 then invalid_arg "Replica.provision: timeout <= 0";
+  { pv_key_space = key_space; pv_chunk_size = chunk_size; pv_fence = fence;
+    pv_timeout = timeout; pv_donors = donors }
+
 type recovery = {
   wal_policy : Wal.policy;
   catch_up : bool;
@@ -12,15 +36,16 @@ type recovery = {
   catchup_timeout : float;
   catchup_max_attempts : int;
   backoff : Detect.Backoff.policy;
+  prov_config : provision option;
 }
 
 let recovery ?(wal_policy = Wal.Sync_on_commit) ?(catch_up = true) ?keys ?proto
     ?(catchup_timeout = 25.0) ?(catchup_max_attempts = 20)
-    ?(backoff = Detect.Backoff.default) () =
+    ?(backoff = Detect.Backoff.default) ?provision () =
   if catch_up && proto = None then
     invalid_arg "Replica.recovery: catch_up requires a protocol";
   { wal_policy; catch_up; keys; proto; catchup_timeout; catchup_max_attempts;
-    backoff }
+    backoff; prov_config = provision }
 
 (* Overload admission policy.  [shed_watermark] is in queue-depth units of
    the site's network service queue: above it, client work is answered
@@ -33,7 +58,15 @@ let admission ?(shed_watermark = 0) ?universe () =
     invalid_arg "Replica.admission: negative shed watermark";
   { shed_watermark; a_universe = universe }
 
-type status = Serving | Recovering
+type status =
+  | Serving
+  | Recovering
+  | Failed_rejoin
+      (* terminal: the rejoin machinery exhausted its budget; the site is
+         safe (it never serves clients) but out of service until the next
+         crash/recover cycle starts a fresh attempt *)
+  | Decommissioned
+      (* terminal and permanent: fenced out of every quorum role *)
 
 (* One outstanding catch-up read-quorum gather: the replica reads the
    newest (timestamp, value) of one key through a read quorum of the
@@ -48,6 +81,41 @@ type gather = {
   mutable g_max_ts : Timestamp.t;
   mutable g_max_value : string;
 }
+
+(* One in-flight provisioning transfer, recipient side.  The donor keeps
+   no per-transfer state at all — the recipient's requests carry the full
+   geometry and cursor — so a donor crash can interrupt a transfer but
+   never corrupt it. *)
+type prov = {
+  mutable p_op : int;
+  mutable p_donor : int;
+  p_pinned : bool;
+      (** promotion: the donor is the outgoing occupant of the tree
+          position, whose acked writes are exactly what quorum
+          intersection makes the incoming occupant answerable for — no
+          other site is a safe substitute, so a pinned donor is retried
+          in place instead of failed over *)
+  mutable p_tried : int list;  (** donors already failed over from *)
+  mutable p_next_chunk : int;
+  mutable p_wal_index : int;
+      (** minimum cut stamp over every chunk applied ([max_int] before
+          the first): the tail must cover commits since the {e earliest}
+          cut any of the chunks was read under *)
+  mutable p_dinc : int;
+      (** donor incarnation the transfer is fenced to; -1 until the
+          first accepted chunk establishes it *)
+  mutable p_tailing : bool;
+  mutable p_progress : int;
+      (** bumped on every accepted reply; the timeout watchdog only acts
+          when it has not moved for a whole timeout *)
+  p_t0 : float;
+  p_done : (unit -> unit) option;
+}
+
+(* One outstanding delta-tail fetch — the promotion flow's final fenced
+   delta, requested under the key locks.  Not a transfer: a single
+   [Tail_request] retried until answered. *)
+type tail_wait = { tw_op : int; tw_donor : int; tw_k : unit -> unit }
 
 type t = {
   site : int;
@@ -76,6 +144,21 @@ type t = {
   mutable catchup_abandoned : int;
   mutable stale_commits_nacked : int;
   mutable wal_records_replayed : int;
+  mutable prov : prov option;
+  mutable prov_resume : (int option * bool * (unit -> unit) option) option;
+      (* (donor, pinned, continuation) of a transfer interrupted by an
+         amnesia crash — re-attached when the site comes back so a
+         promotion's completion callback eventually fires *)
+  mutable tail_wait : tail_wait option;
+  mutable last_tail_index : int;  (* newest donor cut this replica holds *)
+  mutable catchup_rounds : int;
+  mutable failed_rejoins : int;
+  mutable provision_runs : int;
+  mutable provision_chunks : int;
+  mutable provision_resumes : int;
+  mutable provision_failovers : int;
+  mutable provision_stale : int;
+  mutable provision_rounds : int;
 }
 
 let engine t = Network.engine t.net
@@ -142,6 +225,7 @@ let rec catchup_key t ~inc ~keys ~attempt ~t0 =
            too, so a long outage drains the budget instead of looping. *)
         catchup_retry t ~inc ~keys ~attempt:(attempt + 1) ~t0
       | Some quorum ->
+        t.catchup_rounds <- t.catchup_rounds + 1;
         let members = Bitset.elements quorum in
         let g =
           {
@@ -172,10 +256,16 @@ and catchup_retry t ~inc ~keys ~attempt ~t0 =
   let r = Option.get t.recovery in
   if attempt >= r.catchup_max_attempts then begin
     (* Peers never assembled into a willing quorum (e.g. everyone else is
-       recovering too).  Stay in Recovering — serving would risk stale
-       reads — until the next crash/recover cycle tries again. *)
+       recovering too).  Serving would risk stale reads, so the rejoin
+       lands in the terminal [Failed_rejoin] state: still safe (peer
+       catch-up reads keep being answered from durable state, clients are
+       refused), visibly stuck rather than "recovering" forever, until
+       the next crash/recover cycle starts a fresh attempt. *)
     t.catchup_abandoned <- t.catchup_abandoned + 1;
-    ocount t "replica.catchup.abandoned"
+    ocount t "replica.catchup.abandoned";
+    t.status <- Failed_rejoin;
+    t.failed_rejoins <- t.failed_rejoins + 1;
+    ocount t "replica.rejoin.failed"
   end
   else begin
     let delay =
@@ -216,6 +306,280 @@ let catchup_gather_failed t g =
   catchup_retry t ~inc:t.incarnation ~keys:(g.g_key :: g.g_rest)
     ~attempt:(g.g_attempt + 1) ~t0:g.g_t0
 
+(* --- provisioning: donor side -------------------------------------------- *)
+
+let prov_config t =
+  match t.recovery with Some { prov_config = Some pv; _ } -> Some pv | _ -> None
+
+(* Serving a chunk is a pure read of local committed state: the simulator
+   mutates stores only between events, so the export inside one event is
+   a consistent cut, stamped with the WAL index the matching tail must
+   start from. *)
+let serve_chunk t ~dst ~op ~chunk ~chunk_size ~key_space =
+  let n_chunks = max 1 ((key_space + chunk_size - 1) / chunk_size) in
+  if chunk >= 0 && chunk < n_chunks && chunk_size > 0 then begin
+    let lo = chunk * chunk_size in
+    let hi = min key_space (lo + chunk_size) in
+    let entries = Store.snapshot_chunk t.store ~lo ~hi in
+    let wal_index = match t.wal with None -> 0 | Some w -> Wal.next_index w in
+    send t ~units:(max 1 (Batch.length entries)) ~dst
+      (Message.Snapshot_chunk
+         { op; chunk; n_chunks; wal_index; dinc = t.incarnation; entries })
+  end
+
+let serve_tail t ~dst ~op ~from_index =
+  let next_index, entries =
+    match t.wal with
+    | None -> (0, Batch.init 0 (fun _ -> (0, 0, 0, "")))
+    | Some w -> (Wal.next_index w, Wal.committed_since w ~index:from_index)
+  in
+  send t ~units:(max 1 (Batch.length entries)) ~dst
+    (Message.Wal_tail { op; dinc = t.incarnation; next_index; entries })
+
+(* --- provisioning: recipient side ----------------------------------------- *)
+
+(* Install a committed tail monotonically, mirroring every entry into the
+   WAL (one durability point for the lot) so it survives a later amnesia
+   crash. *)
+let apply_tail_entries t entries =
+  ignore (Store.import_chunk t.store entries);
+  match t.wal with
+  | Some wal when Batch.length entries > 0 ->
+    let records = ref [] in
+    for i = Batch.length entries - 1 downto 0 do
+      records :=
+        Wal.Install
+          {
+            key = Batch.key entries i;
+            ts =
+              Timestamp.make ~version:(Batch.version entries i)
+                ~sid:(Batch.sid entries i);
+            value = Batch.value entries i;
+          }
+        :: !records
+    done;
+    Wal.append_batch wal !records
+  | _ -> ()
+
+let prov_stale t =
+  t.provision_stale <- t.provision_stale + 1;
+  ocount t "provision.stale"
+
+let rec prov_request t p =
+  (* (Re)issue the transfer from the current cursor under a fresh op id —
+     anything still in flight under the old id is thereby fenced. *)
+  let pv = match prov_config t with Some pv -> pv | None -> assert false in
+  p.p_op <- fresh_op t;
+  t.provision_rounds <- t.provision_rounds + 1;
+  send t ~dst:p.p_donor
+    (Message.Provision_request
+       {
+         op = p.p_op;
+         from_chunk = p.p_next_chunk;
+         chunk_size = pv.pv_chunk_size;
+         key_space = pv.pv_key_space;
+       });
+  prov_watch t p
+
+and prov_tail_request t p =
+  let from_index = if p.p_wal_index = max_int then 0 else p.p_wal_index in
+  p.p_op <- fresh_op t;
+  t.provision_rounds <- t.provision_rounds + 1;
+  send t ~dst:p.p_donor (Message.Tail_request { op = p.p_op; from_index });
+  prov_watch t p
+
+and prov_watch t p =
+  let pv = match prov_config t with Some pv -> pv | None -> assert false in
+  let snap = p.p_progress in
+  Engine.schedule (engine t) ~delay:pv.pv_timeout (fun () ->
+      match t.prov with
+      | Some p' when p' == p && p.p_progress = snap -> prov_stalled t p
+      | _ -> ())
+
+and prov_stalled t p =
+  (* A whole timeout with no progress (or an explicit donor refusal): the
+     donor is crashed, recovering, decommissioned or unreachable.  A
+     pinned donor is retried in place; otherwise fail over to the next
+     candidate, resuming from the current chunk cursor — monotone
+     installs make the overlap harmless. *)
+  p.p_progress <- p.p_progress + 1;
+  if not p.p_pinned then begin
+    p.p_tried <- p.p_donor :: p.p_tried;
+    match prov_pick_donor t p with
+    | Some d when d <> p.p_donor ->
+      t.provision_failovers <- t.provision_failovers + 1;
+      ocount t "provision.donor_failovers";
+      if p.p_next_chunk > 0 && not p.p_tailing then begin
+        t.provision_resumes <- t.provision_resumes + 1;
+        ocount t "provision.resumes"
+      end;
+      p.p_donor <- d;
+      p.p_dinc <- -1
+    | _ -> ()
+  end;
+  if p.p_tailing then prov_tail_request t p else prov_request t p
+
+and prov_pick_donor t p =
+  let candidates =
+    match prov_config t with
+    | Some { pv_donors = Some f; _ } -> f ()
+    | _ -> ( match t.universe with Some n -> List.init n Fun.id | None -> [])
+  in
+  let usable d =
+    d <> t.site && Network.is_up t.net d && Network.reachable t.net t.site d
+  in
+  match
+    List.find_opt (fun d -> usable d && not (List.mem d p.p_tried)) candidates
+  with
+  | Some d -> Some d
+  | None ->
+    (* every candidate tried or down: forget the history and knock on any
+       live door again — re-asking a donor that refused before is
+       harmless, and the transfer must eventually complete *)
+    p.p_tried <- [];
+    List.find_opt usable candidates
+
+let prov_chunk t p ~src ~chunk ~n_chunks ~wal_index ~dinc ~entries =
+  if src <> p.p_donor then prov_stale t
+  else if p.p_dinc >= 0 && dinc <> p.p_dinc then begin
+    (* the donor restarted mid-transfer: this chunk belongs to a broken
+       transfer — fence it and re-request from the cursor under a fresh
+       op, re-establishing the incarnation from the next reply *)
+    prov_stale t;
+    p.p_dinc <- -1;
+    prov_request t p
+  end
+  else if chunk <> p.p_next_chunk || p.p_tailing then prov_stale t
+  else begin
+    let pv = match prov_config t with Some pv -> pv | None -> assert false in
+    p.p_dinc <- dinc;
+    p.p_wal_index <- min p.p_wal_index wal_index;
+    p.p_progress <- p.p_progress + 1;
+    ignore (Store.import_chunk t.store entries);
+    (match t.wal with
+    | Some wal ->
+      (* the chunk's installs and the progress mark share one durability
+         point: a crash either keeps the whole chunk (and resumes after
+         it) or none of it *)
+      let records = ref [ Wal.Mark { chunk; wal_index = p.p_wal_index } ] in
+      for i = Batch.length entries - 1 downto 0 do
+        records :=
+          Wal.Install
+            {
+              key = Batch.key entries i;
+              ts =
+                Timestamp.make ~version:(Batch.version entries i)
+                  ~sid:(Batch.sid entries i);
+              value = Batch.value entries i;
+            }
+          :: !records
+      done;
+      Wal.append_batch wal !records
+    | None -> ());
+    t.provision_chunks <- t.provision_chunks + 1;
+    ocount t "provision.chunks";
+    p.p_next_chunk <- chunk + 1;
+    if p.p_next_chunk >= n_chunks then begin
+      p.p_tailing <- true;
+      prov_tail_request t p
+    end
+    else begin
+      t.provision_rounds <- t.provision_rounds + 1;
+      send t ~dst:p.p_donor
+        (Message.Chunk_ack
+           {
+             op = p.p_op;
+             chunk;
+             chunk_size = pv.pv_chunk_size;
+             key_space = pv.pv_key_space;
+           });
+      prov_watch t p
+    end
+  end
+
+let prov_tail t p ~src ~dinc ~next_index ~entries =
+  if src <> p.p_donor then prov_stale t
+  else if p.p_dinc >= 0 && dinc <> p.p_dinc then begin
+    (* donor restarted between the last chunk and the tail; the uniform
+       fencing rule applies — refuse and re-request under the new life *)
+    prov_stale t;
+    p.p_dinc <- -1;
+    prov_tail_request t p
+  end
+  else begin
+    p.p_progress <- p.p_progress + 1;
+    apply_tail_entries t entries;
+    t.last_tail_index <- next_index;
+    (* completion mark: retires the transfer's resume state so a later
+       rejoin starts fresh *)
+    (match t.wal with
+    | Some wal -> Wal.append wal (Wal.Mark { chunk = -1; wal_index = next_index })
+    | None -> ());
+    t.prov <- None;
+    t.provision_runs <- t.provision_runs + 1;
+    ocount t "provision.runs";
+    ohist t "provision.duration" (now t -. p.p_t0);
+    if t.status = Recovering then t.status <- Serving;
+    match p.p_done with Some k -> k () | None -> ()
+  end
+
+let start_provision t ?(pinned = false) ?donor ?on_done () =
+  let pv =
+    match prov_config t with
+    | Some pv -> pv
+    | None -> invalid_arg "Replica.provision_now: no provisioning config"
+  in
+  let n_chunks =
+    max 1 ((pv.pv_key_space + pv.pv_chunk_size - 1) / pv.pv_chunk_size)
+  in
+  let resume_chunk, resume_index =
+    match t.wal with
+    | Some w -> (
+      match Wal.resume_state w with
+      | Some (c, wi) -> (min c n_chunks, wi)
+      | None -> (0, max_int))
+    | None -> (0, max_int)
+  in
+  t.status <- (if pv.pv_fence then Recovering else Serving);
+  t.gather <- None;
+  let p =
+    {
+      p_op = 0;
+      p_donor = -1;
+      p_pinned = pinned;
+      p_tried = [];
+      p_next_chunk = resume_chunk;
+      p_wal_index = resume_index;
+      p_dinc = -1;
+      p_tailing = false;
+      p_progress = 0;
+      p_t0 = now t;
+      p_done = on_done;
+    }
+  in
+  (match donor with
+  | Some d -> p.p_donor <- d
+  | None -> (
+    match prov_pick_donor t p with
+    | Some d -> p.p_donor <- d
+    | None ->
+      (* nobody reachable right now: aim at any other site; the watchdog
+         keeps re-picking until someone answers *)
+      p.p_donor <- (if t.site = 0 then 1 else 0)));
+  t.prov <- Some p;
+  ocount t "provision.starts";
+  if resume_chunk > 0 then begin
+    (* restarting from the last durable chunk of an interrupted transfer *)
+    t.provision_resumes <- t.provision_resumes + 1;
+    ocount t "provision.resumes"
+  end;
+  if resume_chunk >= n_chunks && resume_index <> max_int then begin
+    (* every chunk was already durable: only the tail is missing *)
+    p.p_tailing <- true;
+    prov_tail_request t p
+  end
+  else prov_request t p
+
 let on_crash t mode =
   match (mode : Network.crash_mode) with
   | Network.Fail_stop -> ()
@@ -225,6 +589,15 @@ let on_crash t mode =
     t.lost_state <- true;
     t.store <- Store.create ();
     t.gather <- None;
+    (match t.prov with
+    | Some p when p.p_pinned || p.p_done <> None ->
+      (* a transfer someone is waiting on (a promotion): stash the donor
+         and the continuation so the restarted transfer still reports
+         completion to the orchestrator *)
+      t.prov_resume <- Some (Some p.p_donor, p.p_pinned, p.p_done)
+    | _ -> ());
+    t.prov <- None;
+    t.tail_wait <- None;
     (match t.wal with Some wal -> Wal.crash wal | None -> ())
 
 let on_recover t =
@@ -237,15 +610,30 @@ let on_recover t =
       let n = Wal.replay wal t.store in
       t.wal_records_replayed <- t.wal_records_replayed + n
     | None -> ());
-    let r = Option.get t.recovery in
-    if r.catch_up then begin
-      t.status <- Recovering;
-      let keys =
-        match r.keys with Some f -> f () | None -> Store.keys t.store
-      in
-      catchup_key t ~inc:t.incarnation ~keys ~attempt:0 ~t0:(now t)
-    end
-    else t.status <- Serving
+    if t.status = Decommissioned then ()
+      (* a decommissioned site stays fenced through crashes *)
+    else
+      let r = Option.get t.recovery in
+      match r.prov_config with
+      | Some _ ->
+        (* provisioning rejoin: snapshot + tail from a donor, resuming
+           after the newest durable chunk mark WAL replay preserved *)
+        let donor, pinned, k =
+          match t.prov_resume with
+          | Some (d, pin, k) -> (d, pin, k)
+          | None -> (None, false, None)
+        in
+        t.prov_resume <- None;
+        start_provision t ~pinned ?donor ?on_done:k ()
+      | None ->
+        if r.catch_up then begin
+          t.status <- Recovering;
+          let keys =
+            match r.keys with Some f -> f () | None -> Store.keys t.store
+          in
+          catchup_key t ~inc:t.incarnation ~keys ~attempt:0 ~t0:(now t)
+        end
+        else t.status <- Serving
   end
 
 (* --- message handling ----------------------------------------------------- *)
@@ -392,6 +780,15 @@ let handle_serving t ~src msg =
     | None -> ());
     send t ~dst:src (Message.Prepare_ack { op; inc = t.incarnation })
   | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
+  | Provision_request { op; from_chunk; chunk_size; key_space } ->
+    (* donor duty: serve the requested chunk from local committed state *)
+    serve_chunk t ~dst:src ~op ~chunk:from_chunk ~chunk_size ~key_space
+  | Chunk_ack { op; chunk; chunk_size; key_space } ->
+    serve_chunk t ~dst:src ~op ~chunk:(chunk + 1) ~chunk_size ~key_space
+  | Tail_request { op; from_index } -> serve_tail t ~dst:src ~op ~from_index
+  | Snapshot_chunk _ | Wal_tail _ ->
+    (* recipient-side replies are routed before the status dispatch *)
+    ()
   | Read_reply _ | Read_batch_reply _ | Prepare_ack _ | Prepare_nack _
   | Commit_ack _ | Busy _ | Pong _ ->
     (* Coordinator-bound messages; a serving replica ignores strays. *)
@@ -456,15 +853,93 @@ let handle_recovering t ~src msg =
     match t.gather with
     | Some g when g.g_op = Message.op_id msg -> catchup_gather_failed t g
     | _ -> ())
+  | Provision_request { op; from_chunk; chunk_size; key_space } ->
+    (* Donor duty is served even while recovering, from replayed durable
+       state — the same argument as peer catch-up reads above: under a
+       commit-durable WAL that state holds every commit this replica
+       acked, which is all the recipient needs from {e this} donor.
+       Refusing would wedge a full blackout forever (every rejoiner
+       nacking every other rejoiner). *)
+    serve_chunk t ~dst:src ~op ~chunk:from_chunk ~chunk_size ~key_space
+  | Chunk_ack { op; chunk; chunk_size; key_space } ->
+    serve_chunk t ~dst:src ~op ~chunk:(chunk + 1) ~chunk_size ~key_space
+  | Tail_request { op; from_index } -> serve_tail t ~dst:src ~op ~from_index
+  | Snapshot_chunk _ | Wal_tail _ ->
+    (* recipient-side replies are routed before the status dispatch *)
+    ()
   | Prepare_ack _ | Commit_ack _ | Busy _ | Pong _ | Read_batch_reply _ -> ()
 
+(* A decommissioned site is fenced for good: it refuses reads, 2PC
+   participation and donor duty so no quorum and no transfer can count on
+   it, and it never rejoins on recovery.  Only heartbeats are answered —
+   the failure detector may truthfully observe it as up, just useless. *)
+let handle_decommissioned t ~src msg =
+  match (msg : Message.t) with
+  | Read_request { op; _ }
+  | Read_batch { op; _ }
+  | Prepare { op; _ }
+  | Prepare_batch { op; _ }
+  | Provision_request { op; _ }
+  | Chunk_ack { op; _ }
+  | Tail_request { op; _ } ->
+    nack t ~dst:src ~op "decommissioned"
+  | Commit { op; _ } ->
+    t.stale_commits_nacked <- t.stale_commits_nacked + 1;
+    ocount t "replica.stale_inc.nacked";
+    nack t ~dst:src ~op "stale-incarnation"
+  | Abort { op } -> Store.abort_staged t.store ~op
+  | Ping { seq } -> send t ~dst:src (Message.Pong { seq })
+  | Repair _ | Snapshot_chunk _ | Wal_tail _ | Read_reply _
+  | Read_batch_reply _ | Prepare_ack _ | Prepare_nack _ | Commit_ack _
+  | Busy _ | Pong _ ->
+    ()
+
+(* Recipient-side provisioning replies bypass the status dispatch: a
+   fenced recipient is [Recovering], an unfenced one (the negative
+   control) keeps [Serving] while the transfer runs, and the promotion
+   delta tail arrives at a serving spare. *)
+let is_prov_reply t msg =
+  match (msg : Message.t) with
+  | Message.Snapshot_chunk _ | Message.Wal_tail _ -> true
+  | Message.Prepare_nack { op; _ } -> (
+    match t.prov with Some p -> p.p_op = op | None -> false)
+  | _ -> false
+
+let handle_prov_reply t ~src msg =
+  match (msg : Message.t) with
+  | Message.Snapshot_chunk { op; chunk; n_chunks; wal_index; dinc; entries }
+    -> (
+    match t.prov with
+    | Some p when p.p_op = op ->
+      prov_chunk t p ~src ~chunk ~n_chunks ~wal_index ~dinc ~entries
+    | _ -> prov_stale t)
+  | Message.Wal_tail { op; dinc; next_index; entries } -> (
+    match t.prov with
+    | Some p when p.p_op = op -> prov_tail t p ~src ~dinc ~next_index ~entries
+    | _ -> (
+      match t.tail_wait with
+      | Some tw when tw.tw_op = op && tw.tw_donor = src ->
+        t.tail_wait <- None;
+        apply_tail_entries t entries;
+        t.last_tail_index <- next_index;
+        tw.tw_k ()
+      | _ -> prov_stale t))
+  | Message.Prepare_nack _ -> (
+    (* the donor refused (recovering or decommissioned): same move as a
+       stall — fail over, or retry a pinned donor *)
+    match t.prov with Some p -> prov_stalled t p | None -> ())
+  | _ -> ()
+
 let handle t ~src msg =
-  match shed_client_work t ~src msg with
-  | Some op -> shed t ~dst:src ~op
-  | None -> (
-    match t.status with
-    | Serving -> handle_serving t ~src msg
-    | Recovering -> handle_recovering t ~src msg)
+  if is_prov_reply t msg then handle_prov_reply t ~src msg
+  else
+    match shed_client_work t ~src msg with
+    | Some op -> shed t ~dst:src ~op
+    | None -> (
+      match t.status with
+      | Serving -> handle_serving t ~src msg
+      | Recovering | Failed_rejoin -> handle_recovering t ~src msg
+      | Decommissioned -> handle_decommissioned t ~src msg)
 
 (* Which arrivals may bypass the bounded ingress queue's capacity check.
    Replies and heartbeats are tiny and keep the control plane honest; 2PC
@@ -480,6 +955,11 @@ let priority_lane t ~src msg =
   | Read_request _ -> is_peer t src
   | Prepare _ | Prepare_batch _ -> false
   | Read_batch _ -> is_peer t src
+  | Provision_request _ | Snapshot_chunk _ | Chunk_ack _ | Tail_request _
+  | Wal_tail _ ->
+    (* provisioning rides the recovery lane: a transfer that overload can
+       starve would keep the recipient out of service indefinitely *)
+    true
 
 (* A message the bounded queue turned away: answer with an explicit
    [Busy] so the coordinator learns about the pushback now instead of at
@@ -549,6 +1029,18 @@ let create ~site ~net ?recovery ?admission ?(group_commit = false) ?obs () =
       catchup_abandoned = 0;
       stale_commits_nacked = 0;
       wal_records_replayed = 0;
+      prov = None;
+      prov_resume = None;
+      tail_wait = None;
+      last_tail_index = 0;
+      catchup_rounds = 0;
+      failed_rejoins = 0;
+      provision_runs = 0;
+      provision_chunks = 0;
+      provision_resumes = 0;
+      provision_failovers = 0;
+      provision_stale = 0;
+      provision_rounds = 0;
     }
   in
   Network.set_handler net ~site (fun ~src msg -> handle t ~src msg);
@@ -571,6 +1063,36 @@ let create ~site ~net ?recovery ?admission ?(group_commit = false) ?obs () =
       ();
   t
 
+(* --- membership operations ------------------------------------------------ *)
+
+let provision_now t ?(pinned = false) ?donor ?on_done () =
+  start_provision t ~pinned ?donor ?on_done ()
+
+(* One-shot fenced delta: fetch the committed tail since the newest cut
+   this replica holds, then run [k].  The promotion flow calls this while
+   every key is locked, so the answer is the donor's final word. *)
+let request_tail t ~donor k =
+  let tw = { tw_op = fresh_op t; tw_donor = donor; tw_k = k } in
+  t.tail_wait <- Some tw;
+  let delay = match prov_config t with Some pv -> pv.pv_timeout | None -> 25.0 in
+  let rec go () =
+    match t.tail_wait with
+    | Some tw' when tw' == tw ->
+      t.provision_rounds <- t.provision_rounds + 1;
+      send t ~dst:donor
+        (Message.Tail_request { op = tw.tw_op; from_index = t.last_tail_index });
+      Engine.schedule (engine t) ~delay go
+    | _ -> ()
+  in
+  go ()
+
+let decommission t =
+  t.status <- Decommissioned;
+  t.prov <- None;
+  t.gather <- None;
+  t.tail_wait <- None;
+  ocount t "replica.decommissioned"
+
 let site t = t.site
 let store t = t.store
 let reads_served t = t.reads_served
@@ -580,6 +1102,17 @@ let prepares_seen t = t.prepares_seen
 let repairs_applied t = t.repairs_applied
 let incarnation t = t.incarnation
 let is_serving t = t.status = Serving
+let is_decommissioned t = t.status = Decommissioned
+let is_failed_rejoin t = t.status = Failed_rejoin
+let provisioning_active t = t.prov <> None
+
+let status_label t =
+  match t.status with
+  | Serving -> "serving"
+  | Recovering -> "recovering"
+  | Failed_rejoin -> "failed-rejoin"
+  | Decommissioned -> "decommissioned"
+
 let catchup_runs t = t.catchup_runs
 let catchup_keys_installed t = t.catchup_keys_installed
 let catchup_abandoned t = t.catchup_abandoned
@@ -587,3 +1120,12 @@ let stale_commits_nacked t = t.stale_commits_nacked
 let wal_records_replayed t = t.wal_records_replayed
 let wal_records_lost t = match t.wal with None -> 0 | Some w -> Wal.lost_total w
 let wal_syncs t = match t.wal with None -> 0 | Some w -> Wal.syncs w
+let catchup_rounds t = t.catchup_rounds
+let failed_rejoins t = t.failed_rejoins
+let provision_runs t = t.provision_runs
+let provision_chunks t = t.provision_chunks
+let provision_resumes t = t.provision_resumes
+let provision_donor_failovers t = t.provision_failovers
+let provision_stale t = t.provision_stale
+let provision_rounds t = t.provision_rounds
+let last_tail_index t = t.last_tail_index

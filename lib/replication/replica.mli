@@ -24,6 +24,9 @@ type t
 type recovery
 (** Crash-recovery configuration. *)
 
+type provision
+(** Snapshot-provisioning configuration (see {!provision}). *)
+
 type admission
 (** Overload admission-control configuration. *)
 
@@ -45,6 +48,37 @@ val admission : ?shed_watermark:int -> ?universe:int -> unit -> admission
 
     @raise Invalid_argument on a negative watermark. *)
 
+val provision :
+  ?chunk_size:int ->
+  ?fence:bool ->
+  ?timeout:float ->
+  ?donors:(unit -> int list) ->
+  key_space:int ->
+  unit ->
+  provision
+(** Snapshot provisioning: on rejoin the replica rebuilds from a donor's
+    chunked snapshot plus a WAL tail instead of per-key quorum catch-up.
+    Chunk [i] always covers keys [i*chunk_size, (i+1)*chunk_size) of
+    [key_space] (default chunk size 256), so chunk numbers keep their
+    meaning across donor failover and recipient restarts, and the donor
+    holds no per-transfer state.  Every applied chunk is WAL-logged with
+    a progress mark, so an amnesia crash mid-transfer resumes after the
+    last durable chunk.  A transfer making no progress for [timeout]
+    (default 30.0) fails over to the next donor candidate ([donors]
+    enumerates candidates in preference order; default: every site of the
+    recovery protocol's universe), fenced by donor incarnation against
+    chunks of a broken (pre-restart) transfer.
+
+    [fence] (default [true]) keeps the recipient refusing reads and
+    prepares until the tail is applied.  With [fence:false] the replica
+    serves {e while} provisioning — deliberately unsafe (a client can
+    read a key whose chunk has not arrived), kept as the negative control
+    that proves the consistency checker would catch the races fencing
+    prevents.
+
+    @raise Invalid_argument on a non-positive key space, chunk size or
+    timeout. *)
+
 val recovery :
   ?wal_policy:Wal.policy ->
   ?catch_up:bool ->
@@ -53,6 +87,7 @@ val recovery :
   ?catchup_timeout:float ->
   ?catchup_max_attempts:int ->
   ?backoff:Detect.Backoff.policy ->
+  ?provision:provision ->
   unit ->
   recovery
 (** [wal_policy] defaults to {!Wal.Sync_on_commit}.  [catch_up] (default
@@ -64,7 +99,12 @@ val recovery :
     lost).  Each per-key quorum gather times out after [catchup_timeout]
     (default 25.0) and is retried with [backoff] jitter up to
     [catchup_max_attempts] (default 20) times; on exhaustion the replica
-    stays in the recovering state (safe but unavailable).
+    enters the terminal failed-rejoin state (safe but unavailable; see
+    {!failed_rejoins}) until its next crash/recover cycle.
+
+    When [provision] is given it {e replaces} quorum catch-up as the
+    rejoin path: recovery replays the WAL, then provisions from a donor
+    (resuming an interrupted transfer where its durable marks left off).
 
     @raise Invalid_argument if [catch_up] is set without [proto]. *)
 
@@ -114,6 +154,52 @@ val incarnation : t -> int
 val is_serving : t -> bool
 (** [false] while the rejoin state machine is still catching up. *)
 
+val is_decommissioned : t -> bool
+val is_failed_rejoin : t -> bool
+
+val provisioning_active : t -> bool
+(** A snapshot transfer is currently in flight on this replica. *)
+
+val status_label : t -> string
+(** ["serving"], ["recovering"], ["failed-rejoin"] or ["decommissioned"]. *)
+
+(** {2 Membership operations}
+
+    Provisioning, promotion support and decommission.  The higher-level
+    online flows (promote a spare into a tree position, drain and remove
+    an occupant) live in {!Reconfig}; these are the per-replica
+    primitives they compose. *)
+
+val provision_now :
+  t -> ?pinned:bool -> ?donor:int -> ?on_done:(unit -> unit) -> unit -> unit
+(** Starts (or restarts) a snapshot transfer immediately, without waiting
+    for a crash/recover cycle.  [donor] overrides donor selection for the
+    first attempt; [pinned] disables failover — used by promotion, where
+    the outgoing occupant is the only safe donor (its acked writes are
+    exactly what quorum intersection makes the incoming occupant
+    answerable for).  [on_done] fires when the tail is applied; it
+    survives recipient amnesia crashes (the restarted transfer
+    re-attaches it).  Requires a {!provision} config.
+
+    @raise Invalid_argument without a provisioning config. *)
+
+val request_tail : t -> donor:int -> (unit -> unit) -> unit
+(** One-shot delta: fetch from [donor] the committed WAL tail since the
+    newest cut this replica holds ({!last_tail_index}), install it, then
+    run the continuation.  Retried until answered.  The promotion flow
+    calls this while every key is write-locked, making the reply the
+    donor's final committed word. *)
+
+val decommission : t -> unit
+(** Fences the replica permanently: reads, prepares and donor duty are
+    refused with [Prepare_nack "decommissioned"], commits are nacked, and
+    crash/recover cycles do not resurrect it.  Heartbeats still answer —
+    a decommissioned site is up, just out of every quorum. *)
+
+val last_tail_index : t -> int
+(** The donor-side WAL cut of the newest snapshot tail or delta this
+    replica applied; 0 if it never provisioned. *)
+
 val catchup_runs : t -> int
 (** Completed catch-ups (back to serving). *)
 
@@ -121,8 +207,39 @@ val catchup_keys_installed : t -> int
 (** Keys whose quorum-read value actually changed local state. *)
 
 val catchup_abandoned : t -> int
-(** Catch-ups that exhausted their retry budget (replica stays
-    recovering: safe, not live). *)
+(** Catch-ups that exhausted their retry budget (the replica lands in
+    the terminal failed-rejoin state: safe, not live). *)
+
+val catchup_rounds : t -> int
+(** Read-quorum gathers issued by catch-up — one per key per attempt.
+    The unit the provisioning speedup is measured in. *)
+
+val failed_rejoins : t -> int
+(** Times the rejoin machinery gave up and entered failed-rejoin.
+    Mirrored as the [replica.rejoin.failed] metric. *)
+
+val provision_runs : t -> int
+(** Completed snapshot provisionings (tail applied, back to serving). *)
+
+val provision_chunks : t -> int
+(** Snapshot chunks applied and logged ([provision.chunks] metric). *)
+
+val provision_resumes : t -> int
+(** Transfers continued from a non-zero chunk cursor — recipient
+    restarts after the last durable mark, plus mid-transfer failovers
+    ([provision.resumes] metric). *)
+
+val provision_donor_failovers : t -> int
+(** Donor switches after a stall or refusal ([provision.donor_failovers]
+    metric). *)
+
+val provision_stale : t -> int
+(** Provisioning replies fenced off: wrong op, wrong donor, duplicate
+    chunk, or a donor incarnation from a broken transfer. *)
+
+val provision_rounds : t -> int
+(** Provisioning protocol rounds issued (requests, acks and tail
+    fetches) — directly comparable to {!catchup_rounds}. *)
 
 val stale_commits_nacked : t -> int
 (** Commits refused because they carried a pre-crash incarnation. *)

@@ -183,6 +183,51 @@ let abort_staged t ~op =
 
 let staged_count t = Hashtbl.length t.pending + Hashtbl.length t.pending_batch
 
+(* Snapshot export: the committed entries with lo <= key < hi, ascending.
+   The store is mutated only between engine events, so any single-event
+   caller sees a consistent cut by construction; chunking a key range per
+   call keeps each transfer message bounded.  Dense keys are a straight
+   column scan; spill keys (outside the dense range) are collected and
+   sorted only when the range can contain them. *)
+let snapshot_chunk t ~lo ~hi =
+  if lo > hi then invalid_arg "Store.snapshot_chunk: lo > hi";
+  let b = Batch.Builder.create ~capacity:64 () in
+  let dense_hi = min hi (Array.length t.versions) in
+  for key = max lo 0 to dense_hi - 1 do
+    let v = Array.unsafe_get t.versions key
+    and s = Array.unsafe_get t.sids key in
+    let value = Array.unsafe_get t.values key in
+    if not (v = 0 && s = 0 && String.length value = 0) then
+      Batch.Builder.push b ~key ~version:v ~sid:s ~value
+  done;
+  if lo < 0 || hi > dense_limit then begin
+    let spilled =
+      Hashtbl.fold
+        (fun key (v, s, value) acc ->
+          if key >= lo && key < hi then (key, v, s, value) :: acc else acc)
+        t.spill []
+    in
+    List.iter
+      (fun (key, version, sid, value) ->
+        Batch.Builder.push b ~key ~version ~sid ~value)
+      (List.sort compare spilled)
+  end;
+  Batch.Builder.snapshot b
+
+(* Snapshot import: a monotone merge, never an overwrite — an entry older
+   than what the recipient already holds (own WAL replay, an earlier
+   chunk, concurrent repairs) loses the [newer] race and changes
+   nothing.  Returns how many entries advanced local state. *)
+let import_chunk t chunk =
+  let changed = ref 0 in
+  for i = 0 to Batch.length chunk - 1 do
+    if
+      install_flat t ~key:(Batch.key chunk i) ~version:(Batch.version chunk i)
+        ~sid:(Batch.sid chunk i) ~value:(Batch.value chunk i)
+    then incr changed
+  done;
+  !changed
+
 let keys t =
   let dense = ref [] in
   for key = Array.length t.versions - 1 downto 0 do

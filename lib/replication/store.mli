@@ -94,3 +94,17 @@ val staged_count : t -> int
 
 val keys : t -> int list
 (** Committed keys, ascending. *)
+
+val snapshot_chunk : t -> lo:int -> hi:int -> Batch.t
+(** Snapshot export: the committed entries with [lo <= key < hi], in
+    ascending key order (absent keys are skipped).  The simulator mutates
+    stores only between events, so a caller inside one event reads a
+    consistent cut; provisioning carves the key space into fixed ranges
+    so chunk numbers stay meaningful across donors and restarts.
+    @raise Invalid_argument when [lo > hi]. *)
+
+val import_chunk : t -> Batch.t -> int
+(** Snapshot import: installs every entry {e monotonically} (an entry
+    older than local committed state changes nothing — safe on top of
+    WAL replay, duplicated chunks, or concurrent repairs).  Returns the
+    number of entries that advanced local state. *)

@@ -46,8 +46,17 @@ type record =
           Carries the full write so it is self-contained even when the
           matching {!Stage} record was volatile (Sync_on_commit) *)
   | Install of { key : int; ts : Timestamp.t; value : string }
-      (** a committed write learned outside 2PC (read repair, catch-up) *)
+      (** a committed write learned outside 2PC (read repair, catch-up,
+          or a provisioning snapshot chunk) *)
   | Abort of { op : int }
+  | Mark of { chunk : int; wal_index : int }
+      (** provisioning progress: snapshot chunks [0..chunk] of a transfer
+          stamped at donor index [wal_index] have been applied {e and}
+          logged — an amnesia crash mid-transfer resumes after the newest
+          durable mark instead of from chunk 0.  [chunk = -1] is the
+          completion mark: it retires earlier marks so a later rejoin
+          starts a fresh transfer.  Durable like {!Install}; no store
+          effect on replay. *)
 
 type t
 
@@ -82,6 +91,43 @@ val replay : t -> Store.t -> int
 (** Rebuild [store] from the log in append order: installs are applied
     monotonically, stages re-staged, aborts clear their stage.  Returns the
     number of records applied. *)
+
+(** {2 Indices, snapshot cuts and tails}
+
+    Every record carries an absolute append index, assigned at {!append}
+    time and monotone for the replica's whole lifetime: a {!crash}
+    discards truncated records' indices but never rewinds the counter.
+    A snapshot cut is stamped with the donor's {!next_index} at cut
+    time; the tail that completes the snapshot is then every committed
+    record {e at or after} that stamp.  The boundary is pinned: the
+    record appended exactly at the stamp IS in the tail (the stamp names
+    the next index to be assigned, so nothing at or above it can predate
+    the cut), and the record at [stamp - 1] is NOT. *)
+
+val next_index : t -> int
+(** The index the next appended record will receive — equivalently, the
+    number of records ever appended.  Monotone across crashes. *)
+
+val replay_from : t -> Store.t -> index:int -> int
+(** {!replay} restricted to records with index [>= index] (inclusive);
+    returns the number applied.  [replay_from ~index:0] = {!replay}.
+    @raise Invalid_argument on a negative index. *)
+
+val committed_since : t -> index:int -> Batch.t
+(** The committed-state tail since a cut: (key, version, sid, value) of
+    every surviving [Commit]/[Install] record with index [>= index], in
+    append order.  Stages, aborts and marks are skipped.  Installing the
+    result monotonically on top of a snapshot stamped [index] yields a
+    state that covers every commit this replica logged since the cut.
+    @raise Invalid_argument on a negative index. *)
+
+val resume_state : t -> (int * int) option
+(** Where an interrupted provisioning transfer should resume, from the
+    newest surviving {!record.Mark}: [Some (next_chunk, wal_index)] when
+    a transfer was cut short after durably applying chunks
+    [0..next_chunk-1] of the cut stamped [wal_index]; [None] when no
+    transfer was in flight (no marks, or the newest is a completion
+    mark). *)
 
 val length : t -> int
 (** Records currently in the log (durable or not). *)

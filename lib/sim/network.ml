@@ -130,24 +130,36 @@ let attach_trace t ?(describe = fun _ -> "") sink =
 
 let attach_obs t obs =
   let m = Obs.metrics obs in
-  let c = Obs.Metrics.counter m in
+  (* Seed each counter with the struct counter's current value: obs may be
+     attached after traffic already flowed (or after a mid-run
+     [set_loss_rate] produced drops), and the two sources must agree — the
+     struct counters are the source of truth, the obs counters a view. *)
+  let c name seed =
+    let counter = Obs.Metrics.counter m name in
+    let behind = seed - Obs.Metrics.counter_value counter in
+    if behind > 0 then Obs.Metrics.add counter behind;
+    counter
+  in
   t.obs <-
     Some
       {
-        o_sent = c "net.sent";
-        o_delivered = c "net.delivered";
-        o_drop_loss = c "net.dropped.loss";
-        o_drop_crash = c "net.dropped.crash";
-        o_drop_partition = c "net.dropped.partition";
-        o_drop_no_handler = c "net.dropped.no_handler";
-        o_drop_overload = c "net.dropped.overload";
-        o_coalesced = c "net.coalesced";
+        o_sent = c "net.sent" t.counters.sent;
+        o_delivered = c "net.delivered" t.counters.delivered;
+        o_drop_loss = c "net.dropped.loss" t.counters.dropped_loss;
+        o_drop_crash = c "net.dropped.crash" t.counters.dropped_crash;
+        o_drop_partition =
+          c "net.dropped.partition" t.counters.dropped_partition;
+        o_drop_no_handler =
+          c "net.dropped.no_handler" t.counters.dropped_no_handler;
+        o_drop_overload = c "net.dropped.overload" t.counters.dropped_overload;
+        o_coalesced = c "net.coalesced" t.counters.coalesced;
         o_queue_depth = Obs.Metrics.histogram m "net.queue.depth";
         o_site_sent =
-          Array.init t.n (fun i -> c (Printf.sprintf "net.site.%d.sent" i));
+          (* no per-site struct counter for sends; seed 0 *)
+          Array.init t.n (fun i -> c (Printf.sprintf "net.site.%d.sent" i) 0);
         o_site_delivered =
           Array.init t.n (fun i ->
-              c (Printf.sprintf "net.site.%d.delivered" i));
+              c (Printf.sprintf "net.site.%d.delivered" i) t.delivered_to.(i));
       }
 
 let obs_incr t f =
@@ -246,6 +258,15 @@ let enqueue t ~src ~dst s msg =
     if not s.busy then serve t ~dst s
   end
 
+(* The one place a loss drop is accounted: struct counter, obs counter and
+   trace move together, so the sources cannot diverge no matter when
+   [set_loss_rate] changes the rate (the decision samples [t.loss_rate] at
+   send time; the accounting is rate-independent). *)
+let count_loss_drop t ~src ~dst =
+  t.counters.dropped_loss <- t.counters.dropped_loss + 1;
+  obs_incr t (fun o -> o.o_drop_loss);
+  emit t (Trace.Drop { src; dst; reason = "loss" })
+
 (* Message arrival (the deferred half of [send]): crash/partition checks
    happen at delivery time, so in-flight messages die with their
    destination. *)
@@ -301,11 +322,8 @@ let send t ?(units = 1) ~src ~dst msg =
     obs_incr t (fun o -> o.o_drop_crash);
     emit t (Trace.Drop { src; dst; reason = "sender down" })
   end
-  else if t.loss_rate > 0.0 && Rng.bernoulli t.rng t.loss_rate then begin
-    t.counters.dropped_loss <- t.counters.dropped_loss + 1;
-    obs_incr t (fun o -> o.o_drop_loss);
-    emit t (Trace.Drop { src; dst; reason = "loss" })
-  end
+  else if t.loss_rate > 0.0 && Rng.bernoulli t.rng t.loss_rate then
+    count_loss_drop t ~src ~dst
   else begin
     let delay = Latency.sample t.latency t.rng in
     let delay =

@@ -44,7 +44,11 @@ val attach_obs : 'msg t -> Obs.t -> unit
     [.no_handler] / [.overload], the [net.queue.depth] histogram, plus
     per-site [net.site.<i>.sent] and [net.site.<i>.delivered].  Metric
     handles are resolved once here, so the send path does no name lookups;
-    without this call the send path is untouched. *)
+    without this call the send path is untouched.  The obs counters are
+    seeded from the struct counters at attach time, so both sources agree
+    even when obs is attached mid-run — in particular [net.dropped.loss]
+    matches {!counters}[.dropped_loss] across mid-run {!set_loss_rate}
+    changes. *)
 
 val set_handler : 'msg t -> site:int -> (src:int -> 'msg -> unit) -> unit
 (** Installs the message handler for a site.  A site without a handler

@@ -266,3 +266,39 @@ the counters; neither run may violate safety:
   messages: sent=3604 delivered=3601 dropped=0 (8.7 per op)
   overload: sheds=20 busy=19 suppressed=10 drops=0 trips=1 peak-queue=10
   goodput: pre-burst=0.102 post-burst=0.097 recovery=0.94
+
+Membership churn: a crashed replica rejoins through chunked snapshot +
+WAL-tail provisioning.  Killing the donor mid-transfer forces a donor
+failover, and the rejoin resumes from the last durable chunk mark
+instead of refetching from chunk 0:
+
+  $ replica-ctl provision --config arbitrary -n 13 --crash-donor
+  ARBITRARY over 13 replicas (+2 spares): fence=on
+  clients: reads ok=41 failed=0 writes ok=33 failed=1
+  provisioning: runs=2 chunks=16 resumes=1 donor-failovers=1 rounds=19 stale=0 failed-rejoins=0
+  membership: promotions=0/0 decommissions=0
+  status: [serving;serving;serving;serving;serving;serving;serving;serving;serving;serving;serving;serving;serving;serving;serving]
+  violations: 0
+
+Promotion replaces a position's occupant with a provisioned spare while
+clients keep running; a partition during the bulk transfer only stalls
+the flow until the heal:
+
+  $ replica-ctl promote --config unmodified -n 7 --partition
+  UNMODIFIED over 7 replicas (+2 spares): fence=on
+  clients: reads ok=41 failed=0 writes ok=34 failed=0
+  provisioning: runs=1 chunks=8 resumes=0 donor-failovers=0 rounds=14 stale=0 failed-rejoins=0
+  membership: promotions=1/1 decommissions=0
+  status: [serving;serving;serving;serving;serving;serving;serving;serving;serving]
+  violations: 0
+
+Decommission is the fenced flavor: the outgoing occupant of position 1
+(site 1) ends permanently fenced, refusing every quorum role:
+
+  $ replica-ctl decommission --config unmodified -n 7
+  UNMODIFIED over 7 replicas (+2 spares): fence=on
+  clients: reads ok=41 failed=0 writes ok=34 failed=0
+  provisioning: runs=1 chunks=8 resumes=0 donor-failovers=0 rounds=10 stale=0 failed-rejoins=0
+  membership: promotions=1/1 decommissions=1
+  status: [serving;decommissioned;serving;serving;serving;serving;serving;serving;serving]
+  violations: 0

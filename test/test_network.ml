@@ -323,6 +323,45 @@ let test_obs_mirrors_counters () =
   Alcotest.(check int) "per-site delivered" 1
     (Obs.Metrics.counter_of m "net.site.1.delivered")
 
+let test_loss_rate_midrun_counter_consistency () =
+  (* The rate starts at zero, rises mid-run, and obs is only attached
+     after drops already happened: the obs counter must be seeded from the
+     struct counter so the two sources agree (the PR-9 end-of-run healing
+     path flips the rate back to zero the same way). *)
+  let engine, net = make ~latency:(Latency.Constant 1.0) () in
+  Network.set_handler net ~site:1 (fun ~src:_ _ -> ());
+  for _ = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "no drops at rate 0" 0
+    (Network.counters net).Network.dropped_loss;
+  Network.set_loss_rate net 0.9;
+  for _ = 1 to 200 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run engine;
+  let before_attach = (Network.counters net).Network.dropped_loss in
+  Alcotest.(check bool) "raised rate drops" true (before_attach > 0);
+  let obs = Obs.create () in
+  Network.attach_obs net obs;
+  let m = Obs.metrics obs in
+  Alcotest.(check int) "obs seeded from struct counter" before_attach
+    (Obs.Metrics.counter_of m "net.dropped.loss");
+  (* back to lossless (end-of-run healing): both sources freeze together *)
+  Network.set_loss_rate net 0.0;
+  for _ = 1 to 50 do
+    Network.send net ~src:0 ~dst:1 ()
+  done;
+  Engine.run engine;
+  let c = Network.counters net in
+  Alcotest.(check int) "no further drops after reset" before_attach
+    c.Network.dropped_loss;
+  Alcotest.(check int) "sources agree at the end" c.Network.dropped_loss
+    (Obs.Metrics.counter_of m "net.dropped.loss");
+  Alcotest.(check int) "delivered seed agrees too" c.Network.delivered
+    (Obs.Metrics.counter_of m "net.delivered")
+
 (* -- Overload model ------------------------------------------------------ *)
 
 let test_service_serializes () =
@@ -455,6 +494,8 @@ let suite =
     Alcotest.test_case "no-handler drop counter" `Quick test_no_handler_counter;
     Alcotest.test_case "obs mirrors net counters" `Quick
       test_obs_mirrors_counters;
+    Alcotest.test_case "mid-run set_loss_rate keeps counter sources agreeing"
+      `Quick test_loss_rate_midrun_counter_consistency;
     Alcotest.test_case "service time serializes delivery" `Quick
       test_service_serializes;
     Alcotest.test_case "bounded queue drops into dropped.overload" `Quick

@@ -1,0 +1,142 @@
+(* Position->site relabeling: quorum translation, remap validation, and
+   the deliberate fork-shares-the-map contract promotion relies on. *)
+
+module Protocol = Quorum.Protocol
+module Relabel = Quorum.Relabel
+module Bitset = Dsutil.Bitset
+module Rng = Dsutil.Rng
+
+let fig1 () = Arbitrary.Quorums.protocol (Arbitrary.Tree.figure1 ())
+
+let all_alive n =
+  let s = Bitset.create n in
+  for i = 0 to n - 1 do
+    Bitset.add s i
+  done;
+  s
+
+let test_identity_passthrough () =
+  let inner = fig1 () in
+  let n = Protocol.universe_size inner in
+  let t = Relabel.make ~universe:(n + 2) inner in
+  let p = Relabel.pack t in
+  Alcotest.(check int) "universe grows by the spares" (n + 2)
+    (Protocol.universe_size p);
+  Alcotest.(check int) "positions = inner universe" n (Relabel.positions t);
+  for i = 0 to n - 1 do
+    Alcotest.(check int) "identity map" i (Relabel.site_of t ~position:i)
+  done;
+  Alcotest.(check bool) "spare holds no position" true
+    (Relabel.position_of t ~site:n = None);
+  let rng = Rng.create 1 in
+  match Protocol.read_quorum p ~alive:(all_alive (n + 2)) ~rng with
+  | None -> Alcotest.fail "identity relabel must yield a quorum"
+  | Some q ->
+    Alcotest.(check bool) "identity quorum never names a spare" false
+      (Bitset.mem q n || Bitset.mem q (n + 1))
+
+let test_remap_translates_quorums () =
+  let inner = fig1 () in
+  let n = Protocol.universe_size inner in
+  let t = Relabel.make ~universe:(n + 1) inner in
+  let p = Relabel.pack t in
+  let spare = n in
+  Relabel.remap t ~position:0 ~site:spare;
+  Alcotest.(check int) "position 0 now maps to the spare" spare
+    (Relabel.site_of t ~position:0);
+  Alcotest.(check bool) "old occupant released" true
+    (Relabel.position_of t ~site:0 = None);
+  let rng = Rng.create 1 in
+  (* with the old occupant dead, quorums through position 0 must use the
+     spare *)
+  let alive = all_alive (n + 1) in
+  Bitset.remove alive 0;
+  (match Protocol.write_quorum p ~alive ~rng with
+  | None -> Alcotest.fail "write quorum must survive the remap"
+  | Some q ->
+    Alcotest.(check bool) "never names the dead old site" false
+      (Bitset.mem q 0));
+  (* and with the SPARE dead, position 0 is unavailable *)
+  let alive = all_alive (n + 1) in
+  Bitset.remove alive spare;
+  match Protocol.read_quorum p ~alive ~rng with
+  | None -> ()
+  | Some q ->
+    (* fig. 1's tree can route reads around single positions; what must
+       never happen is a quorum naming the dead spare *)
+    Alcotest.(check bool) "never names the dead spare" false
+      (Bitset.mem q spare)
+
+let test_remap_validation () =
+  let inner = fig1 () in
+  let n = Protocol.universe_size inner in
+  let t = Relabel.make ~universe:(n + 1) inner in
+  Alcotest.check_raises "occupied site rejected"
+    (Invalid_argument "Relabel.remap: site already holds a position")
+    (fun () -> Relabel.remap t ~position:0 ~site:1);
+  (* a no-op remap (site already holds THIS position) is fine *)
+  Relabel.remap t ~position:0 ~site:0;
+  Alcotest.(check bool) "universe too small rejected" true
+    (try
+       ignore (Relabel.make ~universe:(n - 1) inner);
+       false
+     with Invalid_argument _ -> true)
+
+(* Promotion's atomicity hinges on fork SHARING the map: a coordinator
+   forked before a remap must see quorums through the new site
+   afterwards.  This is a documented deviation from the usual fork
+   contract. *)
+let test_fork_shares_the_map () =
+  let inner = fig1 () in
+  let n = Protocol.universe_size inner in
+  let t = Relabel.make ~universe:(n + 1) inner in
+  let p = Relabel.pack t in
+  let forked = Protocol.fork p in
+  Relabel.remap t ~position:0 ~site:n;
+  let rng = Rng.create 1 in
+  let alive = all_alive (n + 1) in
+  Bitset.remove alive 0;
+  match Protocol.write_quorum forked ~alive ~rng with
+  | None -> Alcotest.fail "forked protocol must see the remap"
+  | Some q ->
+    Alcotest.(check bool) "fork sees the new occupant" true (Bitset.mem q n);
+    Alcotest.(check bool) "fork dropped the old occupant" false
+      (Bitset.mem q 0)
+
+let test_level_plan_translated () =
+  let inner = fig1 () in
+  let n = Protocol.universe_size inner in
+  let t = Relabel.make ~universe:(n + 1) inner in
+  let p = Relabel.pack t in
+  match Protocol.read_levels p with
+  | None -> Alcotest.fail "fig. 1's tree has a level plan"
+  | Some plan ->
+    Relabel.remap t ~position:0 ~site:n;
+    let rng = Rng.create 1 in
+    (* fig. 1's first physical level holds positions 0..2; with the old
+       occupant AND its level-mates dead, the level can only be served
+       by the promoted spare *)
+    let alive = all_alive (n + 1) in
+    Bitset.remove alive 0;
+    Bitset.remove alive 1;
+    Bitset.remove alive 2;
+    let found = ref false in
+    for level = 0 to plan.Protocol.n_levels - 1 do
+      let site = plan.Protocol.level_site ~alive ~rng ~level in
+      Alcotest.(check bool) "plan never names a dead site" false
+        (site = 0 || site = 1 || site = 2);
+      if site = n then found := true
+    done;
+    Alcotest.(check bool) "plan names the promoted spare" true !found
+
+let suite =
+  [
+    Alcotest.test_case "identity passthrough" `Quick test_identity_passthrough;
+    Alcotest.test_case "remap translates quorums" `Quick
+      test_remap_translates_quorums;
+    Alcotest.test_case "remap validation" `Quick test_remap_validation;
+    Alcotest.test_case "fork shares the position map" `Quick
+      test_fork_shares_the_map;
+    Alcotest.test_case "level plan translated" `Quick
+      test_level_plan_translated;
+  ]

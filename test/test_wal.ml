@@ -225,6 +225,100 @@ let test_commit_record_self_contained () =
   Alcotest.(check bool) "installed from the commit alone" true
     (Store.read store ~key:0 = (ts 2, "v"))
 
+(* --- snapshot-cut boundary ------------------------------------------------ *)
+
+(* The tail boundary is inclusive at the stamp: a cut taken at
+   [next_index] = s must yield a tail containing the record appended AT
+   index s and nothing appended before it.  An off-by-one in either
+   direction silently loses the first post-cut commit or re-ships the
+   last pre-cut one. *)
+let test_tail_boundary_at_stamp () =
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (install ~key:0 ~v:1 "pre");
+  let stamp = Wal.next_index wal in
+  Alcotest.(check int) "stamp names the next index" 1 stamp;
+  Wal.append wal (install ~key:1 ~v:1 "at-stamp");
+  Wal.append wal (install ~key:2 ~v:1 "post");
+  let tail = Wal.committed_since wal ~index:stamp in
+  Alcotest.(check int) "tail holds exactly the records >= stamp" 2
+    (Replication.Batch.length tail);
+  Alcotest.(check int) "first tail record is the one AT the stamp" 1
+    (Replication.Batch.key tail 0);
+  Alcotest.(check string) "its value" "at-stamp"
+    (Replication.Batch.value tail 0);
+  (* stamp - 1 is NOT in the tail *)
+  let from_before = Wal.committed_since wal ~index:(stamp - 1) in
+  Alcotest.(check int) "one index earlier adds the pre-cut record" 3
+    (Replication.Batch.length from_before)
+
+let test_replay_from_boundary () =
+  let now, _ = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (install ~key:0 ~v:5 "old");
+  let stamp = Wal.next_index wal in
+  Wal.append wal (install ~key:1 ~v:1 "new");
+  let store = Store.create () in
+  let applied = Wal.replay_from wal store ~index:stamp in
+  Alcotest.(check int) "only the record at the stamp replays" 1 applied;
+  Alcotest.(check bool) "pre-stamp key untouched" true
+    (Store.read store ~key:0 = (Timestamp.zero, ""));
+  Alcotest.(check bool) "at-stamp key installed" true
+    (Store.read store ~key:1 = (ts 1, "new"));
+  Alcotest.(check int) "replay_from 0 = full replay" 2
+    (Wal.replay_from wal (Store.create ()) ~index:0)
+
+(* Indices never rewind: a crash truncates records but the next append
+   still gets a fresh index, so a donor's stamp from before the crash can
+   never alias a post-crash record. *)
+let test_indices_monotone_across_crash () =
+  let now, set = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append wal (stage ~op:1 ~key:0 ~v:1 "volatile");
+  Wal.append wal (install ~key:1 ~v:1 "durable");
+  Alcotest.(check int) "two appended" 2 (Wal.next_index wal);
+  set 10.0;
+  Wal.crash wal;
+  Alcotest.(check int) "stage truncated" 1 (Wal.length wal);
+  Alcotest.(check int) "counter did not rewind" 2 (Wal.next_index wal);
+  Wal.append wal (install ~key:2 ~v:1 "after");
+  Alcotest.(check int) "fresh index" 3 (Wal.next_index wal);
+  (* the truncated record's index is simply absent from any tail *)
+  Alcotest.(check int) "tail since 0 holds the two survivors" 2
+    (Replication.Batch.length (Wal.committed_since wal ~index:0))
+
+(* An amnesia crash immediately after a snapshot chunk was installed and
+   marked: the mark is durable (Sync_on_commit batches the chunk installs
+   and the mark at one durability point), so resume_state reports the
+   chunk — the rejoin resumes after it instead of refetching chunk 0. *)
+let test_resume_after_install_crash () =
+  let now, set = clock () in
+  let wal = Wal.create ~now () in
+  Wal.append_batch wal
+    [
+      install ~key:0 ~v:1 "c0a";
+      install ~key:1 ~v:1 "c0b";
+      Wal.Mark { chunk = 0; wal_index = 7 };
+    ];
+  set 0.000001;
+  (* crash "immediately": no later flush point, Sync_on_commit already
+     made the batch durable at append time *)
+  Wal.crash wal;
+  (match Wal.resume_state wal with
+  | Some (next_chunk, wal_index) ->
+    Alcotest.(check int) "resume after chunk 0" 1 next_chunk;
+    Alcotest.(check int) "stamp preserved" 7 wal_index
+  | None -> Alcotest.fail "durable mark lost by the crash");
+  (* the installs the mark covers replay into the store *)
+  let store = Store.create () in
+  ignore (Wal.replay wal store);
+  Alcotest.(check bool) "chunk contents survived" true
+    (Store.read store ~key:1 = (ts 1, "c0b"));
+  (* a completion mark retires the resume state entirely *)
+  Wal.append wal (Wal.Mark { chunk = -1; wal_index = 9 });
+  Alcotest.(check bool) "completion mark means fresh transfer" true
+    (Wal.resume_state wal = None)
+
 let suite =
   [
     Alcotest.test_case "policy strings" `Quick test_policy_strings;
@@ -248,4 +342,12 @@ let suite =
       test_replay_abort_clears_stage;
     Alcotest.test_case "commit records are self-contained" `Quick
       test_commit_record_self_contained;
+    Alcotest.test_case "tail boundary is inclusive at the stamp" `Quick
+      test_tail_boundary_at_stamp;
+    Alcotest.test_case "replay_from honors the stamp boundary" `Quick
+      test_replay_from_boundary;
+    Alcotest.test_case "indices monotone across crashes" `Quick
+      test_indices_monotone_across_crash;
+    Alcotest.test_case "crash right after a marked chunk resumes" `Quick
+      test_resume_after_install_crash;
   ]
